@@ -1,0 +1,95 @@
+//! Ablation: the cost of the §5 integrity-constraint extension — checking a
+//! constraint over a class, and the overhead `apply_checked` adds to a raw
+//! mutation (clone + re-check).
+//!
+//! Experiment E-8: constraint checking is linear in the constrained class;
+//! transactional enforcement costs one database clone plus two checks, so
+//! it is the right tool for interactive edits, not bulk loads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isis_core::{
+    Atom, Clause, CompareOp, ConstraintKind, Database, EntityId, Map, Multiplicity, Predicate, Rhs,
+};
+
+/// An office of `n` employees in a management chain with salaries.
+fn office(
+    n: usize,
+) -> (
+    Database,
+    isis_core::ClassId,
+    isis_core::AttrId,
+    Vec<EntityId>,
+) {
+    let mut db = Database::new("office");
+    let employees = db.create_baseclass("employees").unwrap();
+    let ints = db.predefined(isis_core::BaseKind::Integers);
+    let salary = db
+        .create_attribute(employees, "salary", ints, Multiplicity::Single)
+        .unwrap();
+    let manager = db
+        .create_attribute(employees, "manager", employees, Multiplicity::Single)
+        .unwrap();
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let e = db.insert_entity(employees, &format!("emp{i}")).unwrap();
+        // Salaries strictly decrease down the chain: constraint holds.
+        let pay = db.int((2 * n - i) as i64);
+        db.assign_single(e, salary, pay).unwrap();
+        if let Some(&boss) = ids.last() {
+            db.assign_single(e, manager, boss).unwrap();
+        }
+        ids.push(e);
+    }
+    let pred = Predicate::dnf(vec![Clause::new(vec![Atom::new(
+        Map::single(salary),
+        CompareOp::Gt,
+        Rhs::SelfMap(Map::new(vec![manager, salary])),
+    )])]);
+    db.create_constraint("no_overpaid", employees, pred, ConstraintKind::Forbidden)
+        .unwrap();
+    (db, employees, salary, ids)
+}
+
+fn constraint_costs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("constraints");
+    for n in [100usize, 400, 1600] {
+        let (db, _employees, salary, ids) = office(n);
+        let k = db.constraint_by_name("no_overpaid").unwrap();
+        g.bench_with_input(BenchmarkId::new("check", n), &n, |b, _| {
+            b.iter(|| db.check_constraint(k).unwrap())
+        });
+        // Raw mutation (clone included, to isolate the checking overhead).
+        // Re-assigning the current salary is the only legal integer value
+        // inside a strictly decreasing chain, so the constraint still holds.
+        let target = ids[n / 2];
+        let legal_pay = (2 * n - n / 2) as i64;
+        g.bench_with_input(BenchmarkId::new("raw_assign", n), &n, |b, _| {
+            b.iter(|| {
+                let mut db2 = db.clone();
+                let legal = db2.int(legal_pay);
+                db2.assign_single(target, salary, legal).unwrap();
+                db2.entity_count()
+            })
+        });
+        // Transactionally enforced mutation.
+        g.bench_with_input(BenchmarkId::new("checked_assign", n), &n, |b, _| {
+            b.iter(|| {
+                let mut db2 = db.clone();
+                db2.apply_checked(|d| {
+                    let legal = d.int(legal_pay);
+                    d.assign_single(target, salary, legal)
+                })
+                .unwrap();
+                db2.entity_count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = constraint_costs
+}
+criterion_main!(benches);

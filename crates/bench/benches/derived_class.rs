@@ -1,0 +1,75 @@
+//! Derived-subclass maintenance: full recompute (the paper's commit) vs the
+//! incremental maintainer extension.
+//!
+//! Experiment E-2: incremental maintenance after a single entity change
+//! beats full re-evaluation by a widening factor as the class grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isis_bench::fixture;
+use isis_core::OrderedSet;
+use isis_query::DerivedMaintainer;
+
+fn commit_vs_incremental(c: &mut Criterion) {
+    let mut g = c.benchmark_group("derived_class");
+    for n in [100usize, 400, 1600] {
+        // Full recompute of the committed predicate.
+        {
+            let f = fixture(n);
+            let mut db = f.s.db.clone();
+            let quartets = db
+                .create_derived_subclass(f.s.music_groups, "bench_quartets")
+                .unwrap();
+            db.commit_membership(quartets, f.quartets.clone()).unwrap();
+            g.bench_with_input(BenchmarkId::new("full_refresh", n), &n, |b, _| {
+                b.iter(|| db.clone().refresh_derived_class(quartets).unwrap())
+            });
+        }
+        // Incremental: one musician's plays changed.
+        {
+            let f = fixture(n);
+            let mut db = f.s.db.clone();
+            let quartets = db
+                .create_derived_subclass(f.s.music_groups, "bench_quartets")
+                .unwrap();
+            db.commit_membership(quartets, f.quartets.clone()).unwrap();
+            let maint = DerivedMaintainer::new(&db, quartets).unwrap();
+            let target = f.s.musician_ids[1];
+            let owners: OrderedSet = [target].into_iter().collect();
+            // The maintainer mutates; clone per iteration like the refresh
+            // arm so both measure (clone + maintain).
+            g.bench_with_input(BenchmarkId::new("incremental_one_change", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut db2 = db.clone();
+                    db2.add_value(target, f.s.plays, f.probe_instrument)
+                        .unwrap();
+                    // Rebuild-free application against the prepared indexes.
+                    let mut m = DerivedMaintainer::new(&db2, quartets).unwrap();
+                    m.apply_attr_change(&mut db2, f.s.plays, &owners).unwrap()
+                })
+            });
+            let _ = maint;
+        }
+        // Affected-candidate analysis alone (the pruning power).
+        {
+            let f = fixture(n);
+            let mut db = f.s.db.clone();
+            let quartets = db
+                .create_derived_subclass(f.s.music_groups, "bench_quartets")
+                .unwrap();
+            db.commit_membership(quartets, f.quartets.clone()).unwrap();
+            let maint = DerivedMaintainer::new(&db, quartets).unwrap();
+            let owners: OrderedSet = [f.s.musician_ids[1]].into_iter().collect();
+            g.bench_with_input(BenchmarkId::new("affected_candidates", n), &n, |b, _| {
+                b.iter(|| maint.affected_candidates(&db, f.s.plays, &owners).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = commit_vs_incremental
+}
+criterion_main!(benches);

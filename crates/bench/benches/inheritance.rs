@@ -1,0 +1,79 @@
+//! Ablation: the cost of attribute inheritance — visible-attribute
+//! resolution and membership cascades against inheritance depth, and the
+//! overhead the §5 multiple-inheritance extension adds.
+//!
+//! Experiment E-9: visibility resolution is linear in chain depth (the
+//! "single tree representation" §2 argues for); a secondary parent adds one
+//! extra chain walk, not an explosion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isis_core::{ClassId, Database, Multiplicity};
+
+/// A chain of `depth` subclasses under one baseclass, each owning one
+/// attribute; optionally a secondary parent chain of the same depth.
+fn chain(depth: usize, multi: bool) -> (Database, ClassId) {
+    let mut db = Database::new("chain");
+    if multi {
+        db.enable_multiple_inheritance();
+    }
+    let strings = db.predefined(isis_core::BaseKind::Strings);
+    let base = db.create_baseclass("base").unwrap();
+    let mut cur = base;
+    for d in 0..depth {
+        db.create_attribute(cur, &format!("a{d}"), strings, Multiplicity::Single)
+            .unwrap();
+        cur = db.create_subclass(cur, &format!("c{d}")).unwrap();
+    }
+    if multi {
+        // A parallel chain whose leaf becomes a secondary parent.
+        let mut side = db.create_subclass(base, "side0").unwrap();
+        for d in 1..depth.max(1) {
+            db.create_attribute(side, &format!("s{d}"), strings, Multiplicity::Single)
+                .unwrap();
+            side = db.create_subclass(side, &format!("side{d}")).unwrap();
+        }
+        db.add_secondary_parent(cur, side).unwrap();
+    }
+    (db, cur)
+}
+
+fn inheritance_costs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inheritance");
+    for depth in [2usize, 8, 32] {
+        let (db, leaf) = chain(depth, false);
+        g.bench_with_input(
+            BenchmarkId::new("visible_attrs_single", depth),
+            &depth,
+            |b, _| b.iter(|| db.visible_attrs(leaf).unwrap().len()),
+        );
+        g.bench_with_input(BenchmarkId::new("ancestry", depth), &depth, |b, _| {
+            b.iter(|| db.ancestry(leaf).unwrap().len())
+        });
+        // Membership cascade through the whole chain.
+        g.bench_with_input(BenchmarkId::new("insert_cascade", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut db2 = db.clone();
+                let e = db2
+                    .insert_entity(db2.class_by_name("base").unwrap(), "probe")
+                    .unwrap();
+                db2.add_to_class(e, leaf).unwrap();
+                db2.members(leaf).unwrap().len()
+            })
+        });
+        // The multiple-inheritance variant.
+        let (db_m, leaf_m) = chain(depth, true);
+        g.bench_with_input(
+            BenchmarkId::new("visible_attrs_multi", depth),
+            &depth,
+            |b, _| b.iter(|| db_m.visible_attrs(leaf_m).unwrap().len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = inheritance_costs
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Navigation cost: map traversal length and fan-out (the data level's
+//! *follow*, §3.2), and the session-level follow command itself.
+//!
+//! Experiment E-4: following an attribute is O(selection × fan-out); map
+//! chains grow cost multiplicatively with fan-out per multivalued step —
+//! the responsiveness budget behind the paper's interactive browsing claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isis_bench::fixture;
+use isis_core::Map;
+use isis_sample::instrumental_music;
+use isis_session::{Command, Session};
+
+fn map_traversal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("navigation/map");
+    let f = fixture(1600);
+    let maps: [(&str, Map); 3] = [
+        ("len1_members", Map::single(f.s.members)),
+        ("len2_members_plays", Map::new(vec![f.s.members, f.s.plays])),
+        (
+            "len3_members_plays_family",
+            Map::new(vec![f.s.members, f.s.plays, f.s.family]),
+        ),
+    ];
+    for (label, map) in &maps {
+        // From one group.
+        let one = f.s.group_ids[0];
+        g.bench_function(BenchmarkId::new("from_one", *label), |b| {
+            b.iter(|| f.s.db.eval_map([one], map).unwrap())
+        });
+        // From every group (whole-class navigation).
+        let all: Vec<_> = f.s.group_ids.clone();
+        g.bench_function(BenchmarkId::new("from_all", *label), |b| {
+            b.iter(|| f.s.db.eval_map(all.iter().copied(), map).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn session_follow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("navigation/session_follow");
+    let im = instrumental_music().unwrap();
+    g.bench_function("follow_plays_from_edith", |b| {
+        b.iter(|| {
+            let mut s = Session::new(im.db.clone());
+            s.apply(Command::Pick(isis_core::SchemaNode::Class(im.musicians)))
+                .unwrap();
+            s.apply(Command::ViewContents).unwrap();
+            s.apply(Command::SelectEntity(im.edith)).unwrap();
+            s.apply(Command::Follow(im.plays)).unwrap();
+            s.pages().len()
+        })
+    });
+    g.bench_function("scene_after_follow", |b| {
+        let mut s = Session::new(im.db.clone());
+        s.apply(Command::Pick(isis_core::SchemaNode::Class(im.musicians)))
+            .unwrap();
+        s.apply(Command::ViewContents).unwrap();
+        s.apply(Command::SelectEntity(im.edith)).unwrap();
+        s.apply(Command::Follow(im.plays)).unwrap();
+        b.iter(|| s.scene().unwrap())
+    });
+    g.finish();
+}
+
+fn whole_session_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("navigation/replay");
+    // The entire §4.2 holiday-party session (≈60 commands + 12 captures).
+    g.bench_function("holiday_party_full", |b| {
+        b.iter(|| {
+            let (session, transcript) = isis::holiday::run_holiday_party(None).unwrap();
+            (session.stopped(), transcript.captures.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = map_traversal, session_follow, whole_session_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Predicate evaluation cost: class size, clause/atom shape, DNF vs CNF.
+//!
+//! Experiment E-1 of EXPERIMENTS.md: evaluation scales linearly in the
+//! candidate class size; CNF and DNF readings of the same layout cost the
+//! same order; atom count scales per-candidate cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isis_bench::fixture;
+use isis_sample::workload::random_musician_predicate;
+
+fn class_size_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predicate_eval/class_size");
+    for n in [100usize, 400, 1600, 6400] {
+        let f = fixture(n);
+        g.bench_with_input(BenchmarkId::new("size4", n), &n, |b, _| {
+            b.iter(|| {
+                f.s.db
+                    .evaluate_derived_members(f.s.music_groups, &f.size4)
+                    .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("quartets", n), &n, |b, _| {
+            b.iter(|| {
+                f.s.db
+                    .evaluate_derived_members(f.s.music_groups, &f.quartets)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn clause_shape_sweep(c: &mut Criterion) {
+    let f = fixture(400);
+    let mut g = c.benchmark_group("predicate_eval/shape");
+    for (clauses, atoms) in [(1usize, 1usize), (1, 4), (4, 1), (4, 4)] {
+        for dnf in [true, false] {
+            let pred = random_musician_predicate(&f.s, clauses, atoms, dnf, 7);
+            let label = format!("{}c{}a_{}", clauses, atoms, if dnf { "dnf" } else { "cnf" });
+            g.bench_function(BenchmarkId::new("eval", label), |b| {
+                b.iter(|| {
+                    f.s.db
+                        .evaluate_derived_members(f.s.musicians, &pred)
+                        .unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = class_size_sweep, clause_shape_sweep
+}
+criterion_main!(benches);

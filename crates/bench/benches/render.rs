@@ -1,0 +1,78 @@
+//! View construction and rendering cost vs schema size: the interactive-
+//! speed budget of the workstation interface.
+//!
+//! Experiment E-7: scene building is linear in visible boxes; ASCII and SVG
+//! rendering are linear in scene elements — all comfortably inside an
+//! interactive frame for realistic schema sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isis_core::{Database, Multiplicity};
+use isis_sample::instrumental_music;
+use isis_views::{
+    data_view, forest_view, network_view, render, DataViewInput, ForestViewOptions, PageSpec,
+};
+
+/// A schema with `n` baseclasses, each with a few attributes and a subclass.
+fn wide_schema(n: usize) -> Database {
+    let mut db = Database::new(format!("wide_{n}"));
+    let strings = db.predefined(isis_core::BaseKind::Strings);
+    for i in 0..n {
+        let c = db.create_baseclass(&format!("class{i}")).unwrap();
+        db.create_attribute(c, &format!("a{i}"), strings, Multiplicity::Single)
+            .unwrap();
+        db.create_attribute(c, &format!("b{i}"), strings, Multiplicity::Multi)
+            .unwrap();
+        db.create_subclass(c, &format!("sub{i}")).unwrap();
+    }
+    db
+}
+
+fn scene_building(c: &mut Criterion) {
+    let mut g = c.benchmark_group("render/build");
+    for n in [4usize, 16, 64] {
+        let db = wide_schema(n);
+        g.bench_with_input(BenchmarkId::new("forest_view", n), &n, |b, _| {
+            b.iter(|| forest_view(&db, &ForestViewOptions::default()).unwrap())
+        });
+    }
+    let im = instrumental_music().unwrap();
+    g.bench_function("network_view_instruments", |b| {
+        b.iter(|| network_view(&im.db, im.instruments).unwrap())
+    });
+    g.bench_function("data_view_two_pages", |b| {
+        let mut p1 = PageSpec::new(isis_core::SchemaNode::Class(im.instruments));
+        p1.selected = vec![im.flute, im.oboe];
+        let mut p2 = PageSpec::new(isis_core::SchemaNode::Class(im.families));
+        p2.followed_from = Some(im.family);
+        let input = DataViewInput {
+            pages: vec![p1, p2],
+            prompt: vec![],
+        };
+        b.iter(|| data_view(&im.db, &input).unwrap())
+    });
+    g.finish();
+}
+
+fn backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("render/backend");
+    for n in [4usize, 16, 64] {
+        let db = wide_schema(n);
+        let scene = forest_view(&db, &ForestViewOptions::default())
+            .unwrap()
+            .scene;
+        g.bench_with_input(BenchmarkId::new("ascii", n), &n, |b, _| {
+            b.iter(|| render::ascii::render(&scene))
+        });
+        g.bench_with_input(BenchmarkId::new("svg", n), &n, |b, _| {
+            b.iter(|| render::svg::render(&scene))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = scene_building, backends
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Storage engine throughput: snapshot encode/decode, WAL append under both
+//! durability policies, and crash-recovery replay.
+//!
+//! Experiment E-6: snapshot cost is linear in database size; per-op WAL
+//! append is constant (dominated by fsync under `EverySync`); replay runs
+//! at in-memory apply speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isis_bench::fixture;
+use isis_store::{replay_log, LogOp, StoreDir, SyncPolicy, WalFile};
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("isis_bench_store_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn snapshots(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage/snapshot");
+    for n in [100usize, 400, 1600] {
+        let f = fixture(n);
+        let dir = tempdir(&format!("snap{n}"));
+        let store = StoreDir::open(&dir).unwrap();
+        g.bench_with_input(BenchmarkId::new("save", n), &n, |b, _| {
+            b.iter(|| store.save(&f.s.db, "bench").unwrap())
+        });
+        store.save(&f.s.db, "bench").unwrap();
+        g.bench_with_input(BenchmarkId::new("load", n), &n, |b, _| {
+            b.iter(|| store.load("bench").unwrap())
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    g.finish();
+}
+
+fn wal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage/wal");
+    let dir = tempdir("wal");
+    for (policy, label) in [
+        (SyncPolicy::OsFlush, "osflush"),
+        (SyncPolicy::EverySync, "fsync"),
+    ] {
+        let path = dir.join(format!("bench_{label}.wal"));
+        let mut wal = WalFile::open(&path, policy).unwrap();
+        let op = LogOp::AssignSingle(
+            isis_core::EntityId::from_raw(10),
+            isis_core::AttrId::from_raw(3),
+            isis_core::EntityId::from_raw(20),
+        );
+        g.bench_function(BenchmarkId::new("append", label), |b| {
+            b.iter(|| wal.append(&op).unwrap())
+        });
+    }
+    // Replay throughput: 5 000 ops.
+    let path = dir.join("replay.wal");
+    {
+        let mut wal = WalFile::open(&path, SyncPolicy::OsFlush).unwrap();
+        for i in 0..5_000u32 {
+            wal.append(&LogOp::Intern(isis_core::Literal::Int(i as i64)))
+                .unwrap();
+        }
+    }
+    g.bench_function("replay_5000_ops", |b| {
+        b.iter(|| {
+            let replay = replay_log(&path).unwrap();
+            assert_eq!(replay.ops.len(), 5_000);
+            let mut db = isis_core::Database::new("replay");
+            for op in &replay.ops {
+                op.apply(&mut db).unwrap();
+            }
+            db.entity_count()
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = snapshots, wal
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Shared helpers for the benchmark suite: prepared databases at sweep
+//! scales, and the standard queries each bench exercises.
+
+use isis_core::{EntityId, Predicate};
+use isis_sample::{synthetic_music, Scale, SyntheticMusic};
+
+/// The class-size sweep every bench reports over.
+pub const SIZES: [usize; 4] = [100, 400, 1600, 6400];
+
+/// A prepared benchmark fixture: a synthetic database plus the two standard
+/// queries (the Figure-9 quartets shape and a simple size equality).
+pub struct Fixture {
+    /// The synthetic database and its ids.
+    pub s: SyntheticMusic,
+    /// The Figure-9-shaped query (map + superset ∧ size equality, CNF).
+    pub quartets: Predicate,
+    /// The plain `size = {4}` query.
+    pub size4: Predicate,
+    /// An instrument with non-trivial selectivity, for index benches.
+    pub probe_instrument: EntityId,
+}
+
+/// Builds the fixture at `n` musicians, deterministically.
+pub fn fixture(n: usize) -> Fixture {
+    let mut s = synthetic_music(Scale::of(n), 0xC0FFEE).expect("synthetic build");
+    let probe_instrument = s.instrument_ids[0];
+    let quartets = isis_sample::workload::quartets_query(&mut s, probe_instrument, 4);
+    let size4 = isis_sample::workload::size_query(&mut s, 4);
+    Fixture {
+        s,
+        quartets,
+        size4,
+        probe_instrument,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_and_queries_run() {
+        let f = fixture(100);
+        let sel =
+            f.s.db
+                .evaluate_derived_members(f.s.music_groups, &f.quartets)
+                .unwrap();
+        let sel2 =
+            f.s.db
+                .evaluate_derived_members(f.s.music_groups, &f.size4)
+                .unwrap();
+        // Quartets is strictly more selective than size=4 alone.
+        assert!(sel.len() <= sel2.len());
+        assert!(f.s.db.is_consistent().unwrap());
+    }
+}

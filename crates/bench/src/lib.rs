@@ -1,0 +1,13 @@
+//! # isis-bench
+//!
+//! The benchmark harness for the ISIS reproduction: shared fixtures
+//! ([`harness`]) for the Criterion benches under `benches/`, and the
+//! `figures` binary that regenerates Diagram 1 and Figures 1–12 from a
+//! scripted replay of the §4.2 session.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{fixture, Fixture, SIZES};

@@ -1,0 +1,149 @@
+//! Predicate atoms (§2).
+//!
+//! For a derived subclass `S ⊆ V` defined by `P(e)`, atoms take the forms
+//!
+//! * (a) `<map_V(e)> <operator> <map_V'(e)>` — two maps from the candidate
+//!   entity `e`;
+//! * (b) `<map_V(e)> <operator> <map_C(w)>, w ∈ C` — a map from `e` against
+//!   a map applied to a *constant* `w` picked (or created) at the data level.
+//!
+//! For a derived attribute `A: C → V` defined per source entity `x` by
+//! `P_x(e)`, form (c) is additionally available:
+//!
+//! * (c) `<map_V(e)> <operator> <map_C(x)>` — a map from `e` against a map
+//!   applied to the source entity `x`.
+
+use std::fmt;
+
+use crate::ids::{ClassId, EntityId};
+use crate::map::Map;
+use crate::op::Operator;
+use crate::orderedset::OrderedSet;
+
+/// The right-hand side of an atom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rhs {
+    /// Form (a): a map applied to the candidate entity `e` itself.
+    SelfMap(Map),
+    /// Form (b): a map applied to a constant set of entities anchored in
+    /// `class` (the worksheet's *constant* / *constant starting at class*
+    /// options; the anchor entities are picked at the data level).
+    Constant {
+        /// The class the constant entities were selected from.
+        class: ClassId,
+        /// The selected constant entities.
+        anchors: OrderedSet,
+        /// A further map applied to the anchors (identity for a plain
+        /// constant such as `{4}` or `{piano}`).
+        map: Map,
+    },
+    /// Form (c): a map applied to the *source* entity `x` (derived
+    /// attributes only; rejected when validating a subclass predicate).
+    SourceMap(Map),
+}
+
+impl Rhs {
+    /// A plain constant: the identity map over the given anchors.
+    pub fn constant(class: ClassId, anchors: impl IntoIterator<Item = EntityId>) -> Rhs {
+        Rhs::Constant {
+            class,
+            anchors: anchors.into_iter().collect(),
+            map: Map::identity(),
+        }
+    }
+}
+
+/// A single atom: `lhs-map(e) op rhs`.
+///
+/// The left-hand side is always a map from the candidate entity, per the
+/// grammar of §2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Map applied to the candidate entity `e` of the value class `V`.
+    pub lhs: Map,
+    /// The (possibly negated) comparison operator.
+    pub op: Operator,
+    /// The right-hand side.
+    pub rhs: Rhs,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(lhs: Map, op: impl Into<Operator>, rhs: Rhs) -> Atom {
+        Atom {
+            lhs,
+            op: op.into(),
+            rhs,
+        }
+    }
+
+    /// `true` if the atom uses form (c) and therefore only makes sense in a
+    /// derived-attribute predicate.
+    pub fn references_source(&self) -> bool {
+        matches!(self.rhs, Rhs::SourceMap(_))
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(e) {} ", self.lhs, self.op)?;
+        match &self.rhs {
+            Rhs::SelfMap(m) => write!(f, "{m}(e)"),
+            Rhs::Constant { anchors, map, .. } => {
+                if map.is_identity() {
+                    write!(f, "{anchors}")
+                } else {
+                    write!(f, "{map}({anchors})")
+                }
+            }
+            Rhs::SourceMap(m) => write!(f, "{m}(x)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AttrId;
+    use crate::op::CompareOp;
+
+    fn a(i: u32) -> AttrId {
+        AttrId::from_raw(i)
+    }
+
+    #[test]
+    fn constant_atom_display() {
+        let atom = Atom::new(
+            Map::single(a(1)),
+            CompareOp::SetEq,
+            Rhs::constant(ClassId::from_raw(1), [EntityId::from_raw(9)]),
+        );
+        assert_eq!(atom.to_string(), "a1(e) = {e9}");
+        assert!(!atom.references_source());
+    }
+
+    #[test]
+    fn source_map_atom_display() {
+        let atom = Atom::new(
+            Map::identity(),
+            CompareOp::Match,
+            Rhs::SourceMap(Map::new(vec![a(2), a(3)])),
+        );
+        assert_eq!(atom.to_string(), "·(e) ~ a2 a3(x)");
+        assert!(atom.references_source());
+    }
+
+    #[test]
+    fn mapped_constant_display() {
+        let atom = Atom::new(
+            Map::single(a(1)),
+            CompareOp::Superset,
+            Rhs::Constant {
+                class: ClassId::from_raw(2),
+                anchors: [EntityId::from_raw(3)].into_iter().collect(),
+                map: Map::single(a(4)),
+            },
+        );
+        assert_eq!(atom.to_string(), "a1(e) ⊇ a4({e3})");
+    }
+}

@@ -1,0 +1,162 @@
+//! Attribute records.
+
+use std::collections::HashMap;
+
+use crate::ids::{ClassId, EntityId, GroupingId};
+use crate::orderedset::OrderedSet;
+use crate::predicate::AttrDerivation;
+
+/// Whether an attribute maps each member to one value or to a set (§2):
+/// "attribute A of C with value class V is a function from C to the subsets
+/// of V … unless this function is constrained to map each element of C to a
+/// singleton subset".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Multiplicity {
+    /// `A: C → V` — one value per member (the null entity by default).
+    Single,
+    /// `A: C ↔ V` — a set of values per member (empty by default).
+    Multi,
+}
+
+/// The range of an attribute: a class, or a grouping (§2 allows "attribute B
+/// to be a function from a class S to a grouping G", treated as
+/// `B: S ↔ parent(G)` when composed in maps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueClass {
+    /// The attribute draws its values from a class.
+    Class(ClassId),
+    /// The attribute draws its values from a grouping; each value denotes
+    /// one of the grouping's sets, indexed by an entity of the grouping's
+    /// index class.
+    Grouping(GroupingId),
+}
+
+/// The stored value of an attribute for one entity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A singlevalued assignment.
+    Single(EntityId),
+    /// A multivalued assignment.
+    Multi(OrderedSet),
+}
+
+impl AttrValue {
+    /// The value as a set (singletons become one-element sets; the null
+    /// entity becomes the empty set for evaluation purposes).
+    pub fn as_set(&self) -> OrderedSet {
+        match self {
+            AttrValue::Single(e) => {
+                if e.is_null() {
+                    OrderedSet::new()
+                } else {
+                    [*e].into_iter().collect()
+                }
+            }
+            AttrValue::Multi(s) => s.clone(),
+        }
+    }
+}
+
+/// A stored attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrRecord {
+    /// The attribute name, unique among the attributes visible on the owner
+    /// (own + inherited).
+    pub name: String,
+    /// The class this attribute is defined on; subclasses inherit it.
+    pub owner: ClassId,
+    /// Where values are drawn from.
+    pub value_class: ValueClass,
+    /// Single- or multi-valued.
+    pub multiplicity: Multiplicity,
+    /// `true` for the naming attribute of a baseclass (always the first
+    /// attribute, singlevalued into STRINGS).
+    pub naming: bool,
+    /// The derivation, for derived attributes ((re)define derivation).
+    pub derivation: Option<AttrDerivation>,
+    /// Stored values, keyed by entity. Absence means the default: the null
+    /// entity for singlevalued, the empty set for multivalued.
+    pub values: HashMap<EntityId, AttrValue>,
+    /// Tombstone flag.
+    pub alive: bool,
+}
+
+impl AttrRecord {
+    /// `true` if this attribute maps to sets.
+    pub fn is_multi(&self) -> bool {
+        self.multiplicity == Multiplicity::Multi
+    }
+
+    /// `true` if this attribute has a stored derivation.
+    pub fn is_derived(&self) -> bool {
+        self.derivation.is_some()
+    }
+
+    /// The default value for an unassigned member.
+    pub fn default_value(&self) -> AttrValue {
+        match self.multiplicity {
+            Multiplicity::Single => AttrValue::Single(EntityId::NULL),
+            Multiplicity::Multi => AttrValue::Multi(OrderedSet::new()),
+        }
+    }
+
+    /// The stored (or default) value for `entity`.
+    pub fn value_of(&self, entity: EntityId) -> AttrValue {
+        self.values
+            .get(&entity)
+            .cloned()
+            .unwrap_or_else(|| self.default_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(m: Multiplicity) -> AttrRecord {
+        AttrRecord {
+            name: "plays".into(),
+            owner: ClassId::from_raw(4),
+            value_class: ValueClass::Class(ClassId::from_raw(5)),
+            multiplicity: m,
+            naming: false,
+            derivation: None,
+            values: HashMap::new(),
+            alive: true,
+        }
+    }
+
+    #[test]
+    fn defaults() {
+        let s = attr(Multiplicity::Single);
+        assert_eq!(s.default_value(), AttrValue::Single(EntityId::NULL));
+        let m = attr(Multiplicity::Multi);
+        assert_eq!(m.default_value(), AttrValue::Multi(OrderedSet::new()));
+        assert!(m.is_multi());
+        assert!(!s.is_multi());
+    }
+
+    #[test]
+    fn value_of_falls_back_to_default() {
+        let mut a = attr(Multiplicity::Single);
+        assert_eq!(
+            a.value_of(EntityId::from_raw(7)),
+            AttrValue::Single(EntityId::NULL)
+        );
+        a.values.insert(
+            EntityId::from_raw(7),
+            AttrValue::Single(EntityId::from_raw(9)),
+        );
+        assert_eq!(
+            a.value_of(EntityId::from_raw(7)),
+            AttrValue::Single(EntityId::from_raw(9))
+        );
+    }
+
+    #[test]
+    fn null_single_projects_to_empty_set() {
+        assert!(AttrValue::Single(EntityId::NULL).as_set().is_empty());
+        let s = AttrValue::Single(EntityId::from_raw(3)).as_set();
+        assert_eq!(s.as_slice(), &[EntityId::from_raw(3)]);
+    }
+}

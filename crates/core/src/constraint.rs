@@ -1,0 +1,445 @@
+//! Integrity constraints — the paper's §5 second future-work item:
+//!
+//! "Second, we would like to be able to specify arbitrarily complex
+//! predicates in a similar graphical way as a part of an integrity
+//! constraint specification system. For example, how would a user specify
+//! that an employee cannot earn more than his/her manager using only a
+//! screen and a pointing device?"
+//!
+//! A constraint reuses the worksheet's predicate language: it names a
+//! class and a predicate over that class's members, read either as
+//! *for-all* (every member must satisfy it) or *forbidden* (no member may
+//! satisfy it). The manager example is the forbidden predicate
+//! `salary(e) > manager salary(e)` over employees.
+//!
+//! Constraints are checked on demand ([`Database::check_constraint`]) or
+//! transactionally ([`Database::apply_checked`], which rolls a mutation
+//! back if it introduces a violation). Entities on which a predicate is
+//! *inapplicable* (e.g. an ordering atom over an unassigned singlevalued
+//! attribute) are reported separately, not treated as violations.
+
+use std::fmt;
+
+use crate::error::{CoreError, Result};
+use crate::ids::{ClassId, EntityId};
+use crate::predicate::Predicate;
+use crate::Database;
+
+/// Identifies a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstraintId(pub(crate) u32);
+
+impl ConstraintId {
+    /// Creates an id from its raw index.
+    pub fn from_raw(raw: u32) -> Self {
+        ConstraintId(raw)
+    }
+
+    /// The raw dense index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ConstraintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// How a constraint's predicate is read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintKind {
+    /// Every member of the class must satisfy the predicate.
+    ForAll,
+    /// No member of the class may satisfy the predicate.
+    Forbidden,
+}
+
+/// A stored constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintRecord {
+    /// The constraint name, unique among constraints.
+    pub name: String,
+    /// The class whose members are constrained.
+    pub class: ClassId,
+    /// The predicate, in the worksheet's language.
+    pub predicate: Predicate,
+    /// For-all or forbidden reading.
+    pub kind: ConstraintKind,
+    /// Tombstone flag.
+    pub alive: bool,
+}
+
+/// The outcome of checking one constraint.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConstraintReport {
+    /// Members violating the constraint.
+    pub violators: Vec<EntityId>,
+    /// Members on which the predicate was inapplicable (evaluation
+    /// errored, e.g. ordering over a null value), with the error text.
+    pub inapplicable: Vec<(EntityId, String)>,
+}
+
+impl ConstraintReport {
+    /// `true` when no member violates the constraint.
+    pub fn holds(&self) -> bool {
+        self.violators.is_empty()
+    }
+}
+
+impl Database {
+    /// Declares a constraint. The predicate is validated against the
+    /// class's schema (like a derived-subclass predicate). The constraint
+    /// is *not* retroactively enforced — existing violations are reported
+    /// by [`Database::check_constraint`].
+    pub fn create_constraint(
+        &mut self,
+        name: &str,
+        class: ClassId,
+        predicate: Predicate,
+        kind: ConstraintKind,
+    ) -> Result<ConstraintId> {
+        if name.is_empty() {
+            return Err(CoreError::InvalidLiteral("empty constraint name".into()));
+        }
+        if self.constraints().any(|(_, c)| c.name == name) {
+            return Err(CoreError::DuplicateName(name.into()));
+        }
+        self.class(class)?;
+        self.validate_predicate(class, None, &predicate)?;
+        let id = ConstraintId(self.constraint_arena().len() as u32);
+        self.constraint_arena_mut().push(ConstraintRecord {
+            name: name.to_string(),
+            class,
+            predicate,
+            kind,
+            alive: true,
+        });
+        Ok(id)
+    }
+
+    /// Deletes a constraint.
+    pub fn delete_constraint(&mut self, id: ConstraintId) -> Result<()> {
+        let rec = self
+            .constraint_arena_mut()
+            .get_mut(id.index())
+            .filter(|c| c.alive)
+            .ok_or(CoreError::NameNotFound(format!("constraint {id}")))?;
+        rec.alive = false;
+        Ok(())
+    }
+
+    /// The record of a live constraint.
+    pub fn constraint(&self, id: ConstraintId) -> Result<&ConstraintRecord> {
+        self.constraint_arena()
+            .get(id.index())
+            .filter(|c| c.alive)
+            .ok_or(CoreError::NameNotFound(format!("constraint {id}")))
+    }
+
+    /// Iterates live constraints.
+    pub fn constraints(&self) -> impl Iterator<Item = (ConstraintId, &ConstraintRecord)> {
+        self.constraint_arena()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.alive)
+            .map(|(i, c)| (ConstraintId(i as u32), c))
+    }
+
+    /// Finds a constraint by name.
+    pub fn constraint_by_name(&self, name: &str) -> Result<ConstraintId> {
+        self.constraints()
+            .find(|(_, c)| c.name == name)
+            .map(|(id, _)| id)
+            .ok_or_else(|| CoreError::NameNotFound(name.into()))
+    }
+
+    /// Checks one constraint, reporting violators and inapplicable members.
+    pub fn check_constraint(&self, id: ConstraintId) -> Result<ConstraintReport> {
+        let rec = self.constraint(id)?.clone();
+        let mut report = ConstraintReport::default();
+        for e in self.class(rec.class)?.members.iter().collect::<Vec<_>>() {
+            match self.eval_predicate_for(e, &rec.predicate, None) {
+                Ok(sat) => {
+                    let violates = match rec.kind {
+                        ConstraintKind::ForAll => !sat,
+                        ConstraintKind::Forbidden => sat,
+                    };
+                    if violates {
+                        report.violators.push(e);
+                    }
+                }
+                Err(err) => report.inapplicable.push((e, err.to_string())),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Checks every constraint, returning the ids that do not hold.
+    pub fn check_all_constraints(&self) -> Result<Vec<(ConstraintId, ConstraintReport)>> {
+        let mut out = Vec::new();
+        for (id, _) in self.constraints().collect::<Vec<_>>() {
+            let report = self.check_constraint(id)?;
+            if !report.holds() {
+                out.push((id, report));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs a mutation transactionally against the constraints: if, after
+    /// `f`, any constraint that held before no longer holds, the database
+    /// is rolled back and the first offending constraint reported.
+    /// (Constraints already violated beforehand are grandfathered — the
+    /// mutation is only required not to make things worse.)
+    pub fn apply_checked<T>(&mut self, f: impl FnOnce(&mut Database) -> Result<T>) -> Result<T> {
+        let held_before: Vec<ConstraintId> = self
+            .constraints()
+            .map(|(id, _)| id)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter(|id| {
+                self.check_constraint(*id)
+                    .map(|r| r.holds())
+                    .unwrap_or(false)
+            })
+            .collect();
+        let backup = self.clone();
+        let out = match f(self) {
+            Ok(v) => v,
+            Err(e) => {
+                *self = backup;
+                return Err(e);
+            }
+        };
+        for id in held_before {
+            let report = self.check_constraint(id)?;
+            if !report.holds() {
+                let name = self.constraint(id)?.name.clone();
+                *self = backup;
+                return Err(CoreError::Inconsistent(format!(
+                    "constraint {name:?} violated by {} entities",
+                    report.violators.len()
+                )));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Rhs};
+    use crate::attribute::Multiplicity;
+    use crate::literal::BaseKind;
+    use crate::map::Map;
+    use crate::op::CompareOp;
+    use crate::predicate::Clause;
+
+    /// The paper's example: employees, salaries, managers.
+    struct Office {
+        db: Database,
+        employees: ClassId,
+        salary: crate::ids::AttrId,
+        manager: crate::ids::AttrId,
+        alice: EntityId,
+        bob: EntityId,
+        carol: EntityId,
+    }
+
+    fn office() -> Office {
+        let mut db = Database::new("office");
+        let employees = db.create_baseclass("employees").unwrap();
+        let ints = db.predefined(BaseKind::Integers);
+        let salary = db
+            .create_attribute(employees, "salary", ints, Multiplicity::Single)
+            .unwrap();
+        let manager = db
+            .create_attribute(employees, "manager", employees, Multiplicity::Single)
+            .unwrap();
+        let alice = db.insert_entity(employees, "Alice").unwrap();
+        let bob = db.insert_entity(employees, "Bob").unwrap();
+        let carol = db.insert_entity(employees, "Carol").unwrap();
+        let s90 = db.int(90);
+        let s60 = db.int(60);
+        let s50 = db.int(50);
+        db.assign_single(alice, salary, s90).unwrap(); // the boss
+        db.assign_single(bob, salary, s60).unwrap();
+        db.assign_single(carol, salary, s50).unwrap();
+        db.assign_single(bob, manager, alice).unwrap();
+        db.assign_single(carol, manager, bob).unwrap();
+        Office {
+            db,
+            employees,
+            salary,
+            manager,
+            alice,
+            bob,
+            carol,
+        }
+    }
+
+    /// `salary(e) > manager salary(e)` — the forbidden predicate.
+    fn overpaid_predicate(o: &Office) -> Predicate {
+        Predicate::dnf(vec![Clause::new(vec![Atom::new(
+            Map::single(o.salary),
+            CompareOp::Gt,
+            Rhs::SelfMap(Map::new(vec![o.manager, o.salary])),
+        )])])
+    }
+
+    #[test]
+    fn the_papers_manager_constraint() {
+        let mut o = office();
+        let k =
+            o.db.create_constraint(
+                "no_overpaid",
+                o.employees,
+                overpaid_predicate(&o),
+                ConstraintKind::Forbidden,
+            )
+            .unwrap();
+        let report = o.db.check_constraint(k).unwrap();
+        assert!(report.holds(), "violators: {:?}", report.violators);
+        // Alice has no manager: the ordering atom is inapplicable to her,
+        // which is not a violation.
+        assert_eq!(report.inapplicable.len(), 1);
+        assert_eq!(report.inapplicable[0].0, o.alice);
+        // Now give Carol a raise above Bob: the constraint catches it.
+        let s70 = o.db.int(70);
+        o.db.assign_single(o.carol, o.salary, s70).unwrap();
+        let report = o.db.check_constraint(k).unwrap();
+        assert_eq!(report.violators, vec![o.carol]);
+    }
+
+    #[test]
+    fn apply_checked_rolls_back_violations() {
+        let mut o = office();
+        o.db.create_constraint(
+            "no_overpaid",
+            o.employees,
+            overpaid_predicate(&o),
+            ConstraintKind::Forbidden,
+        )
+        .unwrap();
+        let before = o.db.to_image();
+        let carol = o.carol;
+        let salary = o.salary;
+        let err =
+            o.db.apply_checked(|db| {
+                let s99 = db.int(99);
+                db.assign_single(carol, salary, s99)
+            })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Inconsistent(_)));
+        assert_eq!(o.db.to_image(), before, "rolled back");
+        // A legal raise goes through.
+        o.db.apply_checked(|db| {
+            let s55 = db.int(55);
+            db.assign_single(carol, salary, s55)
+        })
+        .unwrap();
+        assert_ne!(o.db.to_image(), before);
+    }
+
+    #[test]
+    fn apply_checked_rolls_back_on_inner_error() {
+        let mut o = office();
+        let before = o.db.to_image();
+        let carol = o.carol;
+        let err =
+            o.db.apply_checked(|db| {
+                let s1 = db.int(1);
+                db.assign_single(carol, o.salary, s1)?;
+                Err::<(), _>(CoreError::Predefined)
+            })
+            .unwrap_err();
+        assert_eq!(err, CoreError::Predefined);
+        assert_eq!(o.db.to_image(), before);
+    }
+
+    #[test]
+    fn forall_constraints() {
+        let mut o = office();
+        // Everyone must earn at least 10.
+        let ten = o.db.int(10);
+        let ints = o.db.predefined(BaseKind::Integers);
+        let k =
+            o.db.create_constraint(
+                "living_wage",
+                o.employees,
+                Predicate::dnf(vec![Clause::new(vec![Atom::new(
+                    Map::single(o.salary),
+                    CompareOp::Ge,
+                    Rhs::constant(ints, [ten]),
+                )])]),
+                ConstraintKind::ForAll,
+            )
+            .unwrap();
+        assert!(o.db.check_constraint(k).unwrap().holds());
+        let five = o.db.int(5);
+        o.db.assign_single(o.bob, o.salary, five).unwrap();
+        let report = o.db.check_constraint(k).unwrap();
+        assert_eq!(report.violators, vec![o.bob]);
+        assert_eq!(o.db.check_all_constraints().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn constraint_management() {
+        let mut o = office();
+        let pred = overpaid_predicate(&o);
+        let k =
+            o.db.create_constraint("c1", o.employees, pred.clone(), ConstraintKind::Forbidden)
+                .unwrap();
+        assert_eq!(o.db.constraint_by_name("c1").unwrap(), k);
+        // Duplicate names refused.
+        assert!(o
+            .db
+            .create_constraint("c1", o.employees, pred.clone(), ConstraintKind::Forbidden)
+            .is_err());
+        // Bad predicates refused (map not on the class).
+        let mut db2 = Database::new("x");
+        let other = db2.create_baseclass("other").unwrap();
+        let _ = other;
+        assert!(o
+            .db
+            .create_constraint(
+                "bad",
+                o.db.predefined(BaseKind::Strings),
+                pred,
+                ConstraintKind::ForAll
+            )
+            .is_err());
+        o.db.delete_constraint(k).unwrap();
+        assert!(o.db.constraint_by_name("c1").is_err());
+        assert!(o.db.delete_constraint(k).is_err());
+        assert_eq!(o.db.constraints().count(), 0);
+    }
+
+    #[test]
+    fn grandfathered_violations_do_not_block_unrelated_changes() {
+        let mut o = office();
+        // Create the constraint already violated…
+        let s99 = o.db.int(99);
+        o.db.assign_single(o.carol, o.salary, s99).unwrap();
+        o.db.create_constraint(
+            "no_overpaid",
+            o.employees,
+            overpaid_predicate(&o),
+            ConstraintKind::Forbidden,
+        )
+        .unwrap();
+        // …then an unrelated change still goes through.
+        let employees = o.employees;
+        o.db.apply_checked(|db| db.insert_entity(employees, "Dave").map(|_| ()))
+            .unwrap();
+        assert!(o.db.entity_by_name(o.employees, "Dave").is_ok());
+    }
+}

@@ -1,0 +1,69 @@
+//! Entity records.
+
+use crate::ids::ClassId;
+use crate::literal::Literal;
+
+/// A stored entity. "An entity corresponds to an object in the application
+/// environment. Each entity has a unique name, which is a string." (§2)
+///
+/// Entities of the predefined baseclasses are interned [`Literal`]s; user
+/// entities carry only their name (the value of the baseclass's naming
+/// attribute).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityRecord {
+    /// The value of the naming attribute; unique within the baseclass.
+    pub name: String,
+    /// The single baseclass this entity belongs to.
+    pub base: ClassId,
+    /// The interned literal, for entities of predefined baseclasses.
+    pub literal: Option<Literal>,
+    /// Tombstone flag; deleted entities keep their slot so ids stay dense.
+    pub alive: bool,
+}
+
+impl EntityRecord {
+    /// A user entity named `name` in baseclass `base`.
+    pub fn user(name: impl Into<String>, base: ClassId) -> Self {
+        EntityRecord {
+            name: name.into(),
+            base,
+            literal: None,
+            alive: true,
+        }
+    }
+
+    /// An interned literal entity.
+    pub fn literal(lit: Literal, base: ClassId) -> Self {
+        EntityRecord {
+            name: lit.display_name(),
+            base,
+            literal: Some(lit),
+            alive: true,
+        }
+    }
+
+    /// `true` for interned literals of predefined baseclasses.
+    pub fn is_literal(&self) -> bool {
+        self.literal.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_entity_has_no_literal() {
+        let e = EntityRecord::user("flute", ClassId::from_raw(4));
+        assert!(!e.is_literal());
+        assert!(e.alive);
+        assert_eq!(e.name, "flute");
+    }
+
+    #[test]
+    fn literal_entity_named_after_literal() {
+        let e = EntityRecord::literal(Literal::Int(4), ClassId::from_raw(1));
+        assert!(e.is_literal());
+        assert_eq!(e.name, "4");
+    }
+}

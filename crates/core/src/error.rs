@@ -1,0 +1,177 @@
+//! Error type for the data-model engine.
+
+use std::fmt;
+
+use crate::ids::{AttrId, ClassId, EntityId, GroupingId};
+
+/// Errors raised by schema and data operations.
+///
+/// Every variant corresponds to a rule the paper's "integrity" remark (§2)
+/// imposes, or to a malformed reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A class id does not name a live class.
+    NoSuchClass(ClassId),
+    /// An attribute id does not name a live attribute.
+    NoSuchAttr(AttrId),
+    /// A grouping id does not name a live grouping.
+    NoSuchGrouping(GroupingId),
+    /// An entity id does not name a live entity.
+    NoSuchEntity(EntityId),
+    /// A name lookup failed.
+    NameNotFound(String),
+    /// A sibling object with this name already exists.
+    DuplicateName(String),
+    /// Entity names must be unique within a baseclass.
+    DuplicateEntityName {
+        /// The baseclass in which the collision occurred.
+        base: ClassId,
+        /// The colliding name.
+        name: String,
+    },
+    /// The entity is not a member of the class the operation requires.
+    NotAMember {
+        /// The entity in question.
+        entity: EntityId,
+        /// The class it is not a member of.
+        class: ClassId,
+    },
+    /// An attribute is not defined (directly or by inheritance) on a class.
+    AttrNotOnClass {
+        /// The attribute.
+        attr: AttrId,
+        /// The class it is not defined on.
+        class: ClassId,
+    },
+    /// The value assigned to an attribute is not drawn from its value class.
+    ValueNotInValueClass {
+        /// The attribute being assigned.
+        attr: AttrId,
+        /// The offending value.
+        value: EntityId,
+    },
+    /// A set was assigned to a singlevalued attribute.
+    SingleValuedAttr(AttrId),
+    /// A class cannot be deleted while it is the parent of another class,
+    /// the parent of a grouping, or the value class of an attribute.
+    ClassInUse(ClassId),
+    /// A grouping cannot be deleted while it is the value class of an
+    /// attribute.
+    GroupingInUse(GroupingId),
+    /// Predefined baseclasses and their naming attributes cannot be
+    /// modified or deleted.
+    Predefined,
+    /// Entities of predefined baseclasses (interned literals) are immutable.
+    LiteralEntity(EntityId),
+    /// Direct insertion into a derived (predicate-defined) subclass is not
+    /// allowed; its membership is determined by its predicate.
+    DerivedClass(ClassId),
+    /// A literal was malformed (e.g. NaN real).
+    InvalidLiteral(String),
+    /// A map step was applied to a class it is not defined on.
+    InvalidMapStep {
+        /// The attribute used as the step.
+        attr: AttrId,
+        /// The class the map had reached.
+        class: ClassId,
+    },
+    /// An ordering operator compared non-singleton or non-comparable sets.
+    NotComparable(String),
+    /// The operation would violate schema/data consistency.
+    Inconsistent(String),
+    /// Multiple inheritance was used without being enabled, or misused.
+    MultipleInheritance(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoSuchClass(c) => write!(f, "no such class: {c}"),
+            CoreError::NoSuchAttr(a) => write!(f, "no such attribute: {a}"),
+            CoreError::NoSuchGrouping(g) => write!(f, "no such grouping: {g}"),
+            CoreError::NoSuchEntity(e) => write!(f, "no such entity: {e}"),
+            CoreError::NameNotFound(n) => write!(f, "name not found: {n:?}"),
+            CoreError::DuplicateName(n) => write!(f, "duplicate name: {n:?}"),
+            CoreError::DuplicateEntityName { base, name } => {
+                write!(
+                    f,
+                    "entity named {name:?} already exists in baseclass {base}"
+                )
+            }
+            CoreError::NotAMember { entity, class } => {
+                write!(f, "entity {entity} is not a member of class {class}")
+            }
+            CoreError::AttrNotOnClass { attr, class } => {
+                write!(f, "attribute {attr} is not defined on class {class}")
+            }
+            CoreError::ValueNotInValueClass { attr, value } => {
+                write!(
+                    f,
+                    "value {value} is not in the value class of attribute {attr}"
+                )
+            }
+            CoreError::SingleValuedAttr(a) => {
+                write!(
+                    f,
+                    "attribute {a} is singlevalued; a single value is required"
+                )
+            }
+            CoreError::ClassInUse(c) => write!(
+                f,
+                "class {c} cannot be deleted: it is a parent or a value class"
+            ),
+            CoreError::GroupingInUse(g) => write!(
+                f,
+                "grouping {g} cannot be deleted: it is the value class of an attribute"
+            ),
+            CoreError::Predefined => {
+                write!(
+                    f,
+                    "predefined baseclasses and naming attributes are immutable"
+                )
+            }
+            CoreError::LiteralEntity(e) => {
+                write!(f, "entity {e} is an interned literal and is immutable")
+            }
+            CoreError::DerivedClass(c) => write!(
+                f,
+                "class {c} is derived; its membership is defined by its predicate"
+            ),
+            CoreError::InvalidLiteral(m) => write!(f, "invalid literal: {m}"),
+            CoreError::InvalidMapStep { attr, class } => write!(
+                f,
+                "map step {attr} is not an attribute of the class {class} reached so far"
+            ),
+            CoreError::NotComparable(m) => write!(f, "not comparable: {m}"),
+            CoreError::Inconsistent(m) => write!(f, "consistency violation: {m}"),
+            CoreError::MultipleInheritance(m) => write!(f, "multiple inheritance: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used throughout the engine.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let e = CoreError::NotAMember {
+            entity: EntityId::from_raw(4),
+            class: ClassId::from_raw(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("e4"));
+        assert!(s.contains("c2"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CoreError::Predefined);
+    }
+}

@@ -1,0 +1,110 @@
+//! Characteristic fill patterns.
+//!
+//! In ISIS every class gets "a characteristic fill pattern unique to the
+//! class, which is provided automatically by the system" (§3.2). Attributes
+//! show the fill pattern of their value class; set-valued things (multivalued
+//! attributes, groupings) show the pattern with a white border.
+//!
+//! We reproduce this with a deterministic sequence of pattern indices, each
+//! of which maps to an ASCII glyph (for the text renderer) and an SVG pattern
+//! definition (for the vector renderer).
+
+/// A characteristic fill pattern, identified by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FillPattern(pub u32);
+
+/// The glyph alphabet used by the ASCII renderer. Patterns cycle through
+/// these glyphs; after one full cycle the renderer doubles them (`##`, …) via
+/// [`FillPattern::ascii_swatch`], so patterns stay visually distinct far
+/// beyond the alphabet size.
+const GLYPHS: &[char] = &[
+    '#', ':', '%', '+', 'x', 'o', '/', '\\', '=', '*', '.', '~', '^', 'v', '<', '>',
+];
+
+impl FillPattern {
+    /// The pattern assigned to the `i`-th created class.
+    pub fn nth(i: u32) -> FillPattern {
+        FillPattern(i)
+    }
+
+    /// The base glyph for the ASCII renderer.
+    pub fn glyph(self) -> char {
+        GLYPHS[(self.0 as usize) % GLYPHS.len()]
+    }
+
+    /// A short swatch (1–3 chars) distinguishing patterns even after the
+    /// glyph alphabet wraps around.
+    pub fn ascii_swatch(self) -> String {
+        let g = self.glyph();
+        let reps = 1 + (self.0 as usize) / GLYPHS.len();
+        std::iter::repeat_n(g, reps.min(3)).collect()
+    }
+
+    /// The SVG `<pattern>` id for this fill.
+    pub fn svg_id(self) -> String {
+        format!("fill{}", self.0)
+    }
+
+    /// Emits the SVG `<pattern>` definition for this fill. Patterns vary in
+    /// stroke angle, spacing and colour so that neighbouring classes remain
+    /// distinguishable.
+    pub fn svg_def(self) -> String {
+        let i = self.0;
+        let spacing = 4 + (i % 4) as i32; // 4..=7 px
+        let angle = match i % 4 {
+            0 => 45,
+            1 => -45,
+            2 => 0,
+            _ => 90,
+        };
+        let shade = 40 + ((i * 53) % 160); // deterministic grey level
+        let colour = format!("rgb({shade},{shade},{shade})");
+        format!(
+            concat!(
+                "<pattern id=\"{id}\" patternUnits=\"userSpaceOnUse\" ",
+                "width=\"{sp}\" height=\"{sp}\" patternTransform=\"rotate({ang})\">",
+                "<line x1=\"0\" y1=\"0\" x2=\"0\" y2=\"{sp}\" ",
+                "stroke=\"{col}\" stroke-width=\"1.5\"/></pattern>"
+            ),
+            id = self.svg_id(),
+            sp = spacing,
+            ang = angle,
+            col = colour,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn swatches_distinct_for_first_48_classes() {
+        let swatches: HashSet<String> = (0..48)
+            .map(|i| FillPattern::nth(i).ascii_swatch())
+            .collect();
+        assert_eq!(swatches.len(), 48);
+    }
+
+    #[test]
+    fn glyph_cycles() {
+        assert_eq!(FillPattern::nth(0).glyph(), '#');
+        assert_eq!(FillPattern::nth(16).glyph(), '#');
+        assert_eq!(FillPattern::nth(16).ascii_swatch(), "##");
+    }
+
+    #[test]
+    fn svg_def_references_own_id() {
+        let p = FillPattern::nth(5);
+        assert!(p.svg_def().contains(&p.svg_id()));
+        assert!(p.svg_def().starts_with("<pattern"));
+    }
+
+    #[test]
+    fn svg_defs_vary() {
+        let a = FillPattern::nth(0).svg_def();
+        let b = FillPattern::nth(1).svg_def();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,150 @@
+//! The inheritance forest (§2).
+//!
+//! "The inheritance forest, with arc (X,Y) iff X = parent(Y) … a collection
+//! of directed trees, where each tree contains exactly one baseclass node,
+//! its root. A grouping node can only be a leaf in these trees."
+//!
+//! This module exposes the forest as a pure description derived from the
+//! database, for the view layer and for tests.
+
+use crate::error::Result;
+use crate::ids::{ClassId, SchemaNode};
+use crate::Database;
+
+/// One tree of the inheritance forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForestTree {
+    /// The baseclass at the root.
+    pub root: ClassId,
+    /// The root node with its recursive children.
+    pub node: ForestNode,
+}
+
+/// A node of a forest tree: a class with its subclasses below and its
+/// groupings above (the placement rule of §3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForestNode {
+    /// This class.
+    pub class: ClassId,
+    /// Grouping leaves attached to this class ("groupings always appear
+    /// above their parent class").
+    pub groupings: Vec<crate::ids::GroupingId>,
+    /// Subclass children ("subclasses below").
+    pub children: Vec<ForestNode>,
+}
+
+impl ForestNode {
+    /// Number of class nodes in this subtree (not counting groupings).
+    pub fn class_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(ForestNode::class_count)
+            .sum::<usize>()
+    }
+
+    /// Depth-first iteration over the classes of the subtree.
+    pub fn classes(&self) -> Vec<ClassId> {
+        let mut out = vec![self.class];
+        for c in &self.children {
+            out.extend(c.classes());
+        }
+        out
+    }
+}
+
+impl Database {
+    /// Builds the full inheritance forest: one tree per baseclass, in class
+    /// creation order (predefined baseclasses first).
+    pub fn inheritance_forest(&self) -> Result<Vec<ForestTree>> {
+        let mut trees = Vec::new();
+        for (id, rec) in self.classes() {
+            if rec.is_base() {
+                trees.push(ForestTree {
+                    root: id,
+                    node: self.forest_node(id)?,
+                });
+            }
+        }
+        Ok(trees)
+    }
+
+    /// Builds the forest subtree rooted at `class`.
+    pub fn forest_node(&self, class: ClassId) -> Result<ForestNode> {
+        let rec = self.class(class)?;
+        let mut children = Vec::new();
+        for &c in &rec.children {
+            children.push(self.forest_node(c)?);
+        }
+        Ok(ForestNode {
+            class,
+            groupings: rec.groupings.clone(),
+            children,
+        })
+    }
+
+    /// The forest arcs (X, Y) with X = parent(Y), over classes and
+    /// groupings, in deterministic order.
+    pub fn forest_arcs(&self) -> Result<Vec<(SchemaNode, SchemaNode)>> {
+        let mut arcs = Vec::new();
+        for (id, rec) in self.classes() {
+            if let Some(p) = rec.parent {
+                arcs.push((SchemaNode::Class(p), SchemaNode::Class(id)));
+            }
+        }
+        for (gid, g) in self.groupings() {
+            arcs.push((SchemaNode::Class(g.parent), SchemaNode::Grouping(gid)));
+        }
+        Ok(arcs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Multiplicity;
+
+    #[test]
+    fn forest_shape() {
+        let mut db = Database::new("t");
+        let m = db.create_baseclass("musicians").unwrap();
+        let i = db.create_baseclass("instruments").unwrap();
+        let s = db.create_subclass(m, "soloists").unwrap();
+        let ps = db.create_subclass(m, "play_strings").unwrap();
+        let plays = db
+            .create_attribute(m, "plays", i, Multiplicity::Multi)
+            .unwrap();
+        let g = db.create_grouping(m, "by_instrument", plays).unwrap();
+        let forest = db.inheritance_forest().unwrap();
+        // 4 predefined + 2 user baseclasses.
+        assert_eq!(forest.len(), 6);
+        let mtree = forest.iter().find(|t| t.root == m).unwrap();
+        assert_eq!(mtree.node.class_count(), 3);
+        assert_eq!(mtree.node.groupings, vec![g]);
+        assert_eq!(mtree.node.classes(), vec![m, s, ps]);
+        let arcs = db.forest_arcs().unwrap();
+        assert!(arcs.contains(&(SchemaNode::Class(m), SchemaNode::Class(s))));
+        assert!(arcs.contains(&(SchemaNode::Class(m), SchemaNode::Grouping(g))));
+        // Every tree root is a baseclass.
+        for t in &forest {
+            assert!(db.class(t.root).unwrap().is_base());
+        }
+    }
+
+    #[test]
+    fn groupings_are_leaves() {
+        // By construction groupings carry no children; the forest node type
+        // cannot even represent a grouping with descendants. Verify the arc
+        // list never shows a grouping as a source.
+        let mut db = Database::new("t");
+        let m = db.create_baseclass("m").unwrap();
+        let i = db.create_baseclass("i").unwrap();
+        let plays = db
+            .create_attribute(m, "plays", i, Multiplicity::Multi)
+            .unwrap();
+        db.create_grouping(m, "g", plays).unwrap();
+        for (src, _) in db.forest_arcs().unwrap() {
+            assert!(matches!(src, SchemaNode::Class(_)));
+        }
+    }
+}

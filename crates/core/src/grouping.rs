@@ -1,0 +1,60 @@
+//! Grouping records (§2).
+//!
+//! "Let A be an attribute of a class C with value class V, then *grouping* G
+//! of C on A is the following family of subsets of C indexed by the members
+//! of V: G = { Sₑ | entity e in V, and entity x of C is in Sₑ iff e ∈ A(x) }."
+//!
+//! Groupings have no attributes, subclasses or groupings of their own, and
+//! are "completely determined from \[their\] parent class and an attribute" —
+//! so the engine stores only `(parent, attribute)` and computes the family
+//! of sets on demand (see [`Database::grouping_sets`]).
+//!
+//! [`Database::grouping_sets`]: crate::Database::grouping_sets
+
+use crate::fillpattern::FillPattern;
+use crate::ids::{AttrId, ClassId, EntityId};
+use crate::orderedset::OrderedSet;
+
+/// A stored grouping node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingRecord {
+    /// The grouping name, unique among classes and groupings.
+    pub name: String,
+    /// `parent(G)`: the class whose members are being grouped.
+    pub parent: ClassId,
+    /// The attribute of `parent` whose common values index the sets. The
+    /// semantic-network node is labelled with this attribute.
+    pub on_attr: AttrId,
+    /// The fill pattern (drawn with a white border, since members are sets).
+    pub fill: FillPattern,
+    /// Tombstone flag.
+    pub alive: bool,
+}
+
+/// One set of a grouping's family, indexed by an entity of the attribute's
+/// value class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingSet {
+    /// The index entity `e ∈ V` naming this set.
+    pub index: EntityId,
+    /// `Sₑ = { x ∈ C | e ∈ A(x) }`, in parent-extent order.
+    pub members: OrderedSet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_construction() {
+        let g = GroupingRecord {
+            name: "by_family".into(),
+            parent: ClassId::from_raw(5),
+            on_attr: AttrId::from_raw(7),
+            fill: FillPattern::nth(3),
+            alive: true,
+        };
+        assert_eq!(g.name, "by_family");
+        assert_eq!(g.parent, ClassId::from_raw(5));
+    }
+}

@@ -1,0 +1,171 @@
+//! Typed identifiers for the objects managed by an ISIS database.
+//!
+//! Every schema object (class, attribute, grouping) and every entity is
+//! addressed by a small dense integer id allocated by the [`Database`].
+//! Newtypes keep the id spaces from being confused with one another and let
+//! arenas be indexed without hashing.
+//!
+//! [`Database`]: crate::Database
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from its raw index. Intended for tests and for
+            /// deserialization; ids are normally allocated by the database.
+            pub fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw dense index behind this id.
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the id as a `usize` suitable for arena indexing.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a class (baseclass or subclass) in the schema.
+    ClassId,
+    "c"
+);
+define_id!(
+    /// Identifies an attribute in the schema.
+    AttrId,
+    "a"
+);
+define_id!(
+    /// Identifies a grouping node in the schema.
+    GroupingId,
+    "g"
+);
+define_id!(
+    /// Identifies an entity in the data plane.
+    EntityId,
+    "e"
+);
+
+impl EntityId {
+    /// The distinguished *null entity*, assumed by the paper to be a member
+    /// of every class. It is the default value of every singlevalued
+    /// attribute that has not been assigned.
+    pub const NULL: EntityId = EntityId(0);
+
+    /// Returns `true` if this is the null entity.
+    pub fn is_null(self) -> bool {
+        self == Self::NULL
+    }
+}
+
+/// A node of the schema: either a class or a grouping.
+///
+/// The paper's *inheritance forest* and *semantic network* are graphs over
+/// this node set. Groupings may only appear as leaves of the forest and have
+/// no outgoing arcs in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SchemaNode {
+    /// A class node.
+    Class(ClassId),
+    /// A grouping node.
+    Grouping(GroupingId),
+}
+
+impl SchemaNode {
+    /// Returns the class id if this node is a class.
+    pub fn as_class(self) -> Option<ClassId> {
+        match self {
+            SchemaNode::Class(c) => Some(c),
+            SchemaNode::Grouping(_) => None,
+        }
+    }
+
+    /// Returns the grouping id if this node is a grouping.
+    pub fn as_grouping(self) -> Option<GroupingId> {
+        match self {
+            SchemaNode::Grouping(g) => Some(g),
+            SchemaNode::Class(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for SchemaNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaNode::Class(c) => write!(f, "{c}"),
+            SchemaNode::Grouping(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+impl From<ClassId> for SchemaNode {
+    fn from(c: ClassId) -> Self {
+        SchemaNode::Class(c)
+    }
+}
+
+impl From<GroupingId> for SchemaNode {
+    fn from(g: GroupingId) -> Self {
+        SchemaNode::Grouping(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        let c = ClassId::from_raw(7);
+        assert_eq!(c.raw(), 7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.to_string(), "c7");
+    }
+
+    #[test]
+    fn null_entity_is_zero() {
+        assert!(EntityId::NULL.is_null());
+        assert!(!EntityId::from_raw(1).is_null());
+        assert_eq!(EntityId::NULL.raw(), 0);
+    }
+
+    #[test]
+    fn schema_node_projections() {
+        let c = SchemaNode::Class(ClassId::from_raw(3));
+        let g = SchemaNode::Grouping(GroupingId::from_raw(4));
+        assert_eq!(c.as_class(), Some(ClassId::from_raw(3)));
+        assert_eq!(c.as_grouping(), None);
+        assert_eq!(g.as_grouping(), Some(GroupingId::from_raw(4)));
+        assert_eq!(g.as_class(), None);
+    }
+
+    #[test]
+    fn schema_node_display_and_from() {
+        let c: SchemaNode = ClassId::from_raw(1).into();
+        let g: SchemaNode = GroupingId::from_raw(2).into();
+        assert_eq!(c.to_string(), "c1");
+        assert_eq!(g.to_string(), "g2");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(EntityId::from_raw(1) < EntityId::from_raw(2));
+        assert!(ClassId::from_raw(0) < ClassId::from_raw(10));
+    }
+}

@@ -1,0 +1,238 @@
+//! Scalar literals and the four predefined baseclasses.
+//!
+//! The paper assumes that "the standard baseclasses, Integers, Booleans,
+//! Reals, and Strings, are always in our schema and contain as data all
+//! integers, booleans, reals and strings of interest". These classes are
+//! conceptually infinite; the engine *interns* each literal into an entity
+//! of the corresponding baseclass on first use.
+
+use std::fmt;
+
+use crate::error::CoreError;
+
+/// The four predefined baseclasses of every ISIS schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BaseKind {
+    /// The `STRINGS` baseclass.
+    Strings,
+    /// The `INTEGERS` baseclass.
+    Integers,
+    /// The `REALS` baseclass.
+    Reals,
+    /// The `BOOLEANS` (`YES/NO`) baseclass.
+    Booleans,
+}
+
+impl BaseKind {
+    /// All predefined baseclasses, in the fixed order in which every
+    /// database allocates them.
+    pub const ALL: [BaseKind; 4] = [
+        BaseKind::Strings,
+        BaseKind::Integers,
+        BaseKind::Reals,
+        BaseKind::Booleans,
+    ];
+
+    /// The display name of the predefined baseclass.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaseKind::Strings => "STRINGS",
+            BaseKind::Integers => "INTEGERS",
+            BaseKind::Reals => "REALS",
+            BaseKind::Booleans => "YES/NO",
+        }
+    }
+}
+
+impl fmt::Display for BaseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A scalar value drawn from one of the predefined baseclasses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A string of the `STRINGS` baseclass.
+    Str(String),
+    /// An integer of the `INTEGERS` baseclass.
+    Int(i64),
+    /// A real of the `REALS` baseclass. NaN is rejected at construction.
+    Real(f64),
+    /// A boolean of the `YES/NO` baseclass.
+    Bool(bool),
+}
+
+impl Literal {
+    /// The predefined baseclass this literal belongs to.
+    pub fn base_kind(&self) -> BaseKind {
+        match self {
+            Literal::Str(_) => BaseKind::Strings,
+            Literal::Int(_) => BaseKind::Integers,
+            Literal::Real(_) => BaseKind::Reals,
+            Literal::Bool(_) => BaseKind::Booleans,
+        }
+    }
+
+    /// Builds a `Real` literal, rejecting NaN (which would break interning
+    /// and ordering).
+    pub fn real(v: f64) -> Result<Literal, CoreError> {
+        if v.is_nan() {
+            Err(CoreError::InvalidLiteral("NaN is not a valid REAL".into()))
+        } else {
+            Ok(Literal::Real(v))
+        }
+    }
+
+    /// The entity name displayed for this literal; also the key under which
+    /// the literal is interned in its baseclass.
+    pub fn display_name(&self) -> String {
+        match self {
+            Literal::Str(s) => s.clone(),
+            Literal::Int(i) => i.to_string(),
+            Literal::Real(r) => {
+                // Keep integral reals distinguishable from INTEGER entities.
+                if r.fract() == 0.0 && r.is_finite() {
+                    format!("{r:.1}")
+                } else {
+                    format!("{r}")
+                }
+            }
+            Literal::Bool(b) => {
+                if *b {
+                    "YES".into()
+                } else {
+                    "NO".into()
+                }
+            }
+        }
+    }
+
+    /// A hashable, equality-stable key for interning (reals keyed by bit
+    /// pattern; `-0.0` is normalised to `0.0`).
+    pub fn intern_key(&self) -> LiteralKey {
+        match self {
+            Literal::Str(s) => LiteralKey::Str(s.clone()),
+            Literal::Int(i) => LiteralKey::Int(*i),
+            Literal::Real(r) => {
+                let norm = if *r == 0.0 { 0.0f64 } else { *r };
+                LiteralKey::Real(norm.to_bits())
+            }
+            Literal::Bool(b) => LiteralKey::Bool(*b),
+        }
+    }
+
+    /// Numeric view shared by `Int` and `Real`, used by ordering operators.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Literal::Int(i) => Some(*i as f64),
+            Literal::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_name())
+    }
+}
+
+impl From<i64> for Literal {
+    fn from(v: i64) -> Self {
+        Literal::Int(v)
+    }
+}
+
+impl From<bool> for Literal {
+    fn from(v: bool) -> Self {
+        Literal::Bool(v)
+    }
+}
+
+impl From<&str> for Literal {
+    fn from(v: &str) -> Self {
+        Literal::Str(v.to_string())
+    }
+}
+
+impl From<String> for Literal {
+    fn from(v: String) -> Self {
+        Literal::Str(v)
+    }
+}
+
+/// Interning key for literals; see [`Literal::intern_key`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LiteralKey {
+    /// Key of a string literal.
+    Str(String),
+    /// Key of an integer literal.
+    Int(i64),
+    /// Key of a real literal (IEEE bit pattern, `-0.0` normalised).
+    Real(u64),
+    /// Key of a boolean literal.
+    Bool(bool),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_kind_names() {
+        assert_eq!(BaseKind::Strings.name(), "STRINGS");
+        assert_eq!(BaseKind::Integers.name(), "INTEGERS");
+        assert_eq!(BaseKind::Reals.name(), "REALS");
+        assert_eq!(BaseKind::Booleans.name(), "YES/NO");
+        assert_eq!(BaseKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn literal_base_kinds() {
+        assert_eq!(Literal::from("oboe").base_kind(), BaseKind::Strings);
+        assert_eq!(Literal::from(4i64).base_kind(), BaseKind::Integers);
+        assert_eq!(Literal::real(1.5).unwrap().base_kind(), BaseKind::Reals);
+        assert_eq!(Literal::from(true).base_kind(), BaseKind::Booleans);
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert!(Literal::real(f64::NAN).is_err());
+        assert!(Literal::real(f64::INFINITY).is_ok());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Literal::from("piano").display_name(), "piano");
+        assert_eq!(Literal::from(4i64).display_name(), "4");
+        assert_eq!(Literal::real(2.0).unwrap().display_name(), "2.0");
+        assert_eq!(Literal::real(2.5).unwrap().display_name(), "2.5");
+        assert_eq!(Literal::from(true).display_name(), "YES");
+        assert_eq!(Literal::from(false).display_name(), "NO");
+    }
+
+    #[test]
+    fn intern_key_normalises_negative_zero() {
+        let a = Literal::real(0.0).unwrap().intern_key();
+        let b = Literal::real(-0.0).unwrap().intern_key();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn intern_keys_distinguish_types() {
+        // The integer 4 and the string "4" are different entities.
+        assert_ne!(
+            Literal::from(4i64).intern_key(),
+            Literal::from("4").intern_key()
+        );
+    }
+
+    #[test]
+    fn as_f64_numeric_only() {
+        assert_eq!(Literal::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Literal::real(2.5).unwrap().as_f64(), Some(2.5));
+        assert_eq!(Literal::from("x").as_f64(), None);
+        assert_eq!(Literal::from(true).as_f64(), None);
+    }
+}

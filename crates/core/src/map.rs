@@ -1,0 +1,149 @@
+//! Maps: compositions of attributes (§2).
+//!
+//! "Let x be an entity of C, and Aᵢ: Cᵢ → Cᵢ₊₁ … We call A₁A₂…Aₙ (n ≥ 1) a
+//! *map* (from C₁ to Cₙ₊₁). For n = 0 we have the *identity map*."
+//!
+//! A map is evaluated set-at-a-time: each step applies an attribute to every
+//! entity in the current set and unions the results. Attributes whose value
+//! class is a grouping step into the grouping's *parent* class (the paper
+//! treats such an attribute `B: S → G` as `B: S ↔ parent(G)`).
+
+use std::fmt;
+
+use crate::ids::{AttrId, ClassId};
+
+/// A (possibly identity) composition of attributes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Map {
+    steps: Vec<AttrId>,
+}
+
+impl Map {
+    /// The identity map (n = 0): maps x to {x}.
+    pub fn identity() -> Self {
+        Map { steps: Vec::new() }
+    }
+
+    /// A map consisting of the given attribute steps, applied left to right.
+    pub fn new(steps: Vec<AttrId>) -> Self {
+        Map { steps }
+    }
+
+    /// A single-attribute map.
+    pub fn single(attr: AttrId) -> Self {
+        Map { steps: vec![attr] }
+    }
+
+    /// The attribute steps, in application order.
+    pub fn steps(&self) -> &[AttrId] {
+        &self.steps
+    }
+
+    /// `true` for the identity map.
+    pub fn is_identity(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a step (used by the predicate worksheet as the user picks map
+    /// attributes, "forming a stack of classes").
+    pub fn push(&mut self, attr: AttrId) {
+        self.steps.push(attr);
+    }
+
+    /// Removes the last step, if any (worksheet editing).
+    pub fn pop(&mut self) -> Option<AttrId> {
+        self.steps.pop()
+    }
+
+    /// Number of steps (0 for identity).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if the map has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl fmt::Display for Map {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return write!(f, "·");
+        }
+        for (i, a) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of type-checking a map against the schema: the class each
+/// prefix of the map reaches, starting with the source class.
+///
+/// This is exactly the "stack of classes" the predicate worksheet displays
+/// as the user builds a map (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapTrace {
+    /// `classes[0]` is the source class; `classes[i]` the class reached
+    /// after `i` steps. Length is `steps + 1`.
+    pub classes: Vec<ClassId>,
+    /// `true` if any step is multivalued or grouping-ranged, in which case
+    /// the map as a whole is set-valued even from a single entity.
+    pub multivalued: bool,
+}
+
+impl MapTrace {
+    /// The class the full map terminates in.
+    pub fn terminal(&self) -> ClassId {
+        *self
+            .classes
+            .last()
+            .expect("MapTrace always contains the source class")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId::from_raw(i)
+    }
+
+    #[test]
+    fn identity_map() {
+        let m = Map::identity();
+        assert!(m.is_identity());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.to_string(), "·");
+    }
+
+    #[test]
+    fn push_pop() {
+        let mut m = Map::identity();
+        m.push(a(1));
+        m.push(a(2));
+        assert_eq!(m.steps(), &[a(1), a(2)]);
+        assert_eq!(m.pop(), Some(a(2)));
+        assert_eq!(m.steps(), &[a(1)]);
+    }
+
+    #[test]
+    fn display_space_separated() {
+        let m = Map::new(vec![a(1), a(2)]);
+        assert_eq!(m.to_string(), "a1 a2");
+    }
+
+    #[test]
+    fn trace_terminal() {
+        let t = MapTrace {
+            classes: vec![ClassId::from_raw(1), ClassId::from_raw(2)],
+            multivalued: false,
+        };
+        assert_eq!(t.terminal(), ClassId::from_raw(2));
+    }
+}

@@ -1,0 +1,117 @@
+//! The semantic network (§2).
+//!
+//! "The semantic network, with arc (X,Y) labeled A iff A is attribute of
+//! class X with value class Y … a single arrow for singlevalued and a double
+//! one for multivalued attributes. In it no grouping node has outgoing arcs.
+//! The outgoing arcs of a class node correspond to its attributes, including
+//! those that are inherited. If a grouping node corresponds to a grouping on
+//! attribute A, we label it with A."
+
+use crate::attribute::{Multiplicity, ValueClass};
+use crate::error::Result;
+use crate::ids::{AttrId, ClassId, SchemaNode};
+use crate::Database;
+
+/// One labeled arc of the semantic network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkArc {
+    /// The source class.
+    pub from: ClassId,
+    /// The target node (class or grouping).
+    pub to: SchemaNode,
+    /// The attribute labeling the arc.
+    pub attr: AttrId,
+    /// `true` when the arc came to `from` by inheritance rather than being
+    /// owned by it.
+    pub inherited: bool,
+    /// Single arrow or double arrow.
+    pub multiplicity: Multiplicity,
+}
+
+impl Database {
+    /// The outgoing semantic-network arcs of `class`, including inherited
+    /// attributes, in display order (inherited first).
+    pub fn network_arcs_of(&self, class: ClassId) -> Result<Vec<NetworkArc>> {
+        let own: std::collections::HashSet<AttrId> =
+            self.class(class)?.own_attrs.iter().copied().collect();
+        let mut arcs = Vec::new();
+        for a in self.visible_attrs(class)? {
+            let rec = self.attr(a)?;
+            let to = match rec.value_class {
+                ValueClass::Class(c) => SchemaNode::Class(c),
+                ValueClass::Grouping(g) => SchemaNode::Grouping(g),
+            };
+            arcs.push(NetworkArc {
+                from: class,
+                to,
+                attr: a,
+                inherited: !own.contains(&a),
+                multiplicity: rec.multiplicity,
+            });
+        }
+        Ok(arcs)
+    }
+
+    /// Every arc of the semantic network, grouped by source class.
+    pub fn semantic_network(&self) -> Result<Vec<NetworkArc>> {
+        let mut arcs = Vec::new();
+        for (id, _) in self.classes() {
+            arcs.extend(self.network_arcs_of(id)?);
+        }
+        Ok(arcs)
+    }
+
+    /// The classes whose attributes point *at* `node` (used for reverse
+    /// navigation in the network view).
+    pub fn network_sources_of(&self, node: SchemaNode) -> Result<Vec<NetworkArc>> {
+        Ok(self
+            .semantic_network()?
+            .into_iter()
+            .filter(|a| a.to == node)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arcs_include_inherited_and_label_grouping_targets() {
+        let mut db = Database::new("t");
+        let m = db.create_baseclass("musicians").unwrap();
+        let i = db.create_baseclass("instruments").unwrap();
+        let plays = db
+            .create_attribute(m, "plays", i, Multiplicity::Multi)
+            .unwrap();
+        let by_instrument = db.create_grouping(m, "by_instrument", plays).unwrap();
+        let groups = db.create_baseclass("music_groups").unwrap();
+        let section = db
+            .create_attribute(groups, "section", by_instrument, Multiplicity::Single)
+            .unwrap();
+        let soloists = db.create_subclass(m, "soloists").unwrap();
+
+        let arcs = db.network_arcs_of(soloists).unwrap();
+        // naming (inherited) + plays (inherited).
+        assert_eq!(arcs.len(), 2);
+        let plays_arc = arcs.iter().find(|a| a.attr == plays).unwrap();
+        assert!(plays_arc.inherited);
+        assert_eq!(plays_arc.to, SchemaNode::Class(i));
+        assert_eq!(plays_arc.multiplicity, Multiplicity::Multi);
+
+        let garcs = db.network_arcs_of(groups).unwrap();
+        let section_arc = garcs.iter().find(|a| a.attr == section).unwrap();
+        assert_eq!(section_arc.to, SchemaNode::Grouping(by_instrument));
+        assert!(!section_arc.inherited);
+
+        // No grouping has outgoing arcs (arcs only originate at classes).
+        for a in db.semantic_network().unwrap() {
+            let _ = db.class(a.from).unwrap();
+        }
+
+        // Reverse navigation.
+        let into_i = db.network_sources_of(SchemaNode::Class(i)).unwrap();
+        assert!(into_i.iter().any(|a| a.from == m && a.attr == plays));
+        assert!(into_i.iter().any(|a| a.from == soloists));
+    }
+}

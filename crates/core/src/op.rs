@@ -1,0 +1,192 @@
+//! Predicate operators (§2).
+//!
+//! "Set comparison operators used are set equality (=), subset and superset
+//! operators (⊆, ⊇, ⊂, ⊃), and a weak match operator (~) to determine if two
+//! sets have a common element. In addition, ordering operators (≤, >) are
+//! available for comparing singleton sets. The negations of all these
+//! operators are also available."
+
+use std::fmt;
+
+/// A binary comparison operator between two sets of entities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// Set equality `=`.
+    SetEq,
+    /// Subset `⊆`.
+    Subset,
+    /// Superset `⊇`.
+    Superset,
+    /// Proper subset `⊂`.
+    ProperSubset,
+    /// Proper superset `⊃`.
+    ProperSuperset,
+    /// Weak match `~`: the sets share at least one element.
+    Match,
+    /// `<` on singleton sets of comparable entities.
+    Lt,
+    /// `≤` on singleton sets of comparable entities.
+    Le,
+    /// `>` on singleton sets of comparable entities.
+    Gt,
+    /// `≥` on singleton sets of comparable entities.
+    Ge,
+}
+
+impl CompareOp {
+    /// All operators, in menu order (the worksheet operator menu).
+    pub const ALL: [CompareOp; 10] = [
+        CompareOp::SetEq,
+        CompareOp::Subset,
+        CompareOp::Superset,
+        CompareOp::ProperSubset,
+        CompareOp::ProperSuperset,
+        CompareOp::Match,
+        CompareOp::Lt,
+        CompareOp::Le,
+        CompareOp::Gt,
+        CompareOp::Ge,
+    ];
+
+    /// The display symbol of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::SetEq => "=",
+            CompareOp::Subset => "⊆",
+            CompareOp::Superset => "⊇",
+            CompareOp::ProperSubset => "⊂",
+            CompareOp::ProperSuperset => "⊃",
+            CompareOp::Match => "~",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "≤",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => "≥",
+        }
+    }
+
+    /// A pure-ASCII symbol for the text renderer.
+    pub fn ascii_symbol(self) -> &'static str {
+        match self {
+            CompareOp::SetEq => "=",
+            CompareOp::Subset => "<=s",
+            CompareOp::Superset => ">=s",
+            CompareOp::ProperSubset => "<s",
+            CompareOp::ProperSuperset => ">s",
+            CompareOp::Match => "~",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+
+    /// `true` for the ordering operators, which require singleton sets of
+    /// mutually comparable entities.
+    pub fn is_ordering(self) -> bool {
+        matches!(
+            self,
+            CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge
+        )
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An operator together with its optional negation ("the negations of all
+/// these operators are also available").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Operator {
+    /// The base comparison.
+    pub op: CompareOp,
+    /// `true` if the atom tests the negation of `op`.
+    pub negated: bool,
+}
+
+impl Operator {
+    /// A non-negated operator.
+    pub fn plain(op: CompareOp) -> Self {
+        Operator { op, negated: false }
+    }
+
+    /// A negated operator.
+    pub fn negated(op: CompareOp) -> Self {
+        Operator { op, negated: true }
+    }
+
+    /// Flips the negation flag (the worksheet's negate toggle).
+    pub fn toggle_negation(&mut self) {
+        self.negated = !self.negated;
+    }
+
+    /// Applies the negation flag to a raw comparison result.
+    pub fn finish(self, raw: bool) -> bool {
+        raw != self.negated
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "¬{}", self.op)
+        } else {
+            write!(f, "{}", self.op)
+        }
+    }
+}
+
+impl From<CompareOp> for Operator {
+    fn from(op: CompareOp) -> Self {
+        Operator::plain(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in CompareOp::ALL {
+            assert!(seen.insert(op.symbol()), "duplicate symbol {}", op.symbol());
+        }
+    }
+
+    #[test]
+    fn ascii_symbols_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in CompareOp::ALL {
+            assert!(seen.insert(op.ascii_symbol()));
+        }
+    }
+
+    #[test]
+    fn ordering_classification() {
+        assert!(CompareOp::Lt.is_ordering());
+        assert!(CompareOp::Ge.is_ordering());
+        assert!(!CompareOp::SetEq.is_ordering());
+        assert!(!CompareOp::Match.is_ordering());
+    }
+
+    #[test]
+    fn negation_finish() {
+        assert!(Operator::plain(CompareOp::SetEq).finish(true));
+        assert!(!Operator::plain(CompareOp::SetEq).finish(false));
+        assert!(!Operator::negated(CompareOp::SetEq).finish(true));
+        assert!(Operator::negated(CompareOp::SetEq).finish(false));
+    }
+
+    #[test]
+    fn toggle() {
+        let mut o = Operator::plain(CompareOp::Match);
+        o.toggle_negation();
+        assert!(o.negated);
+        assert_eq!(o.to_string(), "¬~");
+        o.toggle_negation();
+        assert_eq!(o.to_string(), "~");
+    }
+}

@@ -1,0 +1,232 @@
+//! An insertion-ordered set of [`EntityId`]s.
+//!
+//! Class extents and multivalued attribute values are sets, but the data
+//! level of the interface shows them as *pannable lists*, so insertion order
+//! must be preserved deterministically. `OrderedSet` pairs a vector (order)
+//! with a hash set (membership).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ids::EntityId;
+
+/// An insertion-ordered set of entity ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OrderedSet {
+    order: Vec<EntityId>,
+    members: HashSet<EntityId>,
+}
+
+impl OrderedSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set with capacity for `n` members.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            order: Vec::with_capacity(n),
+            members: HashSet::with_capacity(n),
+        }
+    }
+
+    /// Inserts `e`, returning `true` if it was not already present.
+    pub fn insert(&mut self, e: EntityId) -> bool {
+        if self.members.insert(e) {
+            self.order.push(e);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `e`, returning `true` if it was present. O(n) in the order
+    /// list; extents are interactive-scale so this is acceptable, and order
+    /// of the remaining members is preserved (the UI requirement).
+    pub fn remove(&mut self, e: EntityId) -> bool {
+        if self.members.remove(&e) {
+            if let Some(pos) = self.order.iter().position(|&x| x == e) {
+                self.order.remove(pos);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, e: EntityId) -> bool {
+        self.members.contains(&e)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// The members as an ordered slice.
+    pub fn as_slice(&self) -> &[EntityId] {
+        &self.order
+    }
+
+    /// `true` if every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &OrderedSet) -> bool {
+        self.order.iter().all(|e| other.contains(*e))
+    }
+
+    /// `true` if the two sets share at least one member (the paper's weak
+    /// match operator `~`).
+    pub fn intersects(&self, other: &OrderedSet) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.order.iter().any(|e| large.contains(*e))
+    }
+
+    /// Set equality (order-insensitive).
+    pub fn set_eq(&self, other: &OrderedSet) -> bool {
+        self.len() == other.len() && self.is_subset(other)
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.order.clear();
+        self.members.clear();
+    }
+
+    /// If the set is a singleton, returns its sole member.
+    pub fn as_singleton(&self) -> Option<EntityId> {
+        if self.order.len() == 1 {
+            Some(self.order[0])
+        } else {
+            None
+        }
+    }
+
+    /// Inserts every member of `other`.
+    pub fn extend_from(&mut self, other: &OrderedSet) {
+        for e in other.iter() {
+            self.insert(e);
+        }
+    }
+}
+
+impl FromIterator<EntityId> for OrderedSet {
+    fn from_iter<I: IntoIterator<Item = EntityId>>(iter: I) -> Self {
+        let mut s = OrderedSet::new();
+        for e in iter {
+            s.insert(e);
+        }
+        s
+    }
+}
+
+impl<'a> IntoIterator for &'a OrderedSet {
+    type Item = EntityId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, EntityId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.order.iter().copied()
+    }
+}
+
+impl fmt::Display for OrderedSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.order.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::from_raw(i)
+    }
+
+    #[test]
+    fn insert_preserves_order_and_dedups() {
+        let mut s = OrderedSet::new();
+        assert!(s.insert(e(3)));
+        assert!(s.insert(e(1)));
+        assert!(!s.insert(e(3)));
+        assert_eq!(s.as_slice(), &[e(3), e(1)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn remove_keeps_relative_order() {
+        let mut s: OrderedSet = [e(1), e(2), e(3)].into_iter().collect();
+        assert!(s.remove(e(2)));
+        assert!(!s.remove(e(2)));
+        assert_eq!(s.as_slice(), &[e(1), e(3)]);
+        assert!(!s.contains(e(2)));
+    }
+
+    #[test]
+    fn subset_and_equality() {
+        let a: OrderedSet = [e(1), e(2)].into_iter().collect();
+        let b: OrderedSet = [e(2), e(1), e(3)].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let c: OrderedSet = [e(2), e(1)].into_iter().collect();
+        assert!(a.set_eq(&c));
+        assert!(!a.set_eq(&b));
+        // set_eq ignores insertion order, Eq (derived) does not.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weak_match() {
+        let a: OrderedSet = [e(1), e(2)].into_iter().collect();
+        let b: OrderedSet = [e(2), e(9)].into_iter().collect();
+        let c: OrderedSet = [e(7)].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!OrderedSet::new().intersects(&a));
+    }
+
+    #[test]
+    fn singleton_projection() {
+        let one: OrderedSet = [e(5)].into_iter().collect();
+        let two: OrderedSet = [e(5), e(6)].into_iter().collect();
+        assert_eq!(one.as_singleton(), Some(e(5)));
+        assert_eq!(two.as_singleton(), None);
+        assert_eq!(OrderedSet::new().as_singleton(), None);
+    }
+
+    #[test]
+    fn display_format() {
+        let s: OrderedSet = [e(1), e(2)].into_iter().collect();
+        assert_eq!(s.to_string(), "{e1, e2}");
+        assert_eq!(OrderedSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn extend_from_unions() {
+        let mut a: OrderedSet = [e(1)].into_iter().collect();
+        let b: OrderedSet = [e(1), e(2)].into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.as_slice(), &[e(1), e(2)]);
+    }
+}

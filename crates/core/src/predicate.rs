@@ -1,0 +1,256 @@
+//! Predicates in disjunctive or conjunctive normal form (§2, §3.2).
+//!
+//! "Predicates P(e) and P_x(e) … can be constructed from atoms using the
+//! boolean connectives *and*, *or*." In the worksheet, atoms are "edited and
+//! placed in clauses … in disjunctive or conjunctive normal form", and the
+//! *switch and/or* button flips between the two readings of the same clause
+//! layout (§4.2, Figure 9).
+
+use std::fmt;
+
+use crate::atom::Atom;
+
+/// Which normal form the clause layout is read in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NormalForm {
+    /// Disjunctive normal form: OR of clauses, each clause an AND of atoms.
+    #[default]
+    Dnf,
+    /// Conjunctive normal form: AND of clauses, each clause an OR of atoms.
+    Cnf,
+}
+
+impl NormalForm {
+    /// The other form (the *switch and/or* button).
+    pub fn switched(self) -> NormalForm {
+        match self {
+            NormalForm::Dnf => NormalForm::Cnf,
+            NormalForm::Cnf => NormalForm::Dnf,
+        }
+    }
+}
+
+impl fmt::Display for NormalForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalForm::Dnf => f.write_str("DNF"),
+            NormalForm::Cnf => f.write_str("CNF"),
+        }
+    }
+}
+
+/// One clause window of the worksheet: a list of atoms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Clause {
+    /// The atoms placed in this clause.
+    pub atoms: Vec<Atom>,
+}
+
+impl Clause {
+    /// A clause over the given atoms.
+    pub fn new(atoms: Vec<Atom>) -> Clause {
+        Clause { atoms }
+    }
+
+    /// An empty clause.
+    ///
+    /// Note the usual convention: under DNF an empty clause (empty AND) is
+    /// *true*; under CNF an empty clause (empty OR) is *false*. The
+    /// evaluator implements exactly this.
+    pub fn empty() -> Clause {
+        Clause { atoms: Vec::new() }
+    }
+
+    /// `true` if the clause has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+/// A predicate: clauses read in DNF or CNF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// How the clause layout is read.
+    pub form: NormalForm,
+    /// The clause windows, in display order.
+    pub clauses: Vec<Clause>,
+}
+
+impl Predicate {
+    /// A DNF predicate.
+    pub fn dnf(clauses: Vec<Clause>) -> Predicate {
+        Predicate {
+            form: NormalForm::Dnf,
+            clauses,
+        }
+    }
+
+    /// A CNF predicate.
+    pub fn cnf(clauses: Vec<Clause>) -> Predicate {
+        Predicate {
+            form: NormalForm::Cnf,
+            clauses,
+        }
+    }
+
+    /// The predicate that is always true: an empty DNF with one empty
+    /// clause. (An empty clause list would be the empty OR, i.e. false.)
+    pub fn always_true() -> Predicate {
+        Predicate::dnf(vec![Clause::empty()])
+    }
+
+    /// The predicate that is always false: the empty DNF.
+    pub fn always_false() -> Predicate {
+        Predicate::dnf(Vec::new())
+    }
+
+    /// Flips the reading between DNF and CNF without touching the clauses
+    /// (the worksheet's *switch and/or* button).
+    pub fn switch_and_or(&mut self) {
+        self.form = self.form.switched();
+    }
+
+    /// Iterates all atoms across all clauses.
+    pub fn atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.clauses.iter().flat_map(|c| c.atoms.iter())
+    }
+
+    /// Total number of atoms.
+    pub fn atom_count(&self) -> usize {
+        self.clauses.iter().map(|c| c.atoms.len()).sum()
+    }
+
+    /// `true` if any atom uses form (c) (`<map_C(x)>`), which is only legal
+    /// in derived-attribute predicates.
+    pub fn references_source(&self) -> bool {
+        self.atoms().any(|a| a.references_source())
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (outer, inner) = match self.form {
+            NormalForm::Dnf => (" OR ", " AND "),
+            NormalForm::Cnf => (" AND ", " OR "),
+        };
+        if self.clauses.is_empty() {
+            return match self.form {
+                NormalForm::Dnf => f.write_str("FALSE"),
+                NormalForm::Cnf => f.write_str("TRUE"),
+            };
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                f.write_str(outer)?;
+            }
+            f.write_str("(")?;
+            if clause.atoms.is_empty() {
+                match self.form {
+                    NormalForm::Dnf => f.write_str("TRUE")?,
+                    NormalForm::Cnf => f.write_str("FALSE")?,
+                }
+            }
+            for (j, atom) in clause.atoms.iter().enumerate() {
+                if j > 0 {
+                    f.write_str(inner)?;
+                }
+                write!(f, "{atom}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+/// How a derived attribute's values are specified (§2, §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrDerivation {
+    /// The unary *hand* operator: `A(x) = map(x)`, a shorthand "for
+    /// assigning some map to be the derivation of an attribute".
+    Assign(crate::map::Map),
+    /// The general form: `A(x) = { e ∈ V | P_x(e) }`.
+    Predicate(Predicate),
+}
+
+impl fmt::Display for AttrDerivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrDerivation::Assign(m) => write!(f, "☛ {m}(x)"),
+            AttrDerivation::Predicate(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Rhs;
+    use crate::ids::{AttrId, ClassId, EntityId};
+    use crate::map::Map;
+    use crate::op::CompareOp;
+
+    fn atom() -> Atom {
+        Atom::new(
+            Map::single(AttrId::from_raw(1)),
+            CompareOp::SetEq,
+            Rhs::constant(ClassId::from_raw(1), [EntityId::from_raw(2)]),
+        )
+    }
+
+    #[test]
+    fn switch_flips_form_only() {
+        let mut p = Predicate::dnf(vec![Clause::new(vec![atom()])]);
+        let clauses = p.clauses.clone();
+        p.switch_and_or();
+        assert_eq!(p.form, NormalForm::Cnf);
+        assert_eq!(p.clauses, clauses);
+        p.switch_and_or();
+        assert_eq!(p.form, NormalForm::Dnf);
+    }
+
+    #[test]
+    fn truth_constants_display() {
+        assert_eq!(Predicate::always_false().to_string(), "FALSE");
+        assert_eq!(Predicate::always_true().to_string(), "(TRUE)");
+        assert_eq!(Predicate::cnf(vec![]).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn display_uses_connectives() {
+        let p = Predicate::dnf(vec![
+            Clause::new(vec![atom(), atom()]),
+            Clause::new(vec![atom()]),
+        ]);
+        let s = p.to_string();
+        assert!(s.contains(" AND "));
+        assert!(s.contains(" OR "));
+        let mut q = p.clone();
+        q.switch_and_or();
+        // CNF reading swaps the connectives.
+        let s2 = q.to_string();
+        assert!(s2.starts_with("("));
+        assert_ne!(s, s2);
+    }
+
+    #[test]
+    fn atom_count() {
+        let p = Predicate::cnf(vec![
+            Clause::new(vec![atom()]),
+            Clause::new(vec![atom(), atom()]),
+        ]);
+        assert_eq!(p.atom_count(), 3);
+        assert_eq!(p.atoms().count(), 3);
+        assert!(!p.references_source());
+    }
+
+    #[test]
+    fn source_reference_detection() {
+        let src = Atom::new(
+            Map::identity(),
+            CompareOp::Match,
+            Rhs::SourceMap(Map::single(AttrId::from_raw(9))),
+        );
+        let p = Predicate::dnf(vec![Clause::new(vec![atom(), src])]);
+        assert!(p.references_source());
+    }
+}

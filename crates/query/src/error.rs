@@ -1,0 +1,61 @@
+//! Error type for query processing.
+
+use std::fmt;
+
+use isis_core::CoreError;
+
+/// Errors raised by the relational engine, compiler and baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A base relation name did not resolve.
+    NoSuchRelation(String),
+    /// A structurally invalid plan (arity mismatch, bad column, …).
+    BadPlan(String),
+    /// A QBE template was malformed.
+    BadTemplate(String),
+    /// An error bubbled up from the data-model engine.
+    Core(CoreError),
+    /// A predicate shape the compiler does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NoSuchRelation(n) => write!(f, "no such relation: {n:?}"),
+            QueryError::BadPlan(m) => write!(f, "bad plan: {m}"),
+            QueryError::BadTemplate(m) => write!(f, "bad QBE template: {m}"),
+            QueryError::Core(e) => write!(f, "core error: {e}"),
+            QueryError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for QueryError {
+    fn from(e: CoreError) -> Self {
+        QueryError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = QueryError::from(CoreError::Predefined);
+        assert!(e.to_string().contains("core error"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(QueryError::BadPlan("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,398 @@
+//! Incremental maintenance of derived subclasses.
+//!
+//! The paper leaves derived classes stale under data modification ("the
+//! predicates of derived subclasses … do not (at present) form part of the
+//! consistency requirements", §2) and the session refreshes them only on
+//! commit. This module implements the natural extension: after a change to
+//! attribute `A` of some entities, recompute the predicate *only for the
+//! candidates the change can affect* — found by locating `A` inside the
+//! predicate's maps and walking the prefix steps backwards through inverted
+//! indexes.
+
+use std::collections::HashMap;
+
+use isis_core::{AttrId, ClassId, Database, EntityId, Map, OrderedSet, Predicate, Result, Rhs};
+
+use crate::index::AttrIndex;
+
+/// Maintains one derived subclass incrementally.
+#[derive(Debug)]
+pub struct DerivedMaintainer {
+    class: ClassId,
+    parent: ClassId,
+    pred: Predicate,
+    /// Inverted indexes for every attribute any map of the predicate uses.
+    inverses: HashMap<AttrId, AttrIndex>,
+}
+
+impl DerivedMaintainer {
+    /// Creates a maintainer for a committed derived subclass, building the
+    /// inverted indexes its maps require.
+    pub fn new(db: &Database, class: ClassId) -> Result<Self> {
+        let rec = db.class(class)?;
+        let parent = rec
+            .parent
+            .ok_or(isis_core::CoreError::DerivedClass(class))?;
+        let pred = rec
+            .kind
+            .predicate()
+            .cloned()
+            .ok_or(isis_core::CoreError::DerivedClass(class))?;
+        let mut inverses = HashMap::new();
+        for attr in Self::attrs_used(&pred) {
+            inverses.insert(attr, AttrIndex::build(db, attr)?);
+        }
+        Ok(DerivedMaintainer {
+            class,
+            parent,
+            pred,
+            inverses,
+        })
+    }
+
+    /// The derived class being maintained.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    fn attrs_used(pred: &Predicate) -> Vec<AttrId> {
+        let mut out = Vec::new();
+        let mut push_map = |m: &Map| {
+            for &a in m.steps() {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+        };
+        for atom in pred.atoms() {
+            push_map(&atom.lhs);
+            match &atom.rhs {
+                Rhs::SelfMap(m) | Rhs::SourceMap(m) => push_map(m),
+                Rhs::Constant { map, .. } => push_map(map),
+            }
+        }
+        out
+    }
+
+    /// `true` if the predicate mentions `attr` in any map.
+    pub fn depends_on(&self, attr: AttrId) -> bool {
+        self.inverses.contains_key(&attr)
+    }
+
+    /// Candidates (members of the parent class) whose predicate result may
+    /// change after attribute `attr` of the `owners` entities was modified.
+    ///
+    /// For every occurrence of `attr` at position *i* of a predicate map,
+    /// the owners are walked backwards through the *i* prefix steps via the
+    /// inverted indexes; survivors that are parent members are affected.
+    pub fn affected_candidates(
+        &self,
+        db: &Database,
+        attr: AttrId,
+        owners: &OrderedSet,
+    ) -> Result<OrderedSet> {
+        let parent_members = db.members(self.parent)?;
+        let mut affected = OrderedSet::new();
+        if !self.depends_on(attr) {
+            return Ok(affected);
+        }
+        for atom in self.pred.atoms() {
+            self.walk_back(&atom.lhs, attr, owners, parent_members, &mut affected);
+            if let Rhs::SelfMap(m) = &atom.rhs {
+                self.walk_back(m, attr, owners, parent_members, &mut affected);
+            }
+        }
+        Ok(affected)
+    }
+
+    fn walk_back(
+        &self,
+        map: &Map,
+        attr: AttrId,
+        owners: &OrderedSet,
+        parent_members: &OrderedSet,
+        affected: &mut OrderedSet,
+    ) {
+        let steps = map.steps();
+        for (i, &step) in steps.iter().enumerate() {
+            if step != attr {
+                continue;
+            }
+            // Invert the prefix steps[0..i] starting from the changed owners.
+            let mut frontier = owners.clone();
+            for &prev_attr in steps[..i].iter().rev() {
+                let mut prev = OrderedSet::new();
+                if let Some(idx) = self.inverses.get(&prev_attr) {
+                    for v in frontier.iter() {
+                        if let Some(os) = idx.owners_of(v) {
+                            prev.extend_from(os);
+                        }
+                    }
+                }
+                frontier = prev;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            for e in frontier.iter() {
+                if parent_members.contains(e) {
+                    affected.insert(e);
+                }
+            }
+        }
+    }
+
+    /// Notifies the maintainer that attribute `attr` of the `owners`
+    /// entities changed: refreshes the affected inverted index postings,
+    /// re-evaluates the predicate for affected candidates only, and adds /
+    /// removes membership as needed. Returns `(added, removed)` counts.
+    pub fn apply_attr_change(
+        &mut self,
+        db: &mut Database,
+        attr: AttrId,
+        owners: &OrderedSet,
+    ) -> Result<(usize, usize)> {
+        // Affected candidates are computed against the *old* index state
+        // first, then again against the new one: an owner that left a
+        // posting list must still trigger re-evaluation of the candidates
+        // that used to reach it.
+        let mut affected = self.affected_candidates(db, attr, owners)?;
+        if let Some(idx) = self.inverses.get_mut(&attr) {
+            for e in owners.iter() {
+                let old = idx_owned_values(idx, e);
+                let new = db.attr_value_set(e, attr)?;
+                idx.update(e, &old, &new);
+            }
+        }
+        affected.extend_from(&self.affected_candidates(db, attr, owners)?);
+        let mut added = 0;
+        let mut removed = 0;
+        for e in affected.iter() {
+            let should = db.eval_predicate_for(e, &self.pred, None)?;
+            let is = db.members(self.class)?.contains(e);
+            if should && !is {
+                db.force_membership(e, self.class)?;
+                added += 1;
+            } else if !should && is {
+                db.remove_from_class(e, self.class)?;
+                removed += 1;
+            }
+        }
+        Ok((added, removed))
+    }
+
+    /// Handles an entity joining or leaving the *parent* class: the entity
+    /// itself is (re)evaluated.
+    pub fn apply_membership_change(
+        &mut self,
+        db: &mut Database,
+        entity: EntityId,
+    ) -> Result<(usize, usize)> {
+        let mut added = 0;
+        let mut removed = 0;
+        let in_parent = db.members(self.parent)?.contains(entity);
+        let is = db.members(self.class)?.contains(entity);
+        let should = in_parent && db.eval_predicate_for(entity, &self.pred, None)?;
+        if should && !is {
+            db.force_membership(entity, self.class)?;
+            added += 1;
+        } else if !should && is {
+            db.remove_from_class(entity, self.class)?;
+            removed += 1;
+        }
+        Ok((added, removed))
+    }
+}
+
+/// Values currently credited to `owner` in the index (reverse lookup).
+fn idx_owned_values(idx: &AttrIndex, owner: EntityId) -> OrderedSet {
+    // AttrIndex does not keep a forward map; recover it by scanning the
+    // postings. Posting lists are per-value, so this costs O(distinct
+    // values) — acceptable for maintenance-sized updates.
+    let mut out = OrderedSet::new();
+    for v in idx.values() {
+        if idx.owners_of(v).map(|s| s.contains(owner)).unwrap_or(false) {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isis_sample::{instrumental_music, quartets_predicate};
+
+    #[test]
+    fn maintainer_tracks_membership_changes() {
+        let mut im = instrumental_music().unwrap();
+        let pred = quartets_predicate(&mut im);
+        let quartets = im
+            .db
+            .create_derived_subclass(im.music_groups, "quartets")
+            .unwrap();
+        im.db.commit_membership(quartets, pred).unwrap();
+        let mut maint = DerivedMaintainer::new(&im.db, quartets).unwrap();
+        assert!(maint.depends_on(im.size));
+        assert!(maint.depends_on(im.members));
+        assert!(maint.depends_on(im.plays));
+        assert!(!maint.depends_on(im.family));
+
+        // Give String Fling a pianist: Gil learns piano.
+        let gil = im.db.entity_by_name(im.musicians, "Gil").unwrap();
+        im.db.add_value(gil, im.plays, im.piano).unwrap();
+        let owners: OrderedSet = [gil].into_iter().collect();
+        let (added, removed) = maint
+            .apply_attr_change(&mut im.db, im.plays, &owners)
+            .unwrap();
+        assert_eq!((added, removed), (1, 0));
+        let fling = im
+            .db
+            .entity_by_name(im.music_groups, "String Fling")
+            .unwrap();
+        assert!(im.db.members(quartets).unwrap().contains(fling));
+
+        // Shrink LaBelle Musique: it must leave.
+        let edith = im.edith;
+        let labelle = im.labelle;
+        let cur = im.db.attr_value_set(labelle, im.members).unwrap();
+        let without: Vec<_> = cur.iter().filter(|e| *e != edith).collect();
+        im.db.assign_multi(labelle, im.members, without).unwrap();
+        let three = im.db.int(3);
+        im.db.assign_single(labelle, im.size, three).unwrap();
+        let owners: OrderedSet = [labelle].into_iter().collect();
+        maint
+            .apply_attr_change(&mut im.db, im.members, &owners)
+            .unwrap();
+        let (_, removed) = maint
+            .apply_attr_change(&mut im.db, im.size, &owners)
+            .unwrap();
+        assert!(!im.db.members(quartets).unwrap().contains(labelle));
+        // Removal happened in one of the two notifications.
+        let _ = removed;
+    }
+
+    #[test]
+    fn incremental_agrees_with_full_recompute() {
+        let mut im = instrumental_music().unwrap();
+        let pred = quartets_predicate(&mut im);
+        let quartets = im
+            .db
+            .create_derived_subclass(im.music_groups, "quartets")
+            .unwrap();
+        im.db.commit_membership(quartets, pred.clone()).unwrap();
+        let mut maint = DerivedMaintainer::new(&im.db, quartets).unwrap();
+        let hana = im.db.entity_by_name(im.musicians, "Hana").unwrap();
+        let trio = im
+            .db
+            .entity_by_name(im.music_groups, "Trio Grande")
+            .unwrap();
+        let dave = im.db.entity_by_name(im.musicians, "Dave").unwrap();
+        let four = im.db.int(4);
+        // 1. Trio Grande grows to four members (already has pianists).
+        let mut members = im.db.attr_value_set(trio, im.members).unwrap();
+        members.insert(dave);
+        im.db
+            .assign_multi(trio, im.members, members.iter())
+            .unwrap();
+        im.db.assign_single(trio, im.size, four).unwrap();
+        let owners: OrderedSet = [trio].into_iter().collect();
+        maint
+            .apply_attr_change(&mut im.db, im.members, &owners)
+            .unwrap();
+        maint
+            .apply_attr_change(&mut im.db, im.size, &owners)
+            .unwrap();
+        // 2. Hana stops playing piano (affects Trio via members plays map).
+        let guitar = im.db.entity_by_name(im.instruments, "guitar").unwrap();
+        im.db.assign_multi(hana, im.plays, [guitar]).unwrap();
+        let owners: OrderedSet = [hana].into_iter().collect();
+        maint
+            .apply_attr_change(&mut im.db, im.plays, &owners)
+            .unwrap();
+        let mut a: Vec<EntityId> = im.db.members(quartets).unwrap().iter().collect();
+        a.sort();
+        let mut b: Vec<EntityId> = im
+            .db
+            .evaluate_derived_members(im.music_groups, &pred)
+            .unwrap()
+            .iter()
+            .collect();
+        b.sort();
+        assert_eq!(a, b);
+        // Trio Grande still qualifies through Fiona's piano.
+        assert!(im.db.members(quartets).unwrap().contains(trio));
+    }
+
+    #[test]
+    fn unrelated_attr_changes_touch_nothing() {
+        let mut im = instrumental_music().unwrap();
+        let pred = quartets_predicate(&mut im);
+        let quartets = im
+            .db
+            .create_derived_subclass(im.music_groups, "quartets")
+            .unwrap();
+        im.db.commit_membership(quartets, pred).unwrap();
+        let maint = DerivedMaintainer::new(&im.db, quartets).unwrap();
+        // A family reassignment is invisible to the quartets predicate.
+        let owners: OrderedSet = [im.flute].into_iter().collect();
+        let affected = maint
+            .affected_candidates(&im.db, im.family, &owners)
+            .unwrap();
+        assert!(affected.is_empty());
+        // And a popular-flag change likewise.
+        let affected = maint
+            .affected_candidates(&im.db, im.popular, &owners)
+            .unwrap();
+        assert!(affected.is_empty());
+    }
+
+    #[test]
+    fn plays_change_affects_only_groups_reaching_the_musician() {
+        let mut im = instrumental_music().unwrap();
+        let pred = quartets_predicate(&mut im);
+        let quartets = im
+            .db
+            .create_derived_subclass(im.music_groups, "quartets")
+            .unwrap();
+        im.db.commit_membership(quartets, pred).unwrap();
+        let maint = DerivedMaintainer::new(&im.db, quartets).unwrap();
+        // Dave is in String Fling only.
+        let dave = im.db.entity_by_name(im.musicians, "Dave").unwrap();
+        let owners: OrderedSet = [dave].into_iter().collect();
+        let affected = maint
+            .affected_candidates(&im.db, im.plays, &owners)
+            .unwrap();
+        let fling = im
+            .db
+            .entity_by_name(im.music_groups, "String Fling")
+            .unwrap();
+        assert_eq!(affected.as_slice(), &[fling]);
+    }
+
+    #[test]
+    fn membership_change_reevaluates_entity() {
+        let mut im = instrumental_music().unwrap();
+        let pred = quartets_predicate(&mut im);
+        let quartets = im
+            .db
+            .create_derived_subclass(im.music_groups, "quartets")
+            .unwrap();
+        im.db.commit_membership(quartets, pred).unwrap();
+        let mut maint = DerivedMaintainer::new(&im.db, quartets).unwrap();
+        // A brand-new qualifying group appears.
+        let g = im.db.insert_entity(im.music_groups, "New Four").unwrap();
+        let four = im.db.int(4);
+        im.db.assign_single(g, im.size, four).unwrap();
+        let kurt = im.db.entity_by_name(im.musicians, "Kurt").unwrap();
+        let amy = im.db.entity_by_name(im.musicians, "Amy").unwrap();
+        let bob = im.db.entity_by_name(im.musicians, "Bob").unwrap();
+        let carol = im.db.entity_by_name(im.musicians, "Carol").unwrap();
+        im.db
+            .assign_multi(g, im.members, [kurt, amy, bob, carol])
+            .unwrap();
+        let (added, _) = maint.apply_membership_change(&mut im.db, g).unwrap();
+        assert_eq!(added, 1);
+        assert!(im.db.members(quartets).unwrap().contains(g));
+    }
+}

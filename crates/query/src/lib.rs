@@ -1,0 +1,43 @@
+//! # isis-query
+//!
+//! Query processing for the ISIS reproduction, beyond the per-candidate
+//! evaluator built into `isis-core`:
+//!
+//! * [`relmodel`] — a minimal relational model and the standard relational
+//!   encoding of an ISIS database;
+//! * [`algebra`] — a relationally-complete algebra (σ, π, ×, ∪, −, plus
+//!   hash equijoin) with an evaluator;
+//! * [`compile`] — compiles ISIS predicates into algebra plans, making the
+//!   paper's "full power of relational algebra" claim machine-checkable;
+//! * [`qbe`] — a Query-by-Example baseline, the paper's §1.1 comparator;
+//! * [`index`] — inverted attribute indexes (groupings made operational)
+//!   and an index-pruning predicate evaluator;
+//! * [`incremental`] — incremental maintenance of derived subclasses by
+//!   inverse map traversal;
+//! * [`optimizer`] — a short-circuit atom/clause reordering optimizer with
+//!   index-informed selectivity estimates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod compile;
+pub mod error;
+pub mod incremental;
+pub mod index;
+pub mod optimizer;
+pub mod parallel;
+pub mod qbe;
+pub mod relmodel;
+
+pub use algebra::{eval_cached, Condition, Operand, RaExpr, ScalarOracle};
+pub use compile::{
+    compile_and_eval, compile_attr_derivation, compile_map, compile_subclass_predicate, eval_plan,
+};
+pub use error::QueryError;
+pub use incremental::DerivedMaintainer;
+pub use index::{AttrIndex, IndexedEvaluator};
+pub use optimizer::{estimate_atom, optimize, AtomEstimate, Explain};
+pub use parallel::evaluate_derived_members_parallel;
+pub use qbe::{Cell, ConditionEntry, QbeQuery, TemplateRow};
+pub use relmodel::{encode_database, Relation, RelationalDb};

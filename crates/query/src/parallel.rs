@@ -1,0 +1,110 @@
+//! Parallel predicate evaluation.
+//!
+//! The ISIS evaluator is per-candidate and read-only, so a derived-subclass
+//! evaluation parallelises trivially: partition the parent extent across
+//! scoped worker threads, evaluate each chunk against the shared database,
+//! and splice the survivors back in extent order (determinism: the result
+//! set is identical to the serial evaluator's, in the same order).
+//!
+//! The original ISIS ran on a single-user workstation; this module is the
+//! "production library" concession for modern multi-core hosts, and the
+//! `parallel` bench measures when it pays.
+
+use isis_core::{ClassId, Database, EntityId, OrderedSet, Predicate};
+
+use crate::error::QueryError;
+
+/// Evaluates `{ e ∈ parent | P(e) }` across `threads` workers. With
+/// `threads <= 1` (or a tiny extent) this falls back to the serial
+/// evaluator. Results are identical to
+/// [`Database::evaluate_derived_members`], in the same order.
+pub fn evaluate_derived_members_parallel(
+    db: &Database,
+    parent: ClassId,
+    pred: &Predicate,
+    threads: usize,
+) -> Result<OrderedSet, QueryError> {
+    db.validate_predicate(parent, None, pred)?;
+    let members: Vec<EntityId> = db.members(parent)?.iter().collect();
+    if threads <= 1 || members.len() < 64 {
+        return db
+            .evaluate_derived_members(parent, pred)
+            .map_err(QueryError::from);
+    }
+    let chunk = members.len().div_ceil(threads);
+    let chunks: Vec<&[EntityId]> = members.chunks(chunk).collect();
+    let mut per_chunk: Vec<Result<Vec<EntityId>, isis_core::CoreError>> =
+        Vec::with_capacity(chunks.len());
+    crossbeam_utils::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| -> Result<Vec<EntityId>, isis_core::CoreError> {
+                    let mut keep = Vec::new();
+                    for &e in *chunk {
+                        if db.eval_predicate_for(e, pred, None)? {
+                            keep.push(e);
+                        }
+                    }
+                    Ok(keep)
+                })
+            })
+            .collect();
+        for h in handles {
+            per_chunk.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope panicked");
+    let mut out = OrderedSet::new();
+    for part in per_chunk {
+        for e in part? {
+            out.insert(e);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isis_sample::{synthetic_music, workload, Scale};
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let mut s = synthetic_music(Scale::of(400), 21).unwrap();
+        let probe = s.instrument_ids[0];
+        let pred = workload::quartets_query(&mut s, probe, 4);
+        let serial =
+            s.db.evaluate_derived_members(s.music_groups, &pred)
+                .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par =
+                evaluate_derived_members_parallel(&s.db, s.music_groups, &pred, threads).unwrap();
+            assert_eq!(par.as_slice(), serial.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_extents_fall_back_to_serial() {
+        let im = isis_sample::instrumental_music().unwrap();
+        let pred = isis_core::Predicate::always_true();
+        let par = evaluate_derived_members_parallel(&im.db, im.musicians, &pred, 8).unwrap();
+        assert_eq!(par.len(), im.all_musicians.len());
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        let mut s = synthetic_music(Scale::of(200), 3).unwrap();
+        // An ordering atom over a multivalued map errors on some entity;
+        // parallel evaluation must surface that error, not swallow it.
+        let anchor = s.db.int(1);
+        let ints = s.db.predefined(isis_core::BaseKind::Integers);
+        let bad =
+            isis_core::Predicate::dnf(vec![isis_core::Clause::new(vec![isis_core::Atom::new(
+                isis_core::Map::single(s.plays),
+                isis_core::CompareOp::Lt,
+                isis_core::Rhs::constant(ints, [anchor]),
+            )])]);
+        assert!(evaluate_derived_members_parallel(&s.db, s.musicians, &bad, 4).is_err());
+    }
+}

@@ -1,0 +1,620 @@
+//! A Query-by-Example baseline (§1.1).
+//!
+//! The paper positions ISIS against QBE [Zloof 1975]: "a relational query
+//! language that allows a user to fill example values into templates of
+//! relations. The system then determines which tuples satisfy this pattern
+//! and prints the specified results." This module implements that paradigm
+//! over the relational encoding of the ISIS database, so benches can compare
+//! the two query styles on identical data.
+//!
+//! A [`QbeQuery`] is a set of template rows over base relations. Each cell
+//! is a constant (an example value that must match), a shared variable
+//! (equal cells unify), or blank. One variable is marked `P.` (print); the
+//! result is the set of its bindings. Condition-box entries add scalar
+//! comparisons on variables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use isis_core::{CompareOp, EntityId};
+
+use crate::algebra::ScalarOracle;
+use crate::error::QueryError;
+use crate::relmodel::RelationalDb;
+
+/// A variable name in a QBE template (e.g. `_x`).
+pub type Var = String;
+
+/// One cell of a template row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cell {
+    /// A constant example value that must match exactly.
+    Const(EntityId),
+    /// A shared example element; equal names unify across rows.
+    Var(Var),
+    /// An unconstrained cell.
+    Blank,
+}
+
+/// One template row: a relation name plus one cell per column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateRow {
+    /// The base relation this row patterns.
+    pub relation: String,
+    /// One cell per column of the relation.
+    pub cells: Vec<Cell>,
+}
+
+/// An entry of the condition box, e.g. `_n > 4`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConditionEntry {
+    /// The constrained variable.
+    pub var: Var,
+    /// The comparison operator.
+    pub op: CompareOp,
+    /// The constant compared against.
+    pub value: EntityId,
+}
+
+/// A complete QBE query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QbeQuery {
+    /// The template rows (conjunctive pattern).
+    pub rows: Vec<TemplateRow>,
+    /// Condition-box entries.
+    pub conditions: Vec<ConditionEntry>,
+    /// The variable whose bindings are printed (`P._x`).
+    pub print: Var,
+}
+
+impl QbeQuery {
+    /// Builds a query, checking that the print variable occurs somewhere.
+    pub fn new(
+        rows: Vec<TemplateRow>,
+        conditions: Vec<ConditionEntry>,
+        print: impl Into<Var>,
+    ) -> Result<QbeQuery, QueryError> {
+        let print = print.into();
+        let occurs = rows.iter().any(|r| {
+            r.cells
+                .iter()
+                .any(|c| matches!(c, Cell::Var(v) if *v == print))
+        });
+        if !occurs {
+            return Err(QueryError::BadTemplate(format!(
+                "print variable {print:?} does not occur in any row"
+            )));
+        }
+        Ok(QbeQuery {
+            rows,
+            conditions,
+            print,
+        })
+    }
+
+    /// Evaluates the query: enumerate consistent bindings row by row
+    /// (nested-loop unification, the classic naive QBE evaluation) and
+    /// collect the print variable's bindings.
+    pub fn eval(
+        &self,
+        rdb: &RelationalDb,
+        oracle: &dyn ScalarOracle,
+    ) -> Result<Vec<EntityId>, QueryError> {
+        let mut bindings: Vec<HashMap<Var, EntityId>> = vec![HashMap::new()];
+        for row in &self.rows {
+            let rel = rdb
+                .get(&row.relation)
+                .ok_or_else(|| QueryError::NoSuchRelation(row.relation.clone()))?;
+            if rel.arity != row.cells.len() {
+                return Err(QueryError::BadTemplate(format!(
+                    "row over {} has {} cells, relation has arity {}",
+                    row.relation,
+                    row.cells.len(),
+                    rel.arity
+                )));
+            }
+            let mut next = Vec::new();
+            for b in &bindings {
+                for tuple in &rel.tuples {
+                    if let Some(nb) = Self::unify(b, &row.cells, tuple) {
+                        next.push(nb);
+                    }
+                }
+            }
+            bindings = next;
+            if bindings.is_empty() {
+                break;
+            }
+        }
+        // Apply the condition box.
+        let mut out = std::collections::BTreeSet::new();
+        'outer: for b in &bindings {
+            for cond in &self.conditions {
+                let v = b.get(&cond.var).ok_or_else(|| {
+                    QueryError::BadTemplate(format!("condition on unbound variable {:?}", cond.var))
+                })?;
+                if !oracle.compare(*v, cond.op, cond.value)? {
+                    continue 'outer;
+                }
+            }
+            if let Some(v) = b.get(&self.print) {
+                out.insert(*v);
+            }
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// Compiles the query to a relational algebra plan: each template row
+    /// becomes a base relation filtered on its constant cells, rows are
+    /// combined with equijoins on shared variables, the condition box
+    /// becomes scalar selections, and the plan projects the print variable.
+    ///
+    /// Evaluating the plan gives exactly [`QbeQuery::eval`]'s answers, but
+    /// through hash joins instead of nested-loop unification — the
+    /// optimised half of the QBE baseline pair in the benches.
+    pub fn compile_to_algebra(&self) -> Result<crate::algebra::RaExpr, QueryError> {
+        use crate::algebra::{Condition, Operand, RaExpr};
+        // Columns of the accumulated plan: which variable each holds.
+        let mut plan: Option<RaExpr> = None;
+        let mut columns: Vec<Option<Var>> = Vec::new();
+        for row in &self.rows {
+            // Base relation with per-row constant and same-row-variable
+            // selections.
+            let mut expr = RaExpr::base(row.relation.clone());
+            let mut row_vars: Vec<Option<Var>> = Vec::with_capacity(row.cells.len());
+            let mut seen_in_row: HashMap<&Var, usize> = HashMap::new();
+            let mut cond: Option<Condition> = None;
+            let push_cond = |c: Condition, cond: &mut Option<Condition>| {
+                *cond = Some(match cond.take() {
+                    None => c,
+                    Some(prev) => Condition::And(Box::new(prev), Box::new(c)),
+                });
+            };
+            for (i, cell) in row.cells.iter().enumerate() {
+                match cell {
+                    Cell::Blank => row_vars.push(None),
+                    Cell::Const(e) => {
+                        push_cond(
+                            Condition::Eq(Operand::Col(i), Operand::Const(*e)),
+                            &mut cond,
+                        );
+                        row_vars.push(None);
+                    }
+                    Cell::Var(v) => {
+                        if let Some(&j) = seen_in_row.get(v) {
+                            push_cond(Condition::Eq(Operand::Col(i), Operand::Col(j)), &mut cond);
+                            row_vars.push(None); // one binding column suffices
+                        } else {
+                            seen_in_row.insert(v, i);
+                            row_vars.push(Some(v.clone()));
+                        }
+                    }
+                }
+            }
+            if let Some(c) = cond {
+                expr = expr.select(c);
+            }
+            plan = Some(match plan.take() {
+                None => {
+                    columns = row_vars;
+                    expr
+                }
+                Some(acc) => {
+                    // Join on the first shared variable; equate the rest.
+                    let shared: Vec<(usize, usize)> = row_vars
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, v)| {
+                            v.as_ref().and_then(|v| {
+                                columns
+                                    .iter()
+                                    .position(|c| c.as_deref() == Some(v.as_str()))
+                                    .map(|j| (j, i))
+                            })
+                        })
+                        .collect();
+                    let width = columns.len();
+                    let mut joined = match shared.first() {
+                        Some(&(lcol, rcol)) => acc.join(expr, lcol, rcol),
+                        None => acc.product(expr), // cartesian (no shared vars)
+                    };
+                    let mut extra: Option<Condition> = None;
+                    for &(lcol, rcol) in shared.iter().skip(1) {
+                        push_cond(
+                            Condition::Eq(Operand::Col(lcol), Operand::Col(width + rcol)),
+                            &mut extra,
+                        );
+                    }
+                    if let Some(c) = extra {
+                        joined = joined.select(c);
+                    }
+                    for v in row_vars {
+                        columns.push(v);
+                    }
+                    joined
+                }
+            });
+        }
+        let plan = plan.ok_or_else(|| QueryError::BadTemplate("no template rows".into()))?;
+        // Condition box.
+        let mut plan = plan;
+        for cond in &self.conditions {
+            let col = columns
+                .iter()
+                .position(|c| c.as_deref() == Some(cond.var.as_str()))
+                .ok_or_else(|| {
+                    QueryError::BadTemplate(format!("condition on unbound variable {:?}", cond.var))
+                })?;
+            plan = plan.select(Condition::Cmp(
+                Operand::Col(col),
+                cond.op,
+                Operand::Const(cond.value),
+            ));
+        }
+        // Project the print variable.
+        let out = columns
+            .iter()
+            .position(|c| c.as_deref() == Some(self.print.as_str()))
+            .ok_or_else(|| {
+                QueryError::BadTemplate(format!("print variable {:?} unbound", self.print))
+            })?;
+        Ok(plan.project(vec![out]))
+    }
+
+    fn unify(
+        b: &HashMap<Var, EntityId>,
+        cells: &[Cell],
+        tuple: &[EntityId],
+    ) -> Option<HashMap<Var, EntityId>> {
+        let mut nb = b.clone();
+        for (cell, &val) in cells.iter().zip(tuple) {
+            match cell {
+                Cell::Blank => {}
+                Cell::Const(c) => {
+                    if *c != val {
+                        return None;
+                    }
+                }
+                Cell::Var(v) => match nb.get(v) {
+                    Some(&bound) if bound != val => return None,
+                    Some(_) => {}
+                    None => {
+                        nb.insert(v.clone(), val);
+                    }
+                },
+            }
+        }
+        Some(nb)
+    }
+}
+
+impl fmt::Display for QbeQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            write!(f, "{} |", row.relation)?;
+            for c in &row.cells {
+                match c {
+                    Cell::Const(e) => write!(f, " {e} |")?,
+                    Cell::Var(v) => write!(f, " _{v} |")?,
+                    Cell::Blank => write!(f, "   |")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        for c in &self.conditions {
+            writeln!(f, "COND: _{} {} {}", c.var, c.op, c.value)?;
+        }
+        writeln!(f, "P._{}", self.print)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relmodel::encode_database;
+    use isis_sample::instrumental_music;
+
+    fn v(s: &str) -> Cell {
+        Cell::Var(s.into())
+    }
+
+    #[test]
+    fn who_plays_piano() {
+        let im = instrumental_music().unwrap();
+        let rdb = encode_database(&im.db).unwrap();
+        // attr_musicians_plays | _m | piano |   with P._m
+        let q = QbeQuery::new(
+            vec![TemplateRow {
+                relation: "attr_musicians_plays".into(),
+                cells: vec![v("m"), Cell::Const(im.piano)],
+            }],
+            vec![],
+            "m",
+        )
+        .unwrap();
+        let got = q.eval(&rdb, &im.db).unwrap();
+        let kurt = im.db.entity_by_name(im.musicians, "Kurt").unwrap();
+        let fiona = im.db.entity_by_name(im.musicians, "Fiona").unwrap();
+        let hana = im.db.entity_by_name(im.musicians, "Hana").unwrap();
+        let mut expect = vec![kurt, fiona, hana];
+        expect.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn quartets_with_pianist_via_qbe() {
+        let mut im = instrumental_music().unwrap();
+        let four = im.db.int(4);
+        let rdb = encode_database(&im.db).unwrap();
+        // Groups _g whose size is 4 and which have a member _m playing piano.
+        let q = QbeQuery::new(
+            vec![
+                TemplateRow {
+                    relation: "attr_music_groups_size".into(),
+                    cells: vec![v("g"), Cell::Const(four)],
+                },
+                TemplateRow {
+                    relation: "attr_music_groups_members".into(),
+                    cells: vec![v("g"), v("m")],
+                },
+                TemplateRow {
+                    relation: "attr_musicians_plays".into(),
+                    cells: vec![v("m"), Cell::Const(im.piano)],
+                },
+            ],
+            vec![],
+            "g",
+        )
+        .unwrap();
+        let got = q.eval(&rdb, &im.db).unwrap();
+        assert_eq!(got, vec![im.labelle]);
+    }
+
+    #[test]
+    fn condition_box() {
+        let mut im = instrumental_music().unwrap();
+        let two = im.db.int(2);
+        let rdb = encode_database(&im.db).unwrap();
+        // Groups with size > 2 — wait, sizes live as constants; bind _n.
+        let q = QbeQuery::new(
+            vec![TemplateRow {
+                relation: "attr_music_groups_size".into(),
+                cells: vec![v("g"), v("n")],
+            }],
+            vec![ConditionEntry {
+                var: "n".into(),
+                op: CompareOp::Gt,
+                value: two,
+            }],
+            "g",
+        )
+        .unwrap();
+        let got = q.eval(&rdb, &im.db).unwrap();
+        // Every group except none (all have size ≥ 3)… verify against data.
+        let expect: Vec<EntityId> = {
+            let mut v: Vec<EntityId> = im
+                .all_groups
+                .iter()
+                .copied()
+                .filter(|g| im.db.attr_value_set(*g, im.members).unwrap().len() > 2)
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn template_errors() {
+        let im = instrumental_music().unwrap();
+        let rdb = encode_database(&im.db).unwrap();
+        // Print variable absent.
+        assert!(QbeQuery::new(vec![], vec![], "x").is_err());
+        // Arity mismatch.
+        let q = QbeQuery::new(
+            vec![TemplateRow {
+                relation: "class_musicians".into(),
+                cells: vec![v("m"), Cell::Blank],
+            }],
+            vec![],
+            "m",
+        )
+        .unwrap();
+        assert!(q.eval(&rdb, &im.db).is_err());
+        // Unknown relation.
+        let q2 = QbeQuery::new(
+            vec![TemplateRow {
+                relation: "nope".into(),
+                cells: vec![v("m")],
+            }],
+            vec![],
+            "m",
+        )
+        .unwrap();
+        assert!(q2.eval(&rdb, &im.db).is_err());
+        // Condition on unbound variable.
+        let q3 = QbeQuery::new(
+            vec![TemplateRow {
+                relation: "class_musicians".into(),
+                cells: vec![v("m")],
+            }],
+            vec![ConditionEntry {
+                var: "zz".into(),
+                op: CompareOp::Gt,
+                value: EntityId::from_raw(1),
+            }],
+            "m",
+        )
+        .unwrap();
+        assert!(q3.eval(&rdb, &im.db).is_err());
+    }
+
+    #[test]
+    fn display_draws_templates() {
+        let im = instrumental_music().unwrap();
+        let q = QbeQuery::new(
+            vec![TemplateRow {
+                relation: "attr_musicians_plays".into(),
+                cells: vec![v("m"), Cell::Const(im.piano)],
+            }],
+            vec![],
+            "m",
+        )
+        .unwrap();
+        let s = q.to_string();
+        assert!(s.contains("attr_musicians_plays"));
+        assert!(s.contains("P._m"));
+    }
+}
+// (tests continued)
+#[cfg(test)]
+mod compile_tests {
+    use super::*;
+    use crate::algebra;
+    use crate::relmodel::encode_database;
+    use isis_sample::instrumental_music;
+
+    fn v(s: &str) -> Cell {
+        Cell::Var(s.into())
+    }
+
+    fn assert_compiled_agrees(q: &QbeQuery, im: &isis_sample::InstrumentalMusic) {
+        let rdb = encode_database(&im.db).unwrap();
+        let naive = q.eval(&rdb, &im.db).unwrap();
+        let plan = q.compile_to_algebra().unwrap();
+        let rel = algebra::eval(&plan, &rdb, &im.db).unwrap();
+        assert_eq!(rel.unary_entities(), naive, "query:\n{q}");
+    }
+
+    #[test]
+    fn compiled_simple_query_agrees() {
+        let im = instrumental_music().unwrap();
+        let q = QbeQuery::new(
+            vec![TemplateRow {
+                relation: "attr_musicians_plays".into(),
+                cells: vec![v("m"), Cell::Const(im.piano)],
+            }],
+            vec![],
+            "m",
+        )
+        .unwrap();
+        assert_compiled_agrees(&q, &im);
+    }
+
+    #[test]
+    fn compiled_three_way_join_agrees() {
+        let mut im = instrumental_music().unwrap();
+        let four = im.db.int(4);
+        let q = QbeQuery::new(
+            vec![
+                TemplateRow {
+                    relation: "attr_music_groups_size".into(),
+                    cells: vec![v("g"), Cell::Const(four)],
+                },
+                TemplateRow {
+                    relation: "attr_music_groups_members".into(),
+                    cells: vec![v("g"), v("m")],
+                },
+                TemplateRow {
+                    relation: "attr_musicians_plays".into(),
+                    cells: vec![v("m"), Cell::Const(im.piano)],
+                },
+            ],
+            vec![],
+            "g",
+        )
+        .unwrap();
+        assert_compiled_agrees(&q, &im);
+        // And the answer is still LaBelle Musique.
+        let rdb = encode_database(&im.db).unwrap();
+        let plan = q.compile_to_algebra().unwrap();
+        let rel = algebra::eval(&plan, &rdb, &im.db).unwrap();
+        assert_eq!(rel.unary_entities(), vec![im.labelle]);
+    }
+
+    #[test]
+    fn compiled_condition_box_agrees() {
+        let mut im = instrumental_music().unwrap();
+        let two = im.db.int(2);
+        let q = QbeQuery::new(
+            vec![TemplateRow {
+                relation: "attr_music_groups_size".into(),
+                cells: vec![v("g"), v("n")],
+            }],
+            vec![ConditionEntry {
+                var: "n".into(),
+                op: CompareOp::Gt,
+                value: two,
+            }],
+            "g",
+        )
+        .unwrap();
+        assert_compiled_agrees(&q, &im);
+    }
+
+    #[test]
+    fn compiled_repeated_var_within_row_agrees() {
+        let im = instrumental_music().unwrap();
+        // Musicians who are their own... no self-loops in the schema; use
+        // a contrived repeated-variable pattern on the plays relation via
+        // two rows sharing both columns instead.
+        let q = QbeQuery::new(
+            vec![
+                TemplateRow {
+                    relation: "attr_musicians_plays".into(),
+                    cells: vec![v("m"), v("i")],
+                },
+                TemplateRow {
+                    relation: "attr_instruments_family".into(),
+                    cells: vec![v("i"), Cell::Const(im.stringed)],
+                },
+            ],
+            vec![],
+            "m",
+        )
+        .unwrap();
+        assert_compiled_agrees(&q, &im);
+    }
+
+    #[test]
+    fn compiled_cartesian_when_no_shared_vars() {
+        let im = instrumental_music().unwrap();
+        let q = QbeQuery::new(
+            vec![
+                TemplateRow {
+                    relation: "class_families".into(),
+                    cells: vec![v("f")],
+                },
+                TemplateRow {
+                    relation: "class_musicians".into(),
+                    cells: vec![v("m")],
+                },
+            ],
+            vec![],
+            "m",
+        )
+        .unwrap();
+        assert_compiled_agrees(&q, &im);
+    }
+
+    #[test]
+    fn compile_errors_on_bad_templates() {
+        let im = instrumental_music().unwrap();
+        let _ = im;
+        // Unbound condition variable.
+        let q = QbeQuery::new(
+            vec![TemplateRow {
+                relation: "class_musicians".into(),
+                cells: vec![v("m")],
+            }],
+            vec![ConditionEntry {
+                var: "zz".into(),
+                op: CompareOp::Gt,
+                value: EntityId::from_raw(1),
+            }],
+            "m",
+        )
+        .unwrap();
+        assert!(q.compile_to_algebra().is_err());
+    }
+}

@@ -1,0 +1,453 @@
+//! The *Instrumental_Music* sample database of §4.1, in the state the §4.2
+//! session starts from.
+//!
+//! Baseclasses: *musicians*, *instruments*, *music_groups*, *families*.
+//! Groupings: *by_instrument*, *work_status* (on musicians), *by_family*
+//! (on instruments), *by_in_group* (on play_strings). Subclasses:
+//! *play_strings* (derived), *soloists* (user-defined).
+//!
+//! Deliberate fidelity detail: **flute and oboe start with family =
+//! brass** — the data error the user notices and corrects in Figures 4–5.
+
+use isis_core::{
+    Atom, AttrDerivation, AttrId, ClassId, Clause, CompareOp, Database, EntityId, GroupingId, Map,
+    Multiplicity, Predicate, Result, Rhs,
+};
+
+/// Every id of the Instrumental_Music schema and its notable entities,
+/// for use by tests, figures and examples.
+#[derive(Debug, Clone)]
+pub struct InstrumentalMusic {
+    /// The database itself.
+    pub db: Database,
+    // Classes -----------------------------------------------------------
+    /// Baseclass *musicians*.
+    pub musicians: ClassId,
+    /// Baseclass *instruments*.
+    pub instruments: ClassId,
+    /// Baseclass *music_groups*.
+    pub music_groups: ClassId,
+    /// Baseclass *families*.
+    pub families: ClassId,
+    /// Derived subclass *play_strings* ⊆ musicians.
+    pub play_strings: ClassId,
+    /// User-defined subclass *soloists* ⊆ musicians.
+    pub soloists: ClassId,
+    // Attributes ---------------------------------------------------------
+    /// musicians.stage_name (naming).
+    pub stage_name: AttrId,
+    /// musicians.plays ↔ instruments.
+    pub plays: AttrId,
+    /// musicians.union → YES/NO.
+    pub union_attr: AttrId,
+    /// play_strings.in_group → YES/NO.
+    pub in_group: AttrId,
+    /// instruments.family → families.
+    pub family: AttrId,
+    /// instruments.popular → YES/NO.
+    pub popular: AttrId,
+    /// music_groups.members ↔ musicians.
+    pub members: AttrId,
+    /// music_groups.size → INTEGERS.
+    pub size: AttrId,
+    /// music_groups.includes ↔ families.
+    pub includes: AttrId,
+    // Groupings ----------------------------------------------------------
+    /// by_instrument: musicians grouped on plays.
+    pub by_instrument: GroupingId,
+    /// work_status: musicians grouped on union.
+    pub work_status: GroupingId,
+    /// by_family: instruments grouped on family.
+    pub by_family: GroupingId,
+    /// by_in_group: play_strings grouped on in_group.
+    pub by_in_group: GroupingId,
+    // Notable entities ----------------------------------------------------
+    /// Edith, the violist/violinist of the winning quartet (Figure 11).
+    pub edith: EntityId,
+    /// flute — starts mis-filed under brass (Figures 3–5).
+    pub flute: EntityId,
+    /// oboe — starts mis-filed under brass (Figures 3–5).
+    pub oboe: EntityId,
+    /// piano — the accompanist's instrument (atom E, Figure 9).
+    pub piano: EntityId,
+    /// viola (Edith plays it).
+    pub viola: EntityId,
+    /// violin (Edith plays it).
+    pub violin: EntityId,
+    /// The brass family entity.
+    pub brass: EntityId,
+    /// The woodwind family entity.
+    pub woodwind: EntityId,
+    /// The stringed family entity.
+    pub stringed: EntityId,
+    /// The percussion family entity.
+    pub percussion: EntityId,
+    /// The keyboard family entity.
+    pub keyboard: EntityId,
+    /// "LaBelle Musique": the only quartet of size 4 with a pianist.
+    pub labelle: EntityId,
+    /// All musicians, in insertion order.
+    pub all_musicians: Vec<EntityId>,
+    /// All instruments, in insertion order.
+    pub all_instruments: Vec<EntityId>,
+    /// All music groups, in insertion order.
+    pub all_groups: Vec<EntityId>,
+}
+
+/// Builds the Instrumental_Music database exactly as the §4.2 session finds
+/// it (including the flute/oboe family error).
+pub fn instrumental_music() -> Result<InstrumentalMusic> {
+    let mut db = Database::new("Instrumental_Music");
+
+    // ---- Schema ---------------------------------------------------------
+    let musicians = db.create_baseclass("musicians")?;
+    let instruments = db.create_baseclass("instruments")?;
+    let music_groups = db.create_baseclass("music_groups")?;
+    let families = db.create_baseclass("families")?;
+
+    let yn = db.predefined(isis_core::BaseKind::Booleans);
+    let ints = db.predefined(isis_core::BaseKind::Integers);
+
+    let stage_name = db.naming_attr(musicians)?;
+    db.rename_attr(stage_name, "stage_name")?;
+    let plays = db.create_attribute(musicians, "plays", instruments, Multiplicity::Multi)?;
+    let union_attr = db.create_attribute(musicians, "union", yn, Multiplicity::Single)?;
+
+    let family = db.create_attribute(instruments, "family", families, Multiplicity::Single)?;
+    let popular = db.create_attribute(instruments, "popular", yn, Multiplicity::Single)?;
+
+    let members = db.create_attribute(music_groups, "members", musicians, Multiplicity::Multi)?;
+    let size = db.create_attribute(music_groups, "size", ints, Multiplicity::Single)?;
+    let includes = db.create_attribute(music_groups, "includes", families, Multiplicity::Multi)?;
+
+    let by_instrument = db.create_grouping(musicians, "by_instrument", plays)?;
+    let work_status = db.create_grouping(musicians, "work_status", union_attr)?;
+    let by_family = db.create_grouping(instruments, "by_family", family)?;
+
+    let play_strings = db.create_derived_subclass(musicians, "play_strings")?;
+    let in_group = db.create_attribute(play_strings, "in_group", yn, Multiplicity::Single)?;
+    let by_in_group = db.create_grouping(play_strings, "by_in_group", in_group)?;
+
+    let soloists = db.create_subclass(musicians, "soloists")?;
+
+    // ---- families -------------------------------------------------------
+    let brass = db.insert_entity(families, "brass")?;
+    let woodwind = db.insert_entity(families, "woodwind")?;
+    let stringed = db.insert_entity(families, "stringed")?;
+    let percussion = db.insert_entity(families, "percussion")?;
+    let keyboard = db.insert_entity(families, "keyboard")?;
+
+    // ---- instruments ----------------------------------------------------
+    let yes = db.boolean(true);
+    let no = db.boolean(false);
+    let mut all_instruments = Vec::new();
+    let instr = |db: &mut Database, name: &str, fam: EntityId, pop: bool| -> Result<EntityId> {
+        let e = db.insert_entity(instruments, name)?;
+        db.assign_single(e, family, fam)?;
+        db.assign_single(e, popular, if pop { yes } else { no })?;
+        Ok(e)
+    };
+    // The session's deliberate data error: flute and oboe filed under brass.
+    let flute = instr(&mut db, "flute", brass, true)?;
+    let oboe = instr(&mut db, "oboe", brass, false)?;
+    let piano = instr(&mut db, "piano", keyboard, true)?;
+    let viola = instr(&mut db, "viola", stringed, false)?;
+    let violin = instr(&mut db, "violin", stringed, true)?;
+    let cello = instr(&mut db, "cello", stringed, false)?;
+    let guitar = instr(&mut db, "guitar", stringed, true)?;
+    let harp = instr(&mut db, "harp", stringed, false)?;
+    let trumpet = instr(&mut db, "trumpet", brass, true)?;
+    let tuba = instr(&mut db, "tuba", brass, false)?;
+    let drums = instr(&mut db, "drums", percussion, true)?;
+    let cymbals = instr(&mut db, "cymbals", percussion, false)?;
+    all_instruments.extend([
+        flute, oboe, piano, viola, violin, cello, guitar, harp, trumpet, tuba, drums, cymbals,
+    ]);
+
+    // ---- musicians ------------------------------------------------------
+    let mut all_musicians = Vec::new();
+    let musician = |db: &mut Database,
+                    name: &str,
+                    plays_set: &[EntityId],
+                    in_union: bool|
+     -> Result<EntityId> {
+        let e = db.insert_entity(musicians, name)?;
+        db.assign_multi(e, plays, plays_set.iter().copied())?;
+        db.assign_single(e, union_attr, if in_union { yes } else { no })?;
+        Ok(e)
+    };
+    let edith = musician(&mut db, "Edith", &[viola, violin], true)?;
+    let ian = musician(&mut db, "Ian", &[cello], true)?;
+    let kurt = musician(&mut db, "Kurt", &[piano], true)?;
+    let donna = musician(&mut db, "Donna", &[violin], false)?;
+    let amy = musician(&mut db, "Amy", &[flute, oboe], true)?;
+    let bob = musician(&mut db, "Bob", &[trumpet, tuba], false)?;
+    let carol = musician(&mut db, "Carol", &[drums, cymbals], true)?;
+    let dave = musician(&mut db, "Dave", &[guitar], false)?;
+    let fiona = musician(&mut db, "Fiona", &[harp, piano], true)?;
+    let gil = musician(&mut db, "Gil", &[violin, viola], false)?;
+    let hana = musician(&mut db, "Hana", &[piano], true)?;
+    let ivan = musician(&mut db, "Ivan", &[oboe], true)?;
+    all_musicians.extend([
+        edith, ian, kurt, donna, amy, bob, carol, dave, fiona, gil, hana, ivan,
+    ]);
+
+    // ---- music groups ---------------------------------------------------
+    let mut all_groups = Vec::new();
+    let group =
+        |db: &mut Database, name: &str, mem: &[EntityId], fams: &[EntityId]| -> Result<EntityId> {
+            let e = db.insert_entity(music_groups, name)?;
+            db.assign_multi(e, members, mem.iter().copied())?;
+            let n = db.int(mem.len() as i64);
+            db.assign_single(e, size, n)?;
+            db.assign_multi(e, includes, fams.iter().copied())?;
+            Ok(e)
+        };
+    // The one group satisfying size = 4 AND plays ⊇ {piano}.
+    let labelle = group(
+        &mut db,
+        "LaBelle Musique",
+        &[edith, ian, kurt, donna],
+        &[stringed, keyboard],
+    )?;
+    // A string quartet of four — but no pianist.
+    group(
+        &mut db,
+        "String Fling",
+        &[edith, donna, dave, gil],
+        &[stringed],
+    )?;
+    // A trio with a pianist — wrong size.
+    group(
+        &mut db,
+        "Trio Grande",
+        &[fiona, hana, carol],
+        &[stringed, keyboard, percussion],
+    )?;
+    // A brass five-piece.
+    group(
+        &mut db,
+        "Brass Attack",
+        &[bob, amy, carol, ivan, gil],
+        &[brass, percussion, stringed],
+    )?;
+    let g2 = db.entity_by_name(music_groups, "String Fling")?;
+    let g3 = db.entity_by_name(music_groups, "Trio Grande")?;
+    let g4 = db.entity_by_name(music_groups, "Brass Attack")?;
+    all_groups.extend([labelle, g2, g3, g4]);
+
+    // ---- play_strings: derived subclass --------------------------------
+    // "musicians who play at least one instrument whose attribute family
+    // has the value stringed": plays family ~ {stringed}.
+    let pred = Predicate::dnf(vec![Clause::new(vec![Atom::new(
+        Map::new(vec![plays, family]),
+        CompareOp::Match,
+        Rhs::constant(families, [stringed]),
+    )])]);
+    db.commit_membership(play_strings, pred)?;
+
+    // in_group: whether the string player is a member of some music group.
+    // Derived via form (b): identity(e) ∈ members of some group — expressed
+    // as a YES/NO assignment maintained by derivation over the data we just
+    // built (the paper leaves its derivation informal; we materialise it).
+    let members_of_groups: Vec<EntityId> = {
+        let mut v = Vec::new();
+        for g in &all_groups {
+            for m in db.attr_value_set(*g, members)?.iter() {
+                v.push(m);
+            }
+        }
+        v
+    };
+    let string_players: Vec<EntityId> = db.members(play_strings)?.iter().collect();
+    for p in string_players {
+        let val = if members_of_groups.contains(&p) {
+            yes
+        } else {
+            no
+        };
+        db.assign_single(p, in_group, val)?;
+    }
+
+    // ---- soloists: user-defined (hand-picked) subclass ------------------
+    for s in [edith, fiona, amy] {
+        db.add_to_class(s, soloists)?;
+    }
+
+    // in_group derivation sanity: the database must be consistent.
+    debug_assert!(db.is_consistent()?);
+
+    Ok(InstrumentalMusic {
+        db,
+        musicians,
+        instruments,
+        music_groups,
+        families,
+        play_strings,
+        soloists,
+        stage_name,
+        plays,
+        union_attr,
+        in_group,
+        family,
+        popular,
+        members,
+        size,
+        includes,
+        by_instrument,
+        work_status,
+        by_family,
+        by_in_group,
+        edith,
+        flute,
+        oboe,
+        piano,
+        viola,
+        violin,
+        brass,
+        woodwind,
+        stringed,
+        percussion,
+        keyboard,
+        labelle,
+        all_musicians,
+        all_instruments,
+        all_groups,
+    })
+}
+
+/// The quartets predicate of Figure 9: CNF of
+/// clause 1 `{ members plays ⊇ {piano} }` and clause 2 `{ size = {4} }`.
+pub fn quartets_predicate(im: &mut InstrumentalMusic) -> Predicate {
+    let four = im.db.int(4);
+    let ints = im.db.predefined(isis_core::BaseKind::Integers);
+    let atom_a = Atom::new(
+        Map::single(im.size),
+        CompareOp::SetEq,
+        Rhs::constant(ints, [four]),
+    );
+    let atom_e = Atom::new(
+        Map::new(vec![im.members, im.plays]),
+        CompareOp::Superset,
+        Rhs::constant(im.instruments, [im.piano]),
+    );
+    Predicate::cnf(vec![Clause::new(vec![atom_e]), Clause::new(vec![atom_a])])
+}
+
+/// The all_inst derivation of Figure 10: the hand operator applied to the
+/// map `members plays`.
+pub fn all_inst_derivation(im: &InstrumentalMusic) -> AttrDerivation {
+    AttrDerivation::Assign(Map::new(vec![im.members, im.plays]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_is_consistent() {
+        let im = instrumental_music().unwrap();
+        assert!(im.db.is_consistent().unwrap());
+        assert_eq!(im.db.name, "Instrumental_Music");
+        assert_eq!(im.all_musicians.len(), 12);
+        assert_eq!(im.all_instruments.len(), 12);
+        assert_eq!(im.all_groups.len(), 4);
+    }
+
+    #[test]
+    fn flute_and_oboe_start_misfiled_as_brass() {
+        let im = instrumental_music().unwrap();
+        let fam_of = |e| im.db.attr_value_set(e, im.family).unwrap();
+        assert_eq!(fam_of(im.flute).as_slice(), &[im.brass]);
+        assert_eq!(fam_of(im.oboe).as_slice(), &[im.brass]);
+    }
+
+    #[test]
+    fn play_strings_contains_exactly_string_players() {
+        let im = instrumental_music().unwrap();
+        let ps = im.db.members(im.play_strings).unwrap();
+        for m in &im.all_musicians {
+            let plays_string = im
+                .db
+                .eval_map([*m], &Map::new(vec![im.plays, im.family]))
+                .unwrap()
+                .contains(im.stringed);
+            assert_eq!(ps.contains(*m), plays_string, "musician {m}");
+        }
+        // Edith plays viola+violin → a string player.
+        assert!(ps.contains(im.edith));
+    }
+
+    #[test]
+    fn quartets_query_selects_labelle_only() {
+        let mut im = instrumental_music().unwrap();
+        let pred = quartets_predicate(&mut im);
+        let sel = im
+            .db
+            .evaluate_derived_members(im.music_groups, &pred)
+            .unwrap();
+        assert_eq!(sel.as_slice(), &[im.labelle]);
+    }
+
+    #[test]
+    fn all_inst_derivation_yields_quartet_instruments() {
+        let mut im = instrumental_music().unwrap();
+        let pred = quartets_predicate(&mut im);
+        let quartets = im
+            .db
+            .create_derived_subclass(im.music_groups, "quartets")
+            .unwrap();
+        im.db.commit_membership(quartets, pred).unwrap();
+        let all_inst = im
+            .db
+            .create_attribute(quartets, "all_inst", im.instruments, Multiplicity::Multi)
+            .unwrap();
+        im.db
+            .commit_derivation(all_inst, all_inst_derivation(&im))
+            .unwrap();
+        let set = im.db.attr_value_set(im.labelle, all_inst).unwrap();
+        // Edith: viola+violin, Ian: cello, Kurt: piano, Donna: violin.
+        let cello = im.db.entity_by_name(im.instruments, "cello").unwrap();
+        for e in [im.viola, im.violin, im.piano, cello] {
+            assert!(set.contains(e));
+        }
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn by_family_grouping_reflects_the_misfiled_flute() {
+        let im = instrumental_music().unwrap();
+        let sets = im.db.grouping_sets(im.by_family).unwrap();
+        let brass_set = sets.iter().find(|s| s.index == im.brass).unwrap();
+        assert!(brass_set.members.contains(im.flute));
+        assert!(brass_set.members.contains(im.oboe));
+        let wood_set = sets.iter().find(|s| s.index == im.woodwind).unwrap();
+        assert!(wood_set.members.is_empty());
+    }
+
+    #[test]
+    fn groupings_cover_musicians() {
+        let im = instrumental_music().unwrap();
+        // work_status splits into union / non-union, covering everyone.
+        let sets = im.db.grouping_sets(im.work_status).unwrap();
+        let total: usize = sets.iter().map(|s| s.members.len()).sum();
+        assert_eq!(total, im.all_musicians.len());
+        // by_instrument: every musician appears once per instrument played.
+        let sets = im.db.grouping_sets(im.by_instrument).unwrap();
+        let total: usize = sets.iter().map(|s| s.members.len()).sum();
+        let expected: usize = im
+            .all_musicians
+            .iter()
+            .map(|m| im.db.attr_value_set(*m, im.plays).unwrap().len())
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn soloists_enumerated() {
+        let im = instrumental_music().unwrap();
+        assert_eq!(im.db.members(im.soloists).unwrap().len(), 3);
+        assert!(im.db.members(im.soloists).unwrap().contains(im.edith));
+        assert!(!im.db.class(im.soloists).unwrap().is_derived());
+    }
+}

@@ -1,0 +1,28 @@
+//! # isis-sample
+//!
+//! Sample databases and workload generators for the ISIS reproduction:
+//!
+//! * [`instrumental_music`] — the §4.1 *Instrumental_Music* database, in
+//!   exactly the state the §4.2 session begins from (including the
+//!   flute/oboe family error the user corrects in Figures 4–5);
+//! * [`synthetic_music`] — the same schema shape at parameterised scale,
+//!   for benchmarks;
+//! * [`workload`] — predicate and operation-stream generators for the
+//!   benchmark sweeps.
+//!
+//! [`instrumental_music`]: instrumental_music::instrumental_music
+//! [`synthetic_music`]: synthetic::synthetic_music
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod instrumental_music;
+pub mod synthetic;
+pub mod university;
+pub mod workload;
+
+pub use instrumental_music::{
+    all_inst_derivation, instrumental_music, quartets_predicate, InstrumentalMusic,
+};
+pub use synthetic::{synthetic_music, Scale, SyntheticMusic};
+pub use university::{university, University};

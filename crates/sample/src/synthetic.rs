@@ -1,0 +1,217 @@
+//! Scalable synthetic Instrumental_Music-shaped databases.
+//!
+//! The paper ran on interactive data sizes; the benchmark harness needs the
+//! same *shape* of schema at parameterised scale. `synthetic_music` builds a
+//! database with `n_musicians` musicians, `n_instruments` instruments,
+//! `n_families` families and `n_groups` music groups, with deterministic
+//! pseudo-random attribute assignments driven by `seed`.
+
+use isis_core::{AttrId, ClassId, Database, EntityId, Multiplicity, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Scale parameters for [`synthetic_music`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of musicians.
+    pub musicians: usize,
+    /// Number of instruments.
+    pub instruments: usize,
+    /// Number of families.
+    pub families: usize,
+    /// Number of music groups.
+    pub groups: usize,
+    /// Maximum instruments per musician (≥ 1).
+    pub max_plays: usize,
+    /// Maximum members per group (≥ 1).
+    pub max_members: usize,
+}
+
+impl Scale {
+    /// A scale with `n` musicians and proportionate everything else.
+    pub fn of(n: usize) -> Scale {
+        Scale {
+            musicians: n,
+            instruments: (n / 4).max(4),
+            families: (n / 20).clamp(4, 64),
+            groups: (n / 4).max(2),
+            max_plays: 4,
+            max_members: 6,
+        }
+    }
+}
+
+/// Ids of the synthetic schema (mirrors the §4.1 schema).
+#[derive(Debug, Clone)]
+pub struct SyntheticMusic {
+    /// The generated database.
+    pub db: Database,
+    /// Baseclass musicians.
+    pub musicians: ClassId,
+    /// Baseclass instruments.
+    pub instruments: ClassId,
+    /// Baseclass music_groups.
+    pub music_groups: ClassId,
+    /// Baseclass families.
+    pub families: ClassId,
+    /// musicians.plays ↔ instruments.
+    pub plays: AttrId,
+    /// musicians.union → YES/NO.
+    pub union_attr: AttrId,
+    /// instruments.family → families.
+    pub family: AttrId,
+    /// music_groups.members ↔ musicians.
+    pub members: AttrId,
+    /// music_groups.size → INTEGERS.
+    pub size: AttrId,
+    /// by_family grouping on instruments.
+    pub by_family: isis_core::GroupingId,
+    /// All musician ids.
+    pub musician_ids: Vec<EntityId>,
+    /// All instrument ids.
+    pub instrument_ids: Vec<EntityId>,
+    /// All family ids.
+    pub family_ids: Vec<EntityId>,
+    /// All group ids.
+    pub group_ids: Vec<EntityId>,
+}
+
+/// Builds a deterministic synthetic database at the given scale.
+pub fn synthetic_music(scale: Scale, seed: u64) -> Result<SyntheticMusic> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(format!("synthetic_{}m", scale.musicians));
+    let musicians = db.create_baseclass("musicians")?;
+    let instruments = db.create_baseclass("instruments")?;
+    let music_groups = db.create_baseclass("music_groups")?;
+    let families = db.create_baseclass("families")?;
+    let yn = db.predefined(isis_core::BaseKind::Booleans);
+    let ints = db.predefined(isis_core::BaseKind::Integers);
+    let plays = db.create_attribute(musicians, "plays", instruments, Multiplicity::Multi)?;
+    let union_attr = db.create_attribute(musicians, "union", yn, Multiplicity::Single)?;
+    let family = db.create_attribute(instruments, "family", families, Multiplicity::Single)?;
+    let members = db.create_attribute(music_groups, "members", musicians, Multiplicity::Multi)?;
+    let size = db.create_attribute(music_groups, "size", ints, Multiplicity::Single)?;
+    let by_family = db.create_grouping(instruments, "by_family", family)?;
+
+    let family_ids: Vec<EntityId> = (0..scale.families)
+        .map(|i| db.insert_entity(families, &format!("family{i}")))
+        .collect::<Result<_>>()?;
+    let instrument_ids: Vec<EntityId> = (0..scale.instruments)
+        .map(|i| db.insert_entity(instruments, &format!("instrument{i}")))
+        .collect::<Result<_>>()?;
+    for &i in &instrument_ids {
+        let f = family_ids[rng.gen_range(0..family_ids.len())];
+        db.assign_single(i, family, f)?;
+    }
+    let yes = db.boolean(true);
+    let no = db.boolean(false);
+    let musician_ids: Vec<EntityId> = (0..scale.musicians)
+        .map(|i| db.insert_entity(musicians, &format!("musician{i}")))
+        .collect::<Result<_>>()?;
+    for &m in &musician_ids {
+        let k = rng.gen_range(1..=scale.max_plays.min(instrument_ids.len()));
+        let chosen: Vec<EntityId> = instrument_ids
+            .choose_multiple(&mut rng, k)
+            .copied()
+            .collect();
+        db.assign_multi(m, plays, chosen)?;
+        db.assign_single(m, union_attr, if rng.gen_bool(0.7) { yes } else { no })?;
+    }
+    let group_ids: Vec<EntityId> = (0..scale.groups)
+        .map(|i| db.insert_entity(music_groups, &format!("group{i}")))
+        .collect::<Result<_>>()?;
+    for &g in &group_ids {
+        let k = rng.gen_range(1..=scale.max_members.min(musician_ids.len()));
+        let chosen: Vec<EntityId> = musician_ids.choose_multiple(&mut rng, k).copied().collect();
+        let n = db.int(chosen.len() as i64);
+        db.assign_multi(g, members, chosen)?;
+        db.assign_single(g, size, n)?;
+    }
+    Ok(SyntheticMusic {
+        db,
+        musicians,
+        instruments,
+        music_groups,
+        families,
+        plays,
+        union_attr,
+        family,
+        members,
+        size,
+        by_family,
+        musician_ids,
+        instrument_ids,
+        family_ids,
+        group_ids,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = synthetic_music(Scale::of(50), 7).unwrap();
+        let b = synthetic_music(Scale::of(50), 7).unwrap();
+        assert_eq!(a.db.entity_count(), b.db.entity_count());
+        for (&ma, &mb) in a.musician_ids.iter().zip(&b.musician_ids) {
+            assert_eq!(
+                a.db.attr_value_set(ma, a.plays).unwrap().as_slice(),
+                b.db.attr_value_set(mb, b.plays).unwrap().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthetic_music(Scale::of(50), 1).unwrap();
+        let b = synthetic_music(Scale::of(50), 2).unwrap();
+        let mut same = true;
+        for (&ma, &mb) in a.musician_ids.iter().zip(&b.musician_ids) {
+            if a.db.attr_value_set(ma, a.plays).unwrap().as_slice()
+                != b.db.attr_value_set(mb, b.plays).unwrap().as_slice()
+            {
+                same = false;
+                break;
+            }
+        }
+        assert!(!same);
+    }
+
+    #[test]
+    fn generated_database_is_consistent() {
+        let s = synthetic_music(Scale::of(120), 42).unwrap();
+        assert!(s.db.is_consistent().unwrap());
+        assert_eq!(s.musician_ids.len(), 120);
+        // Every musician plays at least one instrument.
+        for &m in &s.musician_ids {
+            assert!(!s.db.attr_value_set(m, s.plays).unwrap().is_empty());
+        }
+        // Sizes match member counts.
+        for &g in &s.group_ids {
+            let n = s.db.attr_value_set(g, s.members).unwrap().len() as i64;
+            let stored = s.db.attr_value(g, s.size).unwrap().as_set();
+            let lit = s.db.literal_of(stored.as_singleton().unwrap()).unwrap();
+            assert_eq!(lit, &isis_core::Literal::Int(n));
+        }
+    }
+
+    #[test]
+    fn tiny_scale_works() {
+        let s = synthetic_music(
+            Scale {
+                musicians: 1,
+                instruments: 1,
+                families: 1,
+                groups: 1,
+                max_plays: 1,
+                max_members: 1,
+            },
+            0,
+        )
+        .unwrap();
+        assert!(s.db.is_consistent().unwrap());
+    }
+}

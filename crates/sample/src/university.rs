@@ -1,0 +1,257 @@
+//! A second sample domain: a university database.
+//!
+//! Exercises parts of the model the Instrumental_Music schema doesn't: a
+//! deeper inheritance chain (people → students → graduate_students), a
+//! grouping-ranged attribute (departments.teaches_in → by_building), the
+//! multiple-inheritance extension (teaching_assistants under both students
+//! and staff), and an integrity constraint (nobody advises themselves).
+
+use isis_core::{
+    Atom, AttrId, ClassId, Clause, CompareOp, ConstraintKind, Database, EntityId, GroupingId, Map,
+    Multiplicity, Operator, Predicate, Result, Rhs,
+};
+
+/// Ids of the university schema and notable entities.
+#[derive(Debug, Clone)]
+pub struct University {
+    /// The database.
+    pub db: Database,
+    /// Baseclass *people*.
+    pub people: ClassId,
+    /// Baseclass *courses*.
+    pub courses: ClassId,
+    /// Baseclass *rooms*.
+    pub rooms: ClassId,
+    /// Baseclass *departments*.
+    pub departments: ClassId,
+    /// Subclass chain people → students → graduate_students.
+    pub students: ClassId,
+    /// Deep subclass: graduate students.
+    pub graduate_students: ClassId,
+    /// Subclass people → staff.
+    pub staff: ClassId,
+    /// Multi-parent subclass: teaching assistants (students ∧ staff).
+    pub teaching_assistants: ClassId,
+    /// people.advisor → people.
+    pub advisor: AttrId,
+    /// people.takes ↔ courses.
+    pub takes: AttrId,
+    /// courses.held_in → rooms.
+    pub held_in: AttrId,
+    /// courses.dept → departments.
+    pub dept: AttrId,
+    /// rooms.building → STRINGS.
+    pub building: AttrId,
+    /// departments.teaches_in ↔ by_building (grouping-ranged).
+    pub teaches_in: AttrId,
+    /// Grouping of rooms on building.
+    pub by_building: GroupingId,
+    /// Grouping of courses on dept.
+    pub by_dept: GroupingId,
+    /// Kenneth, the TA.
+    pub kenneth: EntityId,
+    /// Paris, the advisor.
+    pub paris: EntityId,
+    /// The databases course.
+    pub cs227: EntityId,
+}
+
+/// Builds the university database.
+pub fn university() -> Result<University> {
+    let mut db = Database::new("university");
+    db.enable_multiple_inheritance();
+    let people = db.create_baseclass("people")?;
+    let courses = db.create_baseclass("courses")?;
+    let rooms = db.create_baseclass("rooms")?;
+    let departments = db.create_baseclass("departments")?;
+    let strings = db.predefined(isis_core::BaseKind::Strings);
+
+    let advisor = db.create_attribute(people, "advisor", people, Multiplicity::Single)?;
+    let takes = db.create_attribute(people, "takes", courses, Multiplicity::Multi)?;
+    let held_in = db.create_attribute(courses, "held_in", rooms, Multiplicity::Single)?;
+    let dept = db.create_attribute(courses, "dept", departments, Multiplicity::Single)?;
+    let building = db.create_attribute(rooms, "building", strings, Multiplicity::Single)?;
+    let by_building = db.create_grouping(rooms, "by_building", building)?;
+    let by_dept = db.create_grouping(courses, "by_dept", dept)?;
+    // Departments teach in *sets of rooms named by building* — a
+    // grouping-ranged attribute (§2's B: S ↔ parent(G)).
+    let teaches_in =
+        db.create_attribute(departments, "teaches_in", by_building, Multiplicity::Multi)?;
+
+    let students = db.create_subclass(people, "students")?;
+    let graduate_students = db.create_subclass(students, "graduate_students")?;
+    let staff = db.create_subclass(people, "staff")?;
+    let teaching_assistants = db.create_subclass(graduate_students, "teaching_assistants")?;
+    db.add_secondary_parent(teaching_assistants, staff)?;
+
+    // Rooms and buildings.
+    let cit = db.str("CIT");
+    let barus = db.str("Barus-Holley");
+    let r368 = db.insert_entity(rooms, "CIT 368")?;
+    let r166 = db.insert_entity(rooms, "BH 166")?;
+    let r159 = db.insert_entity(rooms, "CIT 159")?;
+    db.assign_single(r368, building, cit)?;
+    db.assign_single(r159, building, cit)?;
+    db.assign_single(r166, building, barus)?;
+
+    // Departments.
+    let cs = db.insert_entity(departments, "computer_science")?;
+    let math = db.insert_entity(departments, "mathematics")?;
+    db.assign_multi(cs, teaches_in, [cit])?;
+    db.assign_multi(math, teaches_in, [barus])?;
+
+    // Courses.
+    let cs227 = db.insert_entity(courses, "CS227 databases")?;
+    let cs101 = db.insert_entity(courses, "CS101 intro")?;
+    let ma52 = db.insert_entity(courses, "MA52 linear algebra")?;
+    db.assign_single(cs227, held_in, r368)?;
+    db.assign_single(cs101, held_in, r159)?;
+    db.assign_single(ma52, held_in, r166)?;
+    db.assign_single(cs227, dept, cs)?;
+    db.assign_single(cs101, dept, cs)?;
+    db.assign_single(ma52, dept, math)?;
+
+    // People.
+    let paris = db.insert_entity(people, "Paris")?;
+    db.add_to_class(paris, staff)?;
+    let kenneth = db.insert_entity(people, "Kenneth")?;
+    db.add_to_class(kenneth, teaching_assistants)?;
+    db.assign_single(kenneth, advisor, paris)?;
+    db.assign_multi(kenneth, takes, [cs227])?;
+    let sally = db.insert_entity(people, "Sally")?;
+    db.add_to_class(sally, graduate_students)?;
+    db.assign_single(sally, advisor, paris)?;
+    db.assign_multi(sally, takes, [cs227, ma52])?;
+    let stan = db.insert_entity(people, "Stan")?;
+    db.add_to_class(stan, staff)?;
+    let uma = db.insert_entity(people, "Uma")?;
+    db.add_to_class(uma, students)?;
+    db.assign_multi(uma, takes, [cs101])?;
+
+    // Constraint: nobody advises themselves (forbidden: advisor(e) ~ {e}…
+    // expressed with form (a): identity(e) ~ advisor(e)).
+    let self_advised = Predicate::dnf(vec![Clause::new(vec![Atom::new(
+        Map::identity(),
+        Operator::plain(CompareOp::Match),
+        Rhs::SelfMap(Map::single(advisor)),
+    )])]);
+    db.create_constraint(
+        "no_self_advising",
+        people,
+        self_advised,
+        ConstraintKind::Forbidden,
+    )?;
+
+    debug_assert!(db.is_consistent()?);
+    Ok(University {
+        db,
+        people,
+        courses,
+        rooms,
+        departments,
+        students,
+        graduate_students,
+        staff,
+        teaching_assistants,
+        advisor,
+        takes,
+        held_in,
+        dept,
+        building,
+        teaches_in,
+        by_building,
+        by_dept,
+        kenneth,
+        paris,
+        cs227,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_is_consistent() {
+        let u = university().unwrap();
+        assert!(u.db.is_consistent().unwrap());
+        assert!(u.db.multiple_inheritance_enabled());
+    }
+
+    #[test]
+    fn deep_inheritance_chain_cascades() {
+        let u = university().unwrap();
+        // Kenneth is a TA → graduate student → student → person, and staff.
+        for class in [
+            u.teaching_assistants,
+            u.graduate_students,
+            u.students,
+            u.staff,
+            u.people,
+        ] {
+            assert!(u.db.members(class).unwrap().contains(u.kenneth));
+        }
+        // The TA class sees attributes through both parents without dups.
+        let vis = u.db.visible_attrs(u.teaching_assistants).unwrap();
+        let names: Vec<String> = vis
+            .iter()
+            .map(|a| u.db.attr(*a).unwrap().name.clone())
+            .collect();
+        assert!(names.contains(&"advisor".to_string()));
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+
+    #[test]
+    fn grouping_ranged_attribute_expands_to_rooms() {
+        let u = university().unwrap();
+        let cs =
+            u.db.entity_by_name(u.departments, "computer_science")
+                .unwrap();
+        let rooms = u.db.attr_value_set(cs, u.teaches_in).unwrap();
+        // CS teaches in the CIT building's rooms.
+        let r368 = u.db.entity_by_name(u.rooms, "CIT 368").unwrap();
+        let r159 = u.db.entity_by_name(u.rooms, "CIT 159").unwrap();
+        let r166 = u.db.entity_by_name(u.rooms, "BH 166").unwrap();
+        assert!(rooms.contains(r368));
+        assert!(rooms.contains(r159));
+        assert!(!rooms.contains(r166));
+    }
+
+    #[test]
+    fn advising_constraint_holds_and_catches() {
+        let mut u = university().unwrap();
+        let k = u.db.constraint_by_name("no_self_advising").unwrap();
+        assert!(u.db.check_constraint(k).unwrap().holds());
+        // A self-advising edit is rejected transactionally.
+        let paris = u.paris;
+        let advisor = u.advisor;
+        assert!(u
+            .db
+            .apply_checked(|db| db.assign_single(paris, advisor, paris))
+            .is_err());
+        assert!(u.db.check_constraint(k).unwrap().holds());
+    }
+
+    #[test]
+    fn classmates_query_through_three_hops() {
+        let u = university().unwrap();
+        // People who take a course held in the CIT building: a 3-hop map
+        // takes → held_in → building compared to the constant {CIT}.
+        let cit =
+            u.db.entity_by_name(u.db.predefined(isis_core::BaseKind::Strings), "CIT")
+                .unwrap();
+        let pred = Predicate::dnf(vec![Clause::new(vec![Atom::new(
+            Map::new(vec![u.takes, u.held_in, u.building]),
+            CompareOp::Match,
+            Rhs::constant(u.db.predefined(isis_core::BaseKind::Strings), [cit]),
+        )])]);
+        let sel = u.db.evaluate_derived_members(u.people, &pred).unwrap();
+        let names: Vec<&str> = sel.iter().map(|e| u.db.entity_name(e).unwrap()).collect();
+        assert!(names.contains(&"Kenneth"));
+        assert!(names.contains(&"Sally"));
+        assert!(names.contains(&"Uma"));
+        assert!(!names.contains(&"Paris"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Workload generators for the benchmark harness.
+//!
+//! Each generator produces predicates or operation streams over a
+//! [`SyntheticMusic`] database, parameterised so benches can sweep the axes
+//! the harness reports (class size, atoms per clause, clause count, map
+//! length, selectivity).
+
+use isis_core::{Atom, Clause, CompareOp, EntityId, Map, Predicate, Result, Rhs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::synthetic::SyntheticMusic;
+
+/// A size-equality query over music groups: `size = {k}` (atom A of
+/// Figure 9 at arbitrary k).
+pub fn size_query(s: &mut SyntheticMusic, k: i64) -> Predicate {
+    let kk = s.db.int(k);
+    let ints = s.db.predefined(isis_core::BaseKind::Integers);
+    Predicate::dnf(vec![Clause::new(vec![Atom::new(
+        Map::single(s.size),
+        CompareOp::SetEq,
+        Rhs::constant(ints, [kk]),
+    )])])
+}
+
+/// The Figure-9 quartets query shape over the synthetic schema:
+/// CNF of `members plays ⊇ {instrument}` and `size = {k}`.
+pub fn quartets_query(s: &mut SyntheticMusic, instrument: EntityId, k: i64) -> Predicate {
+    let kk = s.db.int(k);
+    let ints = s.db.predefined(isis_core::BaseKind::Integers);
+    Predicate::cnf(vec![
+        Clause::new(vec![Atom::new(
+            Map::new(vec![s.members, s.plays]),
+            CompareOp::Superset,
+            Rhs::constant(s.instruments, [instrument]),
+        )]),
+        Clause::new(vec![Atom::new(
+            Map::single(s.size),
+            CompareOp::SetEq,
+            Rhs::constant(ints, [kk]),
+        )]),
+    ])
+}
+
+/// A random predicate over musicians with the given clause layout: each
+/// clause holds `atoms_per_clause` atoms of the form
+/// `plays ~ {random instrument}`.
+pub fn random_musician_predicate(
+    s: &SyntheticMusic,
+    clauses: usize,
+    atoms_per_clause: usize,
+    dnf: bool,
+    seed: u64,
+) -> Predicate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mk_atom = |rng: &mut StdRng| {
+        let inst = s.instrument_ids[rng.gen_range(0..s.instrument_ids.len())];
+        Atom::new(
+            Map::single(s.plays),
+            CompareOp::Match,
+            Rhs::constant(s.instruments, [inst]),
+        )
+    };
+    let cs = (0..clauses)
+        .map(|_| Clause::new((0..atoms_per_clause).map(|_| mk_atom(&mut rng)).collect()))
+        .collect();
+    if dnf {
+        Predicate::dnf(cs)
+    } else {
+        Predicate::cnf(cs)
+    }
+}
+
+/// A long-map predicate over music groups: a chain
+/// `members plays family … ~ {constant}` of the requested length, cycling
+/// through `members → plays → family` as far as the schema allows (length is
+/// clamped to 3).
+pub fn long_map_predicate(s: &SyntheticMusic, len: usize, anchor: EntityId) -> Predicate {
+    let steps: Vec<_> = [s.members, s.plays, s.family][..len.clamp(1, 3)].to_vec();
+    let class = match len.clamp(1, 3) {
+        1 => s.musicians,
+        2 => s.instruments,
+        _ => s.families,
+    };
+    Predicate::dnf(vec![Clause::new(vec![Atom::new(
+        Map::new(steps),
+        CompareOp::Match,
+        Rhs::constant(class, [anchor]),
+    )])])
+}
+
+/// One step of a data-modification stream (used by storage/WAL benches and
+/// by randomised consistency tests).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataOp {
+    /// Insert a fresh musician with the given name suffix.
+    InsertMusician(u32),
+    /// Reassign `plays` of musician *i* (mod population) to instrument *j*.
+    ReassignPlays(u32, u32),
+    /// Toggle the union flag of musician *i*.
+    ToggleUnion(u32),
+    /// Delete musician *i* if still alive.
+    DeleteMusician(u32),
+}
+
+/// Generates a deterministic stream of `n` data operations.
+pub fn data_op_stream(n: usize, seed: u64) -> Vec<DataOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| match rng.gen_range(0..10) {
+            0..=3 => DataOp::InsertMusician(i as u32),
+            4..=6 => DataOp::ReassignPlays(rng.gen(), rng.gen()),
+            7..=8 => DataOp::ToggleUnion(rng.gen()),
+            _ => DataOp::DeleteMusician(rng.gen()),
+        })
+        .collect()
+}
+
+/// Applies a [`DataOp`] stream to a synthetic database, skipping operations
+/// that target entities which no longer exist. Returns how many ops took
+/// effect.
+pub fn apply_data_ops(s: &mut SyntheticMusic, ops: &[DataOp]) -> Result<usize> {
+    let mut applied = 0;
+    for op in ops {
+        match op {
+            DataOp::InsertMusician(i) => {
+                let name = format!("extra_musician{i}");
+                if s.db.entity_by_name(s.musicians, &name).is_err() {
+                    let m = s.db.insert_entity(s.musicians, &name)?;
+                    s.musician_ids.push(m);
+                    applied += 1;
+                }
+            }
+            DataOp::ReassignPlays(i, j) => {
+                let m = s.musician_ids[*i as usize % s.musician_ids.len()];
+                let inst = s.instrument_ids[*j as usize % s.instrument_ids.len()];
+                if s.db.entity(m).is_ok() {
+                    s.db.assign_multi(m, s.plays, [inst])?;
+                    applied += 1;
+                }
+            }
+            DataOp::ToggleUnion(i) => {
+                let m = s.musician_ids[*i as usize % s.musician_ids.len()];
+                if s.db.entity(m).is_ok() {
+                    let yes = s.db.boolean(true);
+                    let no = s.db.boolean(false);
+                    let cur = s.db.attr_value(m, s.union_attr)?.as_set();
+                    let next = if cur.contains(yes) { no } else { yes };
+                    s.db.assign_single(m, s.union_attr, next)?;
+                    applied += 1;
+                }
+            }
+            DataOp::DeleteMusician(i) => {
+                let m = s.musician_ids[*i as usize % s.musician_ids.len()];
+                if s.db.entity(m).is_ok() && s.db.members(s.musicians)?.len() > 1 {
+                    s.db.delete_entity(m)?;
+                    applied += 1;
+                }
+            }
+        }
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{synthetic_music, Scale};
+
+    #[test]
+    fn size_query_selects_only_matching_groups() {
+        let mut s = synthetic_music(Scale::of(80), 3).unwrap();
+        let pred = size_query(&mut s, 4);
+        let sel =
+            s.db.evaluate_derived_members(s.music_groups, &pred)
+                .unwrap();
+        for g in &s.group_ids {
+            let n = s.db.attr_value_set(*g, s.members).unwrap().len();
+            assert_eq!(sel.contains(*g), n == 4);
+        }
+    }
+
+    #[test]
+    fn random_predicates_are_valid() {
+        let s = synthetic_music(Scale::of(60), 9).unwrap();
+        for dnf in [true, false] {
+            let p = random_musician_predicate(&s, 3, 2, dnf, 5);
+            assert_eq!(p.atom_count(), 6);
+            // Validate + evaluate without error.
+            s.db.evaluate_derived_members(s.musicians, &p).unwrap();
+        }
+    }
+
+    #[test]
+    fn long_map_predicates_typecheck_for_each_length() {
+        let s = synthetic_music(Scale::of(40), 11).unwrap();
+        for (len, anchor) in [
+            (1usize, s.musician_ids[0]),
+            (2, s.instrument_ids[0]),
+            (3, s.family_ids[0]),
+        ] {
+            let p = long_map_predicate(&s, len, anchor);
+            s.db.evaluate_derived_members(s.music_groups, &p).unwrap();
+        }
+    }
+
+    #[test]
+    fn op_stream_is_deterministic_and_keeps_consistency() {
+        let ops = data_op_stream(200, 13);
+        assert_eq!(ops, data_op_stream(200, 13));
+        let mut s = synthetic_music(Scale::of(50), 13).unwrap();
+        let applied = apply_data_ops(&mut s, &ops).unwrap();
+        assert!(applied > 0);
+        assert!(s.db.is_consistent().unwrap());
+    }
+}

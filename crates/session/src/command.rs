@@ -1,0 +1,172 @@
+//! The uniform command set (§3, §4.2).
+//!
+//! Each variant corresponds to a menu command, function key, or mouse
+//! gesture of the original interface; commands with the same name have the
+//! same semantics in every view ("commands in different views with the same
+//! names have the same semantics", §3). A [`Command`] stream stands in for
+//! the one-button mouse and function keys of the Apollo workstation.
+
+use isis_core::{AttrId, ClassId, EntityId, GroupingId, Multiplicity, Operator, SchemaNode};
+
+/// One user gesture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    // ---- navigation (Diagram 1) -------------------------------------
+    /// Pick a schema object with the mouse (forest or network views):
+    /// changes the schema selection.
+    Pick(SchemaNode),
+    /// Pick a schema object by name (used by scripts that refer to classes
+    /// they created earlier in the same script).
+    PickByName(String),
+    /// Pick an attribute (in a class box) as the schema selection.
+    PickAttr(AttrId),
+    /// *view associations*: go to the semantic network of the selection.
+    ViewAssociations,
+    /// *view contents*: go to the data level for the selection.
+    ViewContents,
+    /// *pop*: back out (network → forest; data page stack → shallower;
+    /// data level with one page → forest; worksheet → forest).
+    Pop,
+
+    // ---- schema modification ----------------------------------------
+    /// *(re)name* the schema selection.
+    Rename(String),
+    /// *create subclass* of the selected class (Figure 8's dragged box).
+    CreateSubclass(String),
+    /// *create attribute* on the selected class.
+    CreateAttribute {
+        /// Attribute name.
+        name: String,
+        /// Single- or multivalued.
+        multiplicity: Multiplicity,
+    },
+    /// *(re)specify value class* of the selected attribute.
+    SpecifyValueClass(SchemaNode),
+    /// Create a grouping of the selected class on an attribute.
+    CreateGrouping {
+        /// Grouping name.
+        name: String,
+        /// The attribute grouped on.
+        attr: AttrId,
+    },
+    /// *delete* the schema selection.
+    Delete,
+    /// *display predicate*: show the selection's defining predicate or
+    /// grouping description in the text window (Figure 6 flow).
+    DisplayPredicate,
+
+    // ---- data level ---------------------------------------------------
+    /// *select/reject*: toggle an entity in the data selection.
+    SelectEntity(EntityId),
+    /// *follow* an attribute from the selected entities (class pages).
+    Follow(AttrId),
+    /// *follow* the selected sets of a grouping page into the parent class.
+    FollowGrouping,
+    /// *(re)assign att. value*: assign `value` to `attr` for **all**
+    /// selected entities simultaneously (Figure 5).
+    ReassignAttrValue {
+        /// The attribute to update.
+        attr: AttrId,
+        /// The new value.
+        value: EntityId,
+    },
+    /// Assign a set value to a multivalued attribute of all selected
+    /// entities.
+    ReassignAttrValues {
+        /// The attribute to update.
+        attr: AttrId,
+        /// The new value set.
+        values: Vec<EntityId>,
+    },
+    /// Create a new entity in the class on the top page (baseclasses only).
+    CreateEntity(String),
+    /// *make subclass*: a user-defined subclass of the top page's class
+    /// containing exactly the selected entities (temporary visit to the
+    /// forest to name it; Figure 12's edith_plays).
+    MakeSubclass(String),
+    /// Pan the member list of the top page.
+    Scroll(i32),
+    /// *move*: drag the selected class or grouping by (dx, dy) in the
+    /// forest view (Figure 8's box placement).
+    Move(i32, i32),
+    /// *pan*: shift the forest view's window over the schema plane.
+    Pan(i32, i32),
+
+    // ---- predicate worksheet -----------------------------------------
+    /// *(re)define membership* of the selected subclass: open the worksheet.
+    DefineMembership,
+    /// *(re)define derivation* of the selected attribute: open the
+    /// worksheet in derivation mode (Figure 10).
+    DefineDerivation,
+    /// Open the worksheet to define an integrity constraint over the
+    /// selected class (§5 extension).
+    DefineConstraint {
+        /// The constraint's name.
+        name: String,
+        /// For-all or forbidden reading.
+        kind: isis_core::ConstraintKind,
+    },
+    /// Check all constraints and report violations in the text window.
+    CheckConstraints,
+    /// Select (create) the next atom and start editing it.
+    WsNewAtom,
+    /// *edit* an existing atom by tag.
+    WsEdit(char),
+    /// Push a map attribute onto the left-hand side (grows the stack of
+    /// classes).
+    WsLhsPush(AttrId),
+    /// Remove the last map attribute from the left-hand side.
+    WsLhsPop,
+    /// Choose the operator.
+    WsOperator(Operator),
+    /// Right-hand side: *map* — a map from the candidate entity itself.
+    WsRhsSelfMap(Vec<AttrId>),
+    /// Right-hand side: a map from the source entity `x` (derivations).
+    WsRhsSourceMap(Vec<AttrId>),
+    /// Right-hand side: *constant* / *constant starting at class* — takes
+    /// the user temporarily into the data level to pick the constant.
+    /// `None` starts at the class the left-hand-side map terminates in.
+    WsRhsConstant(Option<ClassId>),
+    /// Toggle an entity while picking a constant (temporary visit).
+    ConstantToggle(EntityId),
+    /// Finish the constant pick and return to the worksheet.
+    ConstantDone,
+    /// Place the edited atom into clause window `i` (0-based).
+    WsPlaceInClause(usize),
+    /// *switch and/or*: flip the DNF/CNF reading.
+    WsSwitchAndOr,
+    /// The unary hand operator: assign the given map (from the source
+    /// entity) as the whole derivation (Figure 10).
+    WsHandAssign(Vec<AttrId>),
+    /// *commit*: evaluate and install the predicate/derivation, then
+    /// return to the inheritance forest.
+    WsCommit,
+
+    // ---- session --------------------------------------------------------
+    /// Load a named database from the attached directory.
+    Load(String),
+    /// Save the database under a (possibly new) name — "saves this new
+    /// database as entertainment".
+    Save(String),
+    /// Undo the last modification.
+    Undo,
+    /// Redo the last undone modification.
+    Redo,
+    /// *stop*.
+    Stop,
+}
+
+/// Grouping id helper used by scripts (re-exported for convenience).
+pub type Grouping = GroupingId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_are_cloneable_and_comparable() {
+        let c = Command::CreateSubclass("quartets".into());
+        assert_eq!(c.clone(), c);
+        assert_ne!(c, Command::Stop);
+    }
+}

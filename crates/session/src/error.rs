@@ -1,0 +1,81 @@
+//! Error type for the interaction engine.
+
+use std::fmt;
+
+use isis_core::CoreError;
+use isis_store::StoreError;
+
+/// Errors raised by session commands.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The command is not available in the current mode/view.
+    WrongMode(String),
+    /// The command needs a schema selection of a kind that is not current.
+    BadSelection(String),
+    /// The command needs a data selection and none exists.
+    NothingSelected,
+    /// A worksheet command arrived while no worksheet is open (or no atom
+    /// is being edited).
+    NoWorksheet(String),
+    /// Nothing to undo / redo.
+    NothingToUndo,
+    /// No database directory is attached (load/save unavailable).
+    NoStore,
+    /// An engine error.
+    Core(CoreError),
+    /// A storage error.
+    Store(StoreError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::WrongMode(m) => write!(f, "not available here: {m}"),
+            SessionError::BadSelection(m) => write!(f, "bad selection: {m}"),
+            SessionError::NothingSelected => write!(f, "no data selection"),
+            SessionError::NoWorksheet(m) => write!(f, "no worksheet: {m}"),
+            SessionError::NothingToUndo => write!(f, "nothing to undo/redo"),
+            SessionError::NoStore => write!(f, "no database directory attached"),
+            SessionError::Core(e) => write!(f, "{e}"),
+            SessionError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Core(e) => Some(e),
+            SessionError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SessionError {
+    fn from(e: CoreError) -> Self {
+        SessionError::Core(e)
+    }
+}
+
+impl From<StoreError> for SessionError {
+    fn from(e: StoreError) -> Self {
+        SessionError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SessionError::from(CoreError::Predefined);
+        assert!(e.source().is_some());
+        assert!(SessionError::NothingToUndo.source().is_none());
+        assert!(SessionError::WrongMode("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

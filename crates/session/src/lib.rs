@@ -1,0 +1,32 @@
+//! # isis-session
+//!
+//! The interaction engine of the ISIS reproduction — the paper's primary
+//! contribution (§3): a two-level state machine (Diagram 1) over a semantic
+//! database, driven by a typed [`Command`] stream that stands in for the
+//! original one-button mouse and function keys.
+//!
+//! * Schema level: the inheritance forest, the semantic network, and the
+//!   predicate worksheet.
+//! * Data level: overlapping pages with select/reject, follow, (re)assign,
+//!   create entity, and make subclass.
+//! * Temporary visits (constant selection) that preserve the schema
+//!   selection `S` and the data selection `D`, exactly as Diagram 1 draws
+//!   them.
+//! * Undo/redo over every modification, save/load through `isis-store`,
+//!   and scripted replay ([`Script`]) — which is how the paper's §4.2
+//!   session and its twelve figures are regenerated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod engine;
+pub mod error;
+pub mod script;
+pub mod state;
+
+pub use command::Command;
+pub use engine::Session;
+pub use error::SessionError;
+pub use script::{Script, Step, Transcript};
+pub use state::{AtomDraft, Mode, Selection, WorksheetState, WsTarget};

@@ -1,0 +1,152 @@
+//! Scripted sessions: recorded command streams and replay.
+//!
+//! Because the engine consumes a typed [`Command`] stream (standing in for
+//! the one-button mouse and function keys), whole sessions — including the
+//! paper's §4.2 holiday-party session — can be captured as scripts, replayed
+//! deterministically, and their views rendered as the figures.
+
+use isis_views::Scene;
+
+use crate::command::Command;
+use crate::engine::Session;
+use crate::error::SessionError;
+
+/// One step of a transcript: the command, the messages it produced, and
+/// optionally a named scene captured after it.
+#[derive(Debug)]
+pub struct Step {
+    /// The command applied.
+    pub command: Command,
+    /// Messages the command logged.
+    pub messages: Vec<String>,
+    /// A scene captured after the command, when requested.
+    pub scene: Option<(String, Scene)>,
+}
+
+/// A replayable script: commands interleaved with capture points.
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    items: Vec<Item>,
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Cmd(Command),
+    Capture(String),
+}
+
+impl Script {
+    /// An empty script.
+    pub fn new() -> Script {
+        Script::default()
+    }
+
+    /// Appends a command.
+    pub fn cmd(&mut self, c: Command) -> &mut Self {
+        self.items.push(Item::Cmd(c));
+        self
+    }
+
+    /// Appends several commands.
+    pub fn cmds(&mut self, cs: impl IntoIterator<Item = Command>) -> &mut Self {
+        for c in cs {
+            self.items.push(Item::Cmd(c));
+        }
+        self
+    }
+
+    /// Appends a capture point: the current scene is recorded under `name`
+    /// (used to regenerate the paper's figures).
+    pub fn capture(&mut self, name: impl Into<String>) -> &mut Self {
+        self.items.push(Item::Capture(name.into()));
+        self
+    }
+
+    /// Number of commands (captures excluded).
+    pub fn command_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i, Item::Cmd(_)))
+            .count()
+    }
+
+    /// Replays the script against a session, returning the transcript.
+    /// Stops at the first failing command.
+    pub fn run(&self, session: &mut Session) -> Result<Transcript, SessionError> {
+        let mut steps = Vec::new();
+        let mut captures = Vec::new();
+        for item in &self.items {
+            match item {
+                Item::Cmd(c) => {
+                    let before = session.messages().len();
+                    session.apply(c.clone())?;
+                    steps.push(Step {
+                        command: c.clone(),
+                        messages: session.messages()[before..].to_vec(),
+                        scene: None,
+                    });
+                }
+                Item::Capture(name) => {
+                    let scene = session.scene()?;
+                    captures.push((name.clone(), scene));
+                }
+            }
+        }
+        Ok(Transcript { steps, captures })
+    }
+}
+
+/// The result of replaying a script.
+#[derive(Debug)]
+pub struct Transcript {
+    /// Per-command records.
+    pub steps: Vec<Step>,
+    /// Captured scenes, in order.
+    pub captures: Vec<(String, Scene)>,
+}
+
+impl Transcript {
+    /// Looks up a captured scene by name.
+    pub fn scene(&self, name: &str) -> Option<&Scene> {
+        self.captures
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isis_core::Database;
+
+    #[test]
+    fn script_runs_and_captures() {
+        let mut db = Database::new("t");
+        let m = db.create_baseclass("musicians").unwrap();
+        let mut session = Session::new(db);
+        let mut script = Script::new();
+        script
+            .cmd(Command::Pick(isis_core::SchemaNode::Class(m)))
+            .capture("forest")
+            .cmd(Command::ViewContents)
+            .capture("data");
+        let t = script.run(&mut session).unwrap();
+        assert_eq!(script.command_count(), 2);
+        assert_eq!(t.steps.len(), 2);
+        assert!(t.scene("forest").unwrap().has_text("musicians"));
+        assert!(t.scene("data").is_some());
+        assert!(t.scene("nope").is_none());
+        // The pick logged a message.
+        assert!(t.steps[0].messages.iter().any(|m| m.contains("musicians")));
+    }
+
+    #[test]
+    fn script_stops_on_error() {
+        let db = Database::new("t");
+        let mut session = Session::new(db);
+        let mut script = Script::new();
+        script.cmd(Command::ViewContents); // nothing selected
+        assert!(script.run(&mut session).is_err());
+    }
+}

@@ -1,0 +1,515 @@
+//! End-to-end tests of the session engine against the §4.2 narrative and
+//! the Diagram-1 state invariants.
+
+use isis_core::{CompareOp, EntityId, Multiplicity, SchemaNode};
+use isis_sample::instrumental_music;
+use isis_session::{Command, Mode, Selection, Session};
+use isis_views::Emphasis;
+
+fn session() -> (Session, isis_sample::InstrumentalMusic) {
+    let im = instrumental_music().unwrap();
+    (Session::new(im.db.clone()), im)
+}
+
+#[test]
+fn pick_and_view_associations_figure1_to_2() {
+    let (mut s, im) = session();
+    // Figure 1: pick soloists.
+    s.apply(Command::Pick(SchemaNode::Class(im.soloists)))
+        .unwrap();
+    assert_eq!(s.selection(), Some(Selection::Class(im.soloists)));
+    let scene = s.scene().unwrap();
+    assert!(scene.hand().is_some());
+    // view associations → network of soloists.
+    s.apply(Command::ViewAssociations).unwrap();
+    assert_eq!(*s.mode(), Mode::Network);
+    // Picking the value class of plays (instruments) re-targets the network
+    // (Figure 2).
+    s.apply(Command::Pick(SchemaNode::Class(im.instruments)))
+        .unwrap();
+    assert_eq!(*s.mode(), Mode::Network);
+    let scene = s.scene().unwrap();
+    assert!(scene.has_text("family"));
+    // pop → forest with instruments still selected.
+    s.apply(Command::Pop).unwrap();
+    assert_eq!(*s.mode(), Mode::Forest);
+    assert_eq!(s.selection(), Some(Selection::Class(im.instruments)));
+}
+
+#[test]
+fn data_level_select_follow_and_reassign_figures_3_to_5() {
+    let (mut s, im) = session();
+    s.apply(Command::Pick(SchemaNode::Class(im.instruments)))
+        .unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    assert_eq!(*s.mode(), Mode::Data);
+    // Figure 3: select flute, then oboe.
+    s.apply(Command::SelectEntity(im.flute)).unwrap();
+    s.apply(Command::SelectEntity(im.oboe)).unwrap();
+    let scene = s.scene().unwrap();
+    assert!(scene.has_text_with("flute", Emphasis::Bold));
+    assert!(scene.has_text_with("oboe", Emphasis::Bold));
+    // Figure 4: follow family → families page, brass highlighted (the
+    // deliberate data error).
+    s.apply(Command::Follow(im.family)).unwrap();
+    assert_eq!(s.pages().len(), 2);
+    assert_eq!(s.pages()[1].node, SchemaNode::Class(im.families));
+    assert_eq!(s.pages()[1].selected, vec![im.brass]);
+    // The user corrects: unhighlight brass, highlight woodwind.
+    s.apply(Command::SelectEntity(im.brass)).unwrap(); // toggle off
+    s.apply(Command::SelectEntity(im.woodwind)).unwrap();
+    // Figure 5: (re)assign happens on the instruments page — pop back.
+    s.apply(Command::Pop).unwrap();
+    assert_eq!(s.pages().len(), 1);
+    // flute and oboe are still the data selection (D preserved).
+    assert_eq!(s.pages()[0].selected, vec![im.flute, im.oboe]);
+    s.apply(Command::ReassignAttrValue {
+        attr: im.family,
+        value: im.woodwind,
+    })
+    .unwrap();
+    for e in [im.flute, im.oboe] {
+        assert_eq!(
+            s.database()
+                .attr_value_set(e, im.family)
+                .unwrap()
+                .as_slice(),
+            &[im.woodwind]
+        );
+    }
+}
+
+#[test]
+fn grouping_follow_figures_6_and_7() {
+    let (mut s, im) = session();
+    // display predicate of by_family (the user wonders what it is).
+    s.apply(Command::Pick(SchemaNode::Grouping(im.by_family)))
+        .unwrap();
+    s.apply(Command::DisplayPredicate).unwrap();
+    assert!(s
+        .messages()
+        .last()
+        .unwrap()
+        .contains("grouped by common value of their family attribute"));
+    // Figure 6: contents of the grouping, select percussion.
+    s.apply(Command::ViewContents).unwrap();
+    s.apply(Command::SelectEntity(im.percussion)).unwrap();
+    // Figure 7: follow (no attribute needed on a grouping page).
+    s.apply(Command::FollowGrouping).unwrap();
+    let top = s.pages().last().unwrap();
+    assert_eq!(top.node, SchemaNode::Class(im.instruments));
+    let drums = s
+        .database()
+        .entity_by_name(im.instruments, "drums")
+        .unwrap();
+    let cymbals = s
+        .database()
+        .entity_by_name(im.instruments, "cymbals")
+        .unwrap();
+    assert!(top.selected.contains(&drums));
+    assert!(top.selected.contains(&cymbals));
+    assert_eq!(top.selected.len(), 2);
+}
+
+/// The full Figure 8–10 worksheet flow: create quartets, define its
+/// membership (atoms A and E), commit, then define all_inst by the hand
+/// operator.
+#[test]
+fn worksheet_flow_figures_8_to_10() {
+    let (mut s, im) = session();
+    // Figure 8: create subclass of music_groups, name it quartets.
+    s.apply(Command::Pick(SchemaNode::Class(im.music_groups)))
+        .unwrap();
+    s.apply(Command::CreateSubclass("quartets".into())).unwrap();
+    let quartets = s.database().class_by_name("quartets").unwrap();
+    assert_eq!(s.selection(), Some(Selection::Class(quartets)));
+
+    // (re)define membership → worksheet.
+    s.apply(Command::DefineMembership).unwrap();
+    assert_eq!(*s.mode(), Mode::Worksheet);
+
+    // Atom A: size = {4}, placed in the second clause.
+    s.apply(Command::WsNewAtom).unwrap();
+    s.apply(Command::WsPlaceInClause(1)).unwrap();
+    s.apply(Command::WsLhsPush(im.size)).unwrap();
+    s.apply(Command::WsOperator(CompareOp::SetEq.into()))
+        .unwrap();
+    // constant → temporary data-level visit into INTEGERS.
+    s.apply(Command::WsRhsConstant(None)).unwrap();
+    match s.mode() {
+        Mode::ConstantPick { class, .. } => {
+            assert_eq!(
+                *class,
+                s.database().predefined(isis_core::BaseKind::Integers)
+            );
+        }
+        m => panic!("expected constant pick, got {m:?}"),
+    }
+    let four = s.database_mut().int(4);
+    s.apply(Command::ConstantToggle(four)).unwrap();
+    s.apply(Command::ConstantDone).unwrap();
+    assert_eq!(*s.mode(), Mode::Worksheet);
+
+    // Atom B (the paper calls it E): members plays ⊇ {piano}, clause 1.
+    s.apply(Command::WsNewAtom).unwrap();
+    s.apply(Command::WsPlaceInClause(0)).unwrap();
+    s.apply(Command::WsLhsPush(im.members)).unwrap();
+    s.apply(Command::WsLhsPush(im.plays)).unwrap();
+    // The worksheet shows the stack of classes for the map.
+    let input = s.worksheet_input().unwrap();
+    assert_eq!(
+        input.lhs_stack,
+        vec!["music_groups", "musicians", "instruments"]
+    );
+    s.apply(Command::WsOperator(CompareOp::Superset.into()))
+        .unwrap();
+    s.apply(Command::WsRhsConstant(None)).unwrap();
+    s.apply(Command::ConstantToggle(im.piano)).unwrap();
+    s.apply(Command::ConstantDone).unwrap();
+
+    // Switch to CNF and commit.
+    s.apply(Command::WsSwitchAndOr).unwrap();
+    s.apply(Command::WsCommit).unwrap();
+    assert_eq!(*s.mode(), Mode::Forest);
+    assert_eq!(s.selection(), Some(Selection::Class(quartets)));
+    // Exactly LaBelle Musique qualifies.
+    let members: Vec<EntityId> = s.database().members(quartets).unwrap().iter().collect();
+    assert_eq!(members, vec![im.labelle]);
+
+    // Figure 10: all_inst derived by the hand operator.
+    s.apply(Command::CreateAttribute {
+        name: "all_inst".into(),
+        multiplicity: Multiplicity::Multi,
+    })
+    .unwrap();
+    s.apply(Command::SpecifyValueClass(SchemaNode::Class(
+        im.instruments,
+    )))
+    .unwrap();
+    s.apply(Command::DefineDerivation).unwrap();
+    let input = s.worksheet_input().unwrap();
+    assert!(input.derivation_mode);
+    assert!(input.target.contains("all_inst"));
+    s.apply(Command::WsHandAssign(vec![im.members, im.plays]))
+        .unwrap();
+    s.apply(Command::WsCommit).unwrap();
+    let all_inst = s.database().attr_by_name(quartets, "all_inst").unwrap();
+    let set = s.database().attr_value_set(im.labelle, all_inst).unwrap();
+    assert!(set.contains(im.piano));
+    assert!(set.contains(im.viola));
+    assert_eq!(set.len(), 4);
+}
+
+#[test]
+fn make_subclass_figures_11_and_12() {
+    let (mut s, im) = session();
+    // Look at musicians, keep only Edith selected (Figure 11), follow
+    // plays, make the edith_plays subclass of instruments (Figure 12).
+    s.apply(Command::Pick(SchemaNode::Class(im.musicians)))
+        .unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    s.apply(Command::SelectEntity(im.edith)).unwrap();
+    s.apply(Command::Follow(im.plays)).unwrap();
+    let top = s.pages().last().unwrap();
+    assert_eq!(top.selected, vec![im.viola, im.violin]);
+    s.apply(Command::MakeSubclass("edith_plays".into()))
+        .unwrap();
+    // Still at the data level (temporary visit), but the new class is the
+    // schema selection, under instruments.
+    assert_eq!(*s.mode(), Mode::Data);
+    let edith_plays = s.database().class_by_name("edith_plays").unwrap();
+    assert_eq!(s.selection(), Some(Selection::Class(edith_plays)));
+    assert_eq!(
+        s.database().class(edith_plays).unwrap().parent,
+        Some(im.instruments)
+    );
+    let members: Vec<EntityId> = s.database().members(edith_plays).unwrap().iter().collect();
+    assert_eq!(members, vec![im.viola, im.violin]);
+    // Back at the forest, the hand points at edith_plays (Figure 12).
+    s.apply(Command::Pop).unwrap();
+    s.apply(Command::Pop).unwrap();
+    assert_eq!(*s.mode(), Mode::Forest);
+    let scene = s.scene().unwrap();
+    assert!(scene.has_text("edith_plays"));
+    assert!(scene.hand().is_some());
+}
+
+#[test]
+fn save_and_load_via_store() {
+    let root = std::env::temp_dir().join(format!("isis_session_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let dir = isis_store::StoreDir::open(&root).unwrap();
+    let im = instrumental_music().unwrap();
+    dir.save(&im.db, "Instrumental_Music").unwrap();
+    let mut s = Session::with_store(isis_core::Database::new("scratch"), dir);
+    s.apply(Command::Load("Instrumental_Music".into())).unwrap();
+    assert!(s.database().class_by_name("musicians").is_ok());
+    // Modify and save as entertainment (the session's ending).
+    s.apply(Command::Pick(SchemaNode::Class(im.music_groups)))
+        .unwrap();
+    s.apply(Command::CreateSubclass("quartets".into())).unwrap();
+    s.apply(Command::Save("entertainment".into())).unwrap();
+    let dir2 = isis_store::StoreDir::open(&root).unwrap();
+    let loaded = dir2.load("entertainment").unwrap();
+    assert!(loaded.class_by_name("quartets").is_ok());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn undo_redo_roundtrip() {
+    let (mut s, im) = session();
+    s.apply(Command::Pick(SchemaNode::Class(im.musicians)))
+        .unwrap();
+    s.apply(Command::CreateSubclass("temp".into())).unwrap();
+    assert!(s.database().class_by_name("temp").is_ok());
+    s.apply(Command::Undo).unwrap();
+    assert!(s.database().class_by_name("temp").is_err());
+    s.apply(Command::Redo).unwrap();
+    assert!(s.database().class_by_name("temp").is_ok());
+    // Undo twice → error on the second empty undo… (one snapshot exists).
+    s.apply(Command::Undo).unwrap();
+    assert!(s.apply(Command::Undo).is_err());
+}
+
+#[test]
+fn reassign_on_data_level_is_undoable() {
+    let (mut s, im) = session();
+    s.apply(Command::Pick(SchemaNode::Class(im.instruments)))
+        .unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    s.apply(Command::SelectEntity(im.flute)).unwrap();
+    s.apply(Command::ReassignAttrValue {
+        attr: im.family,
+        value: im.woodwind,
+    })
+    .unwrap();
+    assert!(s
+        .database()
+        .attr_value_set(im.flute, im.family)
+        .unwrap()
+        .contains(im.woodwind));
+    s.apply(Command::Undo).unwrap();
+    assert!(s
+        .database()
+        .attr_value_set(im.flute, im.family)
+        .unwrap()
+        .contains(im.brass));
+}
+
+#[test]
+fn temporary_visit_preserves_selections() {
+    let (mut s, im) = session();
+    // Establish a data selection D, then enter the worksheet and pick a
+    // constant; D and S must survive untouched (Diagram 1).
+    s.apply(Command::Pick(SchemaNode::Class(im.instruments)))
+        .unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    s.apply(Command::SelectEntity(im.flute)).unwrap();
+    let pages_before = s.pages().to_vec();
+    s.apply(Command::Pop).unwrap(); // back to forest, D retained
+
+    s.apply(Command::Pick(SchemaNode::Class(im.play_strings)))
+        .unwrap();
+    s.apply(Command::DefineMembership).unwrap();
+    s.apply(Command::WsNewAtom).unwrap();
+    s.apply(Command::WsPlaceInClause(0)).unwrap();
+    s.apply(Command::WsLhsPush(im.plays)).unwrap();
+    s.apply(Command::WsOperator(CompareOp::Match.into()))
+        .unwrap();
+    s.apply(Command::WsRhsConstant(None)).unwrap();
+    s.apply(Command::ConstantToggle(im.viola)).unwrap();
+    s.apply(Command::ConstantDone).unwrap();
+    // D unchanged by the temporary visit.
+    assert_eq!(s.pages(), pages_before.as_slice());
+    assert_eq!(s.selection(), Some(Selection::Class(im.play_strings)));
+}
+
+#[test]
+fn command_errors_are_informative() {
+    let (mut s, im) = session();
+    // Data-level commands outside the data level.
+    assert!(s.apply(Command::Follow(im.plays)).is_err());
+    assert!(s
+        .apply(Command::ReassignAttrValue {
+            attr: im.family,
+            value: im.brass
+        })
+        .is_err());
+    // Worksheet commands without a worksheet.
+    assert!(s.apply(Command::WsNewAtom).is_err());
+    assert!(s.apply(Command::WsCommit).is_err());
+    // view contents with an attribute selected.
+    s.apply(Command::PickAttr(im.plays)).unwrap();
+    assert!(s.apply(Command::ViewContents).is_err());
+    // Save without a store.
+    assert!(matches!(
+        s.apply(Command::Save("x".into())),
+        Err(isis_session::SessionError::NoStore)
+    ));
+    // Follow with nothing selected.
+    s.apply(Command::Pick(SchemaNode::Class(im.instruments)))
+        .unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    assert!(matches!(
+        s.apply(Command::Follow(im.family)),
+        Err(isis_session::SessionError::NothingSelected)
+    ));
+    // Follow with an attribute not on the class.
+    s.apply(Command::SelectEntity(im.flute)).unwrap();
+    assert!(s.apply(Command::Follow(im.members)).is_err());
+    // Selecting a non-member.
+    assert!(s.apply(Command::SelectEntity(im.edith)).is_err());
+}
+
+#[test]
+fn create_entity_at_data_level() {
+    let (mut s, im) = session();
+    s.apply(Command::Pick(SchemaNode::Class(im.instruments)))
+        .unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    s.apply(Command::CreateEntity("ocarina".into())).unwrap();
+    let e = s
+        .database()
+        .entity_by_name(im.instruments, "ocarina")
+        .unwrap();
+    assert!(s.database().members(im.instruments).unwrap().contains(e));
+    // Creating in a subclass page inserts into the baseclass and the
+    // subclass (the paper's cascade).
+    s.apply(Command::Pop).unwrap();
+    s.apply(Command::Pick(SchemaNode::Class(im.soloists)))
+        .unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    s.apply(Command::CreateEntity("Zara".into())).unwrap();
+    let z = s.database().entity_by_name(im.musicians, "Zara").unwrap();
+    assert!(s.database().members(im.soloists).unwrap().contains(z));
+    assert!(s.database().members(im.musicians).unwrap().contains(z));
+}
+
+#[test]
+fn rename_and_delete_via_session() {
+    let (mut s, im) = session();
+    s.apply(Command::Pick(SchemaNode::Class(im.soloists)))
+        .unwrap();
+    s.apply(Command::Rename("stars".into())).unwrap();
+    assert!(s.database().class_by_name("stars").is_ok());
+    s.apply(Command::Delete).unwrap();
+    assert!(s.database().class_by_name("stars").is_err());
+    assert_eq!(s.selection(), None);
+    // Deleting predefined classes is refused and surfaces as a core error.
+    s.apply(Command::Pick(SchemaNode::Class(
+        s.database().predefined(isis_core::BaseKind::Strings),
+    )))
+    .unwrap();
+    assert!(s.apply(Command::Delete).is_err());
+}
+
+#[test]
+fn scroll_pans_member_list() {
+    let (mut s, im) = session();
+    s.apply(Command::Pick(SchemaNode::Class(im.instruments)))
+        .unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    s.apply(Command::Scroll(5)).unwrap();
+    assert_eq!(s.pages()[0].scroll, 5);
+    s.apply(Command::Scroll(-10)).unwrap();
+    assert_eq!(s.pages()[0].scroll, 0);
+}
+
+#[test]
+fn stop_flag() {
+    let (mut s, _) = session();
+    assert!(!s.stopped());
+    s.apply(Command::Stop).unwrap();
+    assert!(s.stopped());
+}
+
+#[test]
+fn display_predicate_of_derived_class() {
+    let (mut s, im) = session();
+    s.apply(Command::Pick(SchemaNode::Class(im.play_strings)))
+        .unwrap();
+    s.apply(Command::DisplayPredicate).unwrap();
+    let msg = s.messages().last().unwrap();
+    assert!(msg.contains("plays family"), "got: {msg}");
+    assert!(msg.contains("stringed"), "got: {msg}");
+}
+
+#[test]
+fn move_and_pan_affect_the_forest_view() {
+    let (mut s, im) = session();
+    s.apply(Command::Pick(SchemaNode::Class(im.soloists)))
+        .unwrap();
+    let before = s.scene().unwrap();
+    // Drag soloists right and down (Figure 8's box placement).
+    s.apply(Command::Move(10, 2)).unwrap();
+    let after = s.scene().unwrap();
+    assert_ne!(before, after);
+    // The hand follows the moved box.
+    let (hb, ha) = (before.hand().unwrap(), after.hand().unwrap());
+    assert_eq!(ha.x, hb.x + 10);
+    assert_eq!(ha.y, hb.y + 2);
+    // Panning shifts everything.
+    s.apply(Command::Pan(5, 0)).unwrap();
+    let panned = s.scene().unwrap();
+    assert_eq!(panned.hand().unwrap().x, ha.x + 5);
+    // Moves require a class/grouping selection.
+    s.apply(Command::PickAttr(im.plays)).unwrap();
+    assert!(s.apply(Command::Move(1, 1)).is_err());
+}
+
+#[test]
+fn auto_refresh_keeps_derived_classes_fresh() {
+    let (mut s, im) = session();
+    // Commit the quartets query first.
+    s.apply(Command::Pick(SchemaNode::Class(im.music_groups)))
+        .unwrap();
+    s.apply(Command::CreateSubclass("quartets".into())).unwrap();
+    s.apply(Command::DefineMembership).unwrap();
+    s.apply(Command::WsNewAtom).unwrap();
+    s.apply(Command::WsPlaceInClause(0)).unwrap();
+    s.apply(Command::WsLhsPush(im.size)).unwrap();
+    s.apply(Command::WsOperator(CompareOp::SetEq.into()))
+        .unwrap();
+    s.apply(Command::WsRhsConstant(None)).unwrap();
+    let four = s.database_mut().int(4);
+    s.apply(Command::ConstantToggle(four)).unwrap();
+    s.apply(Command::ConstantDone).unwrap();
+    s.apply(Command::WsCommit).unwrap();
+    let quartets = s.database().class_by_name("quartets").unwrap();
+    let before = s.database().members(quartets).unwrap().len();
+    assert_eq!(before, 2); // LaBelle Musique and String Fling have size 4
+
+    // Without auto-refresh the class goes stale after a data edit…
+    s.apply(Command::PickByName("music_groups".into())).unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    let trio = s
+        .database()
+        .entity_by_name(im.music_groups, "Trio Grande")
+        .unwrap();
+    s.apply(Command::SelectEntity(trio)).unwrap();
+    s.apply(Command::ReassignAttrValue {
+        attr: im.size,
+        value: four,
+    })
+    .unwrap();
+    assert_eq!(s.database().members(quartets).unwrap().len(), 2); // stale
+
+    // …with auto-refresh it tracks immediately.
+    s.set_auto_refresh(true);
+    let two = s.database_mut().int(2);
+    s.apply(Command::ReassignAttrValue {
+        attr: im.size,
+        value: two,
+    })
+    .unwrap();
+    s.apply(Command::ReassignAttrValue {
+        attr: im.size,
+        value: four,
+    })
+    .unwrap();
+    assert_eq!(s.database().members(quartets).unwrap().len(), 3);
+    assert!(s
+        .messages()
+        .iter()
+        .any(|m| m.contains("quartets re-evaluated")));
+}

@@ -1,0 +1,77 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+
+use crate::codec::CodecError;
+use isis_core::CoreError;
+
+/// Errors raised by snapshots, the WAL, and the database directory.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O failure.
+    Io(std::io::Error),
+    /// A decoding failure (corruption, version skew).
+    Codec(CodecError),
+    /// A replayed operation was rejected by the engine.
+    Core(CoreError),
+    /// The requested database does not exist in the directory.
+    NotFound(String),
+    /// A database with this name already exists.
+    AlreadyExists(String),
+    /// The name is not usable as a file stem.
+    BadName(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::Core(e) => write!(f, "engine error: {e}"),
+            StoreError::NotFound(n) => write!(f, "database not found: {n:?}"),
+            StoreError::AlreadyExists(n) => write!(f, "database already exists: {n:?}"),
+            StoreError::BadName(n) => write!(f, "bad database name: {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+            StoreError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+impl From<CoreError> for StoreError {
+    fn from(e: CoreError) -> Self {
+        StoreError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = StoreError::from(CodecError::ChecksumMismatch);
+        assert!(e.to_string().contains("codec"));
+        assert!(e.source().is_some());
+        assert!(StoreError::NotFound("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! # isis-store
+//!
+//! The persistence substrate for the ISIS reproduction — the machinery
+//! behind the session's "he saves this new database as *entertainment*"
+//! (§4.2), grown into a small storage engine a library user can rely on:
+//!
+//! * [`codec`] — an explicit, versioned binary codec with CRC32 frames;
+//! * [`encode`] — byte layouts for database images and predicates;
+//! * snapshots (`N.isis`) written atomically via temp-file + rename;
+//! * a write-ahead log (`N.wal`) of logical operations with torn-tail
+//!   detection, so a crashed session recovers to its last logged op;
+//! * [`StoreDir`] — a directory of named databases (list / save / load /
+//!   delete), and [`LoggedDatabase`] — a database handle whose mutations
+//!   are WAL-durable with `checkpoint()` compaction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod encode;
+pub mod error;
+pub mod history;
+mod store;
+pub mod wal;
+
+pub use codec::{crc32, CodecError};
+pub use error::StoreError;
+pub use history::{describe, is_schema_level, DesignHistory, HistoryEntry};
+pub use store::{
+    read_snapshot, read_snapshot_bytes, write_snapshot, write_snapshot_bytes, LoggedDatabase,
+    StoreDir, SNAPSHOT_MAGIC,
+};
+pub use wal::{replay_log, LogOp, Replay, SyncPolicy, WalFile};

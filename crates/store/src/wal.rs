@@ -1,0 +1,724 @@
+//! The write-ahead log: a durable stream of logical operations.
+//!
+//! Every mutation of a [`LoggedDatabase`](crate::LoggedDatabase) is encoded
+//! as a [`LogOp`] and appended as a CRC-framed record *after* being applied
+//! in memory (the in-memory engine validates; only validated operations
+//! reach the log, so replay can never fail on well-formed files). Replay of
+//! `snapshot + log` reproduces the database state exactly, because every
+//! id-allocating operation (including literal interning) is logged in order.
+//!
+//! A torn final record — the classic crash during append — is detected by
+//! its checksum/length and discarded on open.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use isis_core::{
+    AttrDerivation, AttrId, ClassId, ConstraintId, ConstraintKind, Database, EntityId, GroupingId,
+    Literal, Multiplicity, Predicate, ValueClassSpec,
+};
+
+use crate::codec::{frame, read_frame, CodecError, Reader, Writer};
+use crate::encode::{r_map, r_predicate, w_map, w_predicate};
+use crate::error::StoreError;
+
+/// A logical, replayable database operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogOp {
+    /// `create_baseclass(name)`.
+    CreateBaseclass(String),
+    /// `create_subclass(parent, name)`.
+    CreateSubclass(ClassId, String),
+    /// `create_derived_subclass(parent, name)`.
+    CreateDerivedSubclass(ClassId, String),
+    /// `rename_class(class, name)`.
+    RenameClass(ClassId, String),
+    /// `delete_class(class)`.
+    DeleteClass(ClassId),
+    /// `create_attribute(class, name, value_class, multiplicity)`.
+    CreateAttribute(ClassId, String, ValueClassSpec, Multiplicity),
+    /// `rename_attr(attr, name)`.
+    RenameAttr(AttrId, String),
+    /// `respecify_value_class(attr, value_class)`.
+    RespecifyValueClass(AttrId, ValueClassSpec),
+    /// `delete_attr(attr)`.
+    DeleteAttr(AttrId),
+    /// `create_grouping(parent, name, attr)`.
+    CreateGrouping(ClassId, String, AttrId),
+    /// `rename_grouping(grouping, name)`.
+    RenameGrouping(GroupingId, String),
+    /// `delete_grouping(grouping)`.
+    DeleteGrouping(GroupingId),
+    /// `insert_entity(base, name)`.
+    InsertEntity(ClassId, String),
+    /// `intern(literal)`.
+    Intern(Literal),
+    /// `add_to_class(entity, class)`.
+    AddToClass(EntityId, ClassId),
+    /// `remove_from_class(entity, class)`.
+    RemoveFromClass(EntityId, ClassId),
+    /// `delete_entity(entity)`.
+    DeleteEntity(EntityId),
+    /// `rename_entity(entity, name)`.
+    RenameEntity(EntityId, String),
+    /// `assign_single(entity, attr, value)`.
+    AssignSingle(EntityId, AttrId, EntityId),
+    /// `assign_multi(entity, attr, values)`.
+    AssignMulti(EntityId, AttrId, Vec<EntityId>),
+    /// `add_value(entity, attr, value)`.
+    AddValue(EntityId, AttrId, EntityId),
+    /// `unassign(entity, attr)`.
+    Unassign(EntityId, AttrId),
+    /// `commit_membership(class, predicate)`.
+    CommitMembership(ClassId, Predicate),
+    /// `refresh_derived_class(class)`.
+    RefreshDerivedClass(ClassId),
+    /// `commit_derivation(attr, derivation)`.
+    CommitDerivation(AttrId, AttrDerivation),
+    /// `refresh_derived_attr(attr)`.
+    RefreshDerivedAttr(AttrId),
+    /// `enable_multiple_inheritance()`.
+    EnableMultipleInheritance,
+    /// `add_secondary_parent(class, parent)`.
+    AddSecondaryParent(ClassId, ClassId),
+    /// `create_constraint(name, class, predicate, kind)`.
+    CreateConstraint(String, ClassId, Predicate, ConstraintKind),
+    /// `delete_constraint(id)`.
+    DeleteConstraint(ConstraintId),
+}
+
+impl LogOp {
+    /// Applies the operation to a database, returning the engine error if
+    /// the operation is rejected.
+    pub fn apply(&self, db: &mut Database) -> Result<(), isis_core::CoreError> {
+        match self {
+            LogOp::CreateBaseclass(n) => db.create_baseclass(n).map(|_| ()),
+            LogOp::CreateSubclass(p, n) => db.create_subclass(*p, n).map(|_| ()),
+            LogOp::CreateDerivedSubclass(p, n) => db.create_derived_subclass(*p, n).map(|_| ()),
+            LogOp::RenameClass(c, n) => db.rename_class(*c, n),
+            LogOp::DeleteClass(c) => db.delete_class(*c),
+            LogOp::CreateAttribute(c, n, vc, m) => db.create_attribute(*c, n, *vc, *m).map(|_| ()),
+            LogOp::RenameAttr(a, n) => db.rename_attr(*a, n),
+            LogOp::RespecifyValueClass(a, vc) => db.respecify_value_class(*a, *vc),
+            LogOp::DeleteAttr(a) => db.delete_attr(*a),
+            LogOp::CreateGrouping(p, n, a) => db.create_grouping(*p, n, *a).map(|_| ()),
+            LogOp::RenameGrouping(g, n) => db.rename_grouping(*g, n),
+            LogOp::DeleteGrouping(g) => db.delete_grouping(*g),
+            LogOp::InsertEntity(b, n) => db.insert_entity(*b, n).map(|_| ()),
+            LogOp::Intern(l) => db.intern(l.clone()).map(|_| ()),
+            LogOp::AddToClass(e, c) => db.add_to_class(*e, *c),
+            LogOp::RemoveFromClass(e, c) => db.remove_from_class(*e, *c),
+            LogOp::DeleteEntity(e) => db.delete_entity(*e),
+            LogOp::RenameEntity(e, n) => db.rename_entity(*e, n),
+            LogOp::AssignSingle(e, a, v) => db.assign_single(*e, *a, *v),
+            LogOp::AssignMulti(e, a, vs) => db.assign_multi(*e, *a, vs.iter().copied()),
+            LogOp::AddValue(e, a, v) => db.add_value(*e, *a, *v),
+            LogOp::Unassign(e, a) => db.unassign(*e, *a),
+            LogOp::CommitMembership(c, p) => db.commit_membership(*c, p.clone()).map(|_| ()),
+            LogOp::RefreshDerivedClass(c) => db.refresh_derived_class(*c).map(|_| ()),
+            LogOp::CommitDerivation(a, d) => db.commit_derivation(*a, d.clone()).map(|_| ()),
+            LogOp::RefreshDerivedAttr(a) => db.refresh_derived_attr(*a).map(|_| ()),
+            LogOp::EnableMultipleInheritance => {
+                db.enable_multiple_inheritance();
+                Ok(())
+            }
+            LogOp::AddSecondaryParent(c, p) => db.add_secondary_parent(*c, *p),
+            LogOp::CreateConstraint(n, c, p, k) => {
+                db.create_constraint(n, *c, p.clone(), *k).map(|_| ())
+            }
+            LogOp::DeleteConstraint(id) => db.delete_constraint(*id),
+        }
+    }
+
+    /// Encodes the operation into bytes (no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        let wc = |w: &mut Writer, c: &ClassId| w.u32(c.raw());
+        let wa = |w: &mut Writer, a: &AttrId| w.u32(a.raw());
+        let wg = |w: &mut Writer, g: &GroupingId| w.u32(g.raw());
+        let we = |w: &mut Writer, e: &EntityId| w.u32(e.raw());
+        let wvc = |w: &mut Writer, vc: &ValueClassSpec| match vc {
+            ValueClassSpec::Class(c) => {
+                w.u8(0);
+                w.u32(c.raw());
+            }
+            ValueClassSpec::Grouping(g) => {
+                w.u8(1);
+                w.u32(g.raw());
+            }
+        };
+        match self {
+            LogOp::CreateBaseclass(n) => {
+                w.u8(0);
+                w.string(n);
+            }
+            LogOp::CreateSubclass(p, n) => {
+                w.u8(1);
+                wc(&mut w, p);
+                w.string(n);
+            }
+            LogOp::CreateDerivedSubclass(p, n) => {
+                w.u8(2);
+                wc(&mut w, p);
+                w.string(n);
+            }
+            LogOp::RenameClass(c, n) => {
+                w.u8(3);
+                wc(&mut w, c);
+                w.string(n);
+            }
+            LogOp::DeleteClass(c) => {
+                w.u8(4);
+                wc(&mut w, c);
+            }
+            LogOp::CreateAttribute(c, n, vc, m) => {
+                w.u8(5);
+                wc(&mut w, c);
+                w.string(n);
+                wvc(&mut w, vc);
+                w.boolean(*m == Multiplicity::Multi);
+            }
+            LogOp::RenameAttr(a, n) => {
+                w.u8(6);
+                wa(&mut w, a);
+                w.string(n);
+            }
+            LogOp::RespecifyValueClass(a, vc) => {
+                w.u8(7);
+                wa(&mut w, a);
+                wvc(&mut w, vc);
+            }
+            LogOp::DeleteAttr(a) => {
+                w.u8(8);
+                wa(&mut w, a);
+            }
+            LogOp::CreateGrouping(p, n, a) => {
+                w.u8(9);
+                wc(&mut w, p);
+                w.string(n);
+                wa(&mut w, a);
+            }
+            LogOp::RenameGrouping(g, n) => {
+                w.u8(10);
+                wg(&mut w, g);
+                w.string(n);
+            }
+            LogOp::DeleteGrouping(g) => {
+                w.u8(11);
+                wg(&mut w, g);
+            }
+            LogOp::InsertEntity(b, n) => {
+                w.u8(12);
+                wc(&mut w, b);
+                w.string(n);
+            }
+            LogOp::Intern(l) => {
+                w.u8(13);
+                match l {
+                    Literal::Str(s) => {
+                        w.u8(0);
+                        w.string(s);
+                    }
+                    Literal::Int(i) => {
+                        w.u8(1);
+                        w.i64(*i);
+                    }
+                    Literal::Real(x) => {
+                        w.u8(2);
+                        w.f64(*x);
+                    }
+                    Literal::Bool(b) => {
+                        w.u8(3);
+                        w.boolean(*b);
+                    }
+                }
+            }
+            LogOp::AddToClass(e, c) => {
+                w.u8(14);
+                we(&mut w, e);
+                wc(&mut w, c);
+            }
+            LogOp::RemoveFromClass(e, c) => {
+                w.u8(15);
+                we(&mut w, e);
+                wc(&mut w, c);
+            }
+            LogOp::DeleteEntity(e) => {
+                w.u8(16);
+                we(&mut w, e);
+            }
+            LogOp::RenameEntity(e, n) => {
+                w.u8(17);
+                we(&mut w, e);
+                w.string(n);
+            }
+            LogOp::AssignSingle(e, a, v) => {
+                w.u8(18);
+                we(&mut w, e);
+                wa(&mut w, a);
+                we(&mut w, v);
+            }
+            LogOp::AssignMulti(e, a, vs) => {
+                w.u8(19);
+                we(&mut w, e);
+                wa(&mut w, a);
+                w.seq(vs, |w, v| w.u32(v.raw()));
+            }
+            LogOp::AddValue(e, a, v) => {
+                w.u8(20);
+                we(&mut w, e);
+                wa(&mut w, a);
+                we(&mut w, v);
+            }
+            LogOp::Unassign(e, a) => {
+                w.u8(21);
+                we(&mut w, e);
+                wa(&mut w, a);
+            }
+            LogOp::CommitMembership(c, p) => {
+                w.u8(22);
+                wc(&mut w, c);
+                w_predicate(&mut w, p);
+            }
+            LogOp::RefreshDerivedClass(c) => {
+                w.u8(23);
+                wc(&mut w, c);
+            }
+            LogOp::CommitDerivation(a, d) => {
+                w.u8(24);
+                wa(&mut w, a);
+                match d {
+                    AttrDerivation::Assign(m) => {
+                        w.u8(0);
+                        w_map(&mut w, m);
+                    }
+                    AttrDerivation::Predicate(p) => {
+                        w.u8(1);
+                        w_predicate(&mut w, p);
+                    }
+                }
+            }
+            LogOp::RefreshDerivedAttr(a) => {
+                w.u8(25);
+                wa(&mut w, a);
+            }
+            LogOp::EnableMultipleInheritance => {
+                w.u8(26);
+            }
+            LogOp::AddSecondaryParent(c, p) => {
+                w.u8(27);
+                wc(&mut w, c);
+                wc(&mut w, p);
+            }
+            LogOp::CreateConstraint(n, c, p, k) => {
+                w.u8(28);
+                w.string(n);
+                wc(&mut w, c);
+                w_predicate(&mut w, p);
+                w.u8(match k {
+                    ConstraintKind::ForAll => 0,
+                    ConstraintKind::Forbidden => 1,
+                });
+            }
+            LogOp::DeleteConstraint(id) => {
+                w.u8(29);
+                w.u32(id.raw());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one operation.
+    pub fn decode(bytes: &[u8]) -> Result<LogOp, CodecError> {
+        let mut r = Reader::new(bytes);
+        let rc =
+            |r: &mut Reader| -> Result<ClassId, CodecError> { Ok(ClassId::from_raw(r.u32()?)) };
+        let ra = |r: &mut Reader| -> Result<AttrId, CodecError> { Ok(AttrId::from_raw(r.u32()?)) };
+        let rg = |r: &mut Reader| -> Result<GroupingId, CodecError> {
+            Ok(GroupingId::from_raw(r.u32()?))
+        };
+        let re =
+            |r: &mut Reader| -> Result<EntityId, CodecError> { Ok(EntityId::from_raw(r.u32()?)) };
+        let rvc = |r: &mut Reader| -> Result<ValueClassSpec, CodecError> {
+            Ok(match r.u8()? {
+                0 => ValueClassSpec::Class(ClassId::from_raw(r.u32()?)),
+                1 => ValueClassSpec::Grouping(GroupingId::from_raw(r.u32()?)),
+                t => return Err(CodecError::Corrupt(format!("value class tag {t}"))),
+            })
+        };
+        let op = match r.u8()? {
+            0 => LogOp::CreateBaseclass(r.string()?),
+            1 => LogOp::CreateSubclass(rc(&mut r)?, r.string()?),
+            2 => LogOp::CreateDerivedSubclass(rc(&mut r)?, r.string()?),
+            3 => LogOp::RenameClass(rc(&mut r)?, r.string()?),
+            4 => LogOp::DeleteClass(rc(&mut r)?),
+            5 => {
+                let c = rc(&mut r)?;
+                let n = r.string()?;
+                let vc = rvc(&mut r)?;
+                let m = if r.boolean()? {
+                    Multiplicity::Multi
+                } else {
+                    Multiplicity::Single
+                };
+                LogOp::CreateAttribute(c, n, vc, m)
+            }
+            6 => LogOp::RenameAttr(ra(&mut r)?, r.string()?),
+            7 => LogOp::RespecifyValueClass(ra(&mut r)?, rvc(&mut r)?),
+            8 => LogOp::DeleteAttr(ra(&mut r)?),
+            9 => LogOp::CreateGrouping(rc(&mut r)?, r.string()?, ra(&mut r)?),
+            10 => LogOp::RenameGrouping(rg(&mut r)?, r.string()?),
+            11 => LogOp::DeleteGrouping(rg(&mut r)?),
+            12 => LogOp::InsertEntity(rc(&mut r)?, r.string()?),
+            13 => LogOp::Intern(match r.u8()? {
+                0 => Literal::Str(r.string()?),
+                1 => Literal::Int(r.i64()?),
+                2 => Literal::Real(r.f64()?),
+                3 => Literal::Bool(r.boolean()?),
+                t => return Err(CodecError::Corrupt(format!("literal tag {t}"))),
+            }),
+            14 => LogOp::AddToClass(re(&mut r)?, rc(&mut r)?),
+            15 => LogOp::RemoveFromClass(re(&mut r)?, rc(&mut r)?),
+            16 => LogOp::DeleteEntity(re(&mut r)?),
+            17 => LogOp::RenameEntity(re(&mut r)?, r.string()?),
+            18 => LogOp::AssignSingle(re(&mut r)?, ra(&mut r)?, re(&mut r)?),
+            19 => {
+                let e = re(&mut r)?;
+                let a = ra(&mut r)?;
+                let vs = r.seq(|r| Ok(EntityId::from_raw(r.u32()?)))?;
+                LogOp::AssignMulti(e, a, vs)
+            }
+            20 => LogOp::AddValue(re(&mut r)?, ra(&mut r)?, re(&mut r)?),
+            21 => LogOp::Unassign(re(&mut r)?, ra(&mut r)?),
+            22 => LogOp::CommitMembership(rc(&mut r)?, r_predicate(&mut r)?),
+            23 => LogOp::RefreshDerivedClass(rc(&mut r)?),
+            24 => {
+                let a = ra(&mut r)?;
+                let d = match r.u8()? {
+                    0 => AttrDerivation::Assign(r_map(&mut r)?),
+                    1 => AttrDerivation::Predicate(r_predicate(&mut r)?),
+                    t => return Err(CodecError::Corrupt(format!("derivation tag {t}"))),
+                };
+                LogOp::CommitDerivation(a, d)
+            }
+            25 => LogOp::RefreshDerivedAttr(ra(&mut r)?),
+            26 => LogOp::EnableMultipleInheritance,
+            27 => LogOp::AddSecondaryParent(rc(&mut r)?, rc(&mut r)?),
+            28 => {
+                let n = r.string()?;
+                let c = rc(&mut r)?;
+                let p = r_predicate(&mut r)?;
+                let k = match r.u8()? {
+                    0 => ConstraintKind::ForAll,
+                    1 => ConstraintKind::Forbidden,
+                    t => return Err(CodecError::Corrupt(format!("constraint kind tag {t}"))),
+                };
+                LogOp::CreateConstraint(n, c, p, k)
+            }
+            29 => LogOp::DeleteConstraint(ConstraintId::from_raw(r.u32()?)),
+            t => return Err(CodecError::Corrupt(format!("log op tag {t}"))),
+        };
+        if !r.is_at_end() {
+            return Err(CodecError::Corrupt("trailing bytes after log op".into()));
+        }
+        Ok(op)
+    }
+}
+
+/// Durability policy for the WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// `fsync` after every append (durable to the last operation).
+    EverySync,
+    /// Let the OS flush; `fsync` only at checkpoints. Faster, may lose a
+    /// suffix of operations on power failure (never corrupts: torn tails
+    /// are discarded on open).
+    #[default]
+    OsFlush,
+}
+
+/// An append-only write-ahead log file.
+#[derive(Debug)]
+pub struct WalFile {
+    path: PathBuf,
+    file: File,
+    policy: SyncPolicy,
+    records: usize,
+}
+
+impl WalFile {
+    /// Opens (creating if needed) the log at `path` for appending.
+    pub fn open(path: impl Into<PathBuf>, policy: SyncPolicy) -> Result<WalFile, StoreError> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        Ok(WalFile {
+            path,
+            file,
+            policy,
+            records: 0,
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this handle.
+    pub fn appended_records(&self) -> usize {
+        self.records
+    }
+
+    /// Appends one operation.
+    pub fn append(&mut self, op: &LogOp) -> Result<(), StoreError> {
+        let framed = frame(&op.encode());
+        self.file.write_all(&framed)?;
+        match self.policy {
+            SyncPolicy::EverySync => self.file.sync_data()?,
+            SyncPolicy::OsFlush => self.file.flush()?,
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Forces the log to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Truncates the log (after a checkpoint made its contents redundant).
+    pub fn truncate(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        self.records = 0;
+        Ok(())
+    }
+}
+
+/// The outcome of replaying a log file.
+#[derive(Debug)]
+pub struct Replay {
+    /// Operations recovered, in order.
+    pub ops: Vec<LogOp>,
+    /// Bytes of valid log prefix.
+    pub valid_bytes: usize,
+    /// `true` if a torn/corrupt tail was discarded.
+    pub torn_tail: bool,
+}
+
+/// Reads a log file, returning every valid operation up to the first torn
+/// or corrupt record (which a crash during append can legitimately leave).
+pub fn replay_log(path: &Path) -> Result<Replay, StoreError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Replay {
+                ops: Vec::new(),
+                valid_bytes: 0,
+                torn_tail: false,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let mut ops = Vec::new();
+    let mut pos = 0;
+    let mut torn_tail = false;
+    while pos < bytes.len() {
+        match read_frame(&bytes[pos..]) {
+            Ok((payload, consumed)) => match LogOp::decode(payload) {
+                Ok(op) => {
+                    ops.push(op);
+                    pos += consumed;
+                }
+                Err(_) => {
+                    torn_tail = true;
+                    break;
+                }
+            },
+            Err(_) => {
+                torn_tail = true;
+                break;
+            }
+        }
+    }
+    Ok(Replay {
+        ops,
+        valid_bytes: pos,
+        torn_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isis_core::Database;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("isis_wal_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_ops() -> Vec<LogOp> {
+        vec![
+            LogOp::CreateBaseclass("musicians".into()),
+            LogOp::CreateBaseclass("instruments".into()),
+            LogOp::CreateAttribute(
+                ClassId::from_raw(4),
+                "plays".into(),
+                ValueClassSpec::Class(ClassId::from_raw(5)),
+                Multiplicity::Multi,
+            ),
+            LogOp::InsertEntity(ClassId::from_raw(4), "Edith".into()),
+            LogOp::InsertEntity(ClassId::from_raw(5), "viola".into()),
+            LogOp::Intern(Literal::Int(4)),
+            LogOp::Intern(Literal::Bool(true)),
+            LogOp::Intern(Literal::Real(2.5)),
+            LogOp::Intern(Literal::Str("x".into())),
+        ]
+    }
+
+    #[test]
+    fn op_encode_roundtrip() {
+        for op in sample_ops() {
+            let bytes = op.encode();
+            assert_eq!(LogOp::decode(&bytes).unwrap(), op);
+        }
+        // Some more exotic ops.
+        let ops = vec![
+            LogOp::CommitMembership(ClassId::from_raw(9), Predicate::always_true()),
+            LogOp::CommitDerivation(
+                AttrId::from_raw(3),
+                AttrDerivation::Assign(isis_core::Map::new(vec![AttrId::from_raw(1)])),
+            ),
+            LogOp::AssignMulti(
+                EntityId::from_raw(1),
+                AttrId::from_raw(2),
+                vec![EntityId::from_raw(3), EntityId::from_raw(4)],
+            ),
+            LogOp::EnableMultipleInheritance,
+            LogOp::AddSecondaryParent(ClassId::from_raw(5), ClassId::from_raw(6)),
+        ];
+        for op in ops {
+            assert_eq!(LogOp::decode(&op.encode()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_tags_and_trailing() {
+        assert!(LogOp::decode(&[200]).is_err());
+        let mut bytes = LogOp::EnableMultipleInheritance.encode();
+        bytes.push(0);
+        assert!(LogOp::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let dir = tempdir("append");
+        let path = dir.join("test.wal");
+        let mut wal = WalFile::open(&path, SyncPolicy::EverySync).unwrap();
+        for op in sample_ops() {
+            wal.append(&op).unwrap();
+        }
+        assert_eq!(wal.appended_records(), sample_ops().len());
+        drop(wal);
+        let replay = replay_log(&path).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.ops, sample_ops());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_discarded() {
+        let dir = tempdir("torn");
+        let path = dir.join("torn.wal");
+        let mut wal = WalFile::open(&path, SyncPolicy::OsFlush).unwrap();
+        for op in sample_ops() {
+            wal.append(&op).unwrap();
+        }
+        drop(wal);
+        // Chop a few bytes off the end: the last record becomes torn.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let replay = replay_log(&path).unwrap();
+        assert!(replay.torn_tail);
+        assert_eq!(replay.ops.len(), sample_ops().len() - 1);
+        // Corrupt a middle byte: everything after it is discarded.
+        let mut bytes2 = bytes.clone();
+        bytes2[10] ^= 0xFF;
+        std::fs::write(&path, &bytes2).unwrap();
+        let replay2 = replay_log(&path).unwrap();
+        assert!(replay2.torn_tail);
+        assert!(replay2.ops.len() < sample_ops().len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_log_is_empty() {
+        let dir = tempdir("missing");
+        let replay = replay_log(&dir.join("nope.wal")).unwrap();
+        assert!(replay.ops.is_empty());
+        assert!(!replay.torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ops_apply_like_direct_calls() {
+        let mut direct = Database::new("d");
+        let m = direct.create_baseclass("musicians").unwrap();
+        let i = direct.create_baseclass("instruments").unwrap();
+        let plays = direct
+            .create_attribute(m, "plays", i, Multiplicity::Multi)
+            .unwrap();
+        let e = direct.insert_entity(m, "Edith").unwrap();
+        let v = direct.insert_entity(i, "viola").unwrap();
+        direct.assign_multi(e, plays, [v]).unwrap();
+        direct.int(4);
+
+        let mut replayed = Database::new("d");
+        for op in [
+            LogOp::CreateBaseclass("musicians".into()),
+            LogOp::CreateBaseclass("instruments".into()),
+            LogOp::CreateAttribute(
+                m,
+                "plays".into(),
+                ValueClassSpec::Class(i),
+                Multiplicity::Multi,
+            ),
+            LogOp::InsertEntity(m, "Edith".into()),
+            LogOp::InsertEntity(i, "viola".into()),
+            LogOp::AssignMulti(e, plays, vec![v]),
+            LogOp::Intern(Literal::Int(4)),
+        ] {
+            op.apply(&mut replayed).unwrap();
+        }
+        assert_eq!(direct.to_image(), replayed.to_image());
+    }
+
+    #[test]
+    fn truncate_empties_log() {
+        let dir = tempdir("trunc");
+        let path = dir.join("t.wal");
+        let mut wal = WalFile::open(&path, SyncPolicy::EverySync).unwrap();
+        wal.append(&LogOp::CreateBaseclass("x".into())).unwrap();
+        wal.truncate().unwrap();
+        drop(wal);
+        assert!(replay_log(&path).unwrap().ops.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn intern_literal_tag_4_is_corrupt() {
+        assert!(LogOp::decode(&[13u8, 4]).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! Shared box builders: the §3.2 graphical representation of classes and
+//! groupings.
+//!
+//! "Classes have three parts: (1) a class name section, for baseclasses
+//! this is in reverse video, (2) a characteristic fill pattern unique to
+//! the class, … and (3) an attribute section containing a number of
+//! attributes. Attributes … contain their name and the fill pattern of
+//! their value class. If an attribute is multivalued, this fill pattern is
+//! shown with a white border. … Groupings are represented in the same way
+//! as classes, but they have no attribute sections and their characteristic
+//! fill patterns have a white border."
+
+use isis_core::{AttrId, ClassId, Database, GroupingId, Multiplicity, Result, ValueClass};
+
+use crate::geometry::{Point, Rect};
+use crate::scene::{Element, Emphasis, FrameStyle, Scene};
+
+/// Width in cells a swatch occupies (including trailing space).
+const SWATCH_W: i32 = 5;
+
+/// Layout result for a class box: its rectangle and the row of each
+/// attribute (so callers can attach follow-arrows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassBoxLayout {
+    /// The outer rectangle.
+    pub rect: Rect,
+    /// `(attr, absolute row)` for every attribute drawn, in display order.
+    pub attr_rows: Vec<(AttrId, i32)>,
+}
+
+/// Computes the attributes a class box shows.
+pub fn box_attrs(db: &Database, class: ClassId, include_inherited: bool) -> Result<Vec<AttrId>> {
+    if include_inherited {
+        db.visible_attrs(class)
+    } else {
+        Ok(db
+            .class(class)?
+            .own_attrs
+            .iter()
+            .copied()
+            .filter(|a| db.attr(*a).is_ok())
+            .collect())
+    }
+}
+
+/// The cell width a class box needs.
+pub fn class_box_width(db: &Database, class: ClassId, include_inherited: bool) -> Result<i32> {
+    let rec = db.class(class)?;
+    let mut w = rec.name.chars().count() as i32 + SWATCH_W + 3;
+    for a in box_attrs(db, class, include_inherited)? {
+        let ar = db.attr(a)?;
+        w = w.max(ar.name.chars().count() as i32 + SWATCH_W + 3);
+    }
+    Ok(w.max(12))
+}
+
+/// The cell height a class box needs.
+pub fn class_box_height(db: &Database, class: ClassId, include_inherited: bool) -> Result<i32> {
+    let n = box_attrs(db, class, include_inherited)?.len() as i32;
+    // border + name row + separator + attrs + border (no separator when
+    // there are no attributes).
+    Ok(if n == 0 { 3 } else { 4 + n })
+}
+
+/// Draws a class box at `at`, returning its layout.
+pub fn draw_class_box(
+    db: &Database,
+    class: ClassId,
+    at: Point,
+    include_inherited: bool,
+    scene: &mut Scene,
+) -> Result<ClassBoxLayout> {
+    let rec = db.class(class)?;
+    let w = class_box_width(db, class, include_inherited)?;
+    let h = class_box_height(db, class, include_inherited)?;
+    let rect = Rect::new(at.x, at.y, w, h);
+    scene.push(Element::Frame {
+        rect,
+        title: None,
+        style: FrameStyle::Window,
+    });
+    // Name section: swatch + name (reverse video for baseclasses).
+    scene.push(Element::Swatch {
+        at: Point::new(at.x + 1, at.y + 1),
+        fill: rec.fill,
+        set_border: false,
+    });
+    scene.push(Element::Text {
+        at: Point::new(at.x + SWATCH_W + 1, at.y + 1),
+        text: rec.name.clone(),
+        emphasis: if rec.is_base() {
+            Emphasis::Reverse
+        } else {
+            Emphasis::Plain
+        },
+    });
+    // Attribute section.
+    let attrs = box_attrs(db, class, include_inherited)?;
+    let mut attr_rows = Vec::new();
+    if !attrs.is_empty() {
+        // Separator between name and attribute sections.
+        scene.push(Element::Text {
+            at: Point::new(at.x + 1, at.y + 2),
+            text: "-".repeat((w - 2) as usize),
+            emphasis: Emphasis::Plain,
+        });
+        for (i, a) in attrs.iter().enumerate() {
+            let row = at.y + 3 + i as i32;
+            let ar = db.attr(*a)?;
+            scene.push(Element::Text {
+                at: Point::new(at.x + 1, row),
+                text: ar.name.clone(),
+                emphasis: Emphasis::Plain,
+            });
+            // Value-class swatch at the right edge; white border when the
+            // attribute value is a set (multivalued or grouping-ranged).
+            let (fill, set) = match ar.value_class {
+                ValueClass::Class(c) => (db.class(c)?.fill, ar.multiplicity == Multiplicity::Multi),
+                ValueClass::Grouping(g) => (db.grouping(g)?.fill, true),
+            };
+            scene.push(Element::Swatch {
+                at: Point::new(rect.right() - SWATCH_W, row),
+                fill,
+                set_border: set,
+            });
+            attr_rows.push((*a, row));
+        }
+    }
+    Ok(ClassBoxLayout { rect, attr_rows })
+}
+
+/// Draws a grouping box: no attribute section, a set-bordered swatch, and —
+/// per §2's network convention, "if a grouping node corresponds to a
+/// grouping on attribute A, we label it with A" — the attribute label.
+pub fn draw_grouping_box(
+    db: &Database,
+    grouping: GroupingId,
+    at: Point,
+    scene: &mut Scene,
+) -> Result<Rect> {
+    let rec = db.grouping(grouping)?;
+    let w = grouping_box_width(db, grouping)?;
+    let rect = Rect::new(at.x, at.y, w, 4);
+    scene.push(Element::Frame {
+        rect,
+        title: None,
+        style: FrameStyle::Window,
+    });
+    scene.push(Element::Swatch {
+        at: Point::new(at.x + 1, at.y + 1),
+        fill: rec.fill,
+        set_border: true,
+    });
+    scene.push(Element::Text {
+        at: Point::new(at.x + SWATCH_W + 2, at.y + 1),
+        text: rec.name.clone(),
+        emphasis: Emphasis::Plain,
+    });
+    scene.push(Element::Text {
+        at: Point::new(at.x + SWATCH_W + 2, at.y + 2),
+        text: format!("on {}", db.attr(rec.on_attr)?.name),
+        emphasis: Emphasis::Plain,
+    });
+    Ok(rect)
+}
+
+/// The cell width a grouping box needs.
+pub fn grouping_box_width(db: &Database, grouping: GroupingId) -> Result<i32> {
+    let rec = db.grouping(grouping)?;
+    let label = rec.name.chars().count() as i32;
+    let attr = db.attr(rec.on_attr)?.name.chars().count() as i32 + 3;
+    Ok(label.max(attr) + SWATCH_W + 5)
+}
+
+/// Draws a compact node box (name + swatch only), used by the semantic
+/// network view for neighbour classes.
+pub fn draw_compact_class_box(
+    db: &Database,
+    class: ClassId,
+    at: Point,
+    scene: &mut Scene,
+) -> Result<Rect> {
+    let rec = db.class(class)?;
+    let w = rec.name.chars().count() as i32 + SWATCH_W + 3;
+    let rect = Rect::new(at.x, at.y, w.max(10), 3);
+    scene.push(Element::Frame {
+        rect,
+        title: None,
+        style: FrameStyle::Window,
+    });
+    scene.push(Element::Swatch {
+        at: Point::new(at.x + 1, at.y + 1),
+        fill: rec.fill,
+        set_border: false,
+    });
+    scene.push(Element::Text {
+        at: Point::new(at.x + SWATCH_W + 1, at.y + 1),
+        text: rec.name.clone(),
+        emphasis: if rec.is_base() {
+            Emphasis::Reverse
+        } else {
+            Emphasis::Plain
+        },
+    });
+    Ok(rect)
+}
+
+/// Draws a standard command menu frame on the right of the content area.
+pub fn draw_menu(commands: &[&str], x: i32, scene: &mut Scene) -> Rect {
+    let w = commands
+        .iter()
+        .map(|c| c.chars().count() as i32)
+        .max()
+        .unwrap_or(0)
+        + 4;
+    let rect = Rect::new(x, 0, w, commands.len() as i32 + 2);
+    scene.push(Element::Frame {
+        rect,
+        title: Some("menu".into()),
+        style: FrameStyle::Menu,
+    });
+    for (i, c) in commands.iter().enumerate() {
+        scene.push(Element::Text {
+            at: Point::new(x + 2, 1 + i as i32),
+            text: (*c).to_string(),
+            emphasis: Emphasis::Plain,
+        });
+    }
+    rect
+}
+
+/// Draws the text window (system prompts / errors / output) under the
+/// content area.
+pub fn draw_text_window(lines: &[String], rect: Rect, scene: &mut Scene) {
+    scene.push(Element::Frame {
+        rect,
+        title: Some("text".into()),
+        style: FrameStyle::TextWindow,
+    });
+    for (i, line) in lines.iter().take((rect.h - 2).max(0) as usize).enumerate() {
+        scene.push(Element::Text {
+            at: Point::new(rect.x + 2, rect.y + 1 + i as i32),
+            text: line.clone(),
+            emphasis: Emphasis::Plain,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isis_sample::instrumental_music;
+
+    #[test]
+    fn class_box_shows_name_and_attrs() {
+        let im = instrumental_music().unwrap();
+        let mut s = Scene::new("t");
+        let layout = draw_class_box(&im.db, im.musicians, Point::new(0, 0), false, &mut s).unwrap();
+        assert!(s.has_text_with("musicians", Emphasis::Reverse));
+        assert!(s.has_text("plays"));
+        assert!(s.has_text("stage_name"));
+        assert_eq!(layout.attr_rows.len(), 3); // stage_name, plays, union
+        assert!(layout.rect.h >= 7);
+    }
+
+    #[test]
+    fn inherited_attrs_appear_when_requested() {
+        let im = instrumental_music().unwrap();
+        let mut s = Scene::new("t");
+        let own = draw_class_box(&im.db, im.play_strings, Point::new(0, 0), false, &mut s).unwrap();
+        assert_eq!(own.attr_rows.len(), 1); // in_group only
+        let mut s2 = Scene::new("t");
+        let all = draw_class_box(&im.db, im.play_strings, Point::new(0, 0), true, &mut s2).unwrap();
+        assert_eq!(all.attr_rows.len(), 4); // stage_name, plays, union, in_group
+        assert!(s2.has_text("plays"));
+        // Subclass names are not reverse video.
+        assert!(s2.has_text_with("play_strings", Emphasis::Plain));
+    }
+
+    #[test]
+    fn multivalued_attr_swatch_has_set_border() {
+        let im = instrumental_music().unwrap();
+        let mut s = Scene::new("t");
+        draw_class_box(&im.db, im.musicians, Point::new(0, 0), false, &mut s).unwrap();
+        let set_swatches = s.count(|e| {
+            matches!(
+                e,
+                Element::Swatch {
+                    set_border: true,
+                    ..
+                }
+            )
+        });
+        // Exactly one multivalued attribute (plays) on musicians.
+        assert_eq!(set_swatches, 1);
+    }
+
+    #[test]
+    fn grouping_box_has_set_bordered_swatch() {
+        let im = instrumental_music().unwrap();
+        let mut s = Scene::new("t");
+        let r = draw_grouping_box(&im.db, im.by_family, Point::new(0, 0), &mut s).unwrap();
+        assert_eq!(r.h, 4);
+        assert!(s.has_text("by_family"));
+        // §2: the grouping node is labeled with its attribute.
+        assert!(s.has_text("on family"));
+        assert_eq!(
+            s.count(|e| matches!(
+                e,
+                Element::Swatch {
+                    set_border: true,
+                    ..
+                }
+            )),
+            1
+        );
+    }
+
+    #[test]
+    fn menu_and_text_window() {
+        let mut s = Scene::new("t");
+        let r = draw_menu(&["pan", "undo", "redo"], 40, &mut s);
+        assert!(r.w >= 8);
+        assert!(s.has_text("undo"));
+        draw_text_window(
+            &["pick a class".to_string()],
+            Rect::new(0, 20, 40, 3),
+            &mut s,
+        );
+        assert!(s.has_text("pick a class"));
+    }
+
+    #[test]
+    fn grouping_ranged_attribute_shows_grouping_swatch() {
+        let mut im = instrumental_music().unwrap();
+        // Give music_groups an attribute ranging over by_family.
+        let a = im
+            .db
+            .create_attribute(
+                im.music_groups,
+                "sections",
+                im.by_family,
+                Multiplicity::Multi,
+            )
+            .unwrap();
+        let mut s = Scene::new("t");
+        let layout =
+            draw_class_box(&im.db, im.music_groups, Point::new(0, 0), true, &mut s).unwrap();
+        assert!(layout.attr_rows.iter().any(|(x, _)| *x == a));
+        assert!(s.has_text("sections"));
+    }
+}

@@ -1,0 +1,396 @@
+//! The inheritance forest view (Figures 1, 8, 12).
+//!
+//! "In the inheritance forest view, lines connect parent classes to their
+//! children and the system enforces some of the placement decisions:
+//! groupings always appear above their parent class and subclasses below.
+//! In this view classes do not contain inherited attributes … A hand icon
+//! is used to point to the schema selection. An editing menu is available
+//! at the right for panning within the view, moving classes and groupings,
+//! deleting classes, attributes and groupings, and undoing and redoing
+//! actions."
+
+use isis_core::{ClassId, Database, Result, SchemaNode};
+
+use crate::boxes::{
+    class_box_height, class_box_width, draw_class_box, draw_grouping_box, draw_menu,
+    draw_text_window, grouping_box_width,
+};
+use crate::geometry::{Point, Rect};
+use crate::scene::{ArrowKind, Element, Scene};
+
+/// Options for building the forest view.
+#[derive(Debug, Clone, Default)]
+pub struct ForestViewOptions {
+    /// The schema selection the hand icon points at.
+    pub selection: Option<SchemaNode>,
+    /// Show the four predefined baseclass trees (off by default, matching
+    /// the figures, which show only the application classes).
+    pub show_predefined: bool,
+    /// Lines for the text window (system prompts / output).
+    pub prompt: Vec<String>,
+    /// Manual placement offsets per node — the *move* menu command
+    /// ("moving classes and groupings", §3.2; Figure 8's dragged box).
+    pub offsets: Vec<(SchemaNode, (i32, i32))>,
+    /// Whole-view panning offset (the *pan* menu command).
+    pub pan: (i32, i32),
+}
+
+/// The commands of the forest-view menu (§3.2).
+pub const FOREST_MENU: &[&str] = &[
+    "(re)name",
+    "view associations",
+    "define",
+    "view contents",
+    "create subclass",
+    "create attribute",
+    "delete",
+    "move",
+    "pan",
+    "undo",
+    "redo",
+    "save",
+    "stop",
+];
+
+const HGAP: i32 = 3;
+const VGAP: i32 = 2;
+const GROUPING_BAND: i32 = 4;
+
+struct Layouter<'a> {
+    db: &'a Database,
+    /// y of the class row per depth, and whether the depth has groupings.
+    row_y: Vec<i32>,
+    band_y: Vec<i32>,
+    offsets: &'a [(SchemaNode, (i32, i32))],
+}
+
+impl Layouter<'_> {
+    fn offset_of(&self, node: SchemaNode) -> (i32, i32) {
+        self.offsets
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, d)| *d)
+            .unwrap_or((0, 0))
+    }
+}
+
+impl<'a> Layouter<'a> {
+    fn subtree_span(&self, class: ClassId) -> Result<i32> {
+        let rec = self.db.class(class)?;
+        let mut own = class_box_width(self.db, class, false)?;
+        let mut gw = 0;
+        for &g in &rec.groupings {
+            gw += grouping_box_width(self.db, g)? + HGAP;
+        }
+        own = own.max(gw);
+        let mut children = 0;
+        for &c in &rec.children {
+            children += self.subtree_span(c)? + HGAP;
+        }
+        children = (children - HGAP).max(0);
+        Ok(own.max(children))
+    }
+
+    fn draw(
+        &self,
+        class: ClassId,
+        x: i32,
+        depth: usize,
+        scene: &mut Scene,
+        positions: &mut Vec<(SchemaNode, Rect)>,
+    ) -> Result<()> {
+        let rec = self.db.class(class)?;
+        let span = self.subtree_span(class)?;
+        let bw = class_box_width(self.db, class, false)?;
+        let (odx, ody) = self.offset_of(SchemaNode::Class(class));
+        let bx = x + (span - bw) / 2 + odx;
+        let by = self.row_y[depth] + ody;
+        let layout = draw_class_box(self.db, class, Point::new(bx, by), false, scene)?;
+        positions.push((SchemaNode::Class(class), layout.rect));
+        // Groupings above.
+        let mut gx = x
+            + (span
+                - rec
+                    .groupings
+                    .iter()
+                    .map(|g| grouping_box_width(self.db, *g).unwrap_or(10) + HGAP)
+                    .sum::<i32>()
+                + HGAP)
+                / 2;
+        for &g in &rec.groupings {
+            let (gdx, gdy) = self.offset_of(SchemaNode::Grouping(g));
+            let gy = self.band_y[depth] + gdy;
+            let grect = draw_grouping_box(self.db, g, Point::new(gx + gdx, gy), scene)?;
+            positions.push((SchemaNode::Grouping(g), grect));
+            scene.push(Element::Arrow {
+                from: Point::new(grect.cx(), grect.bottom()),
+                to: Point::new(grect.cx(), by - 1),
+                kind: ArrowKind::None,
+                label: None,
+            });
+            gx += grect.w + HGAP;
+        }
+        // Children below.
+        let mut cx = x
+            + (span
+                - (rec
+                    .children
+                    .iter()
+                    .map(|c| self.subtree_span(*c).map(|s| s + HGAP).unwrap_or(0))
+                    .sum::<i32>()
+                    - HGAP)
+                    .max(0))
+                / 2;
+        for &child in &rec.children {
+            let cspan = self.subtree_span(child)?;
+            let cw = class_box_width(self.db, child, false)?;
+            let (cdx, cdy) = self.offset_of(SchemaNode::Class(child));
+            let child_cx = cx + (cspan - cw) / 2 + cw / 2 + cdx;
+            scene.push(Element::Arrow {
+                from: Point::new(bx + bw / 2, layout.rect.bottom()),
+                to: Point::new(child_cx, self.row_y[depth + 1] + cdy - 1),
+                kind: ArrowKind::None,
+                label: None,
+            });
+            self.draw(child, cx, depth + 1, scene, positions)?;
+            cx += cspan + HGAP;
+        }
+        Ok(())
+    }
+}
+
+/// The result of building a forest view: the scene plus the rectangle of
+/// every schema node (so a session can hit-test mouse picks).
+#[derive(Debug, Clone)]
+pub struct ForestView {
+    /// The rendered scene.
+    pub scene: Scene,
+    /// `(node, rect)` for every box drawn.
+    pub positions: Vec<(SchemaNode, Rect)>,
+}
+
+impl ForestView {
+    /// The node whose box contains `p`, topmost first.
+    pub fn pick(&self, p: Point) -> Option<SchemaNode> {
+        self.positions
+            .iter()
+            .rev()
+            .find(|(_, r)| r.contains(p))
+            .map(|(n, _)| *n)
+    }
+}
+
+/// Builds the inheritance forest view of `db`.
+pub fn forest_view(db: &Database, opts: &ForestViewOptions) -> Result<ForestView> {
+    let mut scene = Scene::new(db.name.clone());
+    let roots: Vec<ClassId> = db
+        .classes()
+        .filter(|(_, c)| c.is_base() && (opts.show_predefined || !c.is_predefined()))
+        .map(|(id, _)| id)
+        .collect();
+
+    // Depth metrics across all trees so rows align.
+    let mut max_h: Vec<i32> = Vec::new();
+    let mut has_grouping: Vec<bool> = Vec::new();
+    for &root in &roots {
+        collect_depth_metrics(db, root, 0, &mut max_h, &mut has_grouping)?;
+    }
+    let mut row_y = Vec::new();
+    let mut band_y = Vec::new();
+    let mut y = 0;
+    for d in 0..max_h.len() {
+        band_y.push(y);
+        if has_grouping[d] {
+            y += GROUPING_BAND;
+        }
+        row_y.push(y);
+        y += max_h[d] + VGAP + 1;
+    }
+    let layouter = Layouter {
+        db,
+        row_y,
+        band_y,
+        offsets: &opts.offsets,
+    };
+
+    let mut positions = Vec::new();
+    let mut x = 1;
+    for &root in &roots {
+        layouter.draw(root, x, 0, &mut scene, &mut positions)?;
+        x += layouter.subtree_span(root)? + HGAP * 2;
+    }
+
+    // Hand icon at the selection.
+    if let Some(sel) = opts.selection {
+        if let Some((_, rect)) = positions.iter().find(|(n, _)| *n == sel) {
+            scene.push(Element::Hand {
+                at: Point::new(rect.x - 1, rect.y + 1),
+            });
+        }
+    }
+
+    // The pan command shifts the whole schema plane under the window.
+    if opts.pan != (0, 0) {
+        scene.pan(opts.pan.0, opts.pan.1);
+        for (_, r) in &mut positions {
+            *r = r.translated(opts.pan.0, opts.pan.1);
+        }
+    }
+
+    // Menu at the right, text window at the bottom.
+    let content = scene.bounds();
+    draw_menu(FOREST_MENU, content.right() + 2, &mut scene);
+    let b = scene.bounds();
+    draw_text_window(
+        &opts.prompt,
+        Rect::new(0, b.bottom() + 1, b.right().max(30), 5),
+        &mut scene,
+    );
+    Ok(ForestView { scene, positions })
+}
+
+fn collect_depth_metrics(
+    db: &Database,
+    class: ClassId,
+    depth: usize,
+    max_h: &mut Vec<i32>,
+    has_grouping: &mut Vec<bool>,
+) -> Result<()> {
+    if max_h.len() <= depth {
+        max_h.resize(depth + 1, 0);
+        has_grouping.resize(depth + 1, false);
+    }
+    let h = class_box_height(db, class, false)?;
+    max_h[depth] = max_h[depth].max(h);
+    let rec = db.class(class)?;
+    if !rec.groupings.is_empty() {
+        has_grouping[depth] = true;
+    }
+    for &c in &rec.children {
+        collect_depth_metrics(db, c, depth + 1, max_h, has_grouping)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::ascii;
+    use isis_sample::instrumental_music;
+
+    #[test]
+    fn figure1_structure() {
+        let im = instrumental_music().unwrap();
+        let view = forest_view(
+            &im.db,
+            &ForestViewOptions {
+                selection: Some(SchemaNode::Class(im.soloists)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = &view.scene;
+        // All four baseclasses, both subclasses, all four groupings.
+        for name in [
+            "musicians",
+            "instruments",
+            "music_groups",
+            "families",
+            "play_strings",
+            "soloists",
+            "by_instrument",
+            "work_status",
+            "by_family",
+            "by_in_group",
+        ] {
+            assert!(s.has_text(name), "missing {name}");
+        }
+        // Hand icon points at soloists.
+        let soloists_rect = view
+            .positions
+            .iter()
+            .find(|(n, _)| *n == SchemaNode::Class(im.soloists))
+            .unwrap()
+            .1;
+        let hand = s.hand().unwrap();
+        assert_eq!(hand.y, soloists_rect.y + 1);
+        // Predefined baseclasses hidden by default.
+        assert!(!s.has_text("STRINGS"));
+    }
+
+    #[test]
+    fn groupings_above_and_subclasses_below() {
+        let im = instrumental_music().unwrap();
+        let view = forest_view(&im.db, &ForestViewOptions::default()).unwrap();
+        let rect_of = |n: SchemaNode| view.positions.iter().find(|(m, _)| *m == n).unwrap().1;
+        let musicians = rect_of(SchemaNode::Class(im.musicians));
+        let by_instrument = rect_of(SchemaNode::Grouping(im.by_instrument));
+        let soloists = rect_of(SchemaNode::Class(im.soloists));
+        assert!(
+            by_instrument.bottom() <= musicians.y,
+            "grouping above parent"
+        );
+        assert!(soloists.y >= musicians.bottom(), "subclass below parent");
+    }
+
+    #[test]
+    fn no_boxes_overlap() {
+        let im = instrumental_music().unwrap();
+        let view = forest_view(&im.db, &ForestViewOptions::default()).unwrap();
+        for (i, (na, ra)) in view.positions.iter().enumerate() {
+            for (nb, rb) in view.positions.iter().skip(i + 1) {
+                assert!(!ra.intersects(rb), "{na} overlaps {nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn pick_resolves_boxes() {
+        let im = instrumental_music().unwrap();
+        let view = forest_view(&im.db, &ForestViewOptions::default()).unwrap();
+        let rect = view
+            .positions
+            .iter()
+            .find(|(n, _)| *n == SchemaNode::Class(im.musicians))
+            .unwrap()
+            .1;
+        assert_eq!(
+            view.pick(Point::new(rect.cx(), rect.cy())),
+            Some(SchemaNode::Class(im.musicians))
+        );
+        assert_eq!(view.pick(Point::new(-50, -50)), None);
+    }
+
+    #[test]
+    fn show_predefined_adds_standard_baseclasses() {
+        let im = instrumental_music().unwrap();
+        let view = forest_view(
+            &im.db,
+            &ForestViewOptions {
+                show_predefined: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(view.scene.has_text("STRINGS"));
+        assert!(view.scene.has_text("YES/NO"));
+    }
+
+    #[test]
+    fn renders_to_ascii_with_menu() {
+        let im = instrumental_music().unwrap();
+        let view = forest_view(
+            &im.db,
+            &ForestViewOptions {
+                prompt: vec!["pick an object".into()],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let out = ascii::render(&view.scene);
+        assert!(out.contains("view associations"));
+        assert!(out.contains("view contents"));
+        assert!(out.contains("pick an object"));
+        assert!(out.contains("musicians"));
+    }
+}

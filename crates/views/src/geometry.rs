@@ -1,0 +1,151 @@
+//! Cell-grid geometry for the view layer.
+//!
+//! All views lay out on an integer character grid (the ASCII renderer draws
+//! one char per cell; the SVG renderer scales cells to pixels), so layout
+//! decisions are deterministic and assertable in tests.
+
+/// A point on the cell grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Point {
+    /// Column.
+    pub x: i32,
+    /// Row.
+    pub y: i32,
+}
+
+impl Point {
+    /// Builds a point.
+    pub fn new(x: i32, y: i32) -> Point {
+        Point { x, y }
+    }
+}
+
+/// An axis-aligned rectangle on the cell grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rect {
+    /// Left column.
+    pub x: i32,
+    /// Top row.
+    pub y: i32,
+    /// Width in cells (≥ 0).
+    pub w: i32,
+    /// Height in cells (≥ 0).
+    pub h: i32,
+}
+
+impl Rect {
+    /// Builds a rectangle.
+    pub fn new(x: i32, y: i32, w: i32, h: i32) -> Rect {
+        Rect { x, y, w, h }
+    }
+
+    /// Exclusive right edge.
+    pub fn right(&self) -> i32 {
+        self.x + self.w
+    }
+
+    /// Exclusive bottom edge.
+    pub fn bottom(&self) -> i32 {
+        self.y + self.h
+    }
+
+    /// Horizontal centre.
+    pub fn cx(&self) -> i32 {
+        self.x + self.w / 2
+    }
+
+    /// Vertical centre.
+    pub fn cy(&self) -> i32 {
+        self.y + self.h / 2
+    }
+
+    /// `true` if the point lies inside.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x && p.x < self.right() && p.y >= self.y && p.y < self.bottom()
+    }
+
+    /// `true` if the rectangles overlap.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.bottom()
+            && other.y < self.bottom()
+    }
+
+    /// The smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.w == 0 && self.h == 0 {
+            return *other;
+        }
+        if other.w == 0 && other.h == 0 {
+            return *self;
+        }
+        let x = self.x.min(other.x);
+        let y = self.y.min(other.y);
+        Rect {
+            x,
+            y,
+            w: self.right().max(other.right()) - x,
+            h: self.bottom().max(other.bottom()) - y,
+        }
+    }
+
+    /// This rectangle translated by (dx, dy).
+    pub fn translated(&self, dx: i32, dy: i32) -> Rect {
+        Rect {
+            x: self.x + dx,
+            y: self.y + dy,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_and_centres() {
+        let r = Rect::new(2, 3, 10, 4);
+        assert_eq!(r.right(), 12);
+        assert_eq!(r.bottom(), 7);
+        assert_eq!(r.cx(), 7);
+        assert_eq!(r.cy(), 5);
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::new(0, 0, 3, 3);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(2, 2)));
+        assert!(!r.contains(Point::new(3, 0)));
+        assert!(!r.contains(Point::new(-1, 1)));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Rect::new(0, 0, 5, 5);
+        let b = Rect::new(4, 4, 5, 5);
+        let c = Rect::new(5, 5, 2, 2);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn union_handles_empty() {
+        let e = Rect::default();
+        let r = Rect::new(1, 1, 2, 2);
+        assert_eq!(e.union(&r), r);
+        assert_eq!(r.union(&e), r);
+        let u = r.union(&Rect::new(5, 0, 1, 1));
+        assert_eq!(u, Rect::new(1, 0, 5, 3));
+    }
+
+    #[test]
+    fn translation() {
+        assert_eq!(
+            Rect::new(1, 2, 3, 4).translated(10, -2),
+            Rect::new(11, 0, 3, 4)
+        );
+    }
+}

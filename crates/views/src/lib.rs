@@ -1,0 +1,43 @@
+//! # isis-views
+//!
+//! The graphical-representation substrate of the ISIS reproduction: a
+//! headless simulation of the Apollo-workstation interface (§3). Views
+//! build a retained [`Scene`] of the paper's visual vocabulary — windows,
+//! menus, text windows, class boxes with characteristic fill patterns,
+//! white-bordered set swatches, single/double labeled arrows, and the hand
+//! icon — which renders to ASCII (for terminals and tests) or SVG (the
+//! figure reproductions).
+//!
+//! The four views of the paper:
+//!
+//! * [`forest_view`] — the inheritance forest (Figures 1, 8, 12);
+//! * [`network_view`] — the semantic network (Figure 2);
+//! * [`data_view`] — the data level's overlapping pages (Figures 3–7, 11);
+//! * [`worksheet_view`] — the predicate worksheet (Figures 9–10).
+//!
+//! Views are pure functions of the database plus display inputs; all
+//! interactive state lives in `isis-session`.
+//!
+//! [`forest_view`]: forest_view::forest_view
+//! [`network_view`]: network_view::network_view
+//! [`data_view`]: data_view::data_view
+//! [`worksheet_view`]: worksheet_view::worksheet_view
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boxes;
+pub mod data_view;
+pub mod forest_view;
+pub mod geometry;
+pub mod network_view;
+pub mod render;
+pub mod scene;
+pub mod worksheet_view;
+
+pub use data_view::{data_view, DataView, DataViewInput, PageSpec, DATA_MENU};
+pub use forest_view::{forest_view, ForestView, ForestViewOptions, FOREST_MENU};
+pub use geometry::{Point, Rect};
+pub use network_view::{network_view, NetworkView, NETWORK_MENU};
+pub use scene::{ArrowKind, Element, Emphasis, FrameStyle, Scene};
+pub use worksheet_view::{worksheet_view, WorksheetInput, WorksheetView, WORKSHEET_MENU};

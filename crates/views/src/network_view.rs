@@ -1,0 +1,237 @@
+//! The semantic network view (Figure 2).
+//!
+//! "An alternate view at the schema level, the semantic network, consists
+//! of one window, in which there are classes, groupings, and arcs as
+//! defined in section 2." We show the schema selection's neighbourhood:
+//! the selected class (with its full attribute section, inherited
+//! attributes included) in the centre, its outgoing arcs — one per
+//! attribute, labeled, single or double arrow — to value-class boxes on the
+//! right, and incoming arcs from other classes' attributes on the left.
+
+use isis_core::{ClassId, Database, Multiplicity, Result, SchemaNode};
+
+use crate::boxes::{draw_class_box, draw_compact_class_box, draw_grouping_box, draw_menu};
+use crate::geometry::{Point, Rect};
+use crate::scene::{ArrowKind, Element, Scene};
+
+/// The commands of the network-view menu.
+pub const NETWORK_MENU: &[&str] = &["pop", "pan", "undo", "redo"];
+
+/// The result of building a semantic network view.
+#[derive(Debug, Clone)]
+pub struct NetworkView {
+    /// The rendered scene.
+    pub scene: Scene,
+    /// `(node, rect)` for every neighbour box (usable for navigation picks,
+    /// e.g. picking *instruments* in Figure 1 → Figure 2).
+    pub positions: Vec<(SchemaNode, Rect)>,
+}
+
+impl NetworkView {
+    /// The node whose box contains `p`.
+    pub fn pick(&self, p: Point) -> Option<SchemaNode> {
+        self.positions
+            .iter()
+            .rev()
+            .find(|(_, r)| r.contains(p))
+            .map(|(n, _)| *n)
+    }
+}
+
+/// Builds the semantic network view centred on `focus`.
+pub fn network_view(db: &Database, focus: ClassId) -> Result<NetworkView> {
+    let mut scene = Scene::new(db.name.clone());
+    let mut positions = Vec::new();
+
+    let out_arcs = db.network_arcs_of(focus)?;
+    let in_arcs: Vec<_> = db
+        .network_sources_of(SchemaNode::Class(focus))?
+        .into_iter()
+        .filter(|a| a.from != focus)
+        .collect();
+
+    // Incoming sources on the left.
+    let left_w = 26;
+    let mut y = 1;
+    let mut in_rects = Vec::new();
+    for arc in &in_arcs {
+        let r = draw_compact_class_box(db, arc.from, Point::new(1, y), &mut scene)?;
+        positions.push((SchemaNode::Class(arc.from), r));
+        in_rects.push((r, arc));
+        y += r.h + 2;
+    }
+
+    // The focus class in the centre, full attribute section.
+    let centre_x = left_w + 6;
+    let focus_layout = draw_class_box(db, focus, Point::new(centre_x, 1), true, &mut scene)?;
+    positions.push((SchemaNode::Class(focus), focus_layout.rect));
+    scene.push(Element::Hand {
+        at: Point::new(focus_layout.rect.x - 1, focus_layout.rect.y + 1),
+    });
+
+    // Incoming arcs point at the focus box.
+    for (r, arc) in &in_rects {
+        scene.push(Element::Arrow {
+            from: Point::new(r.right(), r.cy()),
+            to: Point::new(focus_layout.rect.x - 1, focus_layout.rect.y + 1),
+            kind: if arc.multiplicity == Multiplicity::Multi {
+                ArrowKind::Double
+            } else {
+                ArrowKind::Single
+            },
+            label: Some(db.attr(arc.attr)?.name.clone()),
+        });
+    }
+
+    // Outgoing arcs: one target box per attribute, aligned with its row.
+    let target_x = focus_layout.rect.right() + 14;
+    let mut ty = 1;
+    for arc in &out_arcs {
+        let arec = db.attr(arc.attr)?;
+        let (target_rect, node) = match arc.to {
+            SchemaNode::Class(c) => (
+                draw_compact_class_box(db, c, Point::new(target_x, ty), &mut scene)?,
+                SchemaNode::Class(c),
+            ),
+            SchemaNode::Grouping(g) => (
+                draw_grouping_box(db, g, Point::new(target_x, ty), &mut scene)?,
+                SchemaNode::Grouping(g),
+            ),
+        };
+        positions.push((node, target_rect));
+        // Arrow from the attribute's row in the focus box to the target.
+        let from_y = focus_layout
+            .attr_rows
+            .iter()
+            .find(|(a, _)| *a == arc.attr)
+            .map(|(_, row)| *row)
+            .unwrap_or(focus_layout.rect.cy());
+        scene.push(Element::Arrow {
+            from: Point::new(focus_layout.rect.right(), from_y),
+            to: Point::new(target_rect.x - 1, target_rect.cy()),
+            kind: if arc.multiplicity == Multiplicity::Multi {
+                ArrowKind::Double
+            } else {
+                ArrowKind::Single
+            },
+            label: Some(arec.name.clone()),
+        });
+        ty += target_rect.h + 2;
+    }
+
+    let content = scene.bounds();
+    draw_menu(NETWORK_MENU, content.right() + 2, &mut scene);
+    Ok(NetworkView { scene, positions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::{ascii, svg};
+    use crate::scene::Emphasis;
+    use isis_sample::instrumental_music;
+
+    #[test]
+    fn figure2_structure_for_instruments() {
+        let im = instrumental_music().unwrap();
+        let view = network_view(&im.db, im.instruments).unwrap();
+        let s = &view.scene;
+        // The focus with all attributes.
+        assert!(s.has_text_with("instruments", Emphasis::Reverse));
+        for attr in ["name", "family", "popular"] {
+            assert!(s.has_text(attr), "missing attribute {attr}");
+        }
+        // Value classes on the right.
+        assert!(s.has_text("families"));
+        assert!(s.has_text("YES/NO"));
+        // Incoming: musicians.plays (double arrow) and music_groups? No —
+        // members maps to musicians; plays maps into instruments.
+        assert!(s.has_text("musicians"));
+        let double_arrows = s.count(|e| {
+            matches!(
+                e,
+                Element::Arrow {
+                    kind: ArrowKind::Double,
+                    ..
+                }
+            )
+        });
+        assert!(double_arrows >= 1, "plays is multivalued");
+        // Arc labels present.
+        let has_label = s
+            .elements
+            .iter()
+            .any(|e| matches!(e, Element::Arrow { label: Some(l), .. } if l == "plays"));
+        assert!(has_label);
+    }
+
+    #[test]
+    fn picking_a_value_class_is_possible() {
+        let im = instrumental_music().unwrap();
+        // Figure 1→2 flow: from soloists' network, the user picks the value
+        // class of plays (instruments).
+        let view = network_view(&im.db, im.soloists).unwrap();
+        let rect = view
+            .positions
+            .iter()
+            .find(|(n, _)| *n == SchemaNode::Class(im.instruments))
+            .expect("instruments is a value class of plays")
+            .1;
+        assert_eq!(
+            view.pick(Point::new(rect.cx(), rect.cy())),
+            Some(SchemaNode::Class(im.instruments))
+        );
+    }
+
+    #[test]
+    fn grouping_targets_drawn() {
+        let mut im = instrumental_music().unwrap();
+        im.db
+            .create_attribute(
+                im.music_groups,
+                "sections",
+                im.by_family,
+                Multiplicity::Multi,
+            )
+            .unwrap();
+        let view = network_view(&im.db, im.music_groups).unwrap();
+        assert!(view.scene.has_text("by_family"));
+        assert!(view
+            .positions
+            .iter()
+            .any(|(n, _)| *n == SchemaNode::Grouping(im.by_family)));
+    }
+
+    #[test]
+    fn renders_both_backends() {
+        let im = instrumental_music().unwrap();
+        let view = network_view(&im.db, im.musicians).unwrap();
+        let a = ascii::render(&view.scene);
+        assert!(a.contains("plays"));
+        let v = svg::render(&view.scene);
+        assert!(v.contains("plays"));
+        assert!(v.starts_with("<svg"));
+    }
+
+    #[test]
+    fn no_neighbour_boxes_overlap() {
+        let im = instrumental_music().unwrap();
+        for focus in [
+            im.musicians,
+            im.instruments,
+            im.music_groups,
+            im.play_strings,
+        ] {
+            let view = network_view(&im.db, focus).unwrap();
+            for (i, (na, ra)) in view.positions.iter().enumerate() {
+                for (nb, rb) in view.positions.iter().skip(i + 1) {
+                    // The same node may legitimately appear as several arc
+                    // targets; distinct nodes must not collide.
+                    if na != nb {
+                        assert!(!ra.intersects(rb), "{na} overlaps {nb} (focus {focus})");
+                    }
+                }
+            }
+        }
+    }
+}

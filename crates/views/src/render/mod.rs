@@ -1,0 +1,4 @@
+//! Renderers: scenes to ASCII text or SVG documents.
+
+pub mod ascii;
+pub mod svg;

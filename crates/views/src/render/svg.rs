@@ -1,0 +1,303 @@
+//! The SVG renderer.
+//!
+//! Scales the cell grid to pixels (one cell = 9×18 px, a classic terminal
+//! aspect) and draws the figures with real visual attributes: reverse-video
+//! bars, bold text, `<pattern>` fills for the characteristic patterns (with
+//! a white border for sets), single/double arrowheads, and a hand glyph for
+//! the schema selection.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::scene::{ArrowKind, Element, Emphasis, FrameStyle, Scene};
+
+/// Pixel width of one grid cell.
+pub const CELL_W: i32 = 9;
+/// Pixel height of one grid cell.
+pub const CELL_H: i32 = 18;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn px(x: i32) -> i32 {
+    x * CELL_W
+}
+fn py(y: i32) -> i32 {
+    y * CELL_H
+}
+
+/// Renders a scene to a standalone SVG document.
+pub fn render(scene: &Scene) -> String {
+    let b = scene.bounds();
+    let width = px(b.right() + 2).max(px(scene.title.chars().count() as i32 + 4));
+    let height = py(b.bottom() + 3);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        concat!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" ",
+            "viewBox=\"0 0 {w} {h}\" font-family=\"monospace\" font-size=\"13\">\n"
+        ),
+        w = width,
+        h = height
+    );
+    // Pattern defs for every fill used.
+    let fills: BTreeSet<u32> = scene
+        .elements
+        .iter()
+        .filter_map(|e| match e {
+            Element::Swatch { fill, .. } => Some(fill.0),
+            _ => None,
+        })
+        .collect();
+    out.push_str("<defs>\n");
+    for f in &fills {
+        out.push_str(&isis_core::FillPattern(*f).svg_def());
+        out.push('\n');
+    }
+    out.push_str(concat!(
+        "<marker id=\"head\" markerWidth=\"8\" markerHeight=\"8\" refX=\"6\" refY=\"3\" ",
+        "orient=\"auto\"><path d=\"M0,0 L6,3 L0,6 z\"/></marker>\n",
+        "<marker id=\"dhead\" markerWidth=\"12\" markerHeight=\"8\" refX=\"10\" refY=\"3\" ",
+        "orient=\"auto\"><path d=\"M0,0 L6,3 L0,6 z\"/><path d=\"M4,0 L10,3 L4,6 z\"/></marker>\n",
+    ));
+    out.push_str("</defs>\n");
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    // Title bar.
+    let _ = write!(
+        out,
+        concat!(
+            "<rect x=\"0\" y=\"0\" width=\"{w}\" height=\"{th}\" fill=\"black\"/>",
+            "<text x=\"8\" y=\"14\" fill=\"white\">{t}</text>\n"
+        ),
+        w = width,
+        th = CELL_H,
+        t = esc(&scene.title)
+    );
+    let oy = CELL_H + 6; // pixel offset under the title bar
+
+    for e in &scene.elements {
+        match e {
+            Element::Frame { rect, title, style } => {
+                let (dash, fillcol) = match style {
+                    FrameStyle::Window => ("", "none"),
+                    FrameStyle::Menu => ("stroke-dasharray=\"4 2\" ", "none"),
+                    FrameStyle::TextWindow => ("stroke-dasharray=\"1 2\" ", "none"),
+                    FrameStyle::Page => ("", "white"),
+                };
+                let _ = write!(
+                    out,
+                    concat!(
+                        "<rect x=\"{x}\" y=\"{y}\" width=\"{w}\" height=\"{h}\" ",
+                        "fill=\"{f}\" stroke=\"black\" {dash}/>\n"
+                    ),
+                    x = px(rect.x),
+                    y = py(rect.y) + oy,
+                    w = px(rect.w),
+                    h = py(rect.h),
+                    f = fillcol,
+                    dash = dash,
+                );
+                if let Some(t) = title {
+                    let _ = writeln!(
+                        out,
+                        "<text x=\"{x}\" y=\"{y}\" font-weight=\"bold\">{t}</text>",
+                        x = px(rect.x) + 4,
+                        y = py(rect.y) + oy - 3,
+                        t = esc(t)
+                    );
+                }
+            }
+            Element::Text { at, text, emphasis } => {
+                let x = px(at.x);
+                let y = py(at.y) + oy + 13;
+                match emphasis {
+                    Emphasis::Plain => {
+                        let _ = writeln!(out, "<text x=\"{x}\" y=\"{y}\">{}</text>", esc(text));
+                    }
+                    Emphasis::Bold => {
+                        let _ = writeln!(
+                            out,
+                            "<text x=\"{x}\" y=\"{y}\" font-weight=\"bold\" font-size=\"14\">{}</text>",
+                            esc(text)
+                        );
+                    }
+                    Emphasis::Reverse => {
+                        let w = text.chars().count() as i32 * CELL_W;
+                        let _ = write!(
+                            out,
+                            concat!(
+                                "<rect x=\"{rx}\" y=\"{ry}\" width=\"{w}\" height=\"{h}\" fill=\"black\"/>",
+                                "<text x=\"{x}\" y=\"{y}\" fill=\"white\">{t}</text>\n"
+                            ),
+                            rx = x - 2,
+                            ry = py(at.y) + oy,
+                            w = w + 4,
+                            h = CELL_H - 2,
+                            x = x,
+                            y = y,
+                            t = esc(text)
+                        );
+                    }
+                }
+            }
+            Element::Swatch {
+                at,
+                fill,
+                set_border,
+            } => {
+                let x = px(at.x);
+                let y = py(at.y) + oy + 2;
+                let (w, h) = (CELL_W * 2, CELL_H - 6);
+                if *set_border {
+                    // White border: an outer black box, white gap, pattern.
+                    let _ = write!(
+                        out,
+                        concat!(
+                            "<rect x=\"{x0}\" y=\"{y0}\" width=\"{w0}\" height=\"{h0}\" ",
+                            "fill=\"white\" stroke=\"black\"/>\n"
+                        ),
+                        x0 = x - 3,
+                        y0 = y - 3,
+                        w0 = w + 6,
+                        h0 = h + 6,
+                    );
+                }
+                let _ = write!(
+                    out,
+                    concat!(
+                        "<rect x=\"{x}\" y=\"{y}\" width=\"{w}\" height=\"{h}\" ",
+                        "fill=\"url(#{id})\" stroke=\"black\"/>\n"
+                    ),
+                    x = x,
+                    y = y,
+                    w = w,
+                    h = h,
+                    id = fill.svg_id(),
+                );
+            }
+            Element::Arrow {
+                from,
+                to,
+                kind,
+                label,
+            } => {
+                let (x1, y1) = (px(from.x) + CELL_W / 2, py(from.y) + oy + CELL_H / 2);
+                let (x2, y2) = (px(to.x) + CELL_W / 2, py(to.y) + oy + CELL_H / 2);
+                let marker = match kind {
+                    ArrowKind::None => String::new(),
+                    ArrowKind::Single => " marker-end=\"url(#head)\"".into(),
+                    ArrowKind::Double => " marker-end=\"url(#dhead)\"".into(),
+                };
+                if y1 == y2 || x1 == x2 {
+                    let _ = writeln!(
+                        out,
+                        "<line x1=\"{x1}\" y1=\"{y1}\" x2=\"{x2}\" y2=\"{y2}\" stroke=\"black\"{marker}/>"
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "<polyline points=\"{x1},{y1} {x2},{y1} {x2},{y2}\" fill=\"none\" stroke=\"black\"{marker}/>"
+                    );
+                }
+                if let Some(l) = label {
+                    let _ = writeln!(
+                        out,
+                        "<text x=\"{x}\" y=\"{y}\" font-style=\"italic\" font-size=\"11\">{t}</text>",
+                        x = (x1 + x2) / 2,
+                        y = y1.min(y2) - 4,
+                        t = esc(l)
+                    );
+                }
+            }
+            Element::Hand { at } => {
+                let _ = writeln!(
+                    out,
+                    "<text x=\"{x}\" y=\"{y}\" font-size=\"16\">\u{261E}</text>",
+                    x = px(at.x) - CELL_W * 2,
+                    y = py(at.y) + oy + 14
+                );
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Point, Rect};
+    use isis_core::FillPattern;
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let mut s = Scene::new("Instrumental_Music");
+        s.push(Element::Frame {
+            rect: Rect::new(0, 0, 12, 4),
+            title: Some("musicians".into()),
+            style: FrameStyle::Window,
+        });
+        s.push(Element::Swatch {
+            at: Point::new(1, 1),
+            fill: FillPattern::nth(3),
+            set_border: true,
+        });
+        s.push(Element::Text {
+            at: Point::new(4, 1),
+            text: "STRINGS".into(),
+            emphasis: Emphasis::Reverse,
+        });
+        s.push(Element::Arrow {
+            from: Point::new(2, 5),
+            to: Point::new(9, 8),
+            kind: ArrowKind::Double,
+            label: Some("plays".into()),
+        });
+        s.push(Element::Hand {
+            at: Point::new(3, 3),
+        });
+        let out = render(&s);
+        assert!(out.starts_with("<svg"));
+        assert!(out.trim_end().ends_with("</svg>"));
+        assert!(out.contains("url(#fill3)"));
+        assert!(out.contains("url(#dhead)"));
+        assert!(out.contains("☞"));
+        assert!(out.contains("Instrumental_Music"));
+        // Balanced tags (rough check).
+        assert_eq!(out.matches("<svg").count(), out.matches("</svg>").count());
+        assert_eq!(out.matches("<text").count(), out.matches("</text>").count());
+    }
+
+    #[test]
+    fn escapes_markup_in_text() {
+        let mut s = Scene::new("a<b>&c");
+        s.push(Element::Text {
+            at: Point::new(0, 0),
+            text: "x < y & z".into(),
+            emphasis: Emphasis::Plain,
+        });
+        let out = render(&s);
+        assert!(out.contains("a&lt;b&gt;&amp;c"));
+        assert!(out.contains("x &lt; y &amp; z"));
+        assert!(!out.contains("x < y"));
+    }
+
+    #[test]
+    fn defines_each_pattern_once() {
+        let mut s = Scene::new("t");
+        for i in [2u32, 2, 5] {
+            s.push(Element::Swatch {
+                at: Point::new(i as i32 * 4, 0),
+                fill: FillPattern(i),
+                set_border: false,
+            });
+        }
+        let out = render(&s);
+        assert_eq!(out.matches("id=\"fill2\"").count(), 1);
+        assert_eq!(out.matches("id=\"fill5\"").count(), 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! The retained scene model all views build and all renderers consume.
+//!
+//! A [`Scene`] is a flat list of primitives in cell coordinates. The
+//! primitives mirror exactly the graphical vocabulary of §3.2: windows and
+//! menus (frames), text (plain / bold / reverse-video), characteristic
+//! fill-pattern swatches (with a white border when the thing shown is a
+//! set), single and double arrows, and the hand icon marking the schema
+//! selection.
+
+use isis_core::FillPattern;
+
+use crate::geometry::{Point, Rect};
+
+/// Text emphasis, matching the paper's visual conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Emphasis {
+    /// Normal text.
+    #[default]
+    Plain,
+    /// Bold — selected members at the data level.
+    Bold,
+    /// Reverse video — baseclass name sections.
+    Reverse,
+}
+
+/// Frame styles for windows, menus and pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameStyle {
+    /// A view window.
+    #[default]
+    Window,
+    /// A menu area.
+    Menu,
+    /// A text window (prompts, errors, output).
+    TextWindow,
+    /// One page of the data level.
+    Page,
+}
+
+/// Arrowhead flavour: single for singlevalued attributes, double for
+/// multivalued ones (§2's semantic-network convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrowKind {
+    /// Plain connector (forest edges).
+    None,
+    /// Single arrow (singlevalued).
+    Single,
+    /// Double arrow (multivalued / set-valued).
+    Double,
+}
+
+/// One scene primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A rectangular frame with an optional title.
+    Frame {
+        /// Bounds.
+        rect: Rect,
+        /// Title drawn into the top border.
+        title: Option<String>,
+        /// Visual style.
+        style: FrameStyle,
+    },
+    /// A run of text.
+    Text {
+        /// Top-left of the text.
+        at: Point,
+        /// The text itself.
+        text: String,
+        /// Emphasis.
+        emphasis: Emphasis,
+    },
+    /// A characteristic fill-pattern swatch.
+    Swatch {
+        /// Top-left of the swatch.
+        at: Point,
+        /// The pattern.
+        fill: FillPattern,
+        /// `true` for set-valued things (white border in the paper).
+        set_border: bool,
+    },
+    /// A straight connector, drawn as an elbow when not axis-aligned.
+    Arrow {
+        /// Start point.
+        from: Point,
+        /// End point.
+        to: Point,
+        /// Arrowhead flavour.
+        kind: ArrowKind,
+        /// Optional label near the midpoint.
+        label: Option<String>,
+    },
+    /// The hand icon pointing at the schema selection.
+    Hand {
+        /// Where the hand points (its tip).
+        at: Point,
+    },
+}
+
+impl Element {
+    /// Conservative bounding box of the element.
+    pub fn bounds(&self) -> Rect {
+        match self {
+            Element::Frame { rect, .. } => *rect,
+            Element::Text { at, text, .. } => Rect::new(at.x, at.y, text.chars().count() as i32, 1),
+            Element::Swatch { at, set_border, .. } => {
+                Rect::new(at.x, at.y, if *set_border { 4 } else { 2 }, 1)
+            }
+            Element::Arrow {
+                from, to, label, ..
+            } => {
+                let a = Rect::new(from.x.min(to.x), from.y.min(to.y), 1, 1);
+                let b = Rect::new(from.x.max(to.x), from.y.max(to.y), 1, 1);
+                let mut r = a.union(&b);
+                if let Some(l) = label {
+                    r = r.union(&Rect::new(r.cx(), r.cy(), l.chars().count() as i32, 1));
+                }
+                r
+            }
+            Element::Hand { at } => Rect::new(at.x.saturating_sub(2), at.y, 3, 1),
+        }
+    }
+}
+
+/// A complete picture of one view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scene {
+    /// View title (database name, as in the figures' title bars).
+    pub title: String,
+    /// The primitives, in paint order.
+    pub elements: Vec<Element>,
+}
+
+impl Scene {
+    /// An empty scene with a title.
+    pub fn new(title: impl Into<String>) -> Scene {
+        Scene {
+            title: title.into(),
+            elements: Vec::new(),
+        }
+    }
+
+    /// Adds an element.
+    pub fn push(&mut self, e: Element) {
+        self.elements.push(e);
+    }
+
+    /// The union of all element bounds.
+    pub fn bounds(&self) -> Rect {
+        let mut r = Rect::default();
+        for e in &self.elements {
+            r = r.union(&e.bounds());
+        }
+        r
+    }
+
+    /// All text runs, for structural assertions in tests.
+    pub fn texts(&self) -> impl Iterator<Item = (&str, Emphasis)> {
+        self.elements.iter().filter_map(|e| match e {
+            Element::Text { text, emphasis, .. } => Some((text.as_str(), *emphasis)),
+            _ => None,
+        })
+    }
+
+    /// `true` if some text run equals `s`.
+    pub fn has_text(&self, s: &str) -> bool {
+        self.texts().any(|(t, _)| t == s)
+    }
+
+    /// `true` if some text run equals `s` with the given emphasis.
+    pub fn has_text_with(&self, s: &str, emphasis: Emphasis) -> bool {
+        self.texts().any(|(t, e)| t == s && e == emphasis)
+    }
+
+    /// The hand icon's position, if present.
+    pub fn hand(&self) -> Option<Point> {
+        self.elements.iter().find_map(|e| match e {
+            Element::Hand { at } => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// Count of elements matching a predicate.
+    pub fn count(&self, f: impl Fn(&Element) -> bool) -> usize {
+        self.elements.iter().filter(|e| f(e)).count()
+    }
+
+    /// Translates every element (panning).
+    pub fn pan(&mut self, dx: i32, dy: i32) {
+        for e in &mut self.elements {
+            match e {
+                Element::Frame { rect, .. } => *rect = rect.translated(dx, dy),
+                Element::Text { at, .. } | Element::Swatch { at, .. } | Element::Hand { at } => {
+                    at.x += dx;
+                    at.y += dy;
+                }
+                Element::Arrow { from, to, .. } => {
+                    from.x += dx;
+                    from.y += dy;
+                    to.x += dx;
+                    to.y += dy;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_cover_elements() {
+        let mut s = Scene::new("t");
+        s.push(Element::Frame {
+            rect: Rect::new(0, 0, 10, 5),
+            title: None,
+            style: FrameStyle::Window,
+        });
+        s.push(Element::Text {
+            at: Point::new(20, 8),
+            text: "hello".into(),
+            emphasis: Emphasis::Plain,
+        });
+        let b = s.bounds();
+        assert!(b.right() >= 25);
+        assert!(b.bottom() >= 9);
+    }
+
+    #[test]
+    fn text_queries() {
+        let mut s = Scene::new("t");
+        s.push(Element::Text {
+            at: Point::new(0, 0),
+            text: "flute".into(),
+            emphasis: Emphasis::Bold,
+        });
+        assert!(s.has_text("flute"));
+        assert!(s.has_text_with("flute", Emphasis::Bold));
+        assert!(!s.has_text_with("flute", Emphasis::Plain));
+        assert!(!s.has_text("oboe"));
+    }
+
+    #[test]
+    fn pan_moves_everything() {
+        let mut s = Scene::new("t");
+        s.push(Element::Hand {
+            at: Point::new(5, 5),
+        });
+        s.push(Element::Arrow {
+            from: Point::new(0, 0),
+            to: Point::new(2, 2),
+            kind: ArrowKind::Single,
+            label: None,
+        });
+        s.pan(10, 1);
+        assert_eq!(s.hand(), Some(Point::new(15, 6)));
+        match &s.elements[1] {
+            Element::Arrow { from, to, .. } => {
+                assert_eq!(*from, Point::new(10, 1));
+                assert_eq!(*to, Point::new(12, 3));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The predicate worksheet view (Figures 9–10).
+//!
+//! "The predicate worksheet consists of several windows. The atom
+//! construction window at the lower right contains three subwindows for the
+//! left hand side, the operator, and the right hand side. Maps are
+//! specified by choosing the map attributes with the mouse and forming a
+//! stack of classes. … As atoms are being constructed, feedback is provided
+//! above the atom creation window in the atom list window … These atoms may
+//! be edited and placed in clauses (the set of windows on the left) in
+//! disjunctive or conjunctive normal form."
+//!
+//! The view is driven by display-level data prepared by the session layer
+//! (`isis-session`), which owns the interactive worksheet state.
+
+use isis_core::NormalForm;
+
+use crate::boxes::{draw_menu, draw_text_window};
+use crate::geometry::{Point, Rect};
+use crate::scene::{Element, Emphasis, FrameStyle, Scene};
+
+/// The worksheet menu: construction options and actions (§3.2, §4.2).
+pub const WORKSHEET_MENU: &[&str] = &[
+    "edit",
+    "map",
+    "map starting at class",
+    "constant",
+    "constant starting at class",
+    "place in clause",
+    "switch and/or",
+    "negate",
+    "commit",
+    "pop",
+];
+
+/// Number of clause windows shown (2 columns × 3 rows, as in Figure 9).
+pub const CLAUSE_WINDOWS: usize = 6;
+
+/// Display-level worksheet contents.
+#[derive(Debug, Clone, Default)]
+pub struct WorksheetInput {
+    /// Database title for the banner.
+    pub database: String,
+    /// The class (or attribute) whose definition is being built, e.g.
+    /// `"quartets"` or `"quartets.all_inst"`.
+    pub target: String,
+    /// Current reading of the clause layout.
+    pub form: NormalForm,
+    /// Atom tags placed in each clause window (e.g. `["E"]`, `["A"]`).
+    pub clauses: Vec<Vec<String>>,
+    /// The atom list: rendered atoms with their tags, e.g.
+    /// `"A: size = {4}"`.
+    pub atom_list: Vec<String>,
+    /// The construction stack of class names (left-hand side).
+    pub lhs_stack: Vec<String>,
+    /// The chosen operator symbol.
+    pub operator: Option<String>,
+    /// The right-hand side, as displayed.
+    pub rhs: String,
+    /// All class names (the class list window on the right).
+    pub class_list: Vec<String>,
+    /// `true` when defining an attribute derivation — adds the hand icon
+    /// (unary assignment) to the operator window (Figure 10).
+    pub derivation_mode: bool,
+    /// Text-window lines.
+    pub prompt: Vec<String>,
+}
+
+/// The result of building the worksheet view.
+#[derive(Debug, Clone)]
+pub struct WorksheetView {
+    /// The rendered scene.
+    pub scene: Scene,
+    /// Rectangles of the clause windows, in order.
+    pub clause_rects: Vec<Rect>,
+}
+
+/// Builds the predicate worksheet view.
+pub fn worksheet_view(input: &WorksheetInput) -> WorksheetView {
+    let mut scene = Scene::new(format!(
+        "{} — predicate worksheet: {} [{}]",
+        input.database, input.target, input.form
+    ));
+
+    // Clause windows: 2 columns × 3 rows on the left.
+    let cw = 22;
+    let ch = 6;
+    let mut clause_rects = Vec::new();
+    for i in 0..CLAUSE_WINDOWS {
+        let col = (i % 2) as i32;
+        let row = (i / 2) as i32;
+        let rect = Rect::new(1 + col * (cw + 2), 1 + row * (ch + 1), cw, ch);
+        scene.push(Element::Frame {
+            rect,
+            title: Some(format!("clause {}", i + 1)),
+            style: FrameStyle::Window,
+        });
+        if let Some(tags) = input.clauses.get(i) {
+            for (j, t) in tags.iter().take(ch as usize - 2).enumerate() {
+                scene.push(Element::Text {
+                    at: Point::new(rect.x + 2, rect.y + 1 + j as i32),
+                    text: t.clone(),
+                    emphasis: Emphasis::Plain,
+                });
+            }
+        }
+        clause_rects.push(rect);
+    }
+    let left_w = 1 + 2 * (cw + 2);
+    let left_h = 1 + 3 * (ch + 1);
+
+    // Atom list window, top right.
+    let al_rect = Rect::new(left_w + 2, 1, 44, 10);
+    scene.push(Element::Frame {
+        rect: al_rect,
+        title: Some("atom list".into()),
+        style: FrameStyle::Window,
+    });
+    for (i, a) in input.atom_list.iter().take(8).enumerate() {
+        scene.push(Element::Text {
+            at: Point::new(al_rect.x + 2, al_rect.y + 1 + i as i32),
+            text: a.clone(),
+            emphasis: Emphasis::Plain,
+        });
+    }
+
+    // Atom construction window, bottom right, with three subwindows.
+    let ac_rect = Rect::new(left_w + 2, al_rect.bottom() + 1, 44, 10);
+    scene.push(Element::Frame {
+        rect: ac_rect,
+        title: Some("atom construction".into()),
+        style: FrameStyle::Window,
+    });
+    let lhs_rect = Rect::new(ac_rect.x + 1, ac_rect.y + 1, 16, 8);
+    let op_rect = Rect::new(lhs_rect.right() + 1, ac_rect.y + 1, 7, 8);
+    let rhs_rect = Rect::new(op_rect.right() + 1, ac_rect.y + 1, 18, 8);
+    scene.push(Element::Frame {
+        rect: lhs_rect,
+        title: Some("lhs".into()),
+        style: FrameStyle::Window,
+    });
+    scene.push(Element::Frame {
+        rect: op_rect,
+        title: Some("op".into()),
+        style: FrameStyle::Window,
+    });
+    scene.push(Element::Frame {
+        rect: rhs_rect,
+        title: Some("rhs".into()),
+        style: FrameStyle::Window,
+    });
+    // The stack of classes grows downward as map attributes are picked.
+    for (i, c) in input.lhs_stack.iter().take(6).enumerate() {
+        scene.push(Element::Text {
+            at: Point::new(lhs_rect.x + 1, lhs_rect.y + 1 + i as i32),
+            text: c.clone(),
+            emphasis: if i + 1 == input.lhs_stack.len() {
+                Emphasis::Bold
+            } else {
+                Emphasis::Plain
+            },
+        });
+    }
+    if let Some(op) = &input.operator {
+        scene.push(Element::Text {
+            at: Point::new(op_rect.x + 2, op_rect.cy()),
+            text: op.clone(),
+            emphasis: Emphasis::Bold,
+        });
+    }
+    if input.derivation_mode {
+        // The unary hand (assignment) operator, available only when
+        // defining a derivation (Figure 10).
+        scene.push(Element::Hand {
+            at: Point::new(op_rect.x + 4, op_rect.y + 1),
+        });
+    }
+    if !input.rhs.is_empty() {
+        scene.push(Element::Text {
+            at: Point::new(rhs_rect.x + 1, rhs_rect.y + 1),
+            text: input.rhs.clone(),
+            emphasis: Emphasis::Plain,
+        });
+    }
+
+    // Class list window, far right.
+    let cl_rect = Rect::new(al_rect.right() + 2, 1, 20, left_h - 1);
+    scene.push(Element::Frame {
+        rect: cl_rect,
+        title: Some("classes".into()),
+        style: FrameStyle::Window,
+    });
+    for (i, c) in input
+        .class_list
+        .iter()
+        .take(cl_rect.h as usize - 2)
+        .enumerate()
+    {
+        scene.push(Element::Text {
+            at: Point::new(cl_rect.x + 2, cl_rect.y + 1 + i as i32),
+            text: c.clone(),
+            emphasis: Emphasis::Plain,
+        });
+    }
+
+    let content = scene.bounds();
+    draw_menu(WORKSHEET_MENU, content.right() + 2, &mut scene);
+    let b = scene.bounds();
+    draw_text_window(
+        &input.prompt,
+        Rect::new(0, b.bottom() + 1, b.right().max(30), 5),
+        &mut scene,
+    );
+    WorksheetView {
+        scene,
+        clause_rects,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::{ascii, svg};
+
+    fn figure9_input() -> WorksheetInput {
+        WorksheetInput {
+            database: "Instrumental_Music".into(),
+            target: "quartets".into(),
+            form: NormalForm::Cnf,
+            clauses: vec![vec!["E".into()], vec!["A".into()]],
+            atom_list: vec![
+                "A: size = {4}".into(),
+                "E: members plays >=s {piano}".into(),
+            ],
+            lhs_stack: vec![
+                "music_groups".into(),
+                "musicians".into(),
+                "instruments".into(),
+            ],
+            operator: Some("⊇".into()),
+            rhs: "{piano}".into(),
+            class_list: vec![
+                "musicians".into(),
+                "instruments".into(),
+                "music_groups".into(),
+                "families".into(),
+                "INTEGERS".into(),
+            ],
+            derivation_mode: false,
+            prompt: vec![],
+        }
+    }
+
+    #[test]
+    fn figure9_structure() {
+        let view = worksheet_view(&figure9_input());
+        let s = &view.scene;
+        assert_eq!(view.clause_rects.len(), CLAUSE_WINDOWS);
+        // Atoms in their clause windows and in the atom list.
+        assert!(s.has_text("E"));
+        assert!(s.has_text("A"));
+        assert!(s.has_text("A: size = {4}"));
+        // The stack of classes from the map members plays.
+        for c in ["music_groups", "musicians", "instruments"] {
+            assert!(s.has_text(c));
+        }
+        // Operator and rhs subwindows populated.
+        assert!(s.has_text_with("⊇", Emphasis::Bold));
+        assert!(s.has_text("{piano}"));
+        // The CNF reading appears in the banner.
+        assert!(s.title.contains("CNF"));
+        // No hand icon outside derivation mode.
+        assert!(s.hand().is_none());
+    }
+
+    #[test]
+    fn figure10_derivation_mode_adds_hand() {
+        let mut input = figure9_input();
+        input.target = "quartets.all_inst".into();
+        input.derivation_mode = true;
+        let view = worksheet_view(&input);
+        assert!(view.scene.hand().is_some());
+        assert!(view.scene.title.contains("all_inst"));
+    }
+
+    #[test]
+    fn menus_and_rendering() {
+        let view = worksheet_view(&figure9_input());
+        let out = ascii::render(&view.scene);
+        assert!(out.contains("switch and/or"));
+        assert!(out.contains("commit"));
+        assert!(out.contains("clause 1"));
+        assert!(out.contains("atom construction"));
+        let v = svg::render(&view.scene);
+        assert!(v.contains("atom list"));
+    }
+
+    #[test]
+    fn clause_windows_do_not_overlap() {
+        let view = worksheet_view(&figure9_input());
+        for (i, a) in view.clause_rects.iter().enumerate() {
+            for b in view.clause_rects.iter().skip(i + 1) {
+                assert!(!a.intersects(b));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_renders() {
+        let view = worksheet_view(&WorksheetInput::default());
+        assert_eq!(view.clause_rects.len(), CLAUSE_WINDOWS);
+        let out = ascii::render(&view.scene);
+        assert!(out.contains("clause 6"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Browsing at both levels — §3's claim that one interface serves schema
+//! browsing, data browsing, and navigation, with "uniform graphical
+//! representations and consistent user interaction techniques".
+//!
+//! Walks the Instrumental_Music database: forest → network → data pages →
+//! follow chains → groupings, printing each ASCII view as it goes.
+//!
+//! Run with `cargo run --example browse_explore`.
+
+use isis::prelude::*;
+use isis_session::Command as C;
+
+fn show(title: &str, session: &Session) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n───────────────────────── {title} ─────────────────────────");
+    println!("{}", render::ascii::render(&session.scene()?));
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let im = isis::sample::instrumental_music()?;
+    let mut s = Session::new(im.db.clone());
+
+    // Schema browsing: the forest, then associations of music_groups.
+    s.apply(C::Pick(SchemaNode::Class(im.music_groups)))?;
+    show("inheritance forest (music_groups selected)", &s)?;
+    s.apply(C::ViewAssociations)?;
+    show("semantic network of music_groups", &s)?;
+
+    // Navigate the network: members leads to musicians.
+    s.apply(C::Pick(SchemaNode::Class(im.musicians)))?;
+    show("semantic network of musicians", &s)?;
+
+    // Data browsing: contents of musicians, pick Amy, follow plays, then
+    // family — a three-page chain.
+    s.apply(C::Pop)?;
+    s.apply(C::ViewContents)?;
+    let amy = s.database().entity_by_name(im.musicians, "Amy")?;
+    s.apply(C::SelectEntity(amy))?;
+    s.apply(C::Follow(im.plays))?;
+    s.apply(C::Follow(im.family))?;
+    show("data level: musicians → plays → family", &s)?;
+    println!(
+        "Amy's instruments land in families: {:?}",
+        s.pages()
+            .last()
+            .unwrap()
+            .selected
+            .iter()
+            .map(|e| s.database().entity_name(*e).unwrap().to_string())
+            .collect::<Vec<_>>()
+    );
+
+    // Grouping browsing: work_status partitions musicians by union flag.
+    s.apply(C::Pop)?;
+    s.apply(C::Pop)?;
+    s.apply(C::Pop)?;
+    s.apply(C::Pick(SchemaNode::Grouping(im.work_status)))?;
+    s.apply(C::DisplayPredicate)?;
+    s.apply(C::ViewContents)?;
+    let yes = s.database_mut().boolean(true);
+    s.apply(C::SelectEntity(yes))?;
+    show("the work_status grouping (union members selected)", &s)?;
+    s.apply(C::FollowGrouping)?;
+    let members = s.pages().last().unwrap().selected.len();
+    println!("{members} union musicians found by following the grouping.");
+
+    // Scrolling a long member list.
+    s.apply(C::Pop)?;
+    s.apply(C::Pop)?;
+    s.apply(C::Pick(SchemaNode::Class(im.instruments)))?;
+    s.apply(C::ViewContents)?;
+    s.apply(C::Scroll(6))?;
+    show("instruments, panned down 6 rows", &s)?;
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The complete §4.2 session: finding entertainment for the department
+//! holiday party, exactly as the paper narrates it — browsing, correcting
+//! the flute/oboe error, building the quartets query on the predicate
+//! worksheet, deriving all_inst, focusing on Edith, creating edith_plays,
+//! and saving the database as *entertainment*.
+//!
+//! Run with `cargo run --example holiday_party`. Pass `--figures` to print
+//! every captured figure as ASCII.
+
+use isis::holiday::{run_holiday_party, FIGURES};
+use isis::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let show_figures = std::env::args().any(|a| a == "--figures");
+    let dir = std::env::temp_dir().join(format!("isis_holiday_{}", std::process::id()));
+    let store = StoreDir::open(&dir)?;
+
+    println!("Loading Instrumental_Music and replaying the §4.2 session…\n");
+    let (session, transcript) = run_holiday_party(Some(store.clone()))?;
+
+    // Narrate the transcript.
+    for step in &transcript.steps {
+        for m in &step.messages {
+            println!("  [text window] {m}");
+        }
+    }
+    println!("\nCaptured figures:");
+    for name in FIGURES {
+        let scene = transcript.scene(name).expect("captured");
+        println!("  {name}: {} scene elements", scene.elements.len());
+        if show_figures {
+            println!("{}", render::ascii::render(scene));
+        }
+    }
+
+    // The session's outcome, verified.
+    let db = session.database();
+    let quartets = db.class_by_name("quartets")?;
+    let groups: Vec<String> = db
+        .members(quartets)?
+        .iter()
+        .map(|e| db.entity_name(e).map(str::to_string))
+        .collect::<Result<_, _>>()?;
+    println!("\nQuartets found: {groups:?}");
+    assert_eq!(groups, vec!["LaBelle Musique".to_string()]);
+
+    let edith_plays = db.class_by_name("edith_plays")?;
+    let instruments: Vec<String> = db
+        .members(edith_plays)?
+        .iter()
+        .map(|e| db.entity_name(e).map(str::to_string))
+        .collect::<Result<_, _>>()?;
+    println!("edith_plays remembers: {instruments:?}");
+
+    // The database was saved as "entertainment" — load it back.
+    let saved = store.load("entertainment")?;
+    assert!(saved.class_by_name("quartets").is_ok());
+    println!("\nSaved databases: {:?}", store.list()?);
+    println!("…time to phone LaBelle Musique.");
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a small semantic database, pose a query as a derived
+//! subclass, and look at the result — the ISIS workflow in thirty lines.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use isis::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A schema: people work in departments; departments have budgets.
+    let mut db = Database::new("company");
+    let people = db.create_baseclass("people")?;
+    let departments = db.create_baseclass("departments")?;
+    let ints = db.predefined(BaseKind::Integers);
+    let works_in = db.create_attribute(people, "works_in", departments, Multiplicity::Single)?;
+    let budget = db.create_attribute(departments, "budget", ints, Multiplicity::Single)?;
+
+    // 2. Data — consistency (entities in one baseclass, values in the value
+    // class, singlevalued attributes functional) is enforced on every call.
+    let eng = db.insert_entity(departments, "engineering")?;
+    let sales = db.insert_entity(departments, "sales")?;
+    let big = db.int(1_000_000);
+    let small = db.int(50_000);
+    db.assign_single(eng, budget, big)?;
+    db.assign_single(sales, budget, small)?;
+    for (name, dept) in [("Ada", eng), ("Grace", eng), ("Edsger", sales)] {
+        let p = db.insert_entity(people, name)?;
+        db.assign_single(p, works_in, dept)?;
+    }
+
+    // 3. A query is a *derived subclass*: people whose department's budget
+    // exceeds 100 000 — the map `works_in budget` compared to a constant.
+    let threshold = db.int(100_000);
+    let pred = Predicate::dnf(vec![Clause::new(vec![Atom::new(
+        Map::new(vec![works_in, budget]),
+        CompareOp::Gt,
+        Rhs::constant(ints, [threshold]),
+    )])]);
+    let well_funded = db.create_derived_subclass(people, "well_funded")?;
+    let n = db.commit_membership(well_funded, pred)?;
+    println!("well_funded has {n} members:");
+    for e in db.members(well_funded)?.iter() {
+        println!("  - {}", db.entity_name(e)?);
+    }
+    assert_eq!(n, 2);
+
+    // 4. Browse it the ISIS way: the inheritance forest view.
+    let view = isis::views::forest_view(
+        &db,
+        &isis::views::ForestViewOptions {
+            selection: Some(SchemaNode::Class(well_funded)),
+            ..Default::default()
+        },
+    )?;
+    println!("\n{}", render::ascii::render(&view.scene));
+    Ok(())
+}

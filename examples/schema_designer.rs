@@ -1,0 +1,100 @@
+//! Designing a schema from scratch through the interface — "the techniques
+//! used in section 4.2 for adding to and modifying the database may be used
+//! equally well for schema definition and data entry" (§4).
+//!
+//! A university database is built entirely through session commands (as a
+//! user would, with mouse picks and menu commands), exercising create
+//! subclass / create attribute / (re)specify value class / groupings /
+//! undo / multiple inheritance, and rendering the forest as it grows.
+//!
+//! Run with `cargo run --example schema_designer`.
+
+use isis::prelude::*;
+use isis_session::Command as C;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::new(Database::new("university"));
+
+    // Baseclasses are created directly on the database (the forest view's
+    // create-class gesture); everything else goes through commands.
+    let people = session.database_mut().create_baseclass("people")?;
+    let courses = session.database_mut().create_baseclass("courses")?;
+    let rooms = session.database_mut().create_baseclass("rooms")?;
+
+    // people: attributes and subclasses.
+    session.apply(C::Pick(SchemaNode::Class(people)))?;
+    session.apply(C::CreateAttribute {
+        name: "teaches".into(),
+        multiplicity: Multiplicity::Multi,
+    })?;
+    session.apply(C::SpecifyValueClass(SchemaNode::Class(courses)))?;
+    session.apply(C::Pick(SchemaNode::Class(people)))?;
+    session.apply(C::CreateSubclass("students".into()))?;
+    session.apply(C::Pick(SchemaNode::Class(people)))?;
+    session.apply(C::CreateSubclass("staff".into()))?;
+
+    // A misstep, undone: the designer creates a class and thinks better.
+    session.apply(C::Pick(SchemaNode::Class(people)))?;
+    session.apply(C::CreateSubclass("wizards".into()))?;
+    session.apply(C::Undo)?;
+    assert!(session.database().class_by_name("wizards").is_err());
+    println!("(created and undid the 'wizards' subclass)");
+
+    // courses: a room attribute, and a grouping of courses by room.
+    session.apply(C::PickByName("courses".into()))?;
+    session.apply(C::CreateAttribute {
+        name: "held_in".into(),
+        multiplicity: Multiplicity::Single,
+    })?;
+    session.apply(C::SpecifyValueClass(SchemaNode::Class(rooms)))?;
+    let held_in = session.database().attr_by_name(courses, "held_in")?;
+    session.apply(C::PickByName("courses".into()))?;
+    session.apply(C::CreateGrouping {
+        name: "by_room".into(),
+        attr: held_in,
+    })?;
+
+    // Multiple inheritance — the paper's §5 extension: teaching assistants
+    // are both students and staff.
+    let db = session.database_mut();
+    db.enable_multiple_inheritance();
+    let students = db.class_by_name("students")?;
+    let staff = db.class_by_name("staff")?;
+    let tas = db.create_subclass(students, "teaching_assistants")?;
+    db.add_secondary_parent(tas, staff)?;
+
+    // Data entry through the data level.
+    session.apply(C::PickByName("rooms".into()))?;
+    session.apply(C::ViewContents)?;
+    session.apply(C::CreateEntity("Barus 166".into()))?;
+    session.apply(C::CreateEntity("CIT 368".into()))?;
+    session.apply(C::Pop)?;
+    session.apply(C::PickByName("teaching_assistants".into()))?;
+    session.apply(C::ViewContents)?;
+    session.apply(C::CreateEntity("Kenneth".into()))?;
+    session.apply(C::Pop)?;
+
+    // A TA is in students, staff and people (cascaded memberships).
+    let db = session.database();
+    let kenneth = db.entity_by_name(people, "Kenneth")?;
+    for class in [tas, students, staff, people] {
+        assert!(db.members(class)?.contains(kenneth));
+    }
+    // And sees attributes from both parents (just `teaches` here, via
+    // people; the visible set contains no duplicates).
+    let visible = db.visible_attrs(tas)?;
+    println!(
+        "teaching_assistants sees {} attributes: {:?}",
+        visible.len(),
+        visible
+            .iter()
+            .map(|a| db.attr(*a).map(|r| r.name.clone()))
+            .collect::<Result<Vec<_>, _>>()?
+    );
+
+    // The finished schema, verified consistent and rendered.
+    assert!(db.is_consistent()?);
+    session.apply(C::PickByName("people".into()))?;
+    println!("\n{}", render::ascii::render(&session.scene()?));
+    Ok(())
+}

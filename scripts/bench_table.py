@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Parses criterion output (bench_output.txt) into a median-time table."""
+import re, sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+text = open(path).read()
+rows = []
+# Two shapes: "name\n  time: [lo mid hi]"  and  "name  time: [lo mid hi]"
+pat = re.compile(
+    r"^(\S+?)(?:\s*\n\s+|\s+)time:\s+\[[\d.]+ \w+ ([\d.]+) (\w+) [\d.]+ \w+\]", re.M
+)
+for m in pat.finditer(text):
+    name = m.group(1).strip()
+    if name.startswith("Benchmarking"):
+        continue
+    rows.append((name, f"{m.group(2)} {m.group(3)}"))
+width = max(len(n) for n, _ in rows) if rows else 0
+for n, t in rows:
+    print(f"{n:<{width}}  {t}")

@@ -1,0 +1,66 @@
+//! The interactive ISIS terminal: the paper's interface, driven by text
+//! commands instead of a one-button mouse.
+//!
+//! ```text
+//! isis-repl [DB_DIR]     # attach a database directory (default: ./isis-data)
+//! ```
+//!
+//! The session starts on the §4.1 Instrumental_Music database when the
+//! directory holds no databases yet; `load NAME` / `save NAME` work against
+//! the directory. Type `help` for the command language and `show` to render
+//! the current view.
+
+use std::io::{BufRead, Write};
+
+use isis::repl::Repl;
+use isis::store::StoreDir;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "isis-data".to_string());
+    let store = StoreDir::open(&dir).expect("open database directory");
+    let db = match store.list().ok().filter(|l| !l.is_empty()) {
+        Some(names) => {
+            eprintln!("databases here: {names:?} (use `load NAME`)");
+            isis::core::Database::new("untitled")
+        }
+        None => {
+            eprintln!("empty directory: starting on Instrumental_Music");
+            let im = isis::sample::instrumental_music().expect("sample database");
+            store
+                .save(&im.db, "Instrumental_Music")
+                .expect("seed the directory");
+            im.db
+        }
+    };
+    let mut repl = Repl::new(isis::session::Session::with_store(db, store));
+    eprintln!("ISIS — type `help` for commands, `show` to render, `stop` to leave.");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        eprint!("isis> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match repl.exec(&line) {
+            Ok(msg) => {
+                if !msg.is_empty() {
+                    println!("{msg}");
+                }
+            }
+            Err(e) => eprintln!("! {e}"),
+        }
+        if repl.session.stopped() {
+            break;
+        }
+    }
+    eprintln!("bye.");
+}

@@ -1,0 +1,293 @@
+//! The §4.2 holiday-party session as a replayable script.
+//!
+//! "The following example illustrates the major functionality of the
+//! interface." The script applies the narrative, command by command, and
+//! captures a scene at each of the paper's twelve figures; the `figures`
+//! binary renders the captures to ASCII and SVG, and the integration tests
+//! assert their structure.
+
+use isis_core::{CompareOp, Multiplicity, Result as CoreResult, SchemaNode};
+use isis_sample::InstrumentalMusic;
+use isis_session::{Command, Script, Session, SessionError, Transcript};
+
+/// Builds the full §4.2 script against a prepared [`InstrumentalMusic`]
+/// database. Interns the constant `4` (the quartet size the user picks at
+/// the data level), so call it before cloning the database into a session.
+pub fn holiday_party_script(im: &mut InstrumentalMusic) -> CoreResult<Script> {
+    let four = im.db.int(4);
+    let db = &im.db;
+    let ian = db.entity_by_name(im.musicians, "Ian")?;
+    let kurt = db.entity_by_name(im.musicians, "Kurt")?;
+    let donna = db.entity_by_name(im.musicians, "Donna")?;
+
+    let mut s = Script::new();
+    // -- Familiarisation: Figures 1 and 2 --------------------------------
+    s.cmd(Command::Pick(SchemaNode::Class(im.soloists)))
+        .capture("fig01_forest_soloists")
+        .cmd(Command::ViewAssociations)
+        .cmd(Command::Pick(SchemaNode::Class(im.instruments)))
+        .capture("fig02_network_instruments")
+        // -- Data level: Figures 3–5 --------------------------------------
+        .cmd(Command::Pop)
+        .cmd(Command::ViewContents)
+        .cmd(Command::SelectEntity(im.flute))
+        .cmd(Command::SelectEntity(im.oboe))
+        .capture("fig03_data_select_oboe")
+        .cmd(Command::Follow(im.family))
+        .capture("fig04_follow_family")
+        // Correct the error: unhighlight brass, highlight woodwind…
+        .cmd(Command::SelectEntity(im.brass))
+        .cmd(Command::SelectEntity(im.woodwind))
+        // …and (re)assign on the instruments page.
+        .cmd(Command::Pop)
+        .cmd(Command::ReassignAttrValue {
+            attr: im.family,
+            value: im.woodwind,
+        })
+        .capture("fig05_reassign_family")
+        // -- Groupings: Figures 6 and 7 ------------------------------------
+        .cmd(Command::Pop)
+        .cmd(Command::Pick(SchemaNode::Grouping(im.by_family)))
+        .cmd(Command::DisplayPredicate)
+        .cmd(Command::ViewContents)
+        .cmd(Command::SelectEntity(im.percussion))
+        .capture("fig06_grouping_percussion")
+        .cmd(Command::FollowGrouping)
+        .capture("fig07_follow_into_instruments")
+        // -- The query: Figures 8 and 9 -------------------------------------
+        .cmd(Command::Pop)
+        .cmd(Command::Pop)
+        .cmd(Command::Pick(SchemaNode::Class(im.music_groups)))
+        .cmd(Command::CreateSubclass("quartets".into()))
+        .capture("fig08_create_quartets")
+        .cmd(Command::DefineMembership)
+        // Atom A: size = {4}, second clause.
+        .cmd(Command::WsNewAtom)
+        .cmd(Command::WsPlaceInClause(1))
+        .cmd(Command::WsLhsPush(im.size))
+        .cmd(Command::WsOperator(CompareOp::SetEq.into()))
+        .cmd(Command::WsRhsConstant(None))
+        .cmd(Command::ConstantToggle(four))
+        .cmd(Command::ConstantDone)
+        // Atom E: members plays ⊇ {piano}, first clause.
+        .cmd(Command::WsNewAtom)
+        .cmd(Command::WsPlaceInClause(0))
+        .cmd(Command::WsLhsPush(im.members))
+        .cmd(Command::WsLhsPush(im.plays))
+        .cmd(Command::WsOperator(CompareOp::Superset.into()))
+        .cmd(Command::WsRhsConstant(None))
+        .cmd(Command::ConstantToggle(im.piano))
+        .cmd(Command::ConstantDone)
+        .cmd(Command::WsSwitchAndOr)
+        .capture("fig09_worksheet_quartets")
+        .cmd(Command::WsCommit)
+        // -- all_inst: Figure 10 -------------------------------------------
+        .cmd(Command::CreateAttribute {
+            name: "all_inst".into(),
+            multiplicity: Multiplicity::Multi,
+        })
+        .cmd(Command::SpecifyValueClass(SchemaNode::Class(
+            im.instruments,
+        )))
+        .cmd(Command::DefineDerivation)
+        .cmd(Command::WsHandAssign(vec![im.members, im.plays]))
+        .capture("fig10_derivation_all_inst")
+        .cmd(Command::WsCommit)
+        // -- Exploring the result: Figures 11 and 12 ------------------------
+        .cmd(Command::PickByName("quartets".into()))
+        .cmd(Command::ViewContents)
+        .cmd(Command::SelectEntity(im.labelle))
+        .cmd(Command::Follow(im.members))
+        // Focus on Edith: unhighlight the other three members.
+        .cmd(Command::SelectEntity(ian))
+        .cmd(Command::SelectEntity(kurt))
+        .cmd(Command::SelectEntity(donna))
+        .capture("fig11_focus_edith")
+        .cmd(Command::Follow(im.plays))
+        .cmd(Command::MakeSubclass("edith_plays".into()))
+        .cmd(Command::Pop)
+        .cmd(Command::Pop)
+        .cmd(Command::Pop)
+        .capture("fig12_forest_edith_plays");
+    Ok(s)
+}
+
+/// Runs the holiday-party session end-to-end on a fresh Instrumental_Music
+/// database. When a store is given, the script finishes with the paper's
+/// "saves this new database as *entertainment*".
+pub fn run_holiday_party(
+    store: Option<isis_store::StoreDir>,
+) -> Result<(Session, Transcript), SessionError> {
+    let mut im = isis_sample::instrumental_music()?;
+    let mut script = holiday_party_script(&mut im)?;
+    if store.is_some() {
+        script.cmd(Command::Save("entertainment".into()));
+    }
+    script.cmd(Command::Stop);
+    let mut session = match store {
+        Some(dir) => Session::with_store(im.db.clone(), dir),
+        None => Session::new(im.db.clone()),
+    };
+    let transcript = script.run(&mut session)?;
+    Ok((session, transcript))
+}
+
+/// The names of the twelve figure captures, in order.
+pub const FIGURES: [&str; 12] = [
+    "fig01_forest_soloists",
+    "fig02_network_instruments",
+    "fig03_data_select_oboe",
+    "fig04_follow_family",
+    "fig05_reassign_family",
+    "fig06_grouping_percussion",
+    "fig07_follow_into_instruments",
+    "fig08_create_quartets",
+    "fig09_worksheet_quartets",
+    "fig10_derivation_all_inst",
+    "fig11_focus_edith",
+    "fig12_forest_edith_plays",
+];
+
+/// Builds the Diagram 1 scene: the interconnection of ISIS components
+/// (schema level ⇄ data level, with the temporary-visit loop arrows).
+pub fn diagram1_scene() -> isis_views::Scene {
+    use isis_views::{ArrowKind, Element, Emphasis, FrameStyle, Point, Rect, Scene};
+    let mut s = Scene::new("Diagram 1: interconnections of ISIS components");
+    let schema = Rect::new(2, 0, 70, 9);
+    s.push(Element::Frame {
+        rect: schema,
+        title: Some("SCHEMA LEVEL (schema selection is S)".into()),
+        style: FrameStyle::Window,
+    });
+    let forest = Rect::new(4, 2, 20, 3);
+    let network = Rect::new(27, 2, 20, 3);
+    let worksheet = Rect::new(50, 2, 20, 3);
+    for (r, label) in [
+        (forest, "inheritance forest"),
+        (network, "semantic network"),
+        (worksheet, "predicate worksheet"),
+    ] {
+        s.push(Element::Frame {
+            rect: r,
+            title: None,
+            style: FrameStyle::Window,
+        });
+        s.push(Element::Text {
+            at: Point::new(r.x + 1, r.y + 1),
+            text: label.into(),
+            emphasis: Emphasis::Plain,
+        });
+    }
+    // forest ⇄ network (view associations / pop), forest ⇄ worksheet
+    // (define / commit).
+    s.push(Element::Arrow {
+        from: Point::new(forest.right(), 3),
+        to: Point::new(network.x - 1, 3),
+        kind: ArrowKind::Single,
+        label: Some("S->S'".into()),
+    });
+    s.push(Element::Arrow {
+        from: Point::new(network.x - 1, 4),
+        to: Point::new(forest.right(), 4),
+        kind: ArrowKind::Single,
+        label: None,
+    });
+    s.push(Element::Arrow {
+        from: Point::new(network.right(), 3),
+        to: Point::new(worksheet.x - 1, 3),
+        kind: ArrowKind::None,
+        label: None,
+    });
+    s.push(Element::Text {
+        at: Point::new(4, 6),
+        text: "view associations / define / (re)name / view contents".into(),
+        emphasis: Emphasis::Plain,
+    });
+    s.push(Element::Text {
+        at: Point::new(4, 7),
+        text: "S selection changed at both levels while navigating".into(),
+        emphasis: Emphasis::Plain,
+    });
+    let data = Rect::new(2, 12, 70, 7);
+    s.push(Element::Frame {
+        rect: data,
+        title: Some("DATA LEVEL (data selection is D)".into()),
+        style: FrameStyle::Window,
+    });
+    s.push(Element::Text {
+        at: Point::new(4, 14),
+        text: "select/reject, follow (S->S', D->D'), (re)assign, make subclass".into(),
+        emphasis: Emphasis::Plain,
+    });
+    s.push(Element::Text {
+        at: Point::new(4, 16),
+        text: "if S is a class, D is a subset of S; if S is a grouping,".into(),
+        emphasis: Emphasis::Plain,
+    });
+    s.push(Element::Text {
+        at: Point::new(4, 17),
+        text: "D is (a union of) the contents of a subset of S".into(),
+        emphasis: Emphasis::Plain,
+    });
+    // view contents (down), pop (up).
+    s.push(Element::Arrow {
+        from: Point::new(20, schema.bottom()),
+        to: Point::new(20, data.y - 1),
+        kind: ArrowKind::Single,
+        label: Some("view contents".into()),
+    });
+    s.push(Element::Arrow {
+        from: Point::new(40, data.y - 1),
+        to: Point::new(40, schema.bottom()),
+        kind: ArrowKind::Single,
+        label: Some("pop".into()),
+    });
+    // The temporary-visit loop arrows: constant selection and make
+    // subclass change neither S nor D on return.
+    s.push(Element::Arrow {
+        from: Point::new(62, schema.bottom()),
+        to: Point::new(62, data.y - 1),
+        kind: ArrowKind::Single,
+        label: Some("select constant (loop: S, D unchanged)".into()),
+    });
+    s.push(Element::Arrow {
+        from: Point::new(66, data.y - 1),
+        to: Point::new(66, schema.bottom()),
+        kind: ArrowKind::Single,
+        label: None,
+    });
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_produces_all_twelve_figures() {
+        let (session, transcript) = run_holiday_party(None).unwrap();
+        assert!(session.stopped());
+        for name in FIGURES {
+            assert!(transcript.scene(name).is_some(), "missing capture {name}");
+        }
+        // Final database state: quartets committed, edith_plays created,
+        // flute corrected, consistency holds.
+        let db = session.database();
+        let quartets = db.class_by_name("quartets").unwrap();
+        assert_eq!(db.members(quartets).unwrap().len(), 1);
+        assert!(db.class_by_name("edith_plays").is_ok());
+        assert!(db.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn diagram1_renders() {
+        let s = diagram1_scene();
+        assert!(s.has_text("inheritance forest"));
+        assert!(s.has_text("semantic network"));
+        assert!(s.has_text("predicate worksheet"));
+        let out = isis_views::render::ascii::render(&s);
+        assert!(out.contains("SCHEMA LEVEL"));
+        assert!(out.contains("DATA LEVEL"));
+        assert!(out.contains("pop"));
+    }
+}

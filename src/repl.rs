@@ -1,0 +1,619 @@
+//! A line-oriented front end for the ISIS interface.
+//!
+//! The original system was driven by a one-button mouse and function keys;
+//! this module maps a small text command language onto the same
+//! [`Command`] stream, resolving names to ids
+//! against the live database, so a session can be driven from a terminal
+//! (see the `isis-repl` binary) or from test scripts.
+//!
+//! Type `help` at the prompt for the command list.
+
+use isis_core::{CompareOp, ConstraintKind, EntityId, Literal, Multiplicity, Operator, SchemaNode};
+use isis_session::{Command, Mode, Session, SessionError};
+use isis_views::render::ascii;
+
+/// Errors raised by the REPL layer (on top of session errors).
+#[derive(Debug)]
+pub enum ReplError {
+    /// The line could not be parsed.
+    Parse(String),
+    /// A name did not resolve.
+    Unknown(String),
+    /// The session rejected the command.
+    Session(SessionError),
+}
+
+impl std::fmt::Display for ReplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplError::Parse(m) => write!(f, "parse error: {m}"),
+            ReplError::Unknown(m) => write!(f, "unknown name: {m}"),
+            ReplError::Session(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {}
+
+impl From<SessionError> for ReplError {
+    fn from(e: SessionError) -> Self {
+        ReplError::Session(e)
+    }
+}
+
+impl From<isis_core::CoreError> for ReplError {
+    fn from(e: isis_core::CoreError) -> Self {
+        ReplError::Session(SessionError::Core(e))
+    }
+}
+
+/// The REPL help text.
+pub const HELP: &str = "\
+navigation:   pick NAME | pickattr CLASS.ATTR | associations | contents | pop | show
+schema:       rename NAME | subclass NAME | attribute NAME single|multi
+              valueclass NAME | grouping NAME ATTR | delete | predicate
+data level:   select NAME|LITERAL | follow ATTR | followg | move DX DY | pan DX DY
+              assign ATTR VALUE | newentity NAME | makesub NAME | scroll N
+worksheet:    define | derive | constraint NAME forall|forbidden
+              atom | edit TAG | push ATTR | poplhs | op OPERATOR (prefix ! negates)
+              rhsmap ATTR... | rhssrc ATTR... | const [CLASS] | toggle NAME|LITERAL
+              done | clause N | switch | hand ATTR... | commit
+session:      load NAME | save NAME | checks | undo | redo | stop | help
+operators:    = ~ <=s >=s <s >s < <= > >=       literals: 42, 2.5, yes, no, \"text\"";
+
+/// A text-driven ISIS session.
+#[derive(Debug)]
+pub struct Repl {
+    /// The underlying session.
+    pub session: Session,
+}
+
+impl Repl {
+    /// Wraps a session.
+    pub fn new(session: Session) -> Repl {
+        Repl { session }
+    }
+
+    /// Executes one line, returning the text to show the user.
+    pub fn exec(&mut self, line: &str) -> Result<String, ReplError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(String::new());
+        }
+        let mut parts = tokenize(line);
+        if parts.is_empty() {
+            // e.g. a line of quotes or stray whitespace inside quotes.
+            return Ok(String::new());
+        }
+        let verb = parts.remove(0);
+        let before = self.session.messages().len();
+        match verb.as_str() {
+            "help" => return Ok(HELP.to_string()),
+            "show" => return Ok(ascii::render(&self.session.scene()?)),
+            "pick" => {
+                let name = one(&parts, "pick NAME")?;
+                self.session.apply(Command::PickByName(name))?;
+            }
+            "pickattr" => {
+                let spec = one(&parts, "pickattr CLASS.ATTR")?;
+                let (class, attr) = spec
+                    .split_once('.')
+                    .ok_or_else(|| ReplError::Parse("expected CLASS.ATTR".into()))?;
+                let c = self.session.database().class_by_name(class)?;
+                let a = self.session.database().attr_by_name(c, attr)?;
+                self.session.apply(Command::PickAttr(a))?;
+            }
+            "associations" => self.session.apply(Command::ViewAssociations)?,
+            "contents" => self.session.apply(Command::ViewContents)?,
+            "pop" => self.session.apply(Command::Pop)?,
+            "rename" => {
+                self.session
+                    .apply(Command::Rename(one(&parts, "rename NAME")?))?;
+            }
+            "subclass" => {
+                self.session
+                    .apply(Command::CreateSubclass(one(&parts, "subclass NAME")?))?;
+            }
+            "attribute" => {
+                let (name, multi) = two(&parts, "attribute NAME single|multi")?;
+                let multiplicity = match multi.as_str() {
+                    "single" => Multiplicity::Single,
+                    "multi" => Multiplicity::Multi,
+                    other => return Err(ReplError::Parse(format!("'{other}'? single or multi"))),
+                };
+                self.session
+                    .apply(Command::CreateAttribute { name, multiplicity })?;
+            }
+            "valueclass" => {
+                let name = one(&parts, "valueclass NAME")?;
+                let node = self.session.database().node_by_name(&name)?;
+                self.session.apply(Command::SpecifyValueClass(node))?;
+            }
+            "grouping" => {
+                let (name, attr_name) = two(&parts, "grouping NAME ATTR")?;
+                let class = match self.session.selection() {
+                    Some(isis_session::Selection::Class(c)) => c,
+                    _ => return Err(ReplError::Parse("pick a class first".into())),
+                };
+                let attr = self.session.database().attr_by_name(class, &attr_name)?;
+                self.session.apply(Command::CreateGrouping { name, attr })?;
+            }
+            "delete" => self.session.apply(Command::Delete)?,
+            "predicate" => self.session.apply(Command::DisplayPredicate)?,
+            "select" | "toggle" => {
+                let name = one(&parts, "select NAME")?;
+                let e = self.resolve_entity(&name)?;
+                self.session.apply(Command::SelectEntity(e))?;
+            }
+            "follow" => {
+                let attr_name = one(&parts, "follow ATTR")?;
+                let class = self.page_class()?;
+                let attr = self.session.database().attr_by_name(class, &attr_name)?;
+                self.session.apply(Command::Follow(attr))?;
+            }
+            "followg" => self.session.apply(Command::FollowGrouping)?,
+            "assign" => {
+                let (attr_name, value) = two(&parts, "assign ATTR VALUE")?;
+                let class = self.page_class()?;
+                let attr = self.session.database().attr_by_name(class, &attr_name)?;
+                let vc = self.session.database().attr(attr)?.value_class;
+                let value = self.resolve_value(vc, &value)?;
+                self.session
+                    .apply(Command::ReassignAttrValue { attr, value })?;
+            }
+            "newentity" => {
+                self.session
+                    .apply(Command::CreateEntity(one(&parts, "newentity NAME")?))?;
+            }
+            "makesub" => {
+                self.session
+                    .apply(Command::MakeSubclass(one(&parts, "makesub NAME")?))?;
+            }
+            "move" => {
+                let (dx, dy) = two(&parts, "move DX DY")?;
+                let (dx, dy): (i32, i32) = (
+                    dx.parse()
+                        .map_err(|_| ReplError::Parse("move takes integers".into()))?,
+                    dy.parse()
+                        .map_err(|_| ReplError::Parse("move takes integers".into()))?,
+                );
+                self.session.apply(Command::Move(dx, dy))?;
+            }
+            "pan" => {
+                let (dx, dy) = two(&parts, "pan DX DY")?;
+                let (dx, dy): (i32, i32) = (
+                    dx.parse()
+                        .map_err(|_| ReplError::Parse("pan takes integers".into()))?,
+                    dy.parse()
+                        .map_err(|_| ReplError::Parse("pan takes integers".into()))?,
+                );
+                self.session.apply(Command::Pan(dx, dy))?;
+            }
+            "scroll" => {
+                let n: i32 = one(&parts, "scroll N")?
+                    .parse()
+                    .map_err(|_| ReplError::Parse("scroll takes an integer".into()))?;
+                self.session.apply(Command::Scroll(n))?;
+            }
+            "define" => self.session.apply(Command::DefineMembership)?,
+            "derive" => self.session.apply(Command::DefineDerivation)?,
+            "constraint" => {
+                let (name, kind) = two(&parts, "constraint NAME forall|forbidden")?;
+                let kind = match kind.as_str() {
+                    "forall" => ConstraintKind::ForAll,
+                    "forbidden" => ConstraintKind::Forbidden,
+                    other => {
+                        return Err(ReplError::Parse(format!("'{other}'? forall or forbidden")))
+                    }
+                };
+                self.session
+                    .apply(Command::DefineConstraint { name, kind })?;
+            }
+            "atom" => self.session.apply(Command::WsNewAtom)?,
+            "edit" => {
+                let tag = one(&parts, "edit TAG")?;
+                let c = tag
+                    .chars()
+                    .next()
+                    .filter(|c| c.is_ascii_uppercase())
+                    .ok_or_else(|| ReplError::Parse("tags are A, B, C, …".into()))?;
+                self.session.apply(Command::WsEdit(c))?;
+            }
+            "push" => {
+                let attr_name = one(&parts, "push ATTR")?;
+                let attr = self.resolve_lhs_attr(&attr_name)?;
+                self.session.apply(Command::WsLhsPush(attr))?;
+            }
+            "poplhs" => self.session.apply(Command::WsLhsPop)?,
+            "op" => {
+                let sym = one(&parts, "op OPERATOR")?;
+                self.session
+                    .apply(Command::WsOperator(parse_operator(&sym)?))?;
+            }
+            "rhsmap" | "rhssrc" | "hand" => {
+                let start = match verb.as_str() {
+                    "rhssrc" | "hand" => self.ws_source_class()?,
+                    _ => self.ws_candidate_class()?,
+                };
+                let mut attrs = Vec::new();
+                let mut cur = start;
+                for name in &parts {
+                    let a = self.session.database().attr_by_name(cur, name)?;
+                    cur = match self.session.database().attr(a)?.value_class {
+                        isis_core::ValueClass::Class(c) => c,
+                        isis_core::ValueClass::Grouping(g) => {
+                            self.session.database().grouping(g)?.parent
+                        }
+                    };
+                    attrs.push(a);
+                }
+                self.session.apply(match verb.as_str() {
+                    "rhsmap" => Command::WsRhsSelfMap(attrs),
+                    "rhssrc" => Command::WsRhsSourceMap(attrs),
+                    _ => Command::WsHandAssign(attrs),
+                })?;
+            }
+            "const" => {
+                let class = match parts.first() {
+                    Some(name) => Some(self.session.database().class_by_name(name)?),
+                    None => None,
+                };
+                self.session.apply(Command::WsRhsConstant(class))?;
+            }
+            "done" => self.session.apply(Command::ConstantDone)?,
+            "clause" => {
+                let n: usize = one(&parts, "clause N")?
+                    .parse()
+                    .map_err(|_| ReplError::Parse("clause takes a number (1-based)".into()))?;
+                if n == 0 {
+                    return Err(ReplError::Parse("clauses are numbered from 1".into()));
+                }
+                self.session.apply(Command::WsPlaceInClause(n - 1))?;
+            }
+            "switch" => self.session.apply(Command::WsSwitchAndOr)?,
+            "commit" => self.session.apply(Command::WsCommit)?,
+            "checks" => self.session.apply(Command::CheckConstraints)?,
+            "load" => self
+                .session
+                .apply(Command::Load(one(&parts, "load NAME")?))?,
+            "save" => self
+                .session
+                .apply(Command::Save(one(&parts, "save NAME")?))?,
+            "undo" => self.session.apply(Command::Undo)?,
+            "redo" => self.session.apply(Command::Redo)?,
+            "stop" | "quit" | "exit" => self.session.apply(Command::Stop)?,
+            other => {
+                return Err(ReplError::Parse(format!(
+                    "unknown command '{other}' (try help)"
+                )))
+            }
+        }
+        // Report whatever the command logged.
+        Ok(self.session.messages()[before..].join("\n"))
+    }
+
+    /// The class behind the current page (data level or constant pick).
+    fn page_class(&self) -> Result<isis_core::ClassId, ReplError> {
+        let node = match self.session.mode() {
+            Mode::ConstantPick { page, .. } => page.node,
+            _ => {
+                self.session
+                    .pages()
+                    .last()
+                    .ok_or_else(|| ReplError::Parse("not at the data level".into()))?
+                    .node
+            }
+        };
+        match node {
+            SchemaNode::Class(c) => Ok(c),
+            SchemaNode::Grouping(g) => Ok(self.session.database().grouping_index_class(g)?),
+        }
+    }
+
+    fn ws_candidate_class(&self) -> Result<isis_core::ClassId, ReplError> {
+        self.session
+            .worksheet()
+            .map(|w| w.candidate_class)
+            .ok_or_else(|| ReplError::Parse("no worksheet open".into()))
+    }
+
+    fn ws_source_class(&self) -> Result<isis_core::ClassId, ReplError> {
+        match self.session.worksheet() {
+            Some(w) => match w.source_class {
+                Some(c) => Ok(c),
+                // The hand/source commands on a membership/constraint
+                // worksheet fall back to the candidate class.
+                None => Ok(w.candidate_class),
+            },
+            None => Err(ReplError::Parse("no worksheet open".into())),
+        }
+    }
+
+    /// The class the worksheet's editing atom's lhs currently terminates in
+    /// (for `push`), or the page class outside the worksheet.
+    fn resolve_lhs_attr(&self, name: &str) -> Result<isis_core::AttrId, ReplError> {
+        let db = self.session.database();
+        let ws = self
+            .session
+            .worksheet()
+            .ok_or_else(|| ReplError::Parse("no worksheet open".into()))?;
+        let lhs = ws
+            .editing
+            .and_then(|i| ws.atoms.get(i))
+            .map(|a| a.lhs.clone())
+            .unwrap_or_default();
+        let terminal = db.trace_map(ws.candidate_class, &lhs)?.terminal();
+        Ok(db.attr_by_name(terminal, name)?)
+    }
+
+    /// Resolves an entity for select/toggle: a literal, or a member name of
+    /// the current page's class.
+    fn resolve_entity(&mut self, token: &str) -> Result<EntityId, ReplError> {
+        if let Some(lit) = parse_literal(token) {
+            return Ok(self.session.database_mut().intern(lit)?);
+        }
+        let class = self.page_class()?;
+        let db = self.session.database();
+        let base = db.class(class)?.base;
+        db.entity_by_name(base, token)
+            .map_err(|_| ReplError::Unknown(token.into()))
+    }
+
+    /// Resolves a value token against an attribute's value class.
+    fn resolve_value(
+        &mut self,
+        vc: isis_core::ValueClass,
+        token: &str,
+    ) -> Result<EntityId, ReplError> {
+        if let Some(lit) = parse_literal(token) {
+            return Ok(self.session.database_mut().intern(lit)?);
+        }
+        let db = self.session.database();
+        let class = match vc {
+            isis_core::ValueClass::Class(c) => c,
+            isis_core::ValueClass::Grouping(g) => db.grouping_index_class(g)?,
+        };
+        let base = db.class(class)?.base;
+        db.entity_by_name(base, token)
+            .map_err(|_| ReplError::Unknown(token.into()))
+    }
+}
+
+/// Splits a line into tokens, honouring double quotes.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for ch in line.chars() {
+        match ch {
+            '"' => in_quotes = !in_quotes,
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn one(parts: &[String], usage: &str) -> Result<String, ReplError> {
+    match parts {
+        [a] => Ok(a.clone()),
+        _ => Err(ReplError::Parse(format!("usage: {usage}"))),
+    }
+}
+
+fn two(parts: &[String], usage: &str) -> Result<(String, String), ReplError> {
+    match parts {
+        [a, b] => Ok((a.clone(), b.clone())),
+        _ => Err(ReplError::Parse(format!("usage: {usage}"))),
+    }
+}
+
+/// Parses `42`, `2.5`, `yes`, `no`; quoted strings were already unquoted by
+/// the tokenizer, so bare non-numeric tokens are *not* literals (they are
+/// names) — use quotes to force a string literal.
+fn parse_literal(token: &str) -> Option<Literal> {
+    match token {
+        "yes" | "YES" => return Some(Literal::Bool(true)),
+        "no" | "NO" => return Some(Literal::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = token.parse::<i64>() {
+        return Some(Literal::Int(i));
+    }
+    if token.contains('.') {
+        if let Ok(r) = token.parse::<f64>() {
+            return Some(Literal::Real(r));
+        }
+    }
+    None
+}
+
+/// Parses an operator symbol, with a `!` prefix for negation.
+pub fn parse_operator(sym: &str) -> Result<Operator, ReplError> {
+    let (negated, body) = match sym.strip_prefix('!') {
+        Some(rest) => (true, rest),
+        None => (false, sym),
+    };
+    let op = match body {
+        "=" => CompareOp::SetEq,
+        "~" => CompareOp::Match,
+        "<=s" | "⊆" => CompareOp::Subset,
+        ">=s" | "⊇" => CompareOp::Superset,
+        "<s" | "⊂" => CompareOp::ProperSubset,
+        ">s" | "⊃" => CompareOp::ProperSuperset,
+        "<" => CompareOp::Lt,
+        "<=" | "≤" => CompareOp::Le,
+        ">" => CompareOp::Gt,
+        ">=" | "≥" => CompareOp::Ge,
+        other => return Err(ReplError::Parse(format!("unknown operator '{other}'"))),
+    };
+    Ok(Operator { op, negated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repl() -> Repl {
+        let im = isis_sample::instrumental_music().unwrap();
+        Repl::new(Session::new(im.db))
+    }
+
+    #[test]
+    fn tokenizer_handles_quotes() {
+        assert_eq!(tokenize("a b c"), vec!["a", "b", "c"]);
+        assert_eq!(
+            tokenize("select \"Edith Smith\""),
+            vec!["select", "Edith Smith"]
+        );
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(parse_literal("42"), Some(Literal::Int(42)));
+        assert_eq!(parse_literal("-3"), Some(Literal::Int(-3)));
+        assert_eq!(parse_literal("2.5"), Some(Literal::Real(2.5)));
+        assert_eq!(parse_literal("yes"), Some(Literal::Bool(true)));
+        assert_eq!(parse_literal("no"), Some(Literal::Bool(false)));
+        assert_eq!(parse_literal("Edith"), None);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(parse_operator("=").unwrap().op, CompareOp::SetEq);
+        assert_eq!(parse_operator(">=s").unwrap().op, CompareOp::Superset);
+        assert!(parse_operator("!~").unwrap().negated);
+        assert!(parse_operator("??").is_err());
+    }
+
+    #[test]
+    fn browse_via_text() {
+        let mut r = repl();
+        assert!(r.exec("pick musicians").unwrap().contains("musicians"));
+        r.exec("contents").unwrap();
+        r.exec("select Edith").unwrap();
+        r.exec("follow plays").unwrap();
+        let shown = r.exec("show").unwrap();
+        assert!(shown.contains("*viola*"));
+        assert!(shown.contains("*violin*"));
+        r.exec("pop").unwrap();
+        r.exec("pop").unwrap();
+        assert_eq!(*r.session.mode(), Mode::Forest);
+    }
+
+    #[test]
+    fn the_whole_quartets_query_via_text() {
+        let mut r = repl();
+        for line in [
+            "pick music_groups",
+            "subclass quartets",
+            "define",
+            "atom",
+            "clause 2",
+            "push size",
+            "op =",
+            "const",
+            "toggle 4",
+            "done",
+            "atom",
+            "clause 1",
+            "push members",
+            "push plays",
+            "op >=s",
+            "const",
+            "toggle piano",
+            "done",
+            "switch",
+        ] {
+            r.exec(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let out = r.exec("commit").unwrap();
+        assert!(out.contains("quartets committed: 1 members"), "{out}");
+        let db = r.session.database();
+        let q = db.class_by_name("quartets").unwrap();
+        assert_eq!(db.members(q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn schema_building_and_errors_via_text() {
+        let mut r = repl();
+        r.exec("pick musicians").unwrap();
+        r.exec("subclass stars").unwrap();
+        r.exec("pick stars").unwrap();
+        r.exec("attribute fee single").unwrap();
+        r.exec("valueclass INTEGERS").unwrap();
+        let db = r.session.database();
+        let stars = db.class_by_name("stars").unwrap();
+        assert!(db.attr_by_name(stars, "fee").is_ok());
+        // Errors are reported, not panicked.
+        assert!(r.exec("frobnicate").is_err());
+        assert!(r.exec("attribute onlyname").is_err());
+        assert!(r.exec("pick nonexistent").is_err());
+        assert!(r.exec("scroll xyz").is_err());
+        // Empty/comment lines are no-ops.
+        assert_eq!(r.exec("").unwrap(), "");
+        assert_eq!(r.exec("# a comment").unwrap(), "");
+        // help mentions the worksheet.
+        assert!(r.exec("help").unwrap().contains("worksheet"));
+    }
+
+    #[test]
+    fn assign_with_value_resolution() {
+        let mut r = repl();
+        r.exec("pick instruments").unwrap();
+        r.exec("contents").unwrap();
+        r.exec("select flute").unwrap();
+        r.exec("select oboe").unwrap();
+        let out = r.exec("assign family woodwind").unwrap();
+        assert!(out.contains("woodwind"));
+        // Boolean literal.
+        r.exec("assign popular yes").unwrap();
+        let db = r.session.database();
+        let im = isis_sample::instrumental_music().unwrap();
+        let flute = db.entity_by_name(im.instruments, "flute").unwrap();
+        let fam = db.attr_value_set(flute, im.family).unwrap();
+        assert_eq!(
+            db.entity_name(fam.as_singleton().unwrap()).unwrap(),
+            "woodwind"
+        );
+    }
+
+    #[test]
+    fn constraint_via_text() {
+        let mut r = repl();
+        r.exec("pick musicians").unwrap();
+        r.exec("constraint union_only forall").unwrap();
+        r.exec("atom").unwrap();
+        r.exec("clause 1").unwrap();
+        r.exec("push union").unwrap();
+        r.exec("op ~").unwrap();
+        r.exec("const").unwrap();
+        r.exec("toggle yes").unwrap();
+        r.exec("done").unwrap();
+        let out = r.exec("commit").unwrap();
+        assert!(out.contains("union_only"), "{out}");
+        let out = r.exec("checks").unwrap();
+        // Several musicians are not in the union: violations reported.
+        assert!(out.contains("violated"), "{out}");
+    }
+
+    #[test]
+    fn grouping_page_and_literal_select() {
+        let mut r = repl();
+        r.exec("pick work_status").unwrap();
+        r.exec("contents").unwrap();
+        // Grouping pages index by the attribute's value class (YES/NO).
+        r.exec("select yes").unwrap();
+        r.exec("followg").unwrap();
+        let shown = r.exec("show").unwrap();
+        assert!(shown.contains("*Edith*"));
+    }
+}

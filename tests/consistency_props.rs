@@ -1,0 +1,295 @@
+//! Property-based tests of the §2 consistency invariants: arbitrary
+//! sequences of schema and data operations leave the database consistent,
+//! and every operation either succeeds preserving the invariants or is
+//! refused leaving the database untouched.
+
+use isis::prelude::*;
+use proptest::prelude::*;
+
+/// The operation alphabet for the fuzzer. Indices are taken modulo the
+/// relevant population so every generated value is meaningful.
+#[derive(Debug, Clone)]
+#[allow(clippy::enum_variant_names)]
+enum Op {
+    CreateBase(u8),
+    CreateSub {
+        parent: u8,
+        tag: u8,
+    },
+    CreateAttr {
+        class: u8,
+        vc: u8,
+        multi: bool,
+        tag: u8,
+    },
+    CreateGroupingOp {
+        class: u8,
+        attr: u8,
+        tag: u8,
+    },
+    InsertEntity {
+        base: u8,
+        tag: u8,
+    },
+    AddToClass {
+        ent: u8,
+        class: u8,
+    },
+    RemoveFromClass {
+        ent: u8,
+        class: u8,
+    },
+    AssignSingle {
+        ent: u8,
+        attr: u8,
+        val: u8,
+    },
+    AssignMulti {
+        ent: u8,
+        attr: u8,
+        vals: Vec<u8>,
+    },
+    Unassign {
+        ent: u8,
+        attr: u8,
+    },
+    DeleteEntity(u8),
+    DeleteClass(u8),
+    DeleteAttr(u8),
+    DeleteGrouping(u8),
+    RenameEntity {
+        ent: u8,
+        tag: u8,
+    },
+    RenameClass {
+        class: u8,
+        tag: u8,
+    },
+    InternInt(i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::CreateBase),
+        (any::<u8>(), any::<u8>()).prop_map(|(parent, tag)| Op::CreateSub { parent, tag }),
+        (any::<u8>(), any::<u8>(), any::<bool>(), any::<u8>()).prop_map(
+            |(class, vc, multi, tag)| Op::CreateAttr {
+                class,
+                vc,
+                multi,
+                tag
+            }
+        ),
+        (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(class, attr, tag)| Op::CreateGroupingOp { class, attr, tag }),
+        (any::<u8>(), any::<u8>()).prop_map(|(base, tag)| Op::InsertEntity { base, tag }),
+        (any::<u8>(), any::<u8>()).prop_map(|(ent, class)| Op::AddToClass { ent, class }),
+        (any::<u8>(), any::<u8>()).prop_map(|(ent, class)| Op::RemoveFromClass { ent, class }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(ent, attr, val)| Op::AssignSingle {
+            ent,
+            attr,
+            val
+        }),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 0..4)
+        )
+            .prop_map(|(ent, attr, vals)| Op::AssignMulti { ent, attr, vals }),
+        (any::<u8>(), any::<u8>()).prop_map(|(ent, attr)| Op::Unassign { ent, attr }),
+        any::<u8>().prop_map(Op::DeleteEntity),
+        any::<u8>().prop_map(Op::DeleteClass),
+        any::<u8>().prop_map(Op::DeleteAttr),
+        any::<u8>().prop_map(Op::DeleteGrouping),
+        (any::<u8>(), any::<u8>()).prop_map(|(ent, tag)| Op::RenameEntity { ent, tag }),
+        (any::<u8>(), any::<u8>()).prop_map(|(class, tag)| Op::RenameClass { class, tag }),
+        (-50i64..50).prop_map(Op::InternInt),
+    ]
+}
+
+fn pick<T: Copy>(items: &[T], i: u8) -> Option<T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(items[i as usize % items.len()])
+    }
+}
+
+/// Applies one op; failures are fine (refused operations), panics are not.
+fn apply(db: &mut Database, op: &Op) {
+    let classes: Vec<ClassId> = db.classes().map(|(c, _)| c).collect();
+    let attrs: Vec<AttrId> = db.attrs().map(|(a, _)| a).collect();
+    let groupings: Vec<GroupingId> = db.groupings().map(|(g, _)| g).collect();
+    let entities: Vec<EntityId> = db.entities().map(|(e, _)| e).collect();
+    let _ = match op {
+        Op::CreateBase(tag) => db.create_baseclass(&format!("base{tag}")).map(|_| ()),
+        Op::CreateSub { parent, tag } => match pick(&classes, *parent) {
+            Some(p) => db.create_subclass(p, &format!("sub{tag}")).map(|_| ()),
+            None => Ok(()),
+        },
+        Op::CreateAttr {
+            class,
+            vc,
+            multi,
+            tag,
+        } => match (pick(&classes, *class), pick(&classes, *vc)) {
+            (Some(c), Some(v)) => db
+                .create_attribute(
+                    c,
+                    &format!("attr{tag}"),
+                    v,
+                    if *multi {
+                        Multiplicity::Multi
+                    } else {
+                        Multiplicity::Single
+                    },
+                )
+                .map(|_| ()),
+            _ => Ok(()),
+        },
+        Op::CreateGroupingOp { class, attr, tag } => {
+            match (pick(&classes, *class), pick(&attrs, *attr)) {
+                (Some(c), Some(a)) => db.create_grouping(c, &format!("grp{tag}"), a).map(|_| ()),
+                _ => Ok(()),
+            }
+        }
+        Op::InsertEntity { base, tag } => match pick(&classes, *base) {
+            Some(b) => db.insert_entity(b, &format!("ent{tag}")).map(|_| ()),
+            None => Ok(()),
+        },
+        Op::AddToClass { ent, class } => match (pick(&entities, *ent), pick(&classes, *class)) {
+            (Some(e), Some(c)) => db.add_to_class(e, c),
+            _ => Ok(()),
+        },
+        Op::RemoveFromClass { ent, class } => {
+            match (pick(&entities, *ent), pick(&classes, *class)) {
+                (Some(e), Some(c)) => db.remove_from_class(e, c),
+                _ => Ok(()),
+            }
+        }
+        Op::AssignSingle { ent, attr, val } => {
+            match (
+                pick(&entities, *ent),
+                pick(&attrs, *attr),
+                pick(&entities, *val),
+            ) {
+                (Some(e), Some(a), Some(v)) => db.assign_single(e, a, v),
+                _ => Ok(()),
+            }
+        }
+        Op::AssignMulti { ent, attr, vals } => match (pick(&entities, *ent), pick(&attrs, *attr)) {
+            (Some(e), Some(a)) => {
+                let vs: Vec<EntityId> = vals.iter().filter_map(|v| pick(&entities, *v)).collect();
+                db.assign_multi(e, a, vs)
+            }
+            _ => Ok(()),
+        },
+        Op::Unassign { ent, attr } => match (pick(&entities, *ent), pick(&attrs, *attr)) {
+            (Some(e), Some(a)) => db.unassign(e, a),
+            _ => Ok(()),
+        },
+        Op::DeleteEntity(i) => match pick(&entities, *i) {
+            Some(e) => db.delete_entity(e),
+            None => Ok(()),
+        },
+        Op::DeleteClass(i) => match pick(&classes, *i) {
+            Some(c) => db.delete_class(c),
+            None => Ok(()),
+        },
+        Op::DeleteAttr(i) => match pick(&attrs, *i) {
+            Some(a) => db.delete_attr(a),
+            None => Ok(()),
+        },
+        Op::DeleteGrouping(i) => match pick(&groupings, *i) {
+            Some(g) => db.delete_grouping(g),
+            None => Ok(()),
+        },
+        Op::RenameEntity { ent, tag } => match pick(&entities, *ent) {
+            Some(e) => db.rename_entity(e, &format!("renamed{tag}")),
+            None => Ok(()),
+        },
+        Op::RenameClass { class, tag } => match pick(&classes, *class) {
+            Some(c) => db.rename_class(c, &format!("reclass{tag}")),
+            None => Ok(()),
+        },
+        Op::InternInt(v) => db.intern(Literal::Int(*v)).map(|_| ()),
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Invariant I: any operation sequence leaves the database consistent.
+    #[test]
+    fn random_ops_preserve_consistency(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut db = Database::new("fuzz");
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        let violations = db.check_consistency().unwrap();
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    /// Invariant II: a refused operation leaves the database untouched.
+    #[test]
+    fn refused_ops_have_no_effect(ops in proptest::collection::vec(op_strategy(), 1..40), probe in op_strategy()) {
+        let mut db = Database::new("fuzz");
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        let before = db.to_image();
+        // Try an operation; if it errors, the image must be unchanged.
+        let classes: Vec<ClassId> = db.classes().map(|(c, _)| c).collect();
+        let result_changed = {
+            let mut db2 = db.clone();
+            apply(&mut db2, &probe);
+            db2.to_image() != before
+        };
+        apply(&mut db, &probe);
+        // Either both applications changed it identically, or neither did.
+        prop_assert_eq!(db.to_image() != before, result_changed);
+        let _ = classes;
+    }
+
+    /// Invariant III: image round-trips are lossless for any reachable state.
+    #[test]
+    fn image_roundtrip_any_state(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut db = Database::new("fuzz");
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        let img = db.to_image();
+        let back = Database::from_image(img.clone()).unwrap();
+        prop_assert_eq!(back.to_image(), img);
+    }
+
+    /// Invariant IV: membership is always closed upward (each member of a
+    /// subclass is in every ancestor), checked independently of the
+    /// consistency checker's own implementation.
+    #[test]
+    fn membership_upward_closed(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let mut db = Database::new("fuzz");
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        let classes: Vec<ClassId> = db.classes().map(|(c, _)| c).collect();
+        for c in classes {
+            let ancestry = db.ancestry(c).unwrap();
+            for e in db.members(c).unwrap().iter() {
+                for a in &ancestry {
+                    prop_assert!(db.members(*a).unwrap().contains(e));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn interning_is_stable_across_mutation() {
+    let mut db = Database::new("t");
+    let a = db.int(7);
+    let base = db.create_baseclass("things").unwrap();
+    db.insert_entity(base, "x").unwrap();
+    let b = db.int(7);
+    assert_eq!(a, b);
+}

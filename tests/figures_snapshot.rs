@@ -1,0 +1,133 @@
+//! Rendering-level snapshot checks for the regenerated figures: the ASCII
+//! output of each figure must contain the structural landmarks a reader of
+//! the paper would look for, and the SVG must be well-formed.
+//!
+//! (Substring assertions rather than byte-golden files keep the tests
+//! robust to cosmetic layout tweaks while still pinning the content.)
+
+use isis::holiday::{diagram1_scene, run_holiday_party, FIGURES};
+use isis::views::render::{ascii, svg};
+
+struct Rendered {
+    name: &'static str,
+    txt: String,
+    svg: String,
+}
+
+fn render_all() -> Vec<Rendered> {
+    let (_s, t) = run_holiday_party(None).unwrap();
+    let mut out = vec![Rendered {
+        name: "diagram1",
+        txt: ascii::render(&diagram1_scene()),
+        svg: svg::render(&diagram1_scene()),
+    }];
+    for name in FIGURES {
+        let scene = t.scene(name).unwrap();
+        out.push(Rendered {
+            name,
+            txt: ascii::render(scene),
+            svg: svg::render(scene),
+        });
+    }
+    out
+}
+
+#[test]
+fn all_svgs_are_wellformed() {
+    for r in render_all() {
+        assert!(r.svg.starts_with("<svg"), "{}", r.name);
+        assert!(r.svg.trim_end().ends_with("</svg>"), "{}", r.name);
+        for tag in ["text", "rect"] {
+            let open = r.svg.matches(&format!("<{tag}")).count();
+            let close = r.svg.matches(&format!("</{tag}>")).count() + r.svg.matches("/>").count();
+            assert!(open <= close, "{}: unbalanced <{tag}>", r.name);
+        }
+        // No raw ampersands or angle brackets from names leaked through.
+        assert!(!r.svg.contains("& "), "{}", r.name);
+    }
+}
+
+#[test]
+fn ascii_landmarks_per_figure() {
+    let rendered = render_all();
+    let find = |name: &str| rendered.iter().find(|r| r.name == name).unwrap();
+
+    let d = find("diagram1");
+    for s in ["SCHEMA LEVEL", "DATA LEVEL", "view contents", "pop"] {
+        assert!(d.txt.contains(s), "diagram1 missing {s}");
+    }
+    let f1 = find("fig01_forest_soloists");
+    for s in [
+        "#musicians#",
+        "soloists",
+        "by_instrument",
+        "=>",
+        "view associations",
+    ] {
+        assert!(f1.txt.contains(s), "fig01 missing {s:?}");
+    }
+    let f2 = find("fig02_network_instruments");
+    for s in ["#instruments#", "family", "plays", "#STRINGS#"] {
+        assert!(f2.txt.contains(s), "fig02 missing {s:?}");
+    }
+    let f3 = find("fig03_data_select_oboe");
+    for s in ["*flute*", "*oboe*", "members:", "select/reject", "follow"] {
+        assert!(f3.txt.contains(s), "fig03 missing {s:?}");
+    }
+    let f4 = find("fig04_follow_family");
+    for s in ["*brass*", "woodwind", "families"] {
+        assert!(f4.txt.contains(s), "fig04 missing {s:?}");
+    }
+    let f5 = find("fig05_reassign_family");
+    assert!(f5.txt.contains("assigned family = woodwind for 2 entities"));
+    let f6 = find("fig06_grouping_percussion");
+    assert!(f6.txt.contains("*{percussion} (2)*"));
+    let f7 = find("fig07_follow_into_instruments");
+    for s in ["*drums*", "*cymbals*"] {
+        assert!(f7.txt.contains(s), "fig07 missing {s:?}");
+    }
+    let f8 = find("fig08_create_quartets");
+    assert!(f8.txt.contains("quartets"));
+    let f9 = find("fig09_worksheet_quartets");
+    for s in [
+        "clause 1",
+        "clause 2",
+        "size = {4}",
+        "{piano}",
+        "CNF",
+        "switch and/or",
+        "commit",
+    ] {
+        assert!(f9.txt.contains(s), "fig09 missing {s:?}");
+    }
+    let f10 = find("fig10_derivation_all_inst");
+    for s in ["all_inst", "=>"] {
+        assert!(f10.txt.contains(s), "fig10 missing {s:?}");
+    }
+    let f11 = find("fig11_focus_edith");
+    assert!(f11.txt.contains("*Edith*"));
+    assert!(!f11.txt.contains("*Kurt*"));
+    let f12 = find("fig12_forest_edith_plays");
+    assert!(f12.txt.contains("edith_plays"));
+}
+
+#[test]
+fn figures_are_reasonably_sized() {
+    for r in render_all() {
+        let lines = r.txt.lines().count();
+        assert!(lines > 5, "{} suspiciously small ({lines} lines)", r.name);
+        assert!(lines < 200, "{} suspiciously large ({lines} lines)", r.name);
+        assert!(r.svg.len() < 200_000, "{} svg too large", r.name);
+    }
+}
+
+#[test]
+fn every_figure_carries_the_database_banner() {
+    for r in render_all().iter().skip(1) {
+        assert!(
+            r.txt.contains("Instrumental_Music"),
+            "{} missing the title banner",
+            r.name
+        );
+    }
+}

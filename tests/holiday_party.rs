@@ -1,0 +1,262 @@
+//! Structural verification of every figure of the paper against the
+//! replayed §4.2 session — the reproduction's "evaluation section".
+//!
+//! Each test asserts the content the paper's figure shows: which boxes,
+//! which highlights, which windows, which hand position.
+
+use isis::holiday::{diagram1_scene, run_holiday_party};
+use isis::sample::instrumental_music;
+use isis::views::{ArrowKind, Element, Emphasis, Scene};
+use isis_session::Transcript;
+
+fn transcript() -> Transcript {
+    let (_s, t) = run_holiday_party(None).expect("session replays");
+    t
+}
+
+fn figure<'a>(t: &'a Transcript, name: &str) -> &'a Scene {
+    t.scene(name).unwrap_or_else(|| panic!("missing {name}"))
+}
+
+#[test]
+fn diagram1_shows_both_levels_and_the_loop() {
+    let s = diagram1_scene();
+    assert!(s.has_text("inheritance forest"));
+    assert!(s.has_text("semantic network"));
+    assert!(s.has_text("predicate worksheet"));
+    let txt = isis::views::render::ascii::render(&s);
+    assert!(txt.contains("SCHEMA LEVEL"));
+    assert!(txt.contains("DATA LEVEL"));
+    assert!(txt.contains("view contents"));
+    assert!(txt.contains("select constant (loop: S, D unchanged)"));
+}
+
+#[test]
+fn fig01_forest_with_soloists_selected() {
+    let t = transcript();
+    let s = figure(&t, "fig01_forest_soloists");
+    // The four baseclasses in reverse video, subclasses and groupings.
+    for base in ["musicians", "instruments", "music_groups", "families"] {
+        assert!(s.has_text_with(base, Emphasis::Reverse), "{base}");
+    }
+    for node in [
+        "soloists",
+        "play_strings",
+        "by_instrument",
+        "work_status",
+        "by_family",
+    ] {
+        assert!(s.has_text(node), "{node}");
+    }
+    // The hand icon is present (pointing at soloists).
+    assert!(s.hand().is_some());
+    // Attribute sections: own attributes only in this view; play_strings
+    // shows in_group but not (inherited) plays in its own box — plays
+    // appears once, in musicians' box.
+    let plays_count = s.texts().filter(|(t, _)| *t == "plays").count();
+    assert_eq!(plays_count, 1);
+}
+
+#[test]
+fn fig02_network_of_instruments() {
+    let t = transcript();
+    let s = figure(&t, "fig02_network_instruments");
+    assert!(s.has_text_with("instruments", Emphasis::Reverse));
+    // Outgoing arcs: name → STRINGS, family → families, popular → YES/NO.
+    for target in ["STRINGS", "families", "YES/NO"] {
+        assert!(s.has_text(target), "{target}");
+    }
+    // Incoming: musicians.plays, a double (multivalued) arrow.
+    assert!(s.has_text("musicians"));
+    let labels: Vec<&str> = s
+        .elements
+        .iter()
+        .filter_map(|e| match e {
+            Element::Arrow { label: Some(l), .. } => Some(l.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(labels.contains(&"plays"));
+    assert!(labels.contains(&"family"));
+    assert!(
+        s.count(|e| matches!(
+            e,
+            Element::Arrow {
+                kind: ArrowKind::Double,
+                ..
+            }
+        )) >= 1
+    );
+}
+
+#[test]
+fn fig03_flute_and_oboe_selected() {
+    let t = transcript();
+    let s = figure(&t, "fig03_data_select_oboe");
+    assert!(s.has_text_with("flute", Emphasis::Bold));
+    assert!(s.has_text_with("oboe", Emphasis::Bold));
+    assert!(s.has_text_with("piano", Emphasis::Plain));
+    // All attributes with inherited ones at the data level.
+    for a in ["name", "family", "popular"] {
+        assert!(s.has_text(a));
+    }
+    assert!(s.has_text("select/reject"));
+}
+
+#[test]
+fn fig04_follow_family_shows_the_error() {
+    let t = transcript();
+    let s = figure(&t, "fig04_follow_family");
+    // brass is the only highlighted family — the data error.
+    assert!(s.has_text_with("brass", Emphasis::Bold));
+    assert!(s.has_text_with("woodwind", Emphasis::Plain));
+    // Two overlapping pages with a follow arrow.
+    assert!(
+        s.count(|e| matches!(
+            e,
+            Element::Frame {
+                style: isis::views::FrameStyle::Page,
+                ..
+            }
+        )) >= 2
+    );
+    assert!(s.count(|e| matches!(e, Element::Arrow { .. })) >= 1);
+}
+
+#[test]
+fn fig05_reassignment_corrected_both() {
+    let (session, t) = run_holiday_party(None).unwrap();
+    let s = figure(&t, "fig05_reassign_family");
+    // The text window reports the simultaneous update.
+    assert!(s
+        .texts()
+        .any(|(txt, _)| txt.contains("assigned family = woodwind for 2 entities")));
+    // And the database agrees.
+    let im = instrumental_music().unwrap();
+    let db = session.database();
+    for inst in ["flute", "oboe"] {
+        let e = db.entity_by_name(im.instruments, inst).unwrap();
+        let fam = db.attr_value_set(e, im.family).unwrap();
+        let name = db.entity_name(fam.as_singleton().unwrap()).unwrap();
+        assert_eq!(name, "woodwind");
+    }
+}
+
+#[test]
+fn fig06_grouping_page_with_percussion_selected() {
+    let t = transcript();
+    let s = figure(&t, "fig06_grouping_percussion");
+    assert!(s.has_text("by_family"));
+    assert!(s
+        .texts()
+        .any(|(txt, e)| txt.contains("percussion") && e == Emphasis::Bold));
+    // The grouping's sets show their sizes.
+    assert!(s.texts().any(|(txt, _)| txt.contains("(2)")));
+}
+
+#[test]
+fn fig07_follow_into_instruments_highlights_percussion_members() {
+    let t = transcript();
+    let s = figure(&t, "fig07_follow_into_instruments");
+    assert!(s.has_text_with("drums", Emphasis::Bold));
+    assert!(s.has_text_with("cymbals", Emphasis::Bold));
+    assert!(s.has_text_with("viola", Emphasis::Plain));
+}
+
+#[test]
+fn fig08_forest_gains_quartets() {
+    let t = transcript();
+    let s = figure(&t, "fig08_create_quartets");
+    assert!(s.has_text("quartets"));
+    assert!(s.hand().is_some());
+    // fig01 did not have it.
+    assert!(!figure(&t, "fig01_forest_soloists").has_text("quartets"));
+}
+
+#[test]
+fn fig09_worksheet_atoms_and_cnf() {
+    let t = transcript();
+    let s = figure(&t, "fig09_worksheet_quartets");
+    assert!(s.title.contains("quartets"));
+    assert!(s.title.contains("CNF"));
+    // Atom list shows both atoms with resolved names.
+    assert!(s.texts().any(|(txt, _)| txt.contains("size = {4}")));
+    assert!(s
+        .texts()
+        .any(|(txt, _)| txt.contains("members plays") && txt.contains("{piano}")));
+    // The class stack of the last-edited atom (members plays).
+    for c in ["music_groups", "musicians", "instruments"] {
+        assert!(s.has_text(c) || s.has_text_with(c, Emphasis::Bold), "{c}");
+    }
+}
+
+#[test]
+fn fig10_derivation_with_hand_icon() {
+    let t = transcript();
+    let s = figure(&t, "fig10_derivation_all_inst");
+    assert!(s.title.contains("all_inst"));
+    assert!(s.hand().is_some(), "the unary hand operator is shown");
+}
+
+#[test]
+fn fig11_only_edith_highlighted() {
+    let t = transcript();
+    let s = figure(&t, "fig11_focus_edith");
+    assert!(s.has_text_with("Edith", Emphasis::Bold));
+    for other in ["Ian", "Kurt", "Donna"] {
+        assert!(s.has_text_with(other, Emphasis::Plain), "{other}");
+    }
+}
+
+#[test]
+fn fig12_forest_with_edith_plays_under_instruments() {
+    let (session, t) = run_holiday_party(None).unwrap();
+    let s = figure(&t, "fig12_forest_edith_plays");
+    assert!(s.has_text("edith_plays"));
+    assert!(s.hand().is_some());
+    let db = session.database();
+    let im = instrumental_music().unwrap();
+    let ep = db.class_by_name("edith_plays").unwrap();
+    assert_eq!(db.class(ep).unwrap().parent, Some(im.instruments));
+}
+
+#[test]
+fn session_outcome_matches_the_narrative() {
+    let (session, _t) = run_holiday_party(None).unwrap();
+    let db = session.database();
+    let im = instrumental_music().unwrap();
+    // "Finding only one quartet has met his requirements."
+    let quartets = db.class_by_name("quartets").unwrap();
+    let members: Vec<String> = db
+        .members(quartets)
+        .unwrap()
+        .iter()
+        .map(|e| db.entity_name(e).unwrap().to_string())
+        .collect();
+    assert_eq!(members, vec!["LaBelle Musique"]);
+    // all_inst lists the four instruments of the quartet.
+    let all_inst = db.attr_by_name(quartets, "all_inst").unwrap();
+    let labelle = db
+        .entity_by_name(im.music_groups, "LaBelle Musique")
+        .unwrap();
+    let mut played: Vec<String> = db
+        .attr_value_set(labelle, all_inst)
+        .unwrap()
+        .iter()
+        .map(|e| db.entity_name(e).unwrap().to_string())
+        .collect();
+    played.sort();
+    assert_eq!(played, vec!["cello", "piano", "viola", "violin"]);
+    // edith_plays = {viola, violin}.
+    let ep = db.class_by_name("edith_plays").unwrap();
+    let mut remembered: Vec<String> = db
+        .members(ep)
+        .unwrap()
+        .iter()
+        .map(|e| db.entity_name(e).unwrap().to_string())
+        .collect();
+    remembered.sort();
+    assert_eq!(remembered, vec!["viola", "violin"]);
+    // The whole thing stayed consistent.
+    assert!(db.is_consistent().unwrap());
+}

@@ -1,0 +1,124 @@
+//! The §4.2 session, once more — this time as a plain-text REPL script,
+//! proving the text front end covers the whole narrative a mouse would.
+
+use isis::repl::Repl;
+use isis_session::Session;
+
+/// The holiday-party session in the REPL command language.
+const SCRIPT: &str = r#"
+# --- familiarisation (Figures 1-2) ---
+pick soloists
+associations
+pick instruments
+pop
+
+# --- the data error (Figures 3-5) ---
+contents
+select flute
+select oboe
+follow family
+select brass
+select woodwind
+pop
+assign family woodwind
+
+# --- groupings (Figures 6-7) ---
+pop
+pick by_family
+predicate
+contents
+select percussion
+followg
+
+# --- the query (Figures 8-9) ---
+pop
+pop
+pick music_groups
+subclass quartets
+define
+atom
+clause 2
+push size
+op =
+const
+toggle 4
+done
+atom
+clause 1
+push members
+push plays
+op >=s
+const
+toggle piano
+done
+switch
+commit
+
+# --- all_inst (Figure 10) ---
+attribute all_inst multi
+valueclass instruments
+derive
+hand members plays
+commit
+
+# --- exploring the result (Figures 11-12) ---
+pick quartets
+contents
+select "LaBelle Musique"
+follow members
+toggle Ian
+toggle Kurt
+toggle Donna
+follow plays
+makesub edith_plays
+pop
+pop
+pop
+stop
+"#;
+
+#[test]
+fn the_whole_session_runs_as_a_text_script() {
+    let im = isis::sample::instrumental_music().unwrap();
+    let mut repl = Repl::new(Session::new(im.db.clone()));
+    for (lineno, line) in SCRIPT.lines().enumerate() {
+        repl.exec(line)
+            .unwrap_or_else(|e| panic!("line {}: {:?}: {e}", lineno + 1, line));
+    }
+    assert!(repl.session.stopped());
+    let db = repl.session.database();
+    // The session's outcomes, same as the typed-command replay.
+    let quartets = db.class_by_name("quartets").unwrap();
+    let members: Vec<&str> = db
+        .members(quartets)
+        .unwrap()
+        .iter()
+        .map(|e| db.entity_name(e).unwrap())
+        .collect();
+    assert_eq!(members, vec!["LaBelle Musique"]);
+    let all_inst = db.attr_by_name(quartets, "all_inst").unwrap();
+    assert!(db.attr(all_inst).unwrap().is_derived());
+    let ep = db.class_by_name("edith_plays").unwrap();
+    assert_eq!(db.members(ep).unwrap().len(), 2);
+    let flute = db.entity_by_name(im.instruments, "flute").unwrap();
+    let fam = db.attr_value_set(flute, im.family).unwrap();
+    assert_eq!(
+        db.entity_name(fam.as_singleton().unwrap()).unwrap(),
+        "woodwind"
+    );
+    assert!(db.is_consistent().unwrap());
+}
+
+/// The same script replayed twice gives byte-identical final renderings.
+#[test]
+fn text_script_replay_is_deterministic() {
+    let run = || {
+        let im = isis::sample::instrumental_music().unwrap();
+        let mut repl = Repl::new(Session::new(im.db));
+        for line in SCRIPT.lines() {
+            repl.exec(line).unwrap();
+        }
+        repl.exec("show").unwrap()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,217 @@
+//! Session determinism and the Diagram-1 invariants, tested end-to-end:
+//! replaying the same script twice yields byte-identical renderings, undo
+//! rewinds modifications faithfully, and temporary visits never disturb the
+//! schema or data selection.
+
+use isis::holiday::{holiday_party_script, FIGURES};
+use isis::prelude::*;
+use isis::views::render::{ascii, svg};
+use isis_sample::instrumental_music;
+use isis_session::{Command, Mode, Session};
+
+#[test]
+fn replay_is_deterministic_to_the_byte() {
+    let run = || {
+        let mut im = instrumental_music().unwrap();
+        let script = holiday_party_script(&mut im).unwrap();
+        let mut session = Session::new(im.db.clone());
+        let t = script.run(&mut session).unwrap();
+        let mut out = String::new();
+        for name in FIGURES {
+            out.push_str(&ascii::render(t.scene(name).unwrap()));
+            out.push_str(&svg::render(t.scene(name).unwrap()));
+        }
+        (out, session.database().to_image())
+    };
+    let (a_render, a_img) = run();
+    let (b_render, b_img) = run();
+    assert_eq!(a_render, b_render);
+    assert_eq!(a_img, b_img);
+}
+
+#[test]
+fn scripted_database_equals_directly_built_one() {
+    // Driving the engine through commands produces the same database as
+    // calling the core API directly.
+    let mut im = instrumental_music().unwrap();
+    let script = holiday_party_script(&mut im).unwrap();
+    let mut session = Session::new(im.db.clone());
+    script.run(&mut session).unwrap();
+    let via_session = session.database();
+
+    // Direct construction of the same final state.
+    let mut direct = im.db.clone();
+    for (inst, fam) in [("flute", im.woodwind), ("oboe", im.woodwind)] {
+        let e = direct.entity_by_name(im.instruments, inst).unwrap();
+        direct.assign_single(e, im.family, fam).unwrap();
+    }
+    let quartets = direct
+        .create_derived_subclass(im.music_groups, "quartets")
+        .unwrap();
+    let mut im2 = im.clone();
+    im2.db = direct;
+    let pred = isis_sample::quartets_predicate(&mut im2);
+    let mut direct = im2.db;
+    direct.commit_membership(quartets, pred).unwrap();
+    let all_inst = direct
+        .create_attribute(quartets, "all_inst", im.instruments, Multiplicity::Multi)
+        .unwrap();
+    direct
+        .commit_derivation(
+            all_inst,
+            AttrDerivation::Assign(Map::new(vec![im.members, im.plays])),
+        )
+        .unwrap();
+    let edith_plays = direct
+        .create_subclass(im.instruments, "edith_plays")
+        .unwrap();
+    direct.add_to_class(im.viola, edith_plays).unwrap();
+    direct.add_to_class(im.violin, edith_plays).unwrap();
+
+    // Same classes, same memberships, same values (ids may differ for
+    // objects created in different orders, so compare semantically).
+    for name in ["quartets", "edith_plays"] {
+        let a = via_session.class_by_name(name).unwrap();
+        let b = direct.class_by_name(name).unwrap();
+        let an: Vec<String> = via_session
+            .members(a)
+            .unwrap()
+            .iter()
+            .map(|e| via_session.entity_name(e).unwrap().to_string())
+            .collect();
+        let bn: Vec<String> = direct
+            .members(b)
+            .unwrap()
+            .iter()
+            .map(|e| direct.entity_name(e).unwrap().to_string())
+            .collect();
+        assert_eq!(an, bn, "{name}");
+    }
+}
+
+#[test]
+fn undo_rewinds_an_entire_session_of_modifications() {
+    let im = instrumental_music().unwrap();
+    let start = im.db.to_image();
+    let mut s = Session::new(im.db.clone());
+    // A run of modifications (each snapshots).
+    s.apply(Command::Pick(SchemaNode::Class(im.musicians)))
+        .unwrap();
+    s.apply(Command::CreateSubclass("a".into())).unwrap();
+    s.apply(Command::PickByName("a".into())).unwrap();
+    s.apply(Command::CreateSubclass("b".into())).unwrap();
+    s.apply(Command::PickByName("musicians".into())).unwrap();
+    s.apply(Command::CreateAttribute {
+        name: "nickname".into(),
+        multiplicity: Multiplicity::Single,
+    })
+    .unwrap();
+    s.apply(Command::Rename("alias".into())).unwrap();
+    // Rewind everything.
+    for _ in 0..4 {
+        s.apply(Command::Undo).unwrap();
+    }
+    assert_eq!(s.database().to_image(), start);
+    // Redo everything.
+    for _ in 0..4 {
+        s.apply(Command::Redo).unwrap();
+    }
+    assert!(s.database().class_by_name("b").is_ok());
+    assert!(s.database().attr_by_name(im.musicians, "alias").is_ok());
+}
+
+#[test]
+fn navigation_commands_do_not_snapshot() {
+    let im = instrumental_music().unwrap();
+    let mut s = Session::new(im.db.clone());
+    s.apply(Command::Pick(SchemaNode::Class(im.musicians)))
+        .unwrap();
+    s.apply(Command::ViewAssociations).unwrap();
+    s.apply(Command::Pop).unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    s.apply(Command::SelectEntity(im.edith)).unwrap();
+    s.apply(Command::Follow(im.plays)).unwrap();
+    s.apply(Command::Pop).unwrap();
+    // Pure navigation leaves nothing to undo.
+    assert!(s.apply(Command::Undo).is_err());
+}
+
+#[test]
+fn mode_transitions_follow_diagram_1() {
+    let im = instrumental_music().unwrap();
+    let mut s = Session::new(im.db.clone());
+    assert_eq!(*s.mode(), Mode::Forest);
+    s.apply(Command::Pick(SchemaNode::Class(im.musicians)))
+        .unwrap();
+    s.apply(Command::ViewAssociations).unwrap();
+    assert_eq!(*s.mode(), Mode::Network);
+    s.apply(Command::Pop).unwrap();
+    assert_eq!(*s.mode(), Mode::Forest);
+    s.apply(Command::ViewContents).unwrap();
+    assert_eq!(*s.mode(), Mode::Data);
+    s.apply(Command::Pop).unwrap();
+    assert_eq!(*s.mode(), Mode::Forest);
+    // Worksheet entry and exit.
+    s.apply(Command::Pick(SchemaNode::Class(im.play_strings)))
+        .unwrap();
+    s.apply(Command::DefineMembership).unwrap();
+    assert_eq!(*s.mode(), Mode::Worksheet);
+    s.apply(Command::Pop).unwrap();
+    assert_eq!(*s.mode(), Mode::Forest);
+    // ConstantPick cancels back to the worksheet.
+    s.apply(Command::DefineMembership).unwrap();
+    s.apply(Command::WsNewAtom).unwrap();
+    s.apply(Command::WsLhsPush(im.plays)).unwrap();
+    s.apply(Command::WsRhsConstant(None)).unwrap();
+    assert!(matches!(s.mode(), Mode::ConstantPick { .. }));
+    s.apply(Command::Pop).unwrap();
+    assert_eq!(*s.mode(), Mode::Worksheet);
+}
+
+#[test]
+fn every_view_renders_in_every_reachable_mode() {
+    let im = instrumental_music().unwrap();
+    let mut s = Session::new(im.db.clone());
+    let check = |s: &Session| {
+        let scene = s.scene().unwrap();
+        // Renders cleanly in both backends and is non-trivial.
+        assert!(!scene.elements.is_empty());
+        let a = ascii::render(&scene);
+        assert!(a.contains("Instrumental_Music"));
+        let v = svg::render(&scene);
+        assert!(v.starts_with("<svg"));
+    };
+    check(&s); // forest, no selection
+    s.apply(Command::Pick(SchemaNode::Class(im.musicians)))
+        .unwrap();
+    check(&s);
+    s.apply(Command::ViewAssociations).unwrap();
+    check(&s); // network
+    s.apply(Command::Pop).unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    check(&s); // data
+    s.apply(Command::SelectEntity(im.edith)).unwrap();
+    s.apply(Command::Follow(im.plays)).unwrap();
+    check(&s); // data, two pages
+    s.apply(Command::Pop).unwrap();
+    s.apply(Command::Pop).unwrap();
+    s.apply(Command::Pick(SchemaNode::Class(im.play_strings)))
+        .unwrap();
+    s.apply(Command::DefineMembership).unwrap();
+    check(&s); // worksheet, empty
+    s.apply(Command::WsNewAtom).unwrap();
+    s.apply(Command::WsLhsPush(im.plays)).unwrap();
+    s.apply(Command::WsRhsConstant(None)).unwrap();
+    check(&s); // constant pick (temporary data level)
+}
+
+#[test]
+fn grouping_page_via_session_renders_sets() {
+    let im = instrumental_music().unwrap();
+    let mut s = Session::new(im.db.clone());
+    s.apply(Command::Pick(SchemaNode::Grouping(im.work_status)))
+        .unwrap();
+    s.apply(Command::ViewContents).unwrap();
+    let scene = s.scene().unwrap();
+    assert!(scene.texts().any(|(t, _)| t.contains("{YES}")));
+}
