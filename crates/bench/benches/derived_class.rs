@@ -4,9 +4,12 @@
 //! Experiment E-2: incremental maintenance after a single entity change
 //! beats full re-evaluation by a widening factor as the class grows.
 
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use isis_bench::fixture;
-use isis_core::OrderedSet;
+use isis_core::{Database, EntityId, OrderedSet};
 use isis_query::DerivedMaintainer;
 
 fn commit_vs_incremental(c: &mut Criterion) {
@@ -49,6 +52,27 @@ fn commit_vs_incremental(c: &mut Criterion) {
             });
             let _ = maint;
         }
+        // The full delta pipeline: read the change log, apply it.
+        {
+            let f = fixture(n);
+            let mut db = f.s.db.clone();
+            let quartets = db
+                .create_derived_subclass(f.s.music_groups, "bench_quartets")
+                .unwrap();
+            db.commit_membership(quartets, f.quartets.clone()).unwrap();
+            let mut maint = DerivedMaintainer::new(&db, quartets).unwrap();
+            let mut toggle = PlaysToggle::new(&db, &f, f.s.musician_ids[1]);
+            let mut cursor = db.delta_epoch();
+            g.bench_with_input(BenchmarkId::new("delta_pipeline", n), &n, |b, _| {
+                b.iter(|| {
+                    toggle.flip(&mut db);
+                    let cs = db.changes_since(cursor).expect("window live");
+                    let out = maint.apply_changes(&mut db, &cs).unwrap();
+                    cursor = db.delta_epoch();
+                    out
+                })
+            });
+        }
         // Affected-candidate analysis alone (the pruning power).
         {
             let f = fixture(n);
@@ -67,9 +91,123 @@ fn commit_vs_incremental(c: &mut Criterion) {
     g.finish();
 }
 
+/// A repeatable point update: one musician alternately gains and loses one
+/// instrument, so every flip records exactly one real `AttrAssigned`.
+struct PlaysToggle {
+    target: EntityId,
+    attr: isis_core::AttrId,
+    with_probe: OrderedSet,
+    without_probe: OrderedSet,
+    has_probe: bool,
+}
+
+impl PlaysToggle {
+    fn new(db: &Database, f: &isis_bench::Fixture, target: EntityId) -> Self {
+        let base = db.attr_value_set(target, f.s.plays).unwrap();
+        let mut with_probe = base.clone();
+        with_probe.insert(f.probe_instrument);
+        let mut without_probe = base.clone();
+        without_probe.remove(f.probe_instrument);
+        PlaysToggle {
+            target,
+            attr: f.s.plays,
+            has_probe: base.contains(f.probe_instrument),
+            with_probe,
+            without_probe,
+        }
+    }
+
+    fn flip(&mut self, db: &mut Database) {
+        let next = if self.has_probe {
+            self.without_probe.as_slice()
+        } else {
+            self.with_probe.as_slice()
+        };
+        db.assign_multi(self.target, self.attr, next.iter().copied())
+            .unwrap();
+        self.has_probe = !self.has_probe;
+    }
+}
+
+/// Experiment E-2b: the headline comparison for the delta-refresh pipeline.
+/// Full re-evaluation vs `changes_since` + `apply_changes` after a single
+/// point update, at a 10k-entity scale, written to `out/derived_refresh.md`.
+fn refresh_report(_c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (n, full_iters, delta_iters) = if smoke {
+        (300, 2, 8)
+    } else {
+        (10_000, 20, 400)
+    };
+
+    let f = fixture(n);
+    let mut db = f.s.db.clone();
+    let quartets = db
+        .create_derived_subclass(f.s.music_groups, "bench_quartets")
+        .unwrap();
+    db.commit_membership(quartets, f.quartets.clone()).unwrap();
+    let entities = db.entity_count();
+    let mut toggle = PlaysToggle::new(&db, &f, f.s.musician_ids[1]);
+
+    // Full refresh: re-evaluate the stored predicate over the whole parent
+    // extent after each point update.
+    let mut full_total = Duration::ZERO;
+    for _ in 0..full_iters {
+        toggle.flip(&mut db);
+        let t = Instant::now();
+        db.refresh_derived_class(quartets).unwrap();
+        full_total += t.elapsed();
+    }
+
+    // Delta refresh: steady-state maintainer consuming the change log.
+    let mut maint = DerivedMaintainer::new(&db, quartets).unwrap();
+    let mut cursor = db.delta_epoch();
+    let mut delta_total = Duration::ZERO;
+    for _ in 0..delta_iters {
+        toggle.flip(&mut db);
+        let t = Instant::now();
+        let cs = db.changes_since(cursor).expect("window live");
+        maint.apply_changes(&mut db, &cs).unwrap();
+        delta_total += t.elapsed();
+        cursor = db.delta_epoch();
+    }
+
+    // The delta path must land on the same membership as a full refresh.
+    let incremental: Vec<EntityId> = db.members(quartets).unwrap().iter().collect();
+    db.refresh_derived_class(quartets).unwrap();
+    let full: Vec<EntityId> = db.members(quartets).unwrap().iter().collect();
+    assert_eq!(
+        incremental, full,
+        "delta refresh diverged from full refresh"
+    );
+
+    let full_us = full_total.as_secs_f64() * 1e6 / full_iters as f64;
+    let delta_us = delta_total.as_secs_f64() * 1e6 / delta_iters as f64;
+    let speedup = full_us / delta_us;
+    println!(
+        "refresh_report: n={n} ({entities} entities) full={full_us:.1}us \
+         delta={delta_us:.1}us speedup={speedup:.1}x"
+    );
+
+    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../out");
+    std::fs::create_dir_all(&out_dir).expect("create out/");
+    let report = format!(
+        "# Derived-class refresh: full vs delta\n\n\
+         Point update (one musician's `plays` set changes by one instrument),\n\
+         then the derived subclass `bench_quartets` is brought up to date.\n\n\
+         | mode | database | mean per update |\n\
+         | --- | --- | --- |\n\
+         | full `refresh_derived_class` | {entities} entities ({n} musicians) | {full_us:.1} µs |\n\
+         | delta `changes_since` + `apply_changes` | {entities} entities ({n} musicians) | {delta_us:.1} µs |\n\n\
+         **Speedup: {speedup:.1}×** (iterations: {full_iters} full, {delta_iters} delta{}).\n",
+        if smoke { "; smoke run under `--test`" } else { "" }
+    );
+    std::fs::write(out_dir.join("derived_refresh.md"), report).expect("write report");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = commit_vs_incremental
+    targets = commit_vs_incremental, refresh_report
 }
 criterion_main!(benches);

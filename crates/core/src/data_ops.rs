@@ -7,6 +7,7 @@
 //! values) or is refused.
 
 use crate::attribute::{AttrValue, Multiplicity, ValueClass};
+use crate::change::{Change, ChangeSet};
 use crate::entity::EntityRecord;
 use crate::error::{CoreError, Result};
 use crate::grouping::GroupingSet;
@@ -47,6 +48,11 @@ impl Database {
         self.entities.push(EntityRecord::user(name, base));
         self.entity_names.insert((base, name.to_string()), id);
         self.classes[base.index()].members.insert(id);
+        self.record_change(Change::EntityInserted { entity: id, base });
+        self.record_change(Change::MembershipAdded {
+            entity: id,
+            class: base,
+        });
         Ok(id)
     }
 
@@ -58,19 +64,26 @@ impl Database {
     /// is defined by its predicate (§2). (Cascaded insertion *through* a
     /// derived ancestor is permitted: derivation predicates "do not (at
     /// present) form part of the consistency requirements".)
-    pub fn add_to_class(&mut self, entity: EntityId, class: ClassId) -> Result<()> {
+    ///
+    /// Returns the [`ChangeSet`] of memberships actually gained (empty if
+    /// the entity was already a member everywhere).
+    pub fn add_to_class(&mut self, entity: EntityId, class: ClassId) -> Result<ChangeSet> {
         if self.class(class)?.is_derived() {
             return Err(CoreError::DerivedClass(class));
         }
-        self.add_to_class_unchecked(entity, class)
+        let mark = self.delta_epoch();
+        self.add_to_class_unchecked(entity, class)?;
+        Ok(self.delta_suffix(mark))
     }
 
     /// Membership insertion bypassing the derived-class guard, for derived-
     /// class *maintainers* (code that re-evaluates a predicate and installs
     /// the result, e.g. incremental maintenance in `isis-query`). Regular
     /// callers should use [`Database::add_to_class`].
-    pub fn force_membership(&mut self, entity: EntityId, class: ClassId) -> Result<()> {
-        self.add_to_class_unchecked(entity, class)
+    pub fn force_membership(&mut self, entity: EntityId, class: ClassId) -> Result<ChangeSet> {
+        let mark = self.delta_epoch();
+        self.add_to_class_unchecked(entity, class)?;
+        Ok(self.delta_suffix(mark))
     }
 
     /// Membership insertion without the derived-class guard; used by the
@@ -93,6 +106,7 @@ impl Database {
             return Ok(());
         }
         self.classes[class.index()].members.insert(entity);
+        self.record_change(Change::MembershipAdded { entity, class });
         for p in self.class(class)?.all_parents().collect::<Vec<_>>() {
             self.add_to_class_unchecked(entity, p)?;
         }
@@ -102,7 +116,9 @@ impl Database {
     /// Removes an entity from a subclass, cascading the removal down through
     /// every descendant (subset consistency), and scrubbing any attribute
     /// values that drew on the classes the entity left.
-    pub fn remove_from_class(&mut self, entity: EntityId, class: ClassId) -> Result<()> {
+    ///
+    /// Returns the [`ChangeSet`] of memberships lost and values scrubbed.
+    pub fn remove_from_class(&mut self, entity: EntityId, class: ClassId) -> Result<ChangeSet> {
         let crec = self.class(class)?;
         if crec.is_base() {
             return Err(CoreError::Inconsistent(
@@ -110,10 +126,11 @@ impl Database {
             ));
         }
         self.entity(entity)?;
+        let mark = self.delta_epoch();
         let mut left = Vec::new();
         self.remove_from_class_rec(entity, class, &mut left)?;
         self.scrub_values(entity, &left)?;
-        Ok(())
+        Ok(self.delta_suffix(mark))
     }
 
     fn remove_from_class_rec(
@@ -126,6 +143,7 @@ impl Database {
             return Ok(());
         }
         self.classes[class.index()].members.remove(entity);
+        self.record_change(Change::MembershipRemoved { entity, class });
         left.push(class);
         // Cascade into subclasses (primary children) …
         for child in self.class(class)?.children.clone() {
@@ -146,27 +164,46 @@ impl Database {
     /// Deletes an entity outright: removes it from every class extent, every
     /// attribute value that references it, and every value it carries.
     /// Interned literals are immutable and cannot be deleted.
-    pub fn delete_entity(&mut self, entity: EntityId) -> Result<()> {
+    ///
+    /// Returns the [`ChangeSet`]: one membership removal per extent the
+    /// entity occupied, one value transition per scrubbed assignment, then
+    /// the final [`Change::EntityDeleted`].
+    pub fn delete_entity(&mut self, entity: EntityId) -> Result<ChangeSet> {
         let rec = self.entity(entity)?;
         if rec.is_literal() {
             return Err(CoreError::LiteralEntity(entity));
         }
         let base = rec.base;
         let name = rec.name.clone();
+        let mark = self.delta_epoch();
         for c in self.descendants(base)? {
-            self.classes[c.index()].members.remove(entity);
+            if self.classes[c.index()].members.remove(entity) {
+                self.record_change(Change::MembershipRemoved { entity, class: c });
+            }
         }
         // Scrub both the values the entity carried and references to it.
         for a in 0..self.attrs.len() {
             if !self.attrs[a].alive {
                 continue;
             }
-            self.attrs[a].values.remove(&entity);
-            self.scrub_attr_references(AttrId::from_raw(a as u32), entity);
+            let attr = AttrId::from_raw(a as u32);
+            if let Some(old) = self.attrs[a].values.remove(&entity) {
+                let new = self.attrs[a].default_value();
+                if old != new {
+                    self.record_change(Change::AttrAssigned {
+                        entity,
+                        attr,
+                        old,
+                        new,
+                    });
+                }
+            }
+            self.scrub_attr_references(attr, entity);
         }
         self.entity_names.remove(&(base, name));
         self.entities[entity.index()].alive = false;
-        Ok(())
+        self.record_change(Change::EntityDeleted { entity, base });
+        Ok(self.delta_suffix(mark))
     }
 
     /// After `entity` left the classes in `left`, remove references to it
@@ -196,25 +233,45 @@ impl Database {
 
     fn scrub_attr_references(&mut self, attr: AttrId, entity: EntityId) {
         let rec = &mut self.attrs[attr.index()];
-        rec.values.retain(|_, v| match v {
-            AttrValue::Single(e) => {
-                if *e == entity {
-                    *e = EntityId::NULL;
+        let mut scrubbed: Vec<(EntityId, AttrValue, AttrValue)> = Vec::new();
+        for (&owner, v) in rec.values.iter_mut() {
+            match v {
+                AttrValue::Single(e) => {
+                    if *e == entity {
+                        // Keep the entry; NULL is the default but an explicit
+                        // NULL entry is harmless and preserves assignment
+                        // history length.
+                        let old = AttrValue::Single(*e);
+                        *e = EntityId::NULL;
+                        scrubbed.push((owner, old, v.clone()));
+                    }
                 }
-                // Keep the entry; NULL is the default but an explicit NULL
-                // entry is harmless and preserves assignment history length.
-                true
+                AttrValue::Multi(s) => {
+                    if s.contains(entity) {
+                        let old = AttrValue::Multi(s.clone());
+                        s.remove(entity);
+                        scrubbed.push((owner, old, v.clone()));
+                    }
+                }
             }
-            AttrValue::Multi(s) => {
-                s.remove(entity);
-                true
-            }
-        });
+        }
+        for (owner, old, new) in scrubbed {
+            self.record_change(Change::AttrAssigned {
+                entity: owner,
+                attr,
+                old,
+                new,
+            });
+        }
     }
 
     /// Renames an entity (assigning its naming attribute). Names must stay
     /// unique within the baseclass; literals are immutable.
-    pub fn rename_entity(&mut self, entity: EntityId, name: &str) -> Result<()> {
+    ///
+    /// The returned [`ChangeSet`] carries the naming-attribute value
+    /// transition (old string entity → new string entity) so index
+    /// consumers see renames as ordinary assignments.
+    pub fn rename_entity(&mut self, entity: EntityId, name: &str) -> Result<ChangeSet> {
         let rec = self.entity(entity)?;
         if rec.is_literal() {
             return Err(CoreError::LiteralEntity(entity));
@@ -225,7 +282,7 @@ impl Database {
         let base = rec.base;
         let old = rec.name.clone();
         if old == name {
-            return Ok(());
+            return Ok(ChangeSet::new());
         }
         if self.entity_names.contains_key(&(base, name.to_string())) {
             return Err(CoreError::DuplicateEntityName {
@@ -233,11 +290,26 @@ impl Database {
                 name: name.into(),
             });
         }
-        self.intern(crate::literal::Literal::Str(name.to_string()))?;
+        let mark = self.delta_epoch();
+        let new_str = self.intern(crate::literal::Literal::Str(name.to_string()))?;
+        let strings = self.predefined(crate::literal::BaseKind::Strings);
+        let old_str = self
+            .entity_names
+            .get(&(strings, old.clone()))
+            .copied()
+            .unwrap_or(EntityId::NULL);
         self.entity_names.remove(&(base, old));
         self.entity_names.insert((base, name.to_string()), entity);
         self.entities[entity.index()].name = name.to_string();
-        Ok(())
+        let naming = self.naming_attr(base)?;
+        self.record_change(Change::AttrAssigned {
+            entity,
+            attr: naming,
+            old: AttrValue::Single(old_str),
+            new: AttrValue::Single(new_str),
+        });
+        self.record_change(Change::EntityRenamed { entity });
+        Ok(self.delta_suffix(mark))
     }
 
     fn check_value_membership(&self, attr: AttrId, value: EntityId) -> Result<()> {
@@ -292,17 +364,45 @@ impl Database {
         Ok(())
     }
 
+    /// Records the `old → new` transition of `attr` on `entity`, unless the
+    /// value did not actually change.
+    fn record_assignment(&mut self, entity: EntityId, attr: AttrId, old: AttrValue) {
+        let new = self
+            .attr(attr)
+            .map(|rec| rec.value_of(entity))
+            .unwrap_or(AttrValue::Single(EntityId::NULL));
+        if old != new {
+            self.record_change(Change::AttrAssigned {
+                entity,
+                attr,
+                old,
+                new,
+            });
+        }
+    }
+
     /// Assigns a single value to an attribute for `entity` ("(re)assign att.
     /// value"). On a multivalued attribute this installs a singleton set.
     /// Assigning the naming attribute renames the entity.
-    pub fn assign_single(&mut self, entity: EntityId, attr: AttrId, value: EntityId) -> Result<()> {
+    ///
+    /// Returns the [`ChangeSet`] carrying the `(entity, attr, old, new)`
+    /// transition (empty if the value was unchanged).
+    pub fn assign_single(
+        &mut self,
+        entity: EntityId,
+        attr: AttrId,
+        value: EntityId,
+    ) -> Result<ChangeSet> {
         if self.attr(attr)?.naming {
             let name = self.entity(value)?.name.clone();
             return self.rename_entity(entity, &name);
         }
         self.check_assignable(entity, attr)?;
         self.check_value_membership(attr, value)?;
-        let v = match self.attr(attr)?.multiplicity {
+        let mark = self.delta_epoch();
+        let rec = self.attr(attr)?;
+        let old = rec.value_of(entity);
+        let v = match rec.multiplicity {
             Multiplicity::Single => AttrValue::Single(value),
             Multiplicity::Multi => AttrValue::Multi(if value.is_null() {
                 OrderedSet::new()
@@ -311,7 +411,8 @@ impl Database {
             }),
         };
         self.attr_mut(attr)?.values.insert(entity, v);
-        Ok(())
+        self.record_assignment(entity, attr, old);
+        Ok(self.delta_suffix(mark))
     }
 
     /// Assigns a set of values to a multivalued attribute for `entity`.
@@ -320,7 +421,7 @@ impl Database {
         entity: EntityId,
         attr: AttrId,
         values: impl IntoIterator<Item = EntityId>,
-    ) -> Result<()> {
+    ) -> Result<ChangeSet> {
         self.check_assignable(entity, attr)?;
         if self.attr(attr)?.multiplicity == Multiplicity::Single {
             return Err(CoreError::SingleValuedAttr(attr));
@@ -329,19 +430,29 @@ impl Database {
         for v in set.iter() {
             self.check_value_membership(attr, v)?;
         }
+        let mark = self.delta_epoch();
+        let old = self.attr(attr)?.value_of(entity);
         self.attr_mut(attr)?
             .values
             .insert(entity, AttrValue::Multi(set));
-        Ok(())
+        self.record_assignment(entity, attr, old);
+        Ok(self.delta_suffix(mark))
     }
 
     /// Adds one value to a multivalued attribute without replacing the set.
-    pub fn add_value(&mut self, entity: EntityId, attr: AttrId, value: EntityId) -> Result<()> {
+    pub fn add_value(
+        &mut self,
+        entity: EntityId,
+        attr: AttrId,
+        value: EntityId,
+    ) -> Result<ChangeSet> {
         self.check_assignable(entity, attr)?;
         if self.attr(attr)?.multiplicity == Multiplicity::Single {
             return Err(CoreError::SingleValuedAttr(attr));
         }
         self.check_value_membership(attr, value)?;
+        let mark = self.delta_epoch();
+        let old = self.attr(attr)?.value_of(entity);
         let rec = self.attr_mut(attr)?;
         match rec
             .values
@@ -353,14 +464,18 @@ impl Database {
             }
             AttrValue::Single(_) => unreachable!("multiplicity checked above"),
         }
-        Ok(())
+        self.record_assignment(entity, attr, old);
+        Ok(self.delta_suffix(mark))
     }
 
     /// Resets an attribute to its default (null / empty set) for `entity`.
-    pub fn unassign(&mut self, entity: EntityId, attr: AttrId) -> Result<()> {
+    pub fn unassign(&mut self, entity: EntityId, attr: AttrId) -> Result<ChangeSet> {
         self.check_assignable(entity, attr)?;
+        let mark = self.delta_epoch();
+        let old = self.attr(attr)?.value_of(entity);
         self.attr_mut(attr)?.values.remove(&entity);
-        Ok(())
+        self.record_assignment(entity, attr, old);
+        Ok(self.delta_suffix(mark))
     }
 
     /// The stored (or default) value of `attr` for `entity`. The naming

@@ -62,6 +62,9 @@ pub struct Database {
     pub(crate) multi_inheritance: bool,
     /// Integrity constraints (§5 extension), including dead slots.
     pub(crate) constraints: Vec<crate::constraint::ConstraintRecord>,
+    /// Log of structural changes, consumed by incremental maintainers.
+    /// Not persisted in images: a load is a rebuild boundary.
+    pub(crate) delta: crate::change::DeltaLog,
 }
 
 impl Database {
@@ -79,6 +82,7 @@ impl Database {
             fill_counter: 0,
             multi_inheritance: false,
             constraints: Vec::new(),
+            delta: crate::change::DeltaLog::default(),
         };
         // Entity slot 0 is the null entity; it is "a member of every class"
         // conceptually but appears in no extent.
@@ -140,7 +144,10 @@ impl Database {
     /// Enables the multiple-inheritance extension (§5: "the system is
     /// currently being extended to handle multiple parent inheritance").
     pub fn enable_multiple_inheritance(&mut self) {
-        self.multi_inheritance = true;
+        if !self.multi_inheritance {
+            self.multi_inheritance = true;
+            self.record_schema(crate::change::SchemaEdit::MultipleInheritanceEnabled);
+        }
     }
 
     /// `true` if the multiple-inheritance extension is enabled.
@@ -412,6 +419,11 @@ impl Database {
         self.literal_index.insert(key, id);
         self.entity_names.insert((base, name.clone()), id);
         self.classes[base.index()].members.insert(id);
+        self.record_change(crate::change::Change::EntityInserted { entity: id, base });
+        self.record_change(crate::change::Change::MembershipAdded {
+            entity: id,
+            class: base,
+        });
         // The literal's display name is itself a STRING entity (every
         // entity's naming attribute must resolve to a STRING member).
         if kind != BaseKind::Strings {

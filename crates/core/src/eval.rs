@@ -297,6 +297,11 @@ impl Database {
             self.add_to_class_unchecked(e, class)?;
         }
         let n = new_members.len();
+        // A *new* predicate is a schema edit; a plain refresh (same
+        // predicate re-committed) only produces membership changes.
+        if self.class(class)?.kind.predicate() != Some(&pred) {
+            self.record_schema(crate::change::SchemaEdit::DerivationChanged(class));
+        }
         self.class_mut(class)?.kind = ClassKind::Derived(pred);
         Ok(n)
     }
@@ -378,8 +383,20 @@ impl Database {
                     }
                 },
             };
+            let old = self.attrs[attr.index()].value_of(*x);
+            if old != value {
+                self.record_change(crate::change::Change::AttrAssigned {
+                    entity: *x,
+                    attr,
+                    old,
+                    new: value.clone(),
+                });
+            }
             self.attrs[attr.index()].values.insert(*x, value);
             n += 1;
+        }
+        if self.attr(attr)?.derivation.as_ref() != Some(&derivation) {
+            self.record_schema(crate::change::SchemaEdit::AttrDerivationChanged(attr));
         }
         self.attr_mut(attr)?.derivation = Some(derivation);
         Ok(n)

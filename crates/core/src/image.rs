@@ -89,6 +89,7 @@ impl Database {
             fill_counter: image.fill_counter,
             multi_inheritance: image.multi_inheritance,
             constraints: image.constraints,
+            delta: crate::change::DeltaLog::default(),
         };
         // The four predefined baseclasses must be present at their slots.
         for kind in crate::literal::BaseKind::ALL {

@@ -29,6 +29,7 @@
 
 pub mod atom;
 pub mod attribute;
+pub mod change;
 pub mod class;
 pub mod consistency;
 pub mod constraint;
@@ -52,6 +53,7 @@ mod schema_ops;
 
 pub use atom::{Atom, Rhs};
 pub use attribute::{AttrRecord, AttrValue, Multiplicity, ValueClass};
+pub use change::{Change, ChangeSet, DeltaLog, SchemaEdit};
 pub use class::{ClassKind, ClassRecord};
 pub use consistency::Violation;
 pub use constraint::{ConstraintId, ConstraintKind, ConstraintRecord, ConstraintReport};

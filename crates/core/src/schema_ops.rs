@@ -2,6 +2,7 @@
 //! classes, attributes and groupings (§2, §3.2).
 
 use crate::attribute::{AttrRecord, Multiplicity, ValueClass};
+use crate::change::{ChangeSet, SchemaEdit};
 use crate::class::{ClassKind, ClassRecord};
 use crate::error::{CoreError, Result};
 use crate::fillpattern::FillPattern;
@@ -46,7 +47,9 @@ impl Database {
             extra_parents: Vec::new(),
             alive: true,
         });
-        self.push_naming_attr(id);
+        let naming = self.push_naming_attr(id);
+        self.record_schema(SchemaEdit::ClassCreated(id));
+        self.record_schema(SchemaEdit::AttrCreated(naming));
         Ok(id)
     }
 
@@ -69,6 +72,7 @@ impl Database {
             alive: true,
         });
         self.classes[parent.index()].children.push(id);
+        self.record_schema(SchemaEdit::ClassCreated(id));
         Ok(id)
     }
 
@@ -91,30 +95,36 @@ impl Database {
     }
 
     /// Renames a class ((re)name menu command).
-    pub fn rename_class(&mut self, class: ClassId, name: &str) -> Result<()> {
+    pub fn rename_class(&mut self, class: ClassId, name: &str) -> Result<ChangeSet> {
         if self.class(class)?.is_predefined() {
             return Err(CoreError::Predefined);
         }
-        if self.class(class)?.name != name {
-            self.check_schema_name(name)?;
+        if self.class(class)?.name == name {
+            return Ok(ChangeSet::new());
         }
+        self.check_schema_name(name)?;
+        let mark = self.delta_epoch();
         self.class_mut(class)?.name = name.to_string();
-        Ok(())
+        self.record_schema(SchemaEdit::ClassRenamed(class));
+        Ok(self.delta_suffix(mark))
     }
 
     /// Renames a grouping.
-    pub fn rename_grouping(&mut self, grouping: GroupingId, name: &str) -> Result<()> {
-        if self.grouping(grouping)?.name != name {
-            self.check_schema_name(name)?;
+    pub fn rename_grouping(&mut self, grouping: GroupingId, name: &str) -> Result<ChangeSet> {
+        if self.grouping(grouping)?.name == name {
+            return Ok(ChangeSet::new());
         }
+        self.check_schema_name(name)?;
+        let mark = self.delta_epoch();
         self.groupings[grouping.index()].name = name.to_string();
-        Ok(())
+        self.record_schema(SchemaEdit::GroupingRenamed(grouping));
+        Ok(self.delta_suffix(mark))
     }
 
     /// Deletes a class. Refused while the class "is the parent of some other
     /// class or the value class of some attribute" (§2), has groupings, or
     /// is predefined. The class's own attributes are deleted with it.
-    pub fn delete_class(&mut self, class: ClassId) -> Result<()> {
+    pub fn delete_class(&mut self, class: ClassId) -> Result<ChangeSet> {
         let rec = self.class(class)?;
         if rec.is_predefined() {
             return Err(CoreError::Predefined);
@@ -135,6 +145,7 @@ impl Database {
         {
             return Err(CoreError::ClassInUse(class));
         }
+        let mark = self.delta_epoch();
         // Baseclass deletion also deletes its entities.
         if self.class(class)?.is_base() {
             let members: Vec<_> = self.class(class)?.members.iter().collect();
@@ -146,6 +157,7 @@ impl Database {
         for a in own {
             self.attrs[a.index()].alive = false;
             self.attrs[a.index()].values.clear();
+            self.record_schema(SchemaEdit::AttrDeleted(a));
         }
         if let Some(p) = self.class(class)?.parent {
             self.classes[p.index()].children.retain(|&c| c != class);
@@ -154,7 +166,8 @@ impl Database {
         rec.alive = false;
         rec.members.clear();
         rec.own_attrs.clear();
-        Ok(())
+        self.record_schema(SchemaEdit::ClassDeleted(class));
+        Ok(self.delta_suffix(mark))
     }
 
     /// Creates an attribute on `class` drawing values from `value_class`.
@@ -209,13 +222,14 @@ impl Database {
             alive: true,
         });
         self.classes[class.index()].own_attrs.push(id);
+        self.record_schema(SchemaEdit::AttrCreated(id));
         Ok(id)
     }
 
     /// Renames an attribute. Naming attributes may be renamed (the paper's
     /// *musicians* baseclass names its entities with *stage_name*), but not
     /// deleted or retargeted.
-    pub fn rename_attr(&mut self, attr: AttrId, name: &str) -> Result<()> {
+    pub fn rename_attr(&mut self, attr: AttrId, name: &str) -> Result<ChangeSet> {
         let rec = self.attr(attr)?;
         if rec.naming && self.class(rec.owner)?.is_predefined() {
             return Err(CoreError::Predefined);
@@ -226,8 +240,13 @@ impl Database {
                 return Err(CoreError::DuplicateName(name.into()));
             }
         }
+        if self.attr(attr)?.name == name {
+            return Ok(ChangeSet::new());
+        }
+        let mark = self.delta_epoch();
         self.attr_mut(attr)?.name = name.to_string();
-        Ok(())
+        self.record_schema(SchemaEdit::AttrRenamed(attr));
+        Ok(self.delta_suffix(mark))
     }
 
     /// (Re)specifies the value class of an attribute ((re)specify value
@@ -237,7 +256,7 @@ impl Database {
         &mut self,
         attr: AttrId,
         value_class: impl Into<ValueClassSpec>,
-    ) -> Result<()> {
+    ) -> Result<ChangeSet> {
         if self.attr(attr)?.naming {
             return Err(CoreError::Predefined);
         }
@@ -251,15 +270,17 @@ impl Database {
                 ValueClass::Grouping(g)
             }
         };
+        let mark = self.delta_epoch();
         let rec = self.attr_mut(attr)?;
         rec.value_class = vc;
         rec.values.clear();
-        Ok(())
+        self.record_schema(SchemaEdit::ValueClassChanged(attr));
+        Ok(self.delta_suffix(mark))
     }
 
     /// Deletes an attribute. Refused for naming attributes and for
     /// attributes some grouping is defined on.
-    pub fn delete_attr(&mut self, attr: AttrId) -> Result<()> {
+    pub fn delete_attr(&mut self, attr: AttrId) -> Result<ChangeSet> {
         if self.attr(attr)?.naming {
             return Err(CoreError::Predefined);
         }
@@ -269,11 +290,13 @@ impl Database {
             ));
         }
         let owner = self.attr(attr)?.owner;
+        let mark = self.delta_epoch();
         self.classes[owner.index()].own_attrs.retain(|&a| a != attr);
         let rec = &mut self.attrs[attr.index()];
         rec.alive = false;
         rec.values.clear();
-        Ok(())
+        self.record_schema(SchemaEdit::AttrDeleted(attr));
+        Ok(self.delta_suffix(mark))
     }
 
     /// Creates a grouping of `parent` on attribute `attr` ("in ISIS a
@@ -308,12 +331,13 @@ impl Database {
             alive: true,
         });
         self.classes[parent.index()].groupings.push(id);
+        self.record_schema(SchemaEdit::GroupingCreated(id));
         Ok(id)
     }
 
     /// Deletes a grouping. Refused while it is the value class of an
     /// attribute.
-    pub fn delete_grouping(&mut self, grouping: GroupingId) -> Result<()> {
+    pub fn delete_grouping(&mut self, grouping: GroupingId) -> Result<ChangeSet> {
         self.grouping(grouping)?;
         if self
             .attrs()
@@ -322,11 +346,13 @@ impl Database {
             return Err(CoreError::GroupingInUse(grouping));
         }
         let parent = self.grouping(grouping)?.parent;
+        let mark = self.delta_epoch();
         self.classes[parent.index()]
             .groupings
             .retain(|&g| g != grouping);
         self.groupings[grouping.index()].alive = false;
-        Ok(())
+        self.record_schema(SchemaEdit::GroupingDeleted(grouping));
+        Ok(self.delta_suffix(mark))
     }
 
     /// All classes at or below `class` in the forest (preorder).
@@ -348,7 +374,7 @@ impl Database {
     /// Requirements: the extension is enabled; both classes share a
     /// baseclass; no inheritance cycle; every current member of `class` is
     /// already a member of `parent`; and no attribute-name conflicts arise.
-    pub fn add_secondary_parent(&mut self, class: ClassId, parent: ClassId) -> Result<()> {
+    pub fn add_secondary_parent(&mut self, class: ClassId, parent: ClassId) -> Result<ChangeSet> {
         if !self.multi_inheritance {
             return Err(CoreError::MultipleInheritance(
                 "enable_multiple_inheritance() has not been called".into(),
@@ -366,7 +392,7 @@ impl Database {
             ));
         }
         if self.class(class)?.extra_parents.contains(&parent) {
-            return Ok(());
+            return Ok(ChangeSet::new());
         }
         // No cycles: parent must not already (transitively) inherit from class.
         if self.inherits_from(parent, class)? {
@@ -406,8 +432,10 @@ impl Database {
                 }
             }
         }
+        let mark = self.delta_epoch();
         self.class_mut(class)?.extra_parents.push(parent);
-        Ok(())
+        self.record_schema(SchemaEdit::SecondaryParentAdded { class, parent });
+        Ok(self.delta_suffix(mark))
     }
 
     /// `true` if `class` inherits (primary or secondary, transitively) from

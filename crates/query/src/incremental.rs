@@ -11,7 +11,10 @@
 
 use std::collections::HashMap;
 
-use isis_core::{AttrId, ClassId, Database, EntityId, Map, OrderedSet, Predicate, Result, Rhs};
+use isis_core::{
+    AttrId, Change, ChangeSet, ClassId, Database, EntityId, Map, OrderedSet, Predicate, Result,
+    Rhs, ValueClass,
+};
 
 use crate::index::AttrIndex;
 
@@ -159,7 +162,7 @@ impl DerivedMaintainer {
         let mut affected = self.affected_candidates(db, attr, owners)?;
         if let Some(idx) = self.inverses.get_mut(&attr) {
             for e in owners.iter() {
-                let old = idx_owned_values(idx, e);
+                let old = idx.owned_values(e);
                 let new = db.attr_value_set(e, attr)?;
                 idx.update(e, &old, &new);
             }
@@ -179,6 +182,143 @@ impl DerivedMaintainer {
             }
         }
         Ok((added, removed))
+    }
+
+    /// Consumes a [`ChangeSet`] from the core delta log, re-evaluating the
+    /// predicate only for candidates the recorded changes can affect.
+    /// Returns `(added, removed)` membership counts. Falls back to
+    /// [`DerivedMaintainer::rebuild`] when the set contains schema edits.
+    ///
+    /// The set must describe the transition from the state the maintainer
+    /// last saw to `db`'s current state (e.g. `db.changes_since(epoch)`).
+    pub fn apply_changes(
+        &mut self,
+        db: &mut Database,
+        changes: &ChangeSet,
+    ) -> Result<(usize, usize)> {
+        if changes.has_schema_changes() {
+            return self.rebuild(db);
+        }
+        let mut affected = OrderedSet::new();
+        for change in changes.iter() {
+            match change {
+                Change::AttrAssigned {
+                    entity,
+                    attr,
+                    old,
+                    new,
+                } => {
+                    if !self.depends_on(*attr) {
+                        continue;
+                    }
+                    let owners: OrderedSet = [*entity].into_iter().collect();
+                    // Candidates reached through the *old* postings (an owner
+                    // leaving a posting list must still re-evaluate whoever
+                    // used to reach it), then through the new ones.
+                    affected.extend_from(&self.affected_candidates(db, *attr, &owners)?);
+                    let grouping_ranged = db
+                        .attr(*attr)
+                        .map(|r| matches!(r.value_class, ValueClass::Grouping(_)))
+                        .unwrap_or(false);
+                    if let Some(idx) = self.inverses.get_mut(attr) {
+                        if grouping_ranged {
+                            // The recorded transition is in grouping-index
+                            // entities; postings hold expanded members.
+                            *idx = AttrIndex::build(db, *attr)?;
+                        } else {
+                            idx.update(*entity, &old.as_set(), &new.as_set());
+                        }
+                    }
+                    affected.extend_from(&self.affected_candidates(db, *attr, &owners)?);
+                }
+                Change::MembershipAdded { entity, class }
+                | Change::MembershipRemoved { entity, class } => {
+                    if *class == self.parent {
+                        affected.insert(*entity);
+                    }
+                    // Echoes of our own membership writes land here too;
+                    // they re-evaluate to a no-op.
+                    self.refresh_owner_postings(db, *entity, *class)?;
+                }
+                Change::EntityInserted { .. }
+                | Change::EntityDeleted { .. }
+                | Change::EntityRenamed { .. }
+                | Change::Schema(_) => {}
+            }
+        }
+        let mut added = 0;
+        let mut removed = 0;
+        for e in affected.iter() {
+            if db.entity(e).is_err() {
+                continue; // deleted later in the window; extents already scrubbed
+            }
+            let in_parent = db.members(self.parent)?.contains(e);
+            let should = in_parent && db.eval_predicate_for(e, &self.pred, None)?;
+            let is = db.members(self.class)?.contains(e);
+            if should && !is {
+                db.force_membership(e, self.class)?;
+                added += 1;
+            } else if !should && is {
+                db.remove_from_class(e, self.class)?;
+                removed += 1;
+            }
+        }
+        Ok((added, removed))
+    }
+
+    /// Full fallback: re-reads the stored predicate (a schema edit may have
+    /// replaced it), rebuilds every inverted index, and re-evaluates the
+    /// whole parent extent via [`Database::refresh_derived_class`].
+    pub fn rebuild(&mut self, db: &mut Database) -> Result<(usize, usize)> {
+        let rec = db.class(self.class)?;
+        self.parent = rec
+            .parent
+            .ok_or(isis_core::CoreError::DerivedClass(self.class))?;
+        self.pred = rec
+            .kind
+            .predicate()
+            .cloned()
+            .ok_or(isis_core::CoreError::DerivedClass(self.class))?;
+        let before = db.members(self.class)?.clone();
+        db.refresh_derived_class(self.class)?;
+        let after = db.members(self.class)?;
+        let added = after.iter().filter(|e| !before.contains(*e)).count();
+        let removed = before.iter().filter(|e| !after.contains(*e)).count();
+        self.inverses.clear();
+        for attr in Self::attrs_used(&self.pred) {
+            self.inverses.insert(attr, AttrIndex::build(db, attr)?);
+        }
+        Ok((added, removed))
+    }
+
+    /// An entity entered or left `class`: indexes over attributes *owned by*
+    /// `class` gain or lose that owner's postings (index content follows the
+    /// owner extent, exactly like [`AttrIndex::build`]).
+    fn refresh_owner_postings(
+        &mut self,
+        db: &Database,
+        entity: EntityId,
+        class: ClassId,
+    ) -> Result<()> {
+        let owned: Vec<AttrId> = self
+            .inverses
+            .keys()
+            .copied()
+            .filter(|a| db.attr(*a).map(|r| r.owner == class).unwrap_or(false))
+            .collect();
+        for attr in owned {
+            let in_extent = db.entity(entity).is_ok() && db.members(class)?.contains(entity);
+            let new = if in_extent {
+                db.attr_value_set(entity, attr)?
+            } else {
+                OrderedSet::new()
+            };
+            if let Some(idx) = self.inverses.get_mut(&attr) {
+                let old = idx.owned_values(entity);
+                idx.update(entity, &old, &new);
+            }
+        }
+        Ok(())
     }
 
     /// Handles an entity joining or leaving the *parent* class: the entity
@@ -202,20 +342,6 @@ impl DerivedMaintainer {
         }
         Ok((added, removed))
     }
-}
-
-/// Values currently credited to `owner` in the index (reverse lookup).
-fn idx_owned_values(idx: &AttrIndex, owner: EntityId) -> OrderedSet {
-    // AttrIndex does not keep a forward map; recover it by scanning the
-    // postings. Posting lists are per-value, so this costs O(distinct
-    // values) — acceptable for maintenance-sized updates.
-    let mut out = OrderedSet::new();
-    for v in idx.values() {
-        if idx.owners_of(v).map(|s| s.contains(owner)).unwrap_or(false) {
-            out.insert(v);
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -368,6 +494,118 @@ mod tests {
             .entity_by_name(im.music_groups, "String Fling")
             .unwrap();
         assert_eq!(affected.as_slice(), &[fling]);
+    }
+
+    #[test]
+    fn apply_changes_consumes_the_delta_log() {
+        let mut im = instrumental_music().unwrap();
+        let pred = quartets_predicate(&mut im);
+        let quartets = im
+            .db
+            .create_derived_subclass(im.music_groups, "quartets")
+            .unwrap();
+        im.db.commit_membership(quartets, pred.clone()).unwrap();
+        let mut maint = DerivedMaintainer::new(&im.db, quartets).unwrap();
+        let mark = im.db.delta_epoch();
+
+        // Gil learns piano → String Fling becomes a quartet.
+        let gil = im.db.entity_by_name(im.musicians, "Gil").unwrap();
+        im.db.add_value(gil, im.plays, im.piano).unwrap();
+        // A brand-new qualifying group appears, member by member.
+        let g = im.db.insert_entity(im.music_groups, "New Four").unwrap();
+        let four = im.db.int(4);
+        im.db.assign_single(g, im.size, four).unwrap();
+        let kurt = im.db.entity_by_name(im.musicians, "Kurt").unwrap();
+        let amy = im.db.entity_by_name(im.musicians, "Amy").unwrap();
+        let bob = im.db.entity_by_name(im.musicians, "Bob").unwrap();
+        let carol = im.db.entity_by_name(im.musicians, "Carol").unwrap();
+        im.db
+            .assign_multi(g, im.members, [kurt, amy, bob, carol])
+            .unwrap();
+        // And LaBelle Musique shrinks to a trio.
+        let cur = im.db.attr_value_set(im.labelle, im.members).unwrap();
+        let without: Vec<_> = cur.iter().filter(|e| *e != im.edith).collect();
+        im.db.assign_multi(im.labelle, im.members, without).unwrap();
+        let three = im.db.int(3);
+        im.db.assign_single(im.labelle, im.size, three).unwrap();
+
+        let changes = im.db.changes_since(mark).unwrap();
+        let (added, removed) = maint.apply_changes(&mut im.db, &changes).unwrap();
+        assert!(added >= 2, "String Fling and New Four must join");
+        assert!(removed >= 1, "LaBelle must leave");
+        let mut got: Vec<EntityId> = im.db.members(quartets).unwrap().iter().collect();
+        got.sort();
+        let mut want: Vec<EntityId> = im
+            .db
+            .evaluate_derived_members(im.music_groups, &pred)
+            .unwrap()
+            .iter()
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn apply_changes_handles_entity_deletion() {
+        let mut im = instrumental_music().unwrap();
+        let pred = quartets_predicate(&mut im);
+        let quartets = im
+            .db
+            .create_derived_subclass(im.music_groups, "quartets")
+            .unwrap();
+        im.db.commit_membership(quartets, pred.clone()).unwrap();
+        let mut maint = DerivedMaintainer::new(&im.db, quartets).unwrap();
+        let mark = im.db.delta_epoch();
+        // Deleting a quartet member's pianist can disqualify the group.
+        let member_of_quartet = im
+            .db
+            .members(quartets)
+            .unwrap()
+            .iter()
+            .next()
+            .expect("seed data has a quartet");
+        im.db.delete_entity(member_of_quartet).unwrap();
+        let changes = im.db.changes_since(mark).unwrap();
+        maint.apply_changes(&mut im.db, &changes).unwrap();
+        let mut got: Vec<EntityId> = im.db.members(quartets).unwrap().iter().collect();
+        got.sort();
+        let mut want: Vec<EntityId> = im
+            .db
+            .evaluate_derived_members(im.music_groups, &pred)
+            .unwrap()
+            .iter()
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn apply_changes_rebuilds_on_schema_edit() {
+        let mut im = instrumental_music().unwrap();
+        let pred = quartets_predicate(&mut im);
+        let quartets = im
+            .db
+            .create_derived_subclass(im.music_groups, "quartets")
+            .unwrap();
+        im.db.commit_membership(quartets, pred.clone()).unwrap();
+        let mut maint = DerivedMaintainer::new(&im.db, quartets).unwrap();
+        let mark = im.db.delta_epoch();
+        im.db.create_baseclass("venues").unwrap();
+        let gil = im.db.entity_by_name(im.musicians, "Gil").unwrap();
+        im.db.add_value(gil, im.plays, im.piano).unwrap();
+        let changes = im.db.changes_since(mark).unwrap();
+        assert!(changes.has_schema_changes());
+        maint.apply_changes(&mut im.db, &changes).unwrap();
+        let mut got: Vec<EntityId> = im.db.members(quartets).unwrap().iter().collect();
+        got.sort();
+        let mut want: Vec<EntityId> = im
+            .db
+            .evaluate_derived_members(im.music_groups, &pred)
+            .unwrap()
+            .iter()
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -73,6 +73,19 @@ impl AttrIndex {
         self.owners_of(value).map_or(0.0, |s| s.len() as f64) / self.indexed_owner_count as f64
     }
 
+    /// The values `owner` currently carries according to the index, by
+    /// reverse scan of the posting lists. O(distinct values); used when the
+    /// true old value set is unavailable (e.g. owner-extent changes).
+    pub fn owned_values(&self, owner: EntityId) -> OrderedSet {
+        let mut out = OrderedSet::new();
+        for (v, owners) in &self.postings {
+            if owners.contains(owner) {
+                out.insert(*v);
+            }
+        }
+        out
+    }
+
     /// Incrementally reflects a change of `owner`'s value set from `old` to
     /// `new` (used by the incremental maintenance machinery).
     pub fn update(&mut self, owner: EntityId, old: &OrderedSet, new: &OrderedSet) {

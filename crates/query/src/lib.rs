@@ -13,7 +13,9 @@
 //! * [`index`] — inverted attribute indexes (groupings made operational)
 //!   and an index-pruning predicate evaluator;
 //! * [`incremental`] — incremental maintenance of derived subclasses by
-//!   inverse map traversal;
+//!   inverse map traversal, fed by the core delta log;
+//! * [`manager`] — an [`IndexManager`] that keeps a set of attribute
+//!   indexes current by consuming [`isis_core::ChangeSet`]s;
 //! * [`optimizer`] — a short-circuit atom/clause reordering optimizer with
 //!   index-informed selectivity estimates.
 
@@ -25,6 +27,7 @@ pub mod compile;
 pub mod error;
 pub mod incremental;
 pub mod index;
+pub mod manager;
 pub mod optimizer;
 pub mod parallel;
 pub mod qbe;
@@ -37,6 +40,7 @@ pub use compile::{
 pub use error::QueryError;
 pub use incremental::DerivedMaintainer;
 pub use index::{AttrIndex, IndexedEvaluator};
+pub use manager::{IndexManager, IndexStats};
 pub use optimizer::{estimate_atom, optimize, AtomEstimate, Explain};
 pub use parallel::evaluate_derived_members_parallel;
 pub use qbe::{Cell, ConditionEntry, QbeQuery, TemplateRow};

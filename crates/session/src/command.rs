@@ -148,6 +148,12 @@ pub enum Command {
     /// Save the database under a (possibly new) name — "saves this new
     /// database as entertainment".
     Save(String),
+    /// Re-evaluate derived subclasses and derived attributes now, using the
+    /// delta log where possible (full re-evaluation only after schema
+    /// changes or when the log window has been evicted).
+    Refresh,
+    /// Choose when derived state is refreshed automatically.
+    SetRefreshPolicy(crate::state::RefreshPolicy),
     /// Undo the last modification.
     Undo,
     /// Redo the last undone modification.

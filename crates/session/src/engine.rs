@@ -2,8 +2,10 @@
 //! state, and builds the current view's [`Scene`].
 
 use isis_core::{
-    Atom, AttrId, ClassId, CoreError, Database, Map, Predicate, Rhs, SchemaNode, ValueClass,
+    Atom, AttrDerivation, AttrId, Change, ChangeSet, ClassId, CoreError, Database, Map, Predicate,
+    Rhs, SchemaNode, ValueClass,
 };
+use isis_query::DerivedMaintainer;
 use isis_store::StoreDir;
 use isis_views::{
     data_view, forest_view, network_view, worksheet_view, DataViewInput, ForestViewOptions,
@@ -12,7 +14,7 @@ use isis_views::{
 
 use crate::command::Command;
 use crate::error::SessionError;
-use crate::state::{AtomDraft, Mode, Selection, WorksheetState, WsTarget};
+use crate::state::{AtomDraft, Mode, RefreshPolicy, Selection, WorksheetState, WsTarget};
 
 /// How many prompt lines the text window shows.
 const PROMPT_LINES: usize = 3;
@@ -62,10 +64,15 @@ pub struct Session {
     offsets: Vec<(SchemaNode, (i32, i32))>,
     /// Forest-view panning offset.
     pan: (i32, i32),
-    /// When set, derived subclasses and derived attributes are re-evaluated
-    /// after every data modification (an extension: the paper leaves them
-    /// stale until the next commit, §2).
-    auto_refresh: bool,
+    /// When derived subclasses and derived attributes are re-evaluated (an
+    /// extension: the paper leaves them stale until the next commit, §2).
+    policy: RefreshPolicy,
+    /// Delta-log epoch the derived state was last synchronised to.
+    refresh_cursor: u64,
+    /// Incremental maintainers for the committed derived subclasses.
+    /// `None` after anything that invalidates them (database swap, schema
+    /// change) — the next refresh rebuilds them from scratch.
+    maintainers: Option<Vec<DerivedMaintainer>>,
 }
 
 impl Session {
@@ -84,7 +91,9 @@ impl Session {
             stopped: false,
             offsets: Vec::new(),
             pan: (0, 0),
-            auto_refresh: false,
+            policy: RefreshPolicy::Manual,
+            refresh_cursor: 0,
+            maintainers: None,
         }
     }
 
@@ -136,30 +145,157 @@ impl Session {
         &self.messages
     }
 
-    /// Turns automatic re-evaluation of derived subclasses and attributes
-    /// after data modifications on or off (off by default: the paper keeps
-    /// derivations stale until the next commit).
-    pub fn set_auto_refresh(&mut self, on: bool) {
-        self.auto_refresh = on;
+    /// The current refresh policy.
+    pub fn refresh_policy(&self) -> RefreshPolicy {
+        self.policy
     }
 
-    /// Re-evaluates every derived subclass and derived attribute, reporting
-    /// the classes whose extent changed.
-    fn refresh_all_derived(&mut self) -> Result<(), SessionError> {
-        if !self.auto_refresh {
-            return Ok(());
+    /// Chooses when derived subclasses and attributes are re-evaluated
+    /// ([`RefreshPolicy::Manual`] by default: the paper keeps derivations
+    /// stale until the next commit).
+    pub fn set_refresh_policy(&mut self, policy: RefreshPolicy) {
+        self.policy = policy;
+    }
+
+    /// Turns automatic re-evaluation of derived subclasses and attributes
+    /// after data modifications on or off.
+    #[deprecated(note = "use set_refresh_policy(RefreshPolicy::Immediate | Manual)")]
+    pub fn set_auto_refresh(&mut self, on: bool) {
+        self.policy = if on {
+            RefreshPolicy::Immediate
+        } else {
+            RefreshPolicy::Manual
+        };
+    }
+
+    /// Mark the incremental refresh state as unusable (the database was
+    /// replaced wholesale: load, undo, redo). Epochs of different database
+    /// lines are not comparable, so the next refresh must rebuild.
+    fn invalidate_refresh(&mut self) {
+        self.maintainers = None;
+    }
+
+    fn refresh_after_data_mod(&mut self) -> Result<(), SessionError> {
+        if self.policy == RefreshPolicy::Immediate {
+            self.refresh_derived()?;
         }
+        Ok(())
+    }
+
+    fn refresh_after_commit(&mut self) -> Result<(), SessionError> {
+        if matches!(
+            self.policy,
+            RefreshPolicy::OnCommit | RefreshPolicy::Immediate
+        ) {
+            self.refresh_derived()?;
+        }
+        Ok(())
+    }
+
+    /// Brings every derived subclass and derived attribute up to date.
+    ///
+    /// The fast path consumes the core delta log from the last synchronised
+    /// epoch and re-evaluates only affected candidates (via
+    /// [`DerivedMaintainer::apply_changes`]). A full re-evaluation happens
+    /// only when the window contains schema edits, was evicted, or the
+    /// database was replaced since the last refresh.
+    pub fn refresh_derived(&mut self) -> Result<(), SessionError> {
+        let needs_full = self.maintainers.is_none()
+            || match self.db.changes_since(self.refresh_cursor) {
+                None => true,
+                Some(cs) => cs.has_schema_changes(),
+            };
+        if needs_full {
+            return self.full_refresh();
+        }
+        // Maintenance writes (membership changes, derived-attr values) are
+        // themselves recorded, so drain the log in rounds until it runs
+        // dry; a bound guards against pathological predicate interactions.
+        const MAX_ROUNDS: usize = 8;
+        for _ in 0..MAX_ROUNDS {
+            let cs = match self.db.changes_since(self.refresh_cursor) {
+                Some(cs) => cs,
+                None => return self.full_refresh(),
+            };
+            if cs.is_empty() {
+                return Ok(());
+            }
+            if cs.has_schema_changes() {
+                return self.full_refresh();
+            }
+            self.refresh_cursor = self.db.delta_epoch();
+            let mut maints = self.maintainers.take().unwrap_or_default();
+            let outcome = self.apply_round(&mut maints, &cs);
+            self.maintainers = Some(maints);
+            outcome?;
+        }
+        // Did not quiesce within the bound; settle with a full pass.
+        self.full_refresh()
+    }
+
+    /// One delta round: feed the change window to every derived-class
+    /// maintainer, then refresh the derived attributes the window touches.
+    fn apply_round(
+        &mut self,
+        maints: &mut [DerivedMaintainer],
+        cs: &ChangeSet,
+    ) -> Result<(), SessionError> {
+        for m in maints.iter_mut() {
+            let (added, removed) = m.apply_changes(&mut self.db, cs)?;
+            if added + removed > 0 {
+                let name = self.db.class(m.class())?.name.clone();
+                self.say(format!(
+                    "{name} re-evaluated: +{added} -{removed} members (delta)"
+                ));
+            }
+        }
+        let touched = cs.touched_attrs();
+        let membership_classes: Vec<ClassId> =
+            cs.iter()
+                .filter_map(|c| match c {
+                    Change::MembershipAdded { class, .. }
+                    | Change::MembershipRemoved { class, .. } => Some(*class),
+                    _ => None,
+                })
+                .collect();
+        let derived_attrs: Vec<(AttrId, AttrDerivation)> = self
+            .db
+            .attrs()
+            .filter_map(|(id, a)| a.derivation.clone().map(|d| (id, d)))
+            .collect();
+        for (attr, derivation) in derived_attrs {
+            let deps = derivation_attrs(&derivation);
+            let rec = self.db.attr(attr)?;
+            let owner = rec.owner;
+            let value_class = match rec.value_class {
+                ValueClass::Class(c) => Some(c),
+                ValueClass::Grouping(_) => None,
+            };
+            let affected = touched.iter().any(|a| *a != attr && deps.contains(a))
+                || membership_classes
+                    .iter()
+                    .any(|c| *c == owner || Some(*c) == value_class);
+            if affected {
+                self.db.refresh_derived_attr(attr)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Full fallback: re-evaluates every derived subclass and derived
+    /// attribute, rebuilds the maintainers, and re-anchors the cursor.
+    fn full_refresh(&mut self) -> Result<(), SessionError> {
         let derived_classes: Vec<ClassId> = self
             .db
             .classes()
             .filter(|(_, c)| c.is_derived())
             .map(|(id, _)| id)
             .collect();
-        for c in derived_classes {
-            let before = self.db.members(c)?.len();
-            let after = self.db.refresh_derived_class(c)?;
+        for c in &derived_classes {
+            let before = self.db.members(*c)?.len();
+            let after = self.db.refresh_derived_class(*c)?;
             if before != after {
-                let name = self.db.class(c)?.name.clone();
+                let name = self.db.class(*c)?.name.clone();
                 self.say(format!("{name} re-evaluated: {before} -> {after} members"));
             }
         }
@@ -172,6 +308,12 @@ impl Session {
         for a in derived_attrs {
             self.db.refresh_derived_attr(a)?;
         }
+        let mut maints = Vec::new();
+        for c in derived_classes {
+            maints.push(DerivedMaintainer::new(&self.db, c)?);
+        }
+        self.maintainers = Some(maints);
+        self.refresh_cursor = self.db.delta_epoch();
         Ok(())
     }
 
@@ -321,7 +463,7 @@ impl Session {
                     Some(Selection::Attr(a)) => self.db.rename_attr(a, &name)?,
                     Some(Selection::Grouping(g)) => self.db.rename_grouping(g, &name)?,
                     None => return Err(SessionError::BadSelection("nothing selected".into())),
-                }
+                };
                 self.say(format!("renamed to {name}"));
                 Ok(())
             }
@@ -352,7 +494,7 @@ impl Session {
                 match node {
                     SchemaNode::Class(c) => self.db.respecify_value_class(a, c)?,
                     SchemaNode::Grouping(g) => self.db.respecify_value_class(a, g)?,
-                }
+                };
                 let name = self.node_name(node)?;
                 self.say(format!("value class is now {name}"));
                 Ok(())
@@ -372,7 +514,7 @@ impl Session {
                     Some(Selection::Attr(a)) => self.db.delete_attr(a)?,
                     Some(Selection::Grouping(g)) => self.db.delete_grouping(g)?,
                     None => return Err(SessionError::BadSelection("nothing selected".into())),
-                }
+                };
                 self.selection = None;
                 self.say("deleted");
                 Ok(())
@@ -564,7 +706,7 @@ impl Session {
                     self.db.entity_name(value)?,
                     selected.len()
                 ));
-                self.refresh_all_derived()?;
+                self.refresh_after_data_mod()?;
                 Ok(())
             }
             Command::ReassignAttrValues { attr, values } => {
@@ -582,7 +724,7 @@ impl Session {
                     self.db.assign_multi(*e, attr, values.iter().copied())?;
                 }
                 self.say(format!("assigned a set of {} values", values.len()));
-                self.refresh_all_derived()?;
+                self.refresh_after_data_mod()?;
                 Ok(())
             }
             Command::CreateEntity(name) => {
@@ -602,7 +744,7 @@ impl Session {
                     self.db.add_to_class(e, class)?;
                 }
                 self.say(format!("created entity {name}"));
-                self.refresh_all_derived()?;
+                self.refresh_after_data_mod()?;
                 Ok(())
             }
             Command::MakeSubclass(name) => {
@@ -880,6 +1022,7 @@ impl Session {
                 self.worksheet = None;
                 self.undo.clear();
                 self.redo.clear();
+                self.invalidate_refresh();
                 self.say(format!("loaded database {name}"));
                 Ok(())
             }
@@ -899,6 +1042,7 @@ impl Session {
                 self.db = snap.db;
                 self.selection = snap.selection;
                 self.pages = snap.pages;
+                self.invalidate_refresh();
                 self.say("undone");
                 Ok(())
             }
@@ -912,7 +1056,28 @@ impl Session {
                 self.db = snap.db;
                 self.selection = snap.selection;
                 self.pages = snap.pages;
+                self.invalidate_refresh();
                 self.say("redone");
+                Ok(())
+            }
+            Command::Refresh => {
+                let before = self.messages.len();
+                self.refresh_derived()?;
+                if self.messages.len() == before {
+                    self.say("derived state is up to date");
+                }
+                Ok(())
+            }
+            Command::SetRefreshPolicy(policy) => {
+                self.set_refresh_policy(policy);
+                self.say(format!(
+                    "refresh policy: {}",
+                    match policy {
+                        RefreshPolicy::Manual => "manual",
+                        RefreshPolicy::OnCommit => "on commit",
+                        RefreshPolicy::Immediate => "immediate",
+                    }
+                ));
                 Ok(())
             }
             Command::Stop => {
@@ -1008,6 +1173,7 @@ impl Session {
         }
         self.worksheet = None;
         self.mode = Mode::Forest;
+        self.refresh_after_commit()?;
         Ok(())
     }
 
@@ -1214,4 +1380,30 @@ impl Session {
         };
         Ok(parts.join(joint))
     }
+}
+
+/// The attributes a derivation's maps mention (its value-level dependency
+/// set, mirroring the maintainer's notion for membership predicates).
+fn derivation_attrs(d: &AttrDerivation) -> Vec<AttrId> {
+    let mut out = Vec::new();
+    let mut push_map = |m: &Map| {
+        for &a in m.steps() {
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+    };
+    match d {
+        AttrDerivation::Assign(m) => push_map(m),
+        AttrDerivation::Predicate(p) => {
+            for atom in p.atoms() {
+                push_map(&atom.lhs);
+                match &atom.rhs {
+                    Rhs::SelfMap(m) | Rhs::SourceMap(m) => push_map(m),
+                    Rhs::Constant { map, .. } => push_map(map),
+                }
+            }
+        }
+    }
+    out
 }

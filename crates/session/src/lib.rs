@@ -29,4 +29,4 @@ pub use command::Command;
 pub use engine::Session;
 pub use error::SessionError;
 pub use script::{Script, Step, Transcript};
-pub use state::{AtomDraft, Mode, Selection, WorksheetState, WsTarget};
+pub use state::{AtomDraft, Mode, RefreshPolicy, Selection, WorksheetState, WsTarget};

@@ -11,6 +11,23 @@
 use isis_core::{AttrId, ClassId, Map, NormalForm, Operator, Rhs, SchemaNode};
 use isis_views::PageSpec;
 
+/// When derived subclasses and derived attributes are re-evaluated.
+///
+/// The paper leaves derivations stale between commits (§2); the delta log
+/// in `isis-core` lets the session do better without re-evaluating from
+/// scratch, so the old `auto_refresh` boolean became a policy:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshPolicy {
+    /// Never refresh automatically; the user issues an explicit *refresh*
+    /// (the paper's behaviour, and the default).
+    #[default]
+    Manual,
+    /// Refresh when a worksheet predicate or derivation is committed.
+    OnCommit,
+    /// Refresh after every data modification.
+    Immediate,
+}
+
 /// The schema selection: a class, an attribute, or a grouping (§3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Selection {

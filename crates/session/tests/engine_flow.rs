@@ -494,7 +494,9 @@ fn auto_refresh_keeps_derived_classes_fresh() {
     .unwrap();
     assert_eq!(s.database().members(quartets).unwrap().len(), 2); // stale
 
-    // …with auto-refresh it tracks immediately.
+    // …with auto-refresh it tracks immediately. The boolean setter is the
+    // deprecated compatibility shim for RefreshPolicy; keep exercising it.
+    #[allow(deprecated)]
     s.set_auto_refresh(true);
     let two = s.database_mut().int(2);
     s.apply(Command::ReassignAttrValue {

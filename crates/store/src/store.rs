@@ -12,8 +12,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use isis_core::{
-    AttrDerivation, AttrId, ClassId, ConstraintId, ConstraintKind, Database, EntityId, GroupingId,
-    Literal, Multiplicity, Predicate, ValueClassSpec,
+    AttrDerivation, AttrId, ChangeSet, ClassId, ConstraintId, ConstraintKind, Database, EntityId,
+    GroupingId, Literal, Multiplicity, Predicate, ValueClassSpec,
 };
 
 use crate::codec::{frame, read_frame, CodecError};
@@ -287,22 +287,22 @@ impl LoggedDatabase {
     );
     logged!(
         /// Logged [`Database::rename_class`].
-        rename_class(class: ClassId, name: &str) -> (),
+        rename_class(class: ClassId, name: &str) -> ChangeSet,
         |class, name: &str| LogOp::RenameClass(class, name.to_string())
     );
     logged!(
         /// Logged [`Database::delete_class`].
-        delete_class(class: ClassId) -> (),
+        delete_class(class: ClassId) -> ChangeSet,
         LogOp::DeleteClass
     );
     logged!(
         /// Logged [`Database::rename_attr`].
-        rename_attr(attr: AttrId, name: &str) -> (),
+        rename_attr(attr: AttrId, name: &str) -> ChangeSet,
         |attr, name: &str| LogOp::RenameAttr(attr, name.to_string())
     );
     logged!(
         /// Logged [`Database::delete_attr`].
-        delete_attr(attr: AttrId) -> (),
+        delete_attr(attr: AttrId) -> ChangeSet,
         LogOp::DeleteAttr
     );
     logged!(
@@ -312,12 +312,12 @@ impl LoggedDatabase {
     );
     logged!(
         /// Logged [`Database::rename_grouping`].
-        rename_grouping(grouping: GroupingId, name: &str) -> (),
+        rename_grouping(grouping: GroupingId, name: &str) -> ChangeSet,
         |grouping, name: &str| LogOp::RenameGrouping(grouping, name.to_string())
     );
     logged!(
         /// Logged [`Database::delete_grouping`].
-        delete_grouping(grouping: GroupingId) -> (),
+        delete_grouping(grouping: GroupingId) -> ChangeSet,
         LogOp::DeleteGrouping
     );
     logged!(
@@ -327,37 +327,37 @@ impl LoggedDatabase {
     );
     logged!(
         /// Logged [`Database::add_to_class`].
-        add_to_class(entity: EntityId, class: ClassId) -> (),
+        add_to_class(entity: EntityId, class: ClassId) -> ChangeSet,
         LogOp::AddToClass
     );
     logged!(
         /// Logged [`Database::remove_from_class`].
-        remove_from_class(entity: EntityId, class: ClassId) -> (),
+        remove_from_class(entity: EntityId, class: ClassId) -> ChangeSet,
         LogOp::RemoveFromClass
     );
     logged!(
         /// Logged [`Database::delete_entity`].
-        delete_entity(entity: EntityId) -> (),
+        delete_entity(entity: EntityId) -> ChangeSet,
         LogOp::DeleteEntity
     );
     logged!(
         /// Logged [`Database::rename_entity`].
-        rename_entity(entity: EntityId, name: &str) -> (),
+        rename_entity(entity: EntityId, name: &str) -> ChangeSet,
         |entity, name: &str| LogOp::RenameEntity(entity, name.to_string())
     );
     logged!(
         /// Logged [`Database::assign_single`].
-        assign_single(entity: EntityId, attr: AttrId, value: EntityId) -> (),
+        assign_single(entity: EntityId, attr: AttrId, value: EntityId) -> ChangeSet,
         LogOp::AssignSingle
     );
     logged!(
         /// Logged [`Database::add_value`].
-        add_value(entity: EntityId, attr: AttrId, value: EntityId) -> (),
+        add_value(entity: EntityId, attr: AttrId, value: EntityId) -> ChangeSet,
         LogOp::AddValue
     );
     logged!(
         /// Logged [`Database::unassign`].
-        unassign(entity: EntityId, attr: AttrId) -> (),
+        unassign(entity: EntityId, attr: AttrId) -> ChangeSet,
         LogOp::Unassign
     );
     logged!(
@@ -372,7 +372,7 @@ impl LoggedDatabase {
     );
     logged!(
         /// Logged [`Database::add_secondary_parent`].
-        add_secondary_parent(class: ClassId, parent: ClassId) -> (),
+        add_secondary_parent(class: ClassId, parent: ClassId) -> ChangeSet,
         LogOp::AddSecondaryParent
     );
 
@@ -400,11 +400,11 @@ impl LoggedDatabase {
         &mut self,
         attr: AttrId,
         value_class: impl Into<ValueClassSpec>,
-    ) -> Result<(), StoreError> {
+    ) -> Result<ChangeSet, StoreError> {
         let vc = value_class.into();
-        self.db.respecify_value_class(attr, vc)?;
+        let cs = self.db.respecify_value_class(attr, vc)?;
         self.wal.append(&LogOp::RespecifyValueClass(attr, vc))?;
-        Ok(())
+        Ok(cs)
     }
 
     /// Logged [`Database::assign_multi`].
@@ -413,11 +413,11 @@ impl LoggedDatabase {
         entity: EntityId,
         attr: AttrId,
         values: impl IntoIterator<Item = EntityId>,
-    ) -> Result<(), StoreError> {
+    ) -> Result<ChangeSet, StoreError> {
         let values: Vec<EntityId> = values.into_iter().collect();
-        self.db.assign_multi(entity, attr, values.iter().copied())?;
+        let cs = self.db.assign_multi(entity, attr, values.iter().copied())?;
         self.wal.append(&LogOp::AssignMulti(entity, attr, values))?;
-        Ok(())
+        Ok(cs)
     }
 
     /// Logged [`Database::intern`].

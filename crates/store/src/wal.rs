@@ -96,25 +96,25 @@ impl LogOp {
             LogOp::CreateBaseclass(n) => db.create_baseclass(n).map(|_| ()),
             LogOp::CreateSubclass(p, n) => db.create_subclass(*p, n).map(|_| ()),
             LogOp::CreateDerivedSubclass(p, n) => db.create_derived_subclass(*p, n).map(|_| ()),
-            LogOp::RenameClass(c, n) => db.rename_class(*c, n),
-            LogOp::DeleteClass(c) => db.delete_class(*c),
+            LogOp::RenameClass(c, n) => db.rename_class(*c, n).map(|_| ()),
+            LogOp::DeleteClass(c) => db.delete_class(*c).map(|_| ()),
             LogOp::CreateAttribute(c, n, vc, m) => db.create_attribute(*c, n, *vc, *m).map(|_| ()),
-            LogOp::RenameAttr(a, n) => db.rename_attr(*a, n),
-            LogOp::RespecifyValueClass(a, vc) => db.respecify_value_class(*a, *vc),
-            LogOp::DeleteAttr(a) => db.delete_attr(*a),
+            LogOp::RenameAttr(a, n) => db.rename_attr(*a, n).map(|_| ()),
+            LogOp::RespecifyValueClass(a, vc) => db.respecify_value_class(*a, *vc).map(|_| ()),
+            LogOp::DeleteAttr(a) => db.delete_attr(*a).map(|_| ()),
             LogOp::CreateGrouping(p, n, a) => db.create_grouping(*p, n, *a).map(|_| ()),
-            LogOp::RenameGrouping(g, n) => db.rename_grouping(*g, n),
-            LogOp::DeleteGrouping(g) => db.delete_grouping(*g),
+            LogOp::RenameGrouping(g, n) => db.rename_grouping(*g, n).map(|_| ()),
+            LogOp::DeleteGrouping(g) => db.delete_grouping(*g).map(|_| ()),
             LogOp::InsertEntity(b, n) => db.insert_entity(*b, n).map(|_| ()),
             LogOp::Intern(l) => db.intern(l.clone()).map(|_| ()),
-            LogOp::AddToClass(e, c) => db.add_to_class(*e, *c),
-            LogOp::RemoveFromClass(e, c) => db.remove_from_class(*e, *c),
-            LogOp::DeleteEntity(e) => db.delete_entity(*e),
-            LogOp::RenameEntity(e, n) => db.rename_entity(*e, n),
-            LogOp::AssignSingle(e, a, v) => db.assign_single(*e, *a, *v),
-            LogOp::AssignMulti(e, a, vs) => db.assign_multi(*e, *a, vs.iter().copied()),
-            LogOp::AddValue(e, a, v) => db.add_value(*e, *a, *v),
-            LogOp::Unassign(e, a) => db.unassign(*e, *a),
+            LogOp::AddToClass(e, c) => db.add_to_class(*e, *c).map(|_| ()),
+            LogOp::RemoveFromClass(e, c) => db.remove_from_class(*e, *c).map(|_| ()),
+            LogOp::DeleteEntity(e) => db.delete_entity(*e).map(|_| ()),
+            LogOp::RenameEntity(e, n) => db.rename_entity(*e, n).map(|_| ()),
+            LogOp::AssignSingle(e, a, v) => db.assign_single(*e, *a, *v).map(|_| ()),
+            LogOp::AssignMulti(e, a, vs) => db.assign_multi(*e, *a, vs.iter().copied()).map(|_| ()),
+            LogOp::AddValue(e, a, v) => db.add_value(*e, *a, *v).map(|_| ()),
+            LogOp::Unassign(e, a) => db.unassign(*e, *a).map(|_| ()),
             LogOp::CommitMembership(c, p) => db.commit_membership(*c, p.clone()).map(|_| ()),
             LogOp::RefreshDerivedClass(c) => db.refresh_derived_class(*c).map(|_| ()),
             LogOp::CommitDerivation(a, d) => db.commit_derivation(*a, d.clone()).map(|_| ()),
@@ -123,7 +123,7 @@ impl LogOp {
                 db.enable_multiple_inheritance();
                 Ok(())
             }
-            LogOp::AddSecondaryParent(c, p) => db.add_secondary_parent(*c, *p),
+            LogOp::AddSecondaryParent(c, p) => db.add_secondary_parent(*c, *p).map(|_| ()),
             LogOp::CreateConstraint(n, c, p, k) => {
                 db.create_constraint(n, *c, p.clone(), *k).map(|_| ())
             }

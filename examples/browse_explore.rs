@@ -8,7 +8,7 @@
 //! Run with `cargo run --example browse_explore`.
 
 use isis::prelude::*;
-use isis_session::Command as C;
+use isis::session::Command as C;
 
 fn show(title: &str, session: &Session) -> Result<(), Box<dyn std::error::Error>> {
     println!("\n───────────────────────── {title} ─────────────────────────");

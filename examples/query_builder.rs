@@ -7,7 +7,7 @@
 //! Run with `cargo run --example query_builder`.
 
 use isis::prelude::*;
-use isis_query::{compile_and_eval, compile_subclass_predicate, encode_database};
+use isis::query::{compile_and_eval, compile_subclass_predicate, encode_database};
 
 fn names(db: &Database, set: impl IntoIterator<Item = EntityId>) -> Vec<String> {
     set.into_iter()

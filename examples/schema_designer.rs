@@ -10,7 +10,7 @@
 //! Run with `cargo run --example schema_designer`.
 
 use isis::prelude::*;
-use isis_session::Command as C;
+use isis::session::Command as C;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = Session::new(Database::new("university"));

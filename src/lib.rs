@@ -36,12 +36,12 @@ pub mod repl;
 /// The most commonly used items, for `use isis::prelude::*`.
 pub mod prelude {
     pub use isis_core::{
-        Atom, AttrDerivation, AttrId, BaseKind, ClassId, Clause, CompareOp, CoreError, Database,
-        EntityId, GroupingId, Literal, Map, Multiplicity, NormalForm, Operator, OrderedSet,
-        Predicate, Rhs, SchemaNode,
+        Atom, AttrDerivation, AttrId, BaseKind, Change, ChangeSet, ClassId, Clause, CompareOp,
+        CoreError, Database, DeltaLog, EntityId, GroupingId, Literal, Map, Multiplicity,
+        NormalForm, Operator, OrderedSet, Predicate, Rhs, SchemaEdit, SchemaNode,
     };
-    pub use isis_query::{IndexedEvaluator, QbeQuery};
-    pub use isis_session::{Command, Script, Session};
+    pub use isis_query::{DerivedMaintainer, IndexManager, IndexedEvaluator, QbeQuery};
+    pub use isis_session::{Command, RefreshPolicy, Script, Session};
     pub use isis_store::StoreDir;
     pub use isis_views::{render, Scene};
 }

@@ -9,7 +9,7 @@
 //! Type `help` at the prompt for the command list.
 
 use isis_core::{CompareOp, ConstraintKind, EntityId, Literal, Multiplicity, Operator, SchemaNode};
-use isis_session::{Command, Mode, Session, SessionError};
+use isis_session::{Command, Mode, RefreshPolicy, Session, SessionError};
 use isis_views::render::ascii;
 
 /// Errors raised by the REPL layer (on top of session errors).
@@ -59,6 +59,8 @@ worksheet:    define | derive | constraint NAME forall|forbidden
               rhsmap ATTR... | rhssrc ATTR... | const [CLASS] | toggle NAME|LITERAL
               done | clause N | switch | hand ATTR... | commit
 session:      load NAME | save NAME | checks | undo | redo | stop | help
+              refresh [manual|oncommit|immediate] — re-evaluate derived state
+              (no argument) or set when it happens automatically
 operators:    = ~ <=s >=s <s >s < <= > >=       literals: 42, 2.5, yes, no, \"text\"";
 
 /// A text-driven ISIS session.
@@ -273,6 +275,23 @@ impl Repl {
             "switch" => self.session.apply(Command::WsSwitchAndOr)?,
             "commit" => self.session.apply(Command::WsCommit)?,
             "checks" => self.session.apply(Command::CheckConstraints)?,
+            "refresh" => match parts.first().map(String::as_str) {
+                None => self.session.apply(Command::Refresh)?,
+                Some("manual") => self
+                    .session
+                    .apply(Command::SetRefreshPolicy(RefreshPolicy::Manual))?,
+                Some("oncommit") => self
+                    .session
+                    .apply(Command::SetRefreshPolicy(RefreshPolicy::OnCommit))?,
+                Some("immediate") => self
+                    .session
+                    .apply(Command::SetRefreshPolicy(RefreshPolicy::Immediate))?,
+                Some(other) => {
+                    return Err(ReplError::Parse(format!(
+                        "'{other}'? manual, oncommit, or immediate"
+                    )))
+                }
+            },
             "load" => self
                 .session
                 .apply(Command::Load(one(&parts, "load NAME")?))?,
@@ -603,6 +622,46 @@ mod tests {
         let out = r.exec("checks").unwrap();
         // Several musicians are not in the union: violations reported.
         assert!(out.contains("violated"), "{out}");
+    }
+
+    #[test]
+    fn refresh_command_and_policy_via_text() {
+        let mut r = repl();
+        // Build the quartets class, then edit data with the policy manual.
+        for line in [
+            "pick music_groups",
+            "subclass quartets",
+            "define",
+            "atom",
+            "clause 1",
+            "push size",
+            "op =",
+            "const",
+            "toggle 4",
+            "done",
+            "commit",
+        ] {
+            r.exec(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let db = r.session.database();
+        let q = db.class_by_name("quartets").unwrap();
+        let before = db.members(q).unwrap().len();
+        r.exec("pick music_groups").unwrap();
+        r.exec("contents").unwrap();
+        r.exec("select \"Trio Grande\"").unwrap();
+        r.exec("assign size 4").unwrap();
+        // Stale until an explicit refresh under the manual policy.
+        assert_eq!(r.session.database().members(q).unwrap().len(), before);
+        let out = r.exec("refresh").unwrap();
+        assert!(out.contains("re-evaluated"), "{out}");
+        assert_eq!(r.session.database().members(q).unwrap().len(), before + 1);
+        // Policy switching parses; junk does not.
+        assert!(r.exec("refresh immediate").unwrap().contains("immediate"));
+        assert_eq!(
+            r.session.refresh_policy(),
+            isis_session::RefreshPolicy::Immediate
+        );
+        assert!(r.exec("refresh sometimes").is_err());
     }
 
     #[test]

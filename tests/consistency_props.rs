@@ -158,12 +158,12 @@ fn apply(db: &mut Database, op: &Op) {
             None => Ok(()),
         },
         Op::AddToClass { ent, class } => match (pick(&entities, *ent), pick(&classes, *class)) {
-            (Some(e), Some(c)) => db.add_to_class(e, c),
+            (Some(e), Some(c)) => db.add_to_class(e, c).map(|_| ()),
             _ => Ok(()),
         },
         Op::RemoveFromClass { ent, class } => {
             match (pick(&entities, *ent), pick(&classes, *class)) {
-                (Some(e), Some(c)) => db.remove_from_class(e, c),
+                (Some(e), Some(c)) => db.remove_from_class(e, c).map(|_| ()),
                 _ => Ok(()),
             }
         }
@@ -173,43 +173,43 @@ fn apply(db: &mut Database, op: &Op) {
                 pick(&attrs, *attr),
                 pick(&entities, *val),
             ) {
-                (Some(e), Some(a), Some(v)) => db.assign_single(e, a, v),
+                (Some(e), Some(a), Some(v)) => db.assign_single(e, a, v).map(|_| ()),
                 _ => Ok(()),
             }
         }
         Op::AssignMulti { ent, attr, vals } => match (pick(&entities, *ent), pick(&attrs, *attr)) {
             (Some(e), Some(a)) => {
                 let vs: Vec<EntityId> = vals.iter().filter_map(|v| pick(&entities, *v)).collect();
-                db.assign_multi(e, a, vs)
+                db.assign_multi(e, a, vs).map(|_| ())
             }
             _ => Ok(()),
         },
         Op::Unassign { ent, attr } => match (pick(&entities, *ent), pick(&attrs, *attr)) {
-            (Some(e), Some(a)) => db.unassign(e, a),
+            (Some(e), Some(a)) => db.unassign(e, a).map(|_| ()),
             _ => Ok(()),
         },
         Op::DeleteEntity(i) => match pick(&entities, *i) {
-            Some(e) => db.delete_entity(e),
+            Some(e) => db.delete_entity(e).map(|_| ()),
             None => Ok(()),
         },
         Op::DeleteClass(i) => match pick(&classes, *i) {
-            Some(c) => db.delete_class(c),
+            Some(c) => db.delete_class(c).map(|_| ()),
             None => Ok(()),
         },
         Op::DeleteAttr(i) => match pick(&attrs, *i) {
-            Some(a) => db.delete_attr(a),
+            Some(a) => db.delete_attr(a).map(|_| ()),
             None => Ok(()),
         },
         Op::DeleteGrouping(i) => match pick(&groupings, *i) {
-            Some(g) => db.delete_grouping(g),
+            Some(g) => db.delete_grouping(g).map(|_| ()),
             None => Ok(()),
         },
         Op::RenameEntity { ent, tag } => match pick(&entities, *ent) {
-            Some(e) => db.rename_entity(e, &format!("renamed{tag}")),
+            Some(e) => db.rename_entity(e, &format!("renamed{tag}")).map(|_| ()),
             None => Ok(()),
         },
         Op::RenameClass { class, tag } => match pick(&classes, *class) {
-            Some(c) => db.rename_class(c, &format!("reclass{tag}")),
+            Some(c) => db.rename_class(c, &format!("reclass{tag}")).map(|_| ()),
             None => Ok(()),
         },
         Op::InternInt(v) => db.intern(Literal::Int(*v)).map(|_| ()),

@@ -1,0 +1,341 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build environment has no crates.io access, so the benches link
+//! against this minimal harness instead: `Criterion` with the builder
+//! methods the benches call, `benchmark_group` / `bench_with_input` /
+//! `bench_function`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. `--test` (as passed by
+//! `cargo bench -- --test`) runs every benchmark body exactly once as a
+//! smoke check; otherwise each benchmark is warmed up and timed, and a
+//! mean ns/iter line is printed. An optional positional CLI argument
+//! filters benchmarks by substring, as in real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies CLI arguments (`--test`, an optional substring filter);
+    /// called by `criterion_group!` on the configured instance.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags the real harness accepts and we can ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size"
+                | "--warm-up-time" => {
+                    let _ = args.next();
+                }
+                other if !other.starts_with('-') => self.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: if self.test_mode {
+                Mode::TestOnce
+            } else {
+                Mode::Measure {
+                    warm_up: self.warm_up_time,
+                    measurement: self.measurement_time,
+                    sample_size: self.sample_size,
+                }
+            },
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else {
+            println!(
+                "{id:<60} time: {:>12.1} ns/iter ({} iters)",
+                b.mean_ns, b.iters
+            );
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `function_name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name in `bench_function`.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+enum Mode {
+    TestOnce,
+    Measure {
+        warm_up: Duration,
+        measurement: Duration,
+        sample_size: usize,
+    },
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(routine());
+                self.iters = 1;
+            }
+            Mode::Measure {
+                warm_up,
+                measurement,
+                sample_size,
+            } => {
+                // Warm-up: also estimates per-iteration cost.
+                let warm_start = Instant::now();
+                let mut warm_iters = 0u64;
+                while warm_start.elapsed() < warm_up {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+                // Budget the measurement window across `sample_size` samples.
+                let per_sample = measurement.as_secs_f64() / sample_size as f64;
+                let iters_per_sample = (per_sample / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+                let mut total = Duration::ZERO;
+                let mut iters = 0u64;
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    total += start.elapsed();
+                    iters += iters_per_sample;
+                    if total > measurement * 2 {
+                        break;
+                    }
+                }
+                self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+                self.iters = iters;
+            }
+        }
+    }
+}
+
+/// Opaque value barrier, preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_criterion() -> Criterion {
+        Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        }
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = test_criterion();
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                n * 2
+            })
+        });
+        g.bench_function("plain", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = test_criterion();
+        c.filter = Some("nomatch".into());
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("plain", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn measure_mode_reports_nonzero_time() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        let mut acc = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(1));
+            })
+        });
+        g.finish();
+        assert!(acc > 0);
+    }
+}

@@ -1,0 +1,570 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! exactly the surface the tests consume: the [`strategy::Strategy`] trait
+//! with `prop_map`, `any::<T>()`, numeric-range and tuple strategies,
+//! `Just`, string strategies from simple `[class]{m,n}` patterns,
+//! `collection::vec`, `sample::Index`, `prop_oneof!`, the `proptest!` test
+//! macro with `#![proptest_config(..)]`, `prop_assert!`/`prop_assert_eq!`,
+//! and the low-level `TestRunner`/`ValueTree` API.
+//!
+//! Generation is deterministic per test function; shrinking is not
+//! implemented (failures report the generated value instead).
+
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases each property runs.
+        pub cases: u32,
+        /// Accepted for compatibility; this subset does not shrink.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    /// Drives generation for a set of property cases (SplitMix64 core).
+    pub struct TestRunner {
+        state: u64,
+        config: Config,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> Self {
+            TestRunner {
+                state: 0x0DDB_1A5E_5BAD_5EED,
+                config,
+            }
+        }
+
+        /// A runner with a fixed seed, as `TestRunner::deterministic()`.
+        pub fn deterministic() -> Self {
+            TestRunner::new(Config::default())
+        }
+
+        pub fn config(&self) -> &Config {
+            &self.config
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generated value plus (in real proptest) its shrink state. This
+    /// subset generates eagerly and does not shrink.
+    pub trait ValueTree {
+        type Value;
+        fn current(&self) -> Self::Value;
+    }
+
+    /// Eager tree holding an already-generated value.
+    pub struct NoShrink<T>(pub T);
+
+    impl<T: Clone> ValueTree for NoShrink<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Something that can generate values of `Self::Value`.
+    pub trait Strategy {
+        type Value: Clone;
+
+        fn gen_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<NoShrink<Self::Value>, String> {
+            Ok(NoShrink(self.gen_value(runner)))
+        }
+
+        fn prop_map<U: Clone, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = Rc::new(self);
+            BoxedStrategy(Rc::new(move |r: &mut TestRunner| s.gen_value(r)))
+        }
+    }
+
+    /// Type-erased strategy, produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRunner) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V: Clone> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, runner: &mut TestRunner) -> V {
+            (self.0)(runner)
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V: Clone> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, runner: &mut TestRunner) -> V {
+            let i = runner.below(self.arms.len());
+            self.arms[i].gen_value(runner)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Clone, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn gen_value(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.gen_value(runner))
+        }
+    }
+
+    /// `any::<T>()` — arbitrary value of a primitive type.
+    pub struct Any<T>(PhantomData<T>);
+
+    pub trait ArbitraryValue: Clone {
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(runner: &mut TestRunner) -> Self {
+                    runner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (runner.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, runner: &mut TestRunner) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (runner.next_u64() as u128 % span) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn gen_value(&self, runner: &mut TestRunner) -> $t {
+                    (self.start..=<$t>::MAX).gen_value(runner)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.gen_value(runner),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(S0.0);
+    impl_tuple_strategy!(S0.0, S1.1);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+    /// String strategies from simple regex-like patterns: a sequence of
+    /// literal characters and `[a-z 0-9...]` classes, each optionally
+    /// followed by `{n}` or `{m,n}`. Covers the patterns the tests use
+    /// (`"[a-z]{1,12}"`, `"[ -~]{0,60}"`, ...).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, runner: &mut TestRunner) -> String {
+            generate_from_pattern(self, runner)
+        }
+    }
+
+    fn generate_from_pattern(pat: &str, runner: &mut TestRunner) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Element: a character class or a literal character.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+                let class = expand_class(&chars[i + 1..close], pat);
+                i = close + 1;
+                class
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // Quantifier: {n} or {m,n}; default exactly one.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad quantifier"),
+                        n.trim().parse::<usize>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = lo
+                + if hi > lo {
+                    runner.below(hi - lo + 1)
+                } else {
+                    0
+                };
+            for _ in 0..count {
+                out.push(alphabet[runner.below(alphabet.len())]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(body: &[char], pat: &str) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            if j + 2 < body.len() && body[j + 1] == '-' {
+                let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                assert!(lo <= hi, "bad class range in pattern {pat:?}");
+                for c in lo..=hi {
+                    set.push(char::from_u32(c).unwrap());
+                }
+                j += 3;
+            } else {
+                set.push(body[j]);
+                j += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty class in pattern {pat:?}");
+        set
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`]: `[lo, hi]` inclusive.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange(usize, usize);
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange(r.start, r.end - 1)
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange(*r.start(), *r.end())
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n, n)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let SizeRange(lo, hi) = self.size;
+            let n = lo
+                + if hi > lo {
+                    runner.below(hi - lo + 1)
+                } else {
+                    0
+                };
+            (0..n).map(|_| self.element.gen_value(runner)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::ArbitraryValue;
+    use crate::test_runner::TestRunner;
+
+    /// A position into a collection whose length is supplied later.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Maps this draw onto `[0, len)`. `len` must be nonzero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl ArbitraryValue for Index {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            Index(runner.next_u64() as usize)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Module alias so `prop::sample::Index` etc. resolve under the glob
+    /// import, as in real proptest.
+    pub mod prop {
+        pub use crate::{collection, sample, strategy, test_runner};
+    }
+}
+
+/// Uniform choice among alternative strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); ) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config.clone());
+            for _case in 0..config.cases {
+                $crate::__proptest_bind!(runner; $($params)*);
+                // Bodies may `return Ok(())` early, as in real proptest,
+                // where each case runs in a Result-returning function.
+                let case = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(e) = case() {
+                    panic!("property case failed: {e}");
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($runner:ident;) => {};
+    ($runner:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::gen_value(&($strat), &mut $runner);
+    };
+    ($runner:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::gen_value(&($strat), &mut $runner);
+        $crate::__proptest_bind!($runner; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".gen_value(&mut runner);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let p = "[ -~]{0,20}".gen_value(&mut runner);
+            assert!(p.len() <= 20);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        let strat = prop_oneof![Just(1u8), Just(2u8), (5u8..8).prop_map(|v| v)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(strat.gen_value(&mut runner));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2) && seen.iter().any(|v| (5..8).contains(v)));
+    }
+
+    #[test]
+    fn value_tree_api_matches_direct_generation() {
+        let mut a = crate::test_runner::TestRunner::deterministic();
+        let mut b = crate::test_runner::TestRunner::deterministic();
+        let strat = (any::<u32>(), "[a-z]{1,4}").prop_map(|(n, s)| format!("{n}-{s}"));
+        let direct = strat.gen_value(&mut a);
+        let tree = strat.new_tree(&mut b).unwrap().current();
+        assert_eq!(direct, tree);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_multiple_args(x in 0u8..10, v in crate::collection::vec(any::<bool>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a tiny, deterministic implementation of exactly the surface the
+//! crates consume: `StdRng` + `SeedableRng::seed_from_u64`, the `Rng`
+//! convenience methods (`gen`, `gen_range`, `gen_bool`) and
+//! `SliceRandom::choose_multiple`. The generator is SplitMix64, which is
+//! plenty for synthetic-workload generation (not cryptographic use).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            };
+            // Warm up so small seeds diverge immediately.
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// Types producible from a single `u64` draw (the `Standard` distribution).
+pub trait Standard: Sized {
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_u64(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A range from which a uniform value can be drawn.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::from_u64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Random selections from slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+
+        /// `amount` distinct elements in random order (all of them when the
+        /// slice is shorter), via a partial Fisher–Yates over indices.
+        fn choose_multiple<'a, R: RngCore + ?Sized>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a Self::Item>;
+
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose_multiple<'a, R: RngCore + ?Sized>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a T> {
+            let n = self.len();
+            let k = amount.min(n);
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + (rng.next_u64() as usize) % (n - i);
+                idx.swap(i, j);
+            }
+            idx[..k]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() as usize) % self.len()])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<u32> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        let vc: Vec<u32> = (0..16).map(|_| c.gen()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: i64 = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&w));
+            let x = rng.gen_range(1..=4usize);
+            assert!((1..=4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items: Vec<u32> = (0..20).collect();
+        let picked: Vec<u32> = items.choose_multiple(&mut rng, 5).copied().collect();
+        assert_eq!(picked.len(), 5);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+        // Requesting more than available yields everything.
+        assert_eq!(items.choose_multiple(&mut rng, 100).count(), 20);
+    }
+}
