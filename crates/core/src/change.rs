@@ -233,6 +233,31 @@ impl Default for DeltaLog {
 }
 
 impl DeltaLog {
+    /// An empty log retaining at most `capacity` entries (a capacity of 0
+    /// retains nothing: every consumer always rebuilds).
+    pub fn with_capacity(capacity: usize) -> DeltaLog {
+        DeltaLog {
+            capacity,
+            ..DeltaLog::default()
+        }
+    }
+
+    /// The retention bound: how many entries the sliding window keeps.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Changes the retention bound. Shrinking evicts the oldest entries
+    /// immediately (consumers with epochs in the evicted range fall back
+    /// to a rebuild); growing simply allows the window to fill further.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+            self.base += 1;
+        }
+    }
+
     /// The epoch after the most recent change.
     pub fn epoch(&self) -> u64 {
         self.base + self.entries.len() as u64
@@ -291,6 +316,19 @@ impl Database {
     /// Read access to the delta log itself.
     pub fn delta_log(&self) -> &DeltaLog {
         &self.delta
+    }
+
+    /// The delta log's retention bound.
+    pub fn delta_capacity(&self) -> usize {
+        self.delta.capacity()
+    }
+
+    /// Rebounds the delta log window (see [`DeltaLog::set_capacity`]).
+    /// Databases that never use incremental consumers can shrink it;
+    /// long-lived interactive sessions with many maintained views can
+    /// grow it to avoid rebuild storms.
+    pub fn set_delta_capacity(&mut self, capacity: usize) {
+        self.delta.set_capacity(capacity);
     }
 
     pub(crate) fn record_change(&mut self, change: Change) {
@@ -356,6 +394,26 @@ mod tests {
         assert_eq!(log.since(0), None);
         assert_eq!(log.since(5), None);
         assert_eq!(log.since(6).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn capacity_is_configurable_and_shrinking_evicts() {
+        let mut log = DeltaLog::with_capacity(8);
+        assert_eq!(log.capacity(), 8);
+        for i in 0..8 {
+            log.record(change(i));
+        }
+        assert_eq!(log.len(), 8);
+        log.set_capacity(3);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.base_epoch(), 5);
+        assert_eq!(log.since(4), None);
+        assert_eq!(log.since(5).unwrap().len(), 3);
+        log.set_capacity(5);
+        log.record(change(8));
+        log.record(change(9));
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.epoch(), 10);
     }
 
     #[test]

@@ -148,6 +148,14 @@ pub enum Command {
     /// Save the database under a (possibly new) name — "saves this new
     /// database as entertainment".
     Save(String),
+    /// Print the recovery report for a stored database (a dry run that
+    /// modifies nothing), or with `None` reprint what recovery did at the
+    /// last load.
+    Doctor(Option<String>),
+    /// Verify a stored database: recovery dry run plus a consistency check
+    /// of the recovered state. `None` checks the database of the current
+    /// session's name.
+    Fsck(Option<String>),
     /// Re-evaluate derived subclasses and derived attributes now, using the
     /// delta log where possible (full re-evaluation only after schema
     /// changes or when the log window has been evicted).

@@ -6,7 +6,7 @@ use isis_core::{
     Rhs, SchemaNode, ValueClass,
 };
 use isis_query::DerivedMaintainer;
-use isis_store::StoreDir;
+use isis_store::{RecoveryReport, StoreDir};
 use isis_views::{
     data_view, forest_view, network_view, worksheet_view, DataViewInput, ForestViewOptions,
     PageSpec, Scene, WorksheetInput,
@@ -73,6 +73,65 @@ pub struct Session {
     /// `None` after anything that invalidates them (database swap, schema
     /// change) — the next refresh rebuilds them from scratch.
     maintainers: Option<Vec<DerivedMaintainer>>,
+    /// What recovery found the last time a database was loaded from the
+    /// store this session (the *doctor* command reprints it).
+    last_recovery: Option<RecoveryReport>,
+}
+
+/// Configures and builds a [`Session`]: attach a store, pick the refresh
+/// policy, bound the database's delta log.
+///
+/// ```
+/// use isis_session::Session;
+///
+/// let db = isis_core::Database::new("demo");
+/// let session = Session::builder(db).delta_capacity(1 << 10).build();
+/// assert_eq!(session.database().delta_capacity(), 1 << 10);
+/// ```
+#[derive(Debug)]
+pub struct SessionBuilder {
+    db: Database,
+    store: Option<StoreDir>,
+    policy: RefreshPolicy,
+    delta_capacity: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// Attaches a database directory (enables *load* / *save*).
+    pub fn store(mut self, store: StoreDir) -> SessionBuilder {
+        self.store = Some(store);
+        self
+    }
+
+    /// Sets the initial refresh policy.
+    pub fn refresh_policy(mut self, policy: RefreshPolicy) -> SessionBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Bounds the database's delta-log window (how many changes incremental
+    /// consumers can catch up on before falling back to a rebuild).
+    pub fn delta_capacity(mut self, capacity: usize) -> SessionBuilder {
+        self.delta_capacity = Some(capacity);
+        self
+    }
+
+    /// Builds the session.
+    pub fn build(self) -> Session {
+        let SessionBuilder {
+            mut db,
+            store,
+            policy,
+            delta_capacity,
+        } = self;
+        if let Some(capacity) = delta_capacity {
+            db.set_delta_capacity(capacity);
+        }
+        let mut s = Session::new(db);
+        s.store = store;
+        s.policy = policy;
+        s
+    }
 }
 
 impl Session {
@@ -94,14 +153,30 @@ impl Session {
             policy: RefreshPolicy::Manual,
             refresh_cursor: 0,
             maintainers: None,
+            last_recovery: None,
+        }
+    }
+
+    /// Starts configuring a session (store, refresh policy, delta-log
+    /// capacity).
+    pub fn builder(db: Database) -> SessionBuilder {
+        SessionBuilder {
+            db,
+            store: None,
+            policy: RefreshPolicy::Manual,
+            delta_capacity: None,
         }
     }
 
     /// Starts a session attached to a database directory.
     pub fn with_store(db: Database, store: StoreDir) -> Session {
-        let mut s = Session::new(db);
-        s.store = Some(store);
-        s
+        Session::builder(db).store(store).build()
+    }
+
+    /// What recovery found the last time a database was loaded from the
+    /// store this session, if any load has happened.
+    pub fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
     }
 
     /// Read access to the database.
@@ -1014,7 +1089,7 @@ impl Session {
             // ---- session ----------------------------------------------
             Command::Load(name) => {
                 let store = self.store.as_ref().ok_or(SessionError::NoStore)?;
-                let db = store.load(&name)?;
+                let (db, report) = store.recover(&name)?;
                 self.db = db;
                 self.mode = Mode::Forest;
                 self.selection = None;
@@ -1024,12 +1099,57 @@ impl Session {
                 self.redo.clear();
                 self.invalidate_refresh();
                 self.say(format!("loaded database {name}"));
+                if !report.is_pristine() {
+                    for line in report.to_string().lines() {
+                        self.say(line.to_string());
+                    }
+                }
+                self.last_recovery = Some(report);
                 Ok(())
             }
             Command::Save(name) => {
                 let store = self.store.as_ref().ok_or(SessionError::NoStore)?;
                 store.save(&self.db, &name)?;
                 self.say(format!("saved database as {name}"));
+                Ok(())
+            }
+            Command::Doctor(name) => {
+                match name {
+                    Some(name) => {
+                        // Diagnose a stored database: a recovery dry run.
+                        let store = self.store.as_ref().ok_or(SessionError::NoStore)?;
+                        let (_, report) = store.recover(&name)?;
+                        for line in report.to_string().lines() {
+                            self.say(line.to_string());
+                        }
+                    }
+                    None => match &self.last_recovery {
+                        Some(report) => {
+                            for line in report.to_string().lines() {
+                                self.say(line.to_string());
+                            }
+                        }
+                        None => self.say(
+                            "no database loaded from the store yet; try doctor NAME".to_string(),
+                        ),
+                    },
+                }
+                Ok(())
+            }
+            Command::Fsck(name) => {
+                let store = self.store.as_ref().ok_or(SessionError::NoStore)?;
+                let name = match name {
+                    Some(name) => name,
+                    None => self.db.name.clone(),
+                };
+                let report = store.fsck(&name)?;
+                for line in report.to_string().lines() {
+                    self.say(line.to_string());
+                }
+                self.say(format!(
+                    "fsck {name}: {}",
+                    if report.clean() { "clean" } else { "NOT CLEAN" }
+                ));
                 Ok(())
             }
             Command::Undo => {

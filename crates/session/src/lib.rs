@@ -26,7 +26,7 @@ pub mod script;
 pub mod state;
 
 pub use command::Command;
-pub use engine::Session;
+pub use engine::{Session, SessionBuilder};
 pub use error::SessionError;
 pub use script::{Script, Step, Transcript};
 pub use state::{AtomDraft, Mode, RefreshPolicy, Selection, WorksheetState, WsTarget};

@@ -166,6 +166,12 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
@@ -173,17 +179,17 @@ impl<'a> Reader<'a> {
 
     /// Reads a little-endian u32.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian u64.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian i64.
     pub fn i64(&mut self) -> Result<i64, CodecError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an f64 by bit pattern.
@@ -265,8 +271,12 @@ pub fn read_frame(buf: &[u8]) -> Result<(&[u8], usize), CodecError> {
     if buf.len() < 8 {
         return Err(CodecError::UnexpectedEof);
     }
-    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let mut len4 = [0u8; 4];
+    let mut crc4 = [0u8; 4];
+    len4.copy_from_slice(&buf[0..4]);
+    crc4.copy_from_slice(&buf[4..8]);
+    let len = u32::from_le_bytes(len4) as usize;
+    let crc = u32::from_le_bytes(crc4);
     if buf.len() < 8 + len {
         return Err(CodecError::UnexpectedEof);
     }

@@ -20,6 +20,13 @@ pub enum StoreError {
     AlreadyExists(String),
     /// The name is not usable as a file stem.
     BadName(String),
+    /// Every snapshot generation of a database failed to load.
+    Recovery {
+        /// The database name.
+        name: String,
+        /// The per-generation failures, joined for display.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -31,6 +38,9 @@ impl fmt::Display for StoreError {
             StoreError::NotFound(n) => write!(f, "database not found: {n:?}"),
             StoreError::AlreadyExists(n) => write!(f, "database already exists: {n:?}"),
             StoreError::BadName(n) => write!(f, "bad database name: {n:?}"),
+            StoreError::Recovery { name, detail } => {
+                write!(f, "recovery of {name:?} failed: {detail}")
+            }
         }
     }
 }

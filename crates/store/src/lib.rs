@@ -6,12 +6,19 @@
 //!
 //! * [`codec`] — an explicit, versioned binary codec with CRC32 frames;
 //! * [`encode`] — byte layouts for database images and predicates;
-//! * snapshots (`N.isis`) written atomically via temp-file + rename;
+//! * [`vfs`] — a virtual filesystem trait all I/O goes through, with a
+//!   durable [`StdVfs`] and a deterministic fault-injecting [`FaultVfs`];
+//! * snapshots (`N.isis`) written atomically and durably (temp-file,
+//!   fsync, rename, directory fsync), with the previous generation kept
+//!   as a fallback (`N.isis.1`);
 //! * a write-ahead log (`N.wal`) of logical operations with torn-tail
-//!   detection, so a crashed session recovers to its last logged op;
+//!   detection, a generation header tying it to its snapshot, and a
+//!   salvage mode that resynchronises past mid-log corruption;
+//! * [`recovery`] — multi-generation recovery with a structured
+//!   [`RecoveryReport`] and an `fsck`-style verification pass;
 //! * [`StoreDir`] — a directory of named databases (list / save / load /
 //!   delete), and [`LoggedDatabase`] — a database handle whose mutations
-//!   are WAL-durable with `checkpoint()` compaction.
+//!   are WAL-durable with crash-safe `checkpoint()` compaction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,14 +27,18 @@ pub mod codec;
 pub mod encode;
 pub mod error;
 pub mod history;
+pub mod recovery;
 mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use codec::{crc32, CodecError};
 pub use error::StoreError;
 pub use history::{describe, is_schema_level, DesignHistory, HistoryEntry};
+pub use recovery::{FsckReport, RecoveryReport};
 pub use store::{
-    read_snapshot, read_snapshot_bytes, write_snapshot, write_snapshot_bytes, LoggedDatabase,
-    StoreDir, SNAPSHOT_MAGIC,
+    read_snapshot, read_snapshot_bytes, read_snapshot_bytes_gen, snapshot_bytes_with_gen,
+    write_snapshot, write_snapshot_bytes, LoggedDatabase, StoreDir, SNAPSHOT_MAGIC,
 };
-pub use wal::{replay_log, LogOp, Replay, SyncPolicy, WalFile};
+pub use vfs::{FaultMode, FaultProfile, FaultStats, FaultVfs, RetryPolicy, StdVfs, Vfs};
+pub use wal::{replay_log, replay_with, LogOp, Replay, SyncPolicy, WalFile, WAL_HEADER_MAGIC};

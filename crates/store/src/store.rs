@@ -1,15 +1,23 @@
 //! Snapshots, the database directory, and the logged database.
 //!
-//! On disk a database named `N` in a [`StoreDir`] is a pair of files:
+//! On disk a database named `N` in a [`StoreDir`] is a family of files:
 //!
-//! * `N.isis` — a checksummed snapshot (magic + framed image);
-//! * `N.wal`  — the write-ahead log of operations applied since.
+//! * `N.isis`   — the newest checksummed snapshot (magic + framed
+//!   generation + image);
+//! * `N.isis.1` — the previous snapshot generation, kept as a fallback so
+//!   a corrupted newest snapshot is recoverable;
+//! * `N.wal`    — the write-ahead log of operations applied since the
+//!   snapshot generation named in its header record.
 //!
 //! Opening replays `snapshot + log`; [`LoggedDatabase::checkpoint`] writes
-//! a fresh snapshot (atomically, via rename) and truncates the log.
+//! a fresh snapshot (atomically: temp file, fsync, rotate, rename, fsync
+//! of the directory) and restarts the log under the new generation. All
+//! I/O goes through a [`Vfs`], so the crash-consistency suite can inject
+//! faults at every byte boundary and recovery
+//! ([`StoreDir::recover`](StoreDir::recover)) can be proven total.
 
-use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use isis_core::{
     AttrDerivation, AttrId, ChangeSet, ClassId, ConstraintId, ConstraintKind, Database, EntityId,
@@ -19,57 +27,99 @@ use isis_core::{
 use crate::codec::{frame, read_frame, CodecError};
 use crate::encode::{decode_image, encode_image};
 use crate::error::StoreError;
-use crate::wal::{replay_log, LogOp, SyncPolicy, WalFile};
+use crate::recovery::RecoveryReport;
+use crate::vfs::{StdVfs, Vfs};
+use crate::wal::{replay_with, LogOp, SyncPolicy, WalFile};
 
-/// Magic bytes at the start of a snapshot file.
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ISISDB\x01\x00";
+/// Magic bytes at the start of a snapshot file (format version 2: the
+/// CRC-protected frame payload is the u64 LE snapshot generation followed
+/// by the image bytes).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ISISDB\x02\x00";
 
-/// Writes a snapshot of `db` to `path` atomically (write temp + rename).
+/// Writes a snapshot of `db` to `path` atomically and durably (write temp,
+/// fsync, rename, fsync the parent directory).
 pub fn write_snapshot(db: &Database, path: &Path) -> Result<(), StoreError> {
-    let bytes = write_snapshot_bytes(db);
-    let tmp = path.with_extension("isis.tmp");
-    fs::write(&tmp, &bytes)?;
-    fs::rename(&tmp, path)?;
-    Ok(())
+    install_snapshot(&StdVfs::new(), path, &write_snapshot_bytes(db))
 }
 
-/// Serialises `db` to in-memory snapshot bytes (same format as the file).
+/// Serialises `db` to in-memory snapshot bytes (same format as the file;
+/// generation 0).
 pub fn write_snapshot_bytes(db: &Database) -> Vec<u8> {
-    let mut bytes = Vec::new();
+    snapshot_bytes_with_gen(db, 0)
+}
+
+/// Serialises `db` to snapshot bytes under an explicit generation. The
+/// generation sits *inside* the checksummed frame, so a flipped generation
+/// byte is detected like any other corruption.
+pub fn snapshot_bytes_with_gen(db: &Database, generation: u64) -> Vec<u8> {
+    let image = encode_image(&db.to_image());
+    let mut payload = Vec::with_capacity(image.len() + 8);
+    payload.extend_from_slice(&generation.to_le_bytes());
+    payload.extend_from_slice(&image);
+    let mut bytes = Vec::with_capacity(payload.len() + 16);
     bytes.extend_from_slice(SNAPSHOT_MAGIC);
-    bytes.extend_from_slice(&frame(&encode_image(&db.to_image())));
+    bytes.extend_from_slice(&frame(&payload));
     bytes
+}
+
+/// Deserialises snapshot bytes back into a database plus the generation
+/// they were written under.
+pub fn read_snapshot_bytes_gen(bytes: &[u8]) -> Result<(Database, u64), StoreError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() {
+        return Err(StoreError::Codec(CodecError::BadMagic));
+    }
+    if bytes[..SNAPSHOT_MAGIC.len()] != *SNAPSHOT_MAGIC {
+        // A well-formed header with a different version byte is version
+        // skew, not garbage.
+        if bytes[..6] == SNAPSHOT_MAGIC[..6] && bytes[7] == 0 {
+            return Err(StoreError::Codec(CodecError::BadVersion(bytes[6] as u32)));
+        }
+        return Err(StoreError::Codec(CodecError::BadMagic));
+    }
+    let (payload, consumed) = read_frame(&bytes[SNAPSHOT_MAGIC.len()..])?;
+    if SNAPSHOT_MAGIC.len() + consumed != bytes.len() {
+        return Err(StoreError::Codec(CodecError::Corrupt(
+            "trailing bytes after snapshot frame".into(),
+        )));
+    }
+    if payload.len() < 8 {
+        return Err(StoreError::Codec(CodecError::Corrupt(
+            "snapshot payload shorter than its generation".into(),
+        )));
+    }
+    let mut gen8 = [0u8; 8];
+    gen8.copy_from_slice(&payload[..8]);
+    let img = decode_image(&payload[8..])?;
+    Ok((Database::from_image(img)?, u64::from_le_bytes(gen8)))
 }
 
 /// Deserialises snapshot bytes back into a database.
 pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Database, StoreError> {
-    if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
-        return Err(StoreError::Codec(CodecError::BadMagic));
-    }
-    let (payload, consumed) = read_frame(&bytes[SNAPSHOT_MAGIC.len()..])?;
-    if SNAPSHOT_MAGIC.len() + consumed != bytes.len() {
-        return Err(StoreError::Codec(CodecError::Corrupt(
-            "trailing bytes after snapshot frame".into(),
-        )));
-    }
-    let img = decode_image(payload)?;
-    Ok(Database::from_image(img)?)
+    read_snapshot_bytes_gen(bytes).map(|(db, _)| db)
 }
 
 /// Reads a snapshot from `path`.
 pub fn read_snapshot(path: &Path) -> Result<Database, StoreError> {
-    let bytes = fs::read(path)?;
-    if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
-        return Err(StoreError::Codec(CodecError::BadMagic));
+    read_snapshot_bytes(&std::fs::read(path)?)
+}
+
+/// The generation of the snapshot in `bytes`, if it validates.
+fn peek_generation(bytes: &[u8]) -> Option<u64> {
+    read_snapshot_bytes_gen(bytes).ok().map(|(_, g)| g)
+}
+
+/// Writes `bytes` to `path` atomically and durably through `vfs`.
+fn install_snapshot(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("isis.tmp");
+    vfs.write(&tmp, bytes)?;
+    vfs.sync_file(&tmp)?;
+    vfs.rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            vfs.sync_dir(parent)?;
+        }
     }
-    let (payload, consumed) = read_frame(&bytes[SNAPSHOT_MAGIC.len()..])?;
-    if SNAPSHOT_MAGIC.len() + consumed != bytes.len() {
-        return Err(StoreError::Codec(CodecError::Corrupt(
-            "trailing bytes after snapshot frame".into(),
-        )));
-    }
-    let img = decode_image(payload)?;
-    Ok(Database::from_image(img)?)
+    Ok(())
 }
 
 /// A directory of named databases — ISIS's "load the database
@@ -91,14 +141,23 @@ pub fn read_snapshot(path: &Path) -> Result<Database, StoreError> {
 #[derive(Debug, Clone)]
 pub struct StoreDir {
     root: PathBuf,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl StoreDir {
-    /// Opens (creating if needed) a database directory.
+    /// Opens (creating if needed) a database directory on the real
+    /// filesystem.
     pub fn open(root: impl Into<PathBuf>) -> Result<StoreDir, StoreError> {
+        StoreDir::open_with(root, Arc::new(StdVfs::new()))
+    }
+
+    /// Opens (creating if needed) a database directory through an explicit
+    /// [`Vfs`] — a [`FaultVfs`](crate::FaultVfs) turns every operation on
+    /// this directory into a potential fault point.
+    pub fn open_with(root: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> Result<StoreDir, StoreError> {
         let root = root.into();
-        fs::create_dir_all(&root)?;
-        Ok(StoreDir { root })
+        vfs.create_dir_all(&root)?;
+        Ok(StoreDir { root, vfs })
     }
 
     /// The directory path.
@@ -106,7 +165,12 @@ impl StoreDir {
         &self.root
     }
 
-    fn check_name(name: &str) -> Result<(), StoreError> {
+    /// The VFS every byte of this directory's I/O goes through.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
+    pub(crate) fn check_name(name: &str) -> Result<(), StoreError> {
         if name.is_empty()
             || name
                 .chars()
@@ -117,20 +181,23 @@ impl StoreDir {
         Ok(())
     }
 
-    fn snapshot_path(&self, name: &str) -> PathBuf {
+    pub(crate) fn snapshot_path(&self, name: &str) -> PathBuf {
         self.root.join(format!("{name}.isis"))
     }
 
-    fn wal_path(&self, name: &str) -> PathBuf {
+    pub(crate) fn fallback_path(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.isis.1"))
+    }
+
+    pub(crate) fn wal_path(&self, name: &str) -> PathBuf {
         self.root.join(format!("{name}.wal"))
     }
 
-    /// Lists the database names present, sorted.
+    /// Lists the database names present, sorted. (Fallback generations
+    /// `*.isis.1` and temp files do not add names.)
     pub fn list(&self) -> Result<Vec<String>, StoreError> {
         let mut names = Vec::new();
-        for entry in fs::read_dir(&self.root)? {
-            let entry = entry?;
-            let path = entry.path();
+        for path in self.vfs.read_dir(&self.root)? {
             if path.extension().and_then(|e| e.to_str()) == Some("isis") {
                 if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
                     names.push(stem.to_string());
@@ -141,80 +208,124 @@ impl StoreDir {
         Ok(names)
     }
 
-    /// `true` if a database of this name exists.
+    /// `true` if a database of this name exists (either generation — a
+    /// crash between the two checkpoint renames leaves only the fallback).
     pub fn exists(&self, name: &str) -> bool {
-        self.snapshot_path(name).exists()
+        self.vfs.exists(&self.snapshot_path(name)) || self.vfs.exists(&self.fallback_path(name))
+    }
+
+    /// The next unused snapshot generation for `name`: one past everything
+    /// on disk, so a stale log can never be mistaken for the new
+    /// generation's.
+    pub(crate) fn next_generation(&self, name: &str) -> u64 {
+        let mut newest = 0;
+        for path in [self.snapshot_path(name), self.fallback_path(name)] {
+            if let Ok(bytes) = self.vfs.read(&path) {
+                if let Some(g) = peek_generation(&bytes) {
+                    newest = newest.max(g);
+                }
+            }
+        }
+        if let Ok(replay) = replay_with(self.vfs.as_ref(), &self.wal_path(name), false) {
+            if let Some(g) = replay.snapshot_gen {
+                newest = newest.max(g);
+            }
+        }
+        newest + 1
+    }
+
+    /// Installs snapshot `bytes` as the newest generation of `name`:
+    /// temp-write + fsync, optionally rotate the current newest to the
+    /// fallback slot, rename into place, fsync the directory after each
+    /// rename. With `rotate == false` the current newest is overwritten in
+    /// place and the existing fallback survives — used when the newest was
+    /// itself unreadable and the fallback is the only good copy.
+    pub(crate) fn install(&self, name: &str, bytes: &[u8], rotate: bool) -> Result<(), StoreError> {
+        let snap = self.snapshot_path(name);
+        let tmp = snap.with_extension("isis.tmp");
+        self.vfs.write(&tmp, bytes)?;
+        self.vfs.sync_file(&tmp)?;
+        if rotate && self.vfs.exists(&snap) {
+            self.vfs.rename(&snap, &self.fallback_path(name))?;
+            self.vfs.sync_dir(&self.root)?;
+        }
+        self.vfs.rename(&tmp, &snap)?;
+        self.vfs.sync_dir(&self.root)?;
+        Ok(())
     }
 
     /// Saves `db` under `name` (the *save* menu command). Overwrites any
-    /// existing database of that name and clears its log.
+    /// existing database of that name and supersedes its log; the previous
+    /// snapshot (if any) is kept as the fallback generation.
     pub fn save(&self, db: &Database, name: &str) -> Result<(), StoreError> {
         Self::check_name(name)?;
-        write_snapshot(db, &self.snapshot_path(name))?;
-        // A fresh snapshot supersedes any log.
+        let generation = self.next_generation(name);
+        self.install(name, &snapshot_bytes_with_gen(db, generation), true)?;
+        // Any log on disk now names an older generation and is skipped on
+        // recovery; removing it is just tidiness.
         let wal = self.wal_path(name);
-        if wal.exists() {
-            fs::remove_file(wal)?;
+        if self.vfs.exists(&wal) {
+            self.vfs.remove_file(&wal)?;
         }
         Ok(())
     }
 
-    /// Loads the database saved under `name` (snapshot only; any log is
-    /// replayed too, so a crashed session's operations are recovered).
+    /// Loads the database saved under `name`: the newest readable snapshot
+    /// generation plus its log suffix (see [`StoreDir::recover`] for the
+    /// report-returning variant).
     pub fn load(&self, name: &str) -> Result<Database, StoreError> {
-        Self::check_name(name)?;
-        let snap = self.snapshot_path(name);
-        if !snap.exists() {
-            return Err(StoreError::NotFound(name.into()));
-        }
-        let mut db = read_snapshot(&snap)?;
-        let replay = replay_log(&self.wal_path(name))?;
-        for op in &replay.ops {
-            op.apply(&mut db)?;
-        }
-        Ok(db)
+        self.recover(name).map(|(db, _)| db)
     }
 
-    /// Deletes a saved database.
+    /// Deletes a saved database (all generations and the log).
     pub fn delete(&self, name: &str) -> Result<(), StoreError> {
         Self::check_name(name)?;
-        let snap = self.snapshot_path(name);
-        if !snap.exists() {
+        if !self.exists(name) {
             return Err(StoreError::NotFound(name.into()));
         }
-        fs::remove_file(snap)?;
-        let wal = self.wal_path(name);
-        if wal.exists() {
-            fs::remove_file(wal)?;
+        for path in [
+            self.snapshot_path(name),
+            self.fallback_path(name),
+            self.wal_path(name),
+        ] {
+            if self.vfs.exists(&path) {
+                self.vfs.remove_file(&path)?;
+            }
         }
         Ok(())
     }
 
     /// Opens `name` as a logged database: subsequent mutations are WAL-
-    /// durable and recoverable. Creates the database if absent.
+    /// durable and recoverable. Creates the database if absent. Whatever
+    /// recovery had to do to get here is in the returned handle's
+    /// [`recovery_report`](LoggedDatabase::recovery_report).
     pub fn open_logged(
         &self,
         name: &str,
         policy: SyncPolicy,
     ) -> Result<LoggedDatabase, StoreError> {
         Self::check_name(name)?;
-        let db = if self.exists(name) {
-            self.load(name)?
+        let (db, report) = if self.exists(name) {
+            self.recover(name)?
         } else {
-            let db = Database::new(name);
-            write_snapshot(&db, &self.snapshot_path(name))?;
-            db
+            (Database::new(name), RecoveryReport::fresh(name))
         };
-        // The replayed suffix (if any) is folded into a fresh snapshot so
-        // the log can restart empty.
-        write_snapshot(&db, &self.snapshot_path(name))?;
-        let mut wal = WalFile::open(self.wal_path(name), policy)?;
-        wal.truncate()?;
+        // Fold the replayed suffix (if any) into a fresh snapshot
+        // generation so the log can restart empty. When recovery fell back
+        // to the previous generation, the newest slot holds the corrupt
+        // file — overwrite it and keep the good fallback.
+        let generation = self.next_generation(name);
+        let rotate = !report.used_fallback;
+        self.install(name, &snapshot_bytes_with_gen(&db, generation), rotate)?;
+        let mut wal = WalFile::open_with(self.vfs.clone(), self.wal_path(name), policy)?;
+        wal.reset(generation)?;
         Ok(LoggedDatabase {
             db,
             wal,
             dir: self.clone(),
             name: name.to_string(),
+            generation,
+            report,
         })
     }
 }
@@ -227,6 +338,8 @@ pub struct LoggedDatabase {
     wal: WalFile,
     dir: StoreDir,
     name: String,
+    generation: u64,
+    report: RecoveryReport,
 }
 
 macro_rules! logged {
@@ -245,6 +358,16 @@ macro_rules! logged {
 }
 
 impl LoggedDatabase {
+    /// Opens `name` in `dir` as a logged database (an alias for
+    /// [`StoreDir::open_logged`] that reads better at call sites).
+    pub fn open(
+        dir: &StoreDir,
+        name: &str,
+        policy: SyncPolicy,
+    ) -> Result<LoggedDatabase, StoreError> {
+        dir.open_logged(name, policy)
+    }
+
     /// Read access to the in-memory database.
     pub fn database(&self) -> &Database {
         &self.db
@@ -255,16 +378,39 @@ impl LoggedDatabase {
         &self.name
     }
 
+    /// The snapshot generation the current log segment extends.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// What recovery found and did when this handle was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
     /// Number of operations in the current log segment.
     pub fn log_records(&self) -> usize {
         self.wal.appended_records()
     }
 
-    /// Writes a fresh snapshot and truncates the log.
+    /// Writes a fresh snapshot generation and restarts the log under it.
+    ///
+    /// The sequence is crash-safe at every step: sync the log (so the old
+    /// generation stays fully recoverable), install the new snapshot
+    /// (temp + fsync + rotate + rename + directory fsync), then reset the
+    /// log with the new generation's header. A crash before the final
+    /// rename recovers the old generation plus its complete log; a crash
+    /// after it recovers the new snapshot and skips the stale log.
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
         self.wal.sync()?;
-        self.dir.save(&self.db, &self.name)?;
-        self.wal = WalFile::open(self.dir.wal_path(&self.name), SyncPolicy::OsFlush)?;
+        let generation = self.generation + 1;
+        self.dir.install(
+            &self.name,
+            &snapshot_bytes_with_gen(&self.db, generation),
+            true,
+        )?;
+        self.wal.reset(generation)?;
+        self.generation = generation;
         Ok(())
     }
 
@@ -489,6 +635,7 @@ impl LoggedDatabase {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::replay_log;
     use isis_core::BaseKind;
 
     fn tempdir(tag: &str) -> PathBuf {
@@ -572,6 +719,26 @@ mod tests {
     }
 
     #[test]
+    fn unsupported_snapshot_version_reported_as_such() {
+        let db = Database::new("v");
+        let mut bytes = write_snapshot_bytes(&db);
+        bytes[6] = 0x7F;
+        assert!(matches!(
+            read_snapshot_bytes(&bytes),
+            Err(StoreError::Codec(CodecError::BadVersion(0x7F)))
+        ));
+    }
+
+    #[test]
+    fn snapshot_generation_roundtrips() {
+        let db = Database::new("g");
+        let bytes = snapshot_bytes_with_gen(&db, 42);
+        let (back, generation) = read_snapshot_bytes_gen(&bytes).unwrap();
+        assert_eq!(generation, 42);
+        assert_eq!(back.to_image(), db.to_image());
+    }
+
+    #[test]
     fn logged_database_recovers_after_crash() {
         let root = tempdir("crashrec");
         let dir = StoreDir::open(&root).unwrap();
@@ -603,12 +770,17 @@ mod tests {
         let mut db = dir.open_logged("work", SyncPolicy::OsFlush).unwrap();
         build_sample(&mut db);
         assert!(db.log_records() > 0);
+        let gen_before = db.generation();
         db.checkpoint().unwrap();
         assert_eq!(db.log_records(), 0);
+        assert_eq!(db.generation(), gen_before + 1);
         let image = db.database().to_image();
         drop(db);
-        let wal_len = std::fs::metadata(root.join("work.wal")).unwrap().len();
-        assert_eq!(wal_len, 0);
+        // The log holds only the new generation's header: no operations.
+        let replay = replay_log(&root.join("work.wal")).unwrap();
+        assert!(replay.ops.is_empty());
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.snapshot_gen, Some(gen_before + 1));
         assert_eq!(dir.load("work").unwrap().to_image(), image);
         std::fs::remove_dir_all(&root).unwrap();
     }
@@ -643,11 +815,69 @@ mod tests {
             let mut db = dir.open_logged("work", SyncPolicy::EverySync).unwrap();
             build_sample(&mut db);
         }
-        // Second open folds the log into the snapshot and truncates.
+        // Second open folds the log into the snapshot and restarts it.
         let db2 = dir.open_logged("work", SyncPolicy::EverySync).unwrap();
-        assert_eq!(std::fs::metadata(root.join("work.wal")).unwrap().len(), 0);
+        let replay = replay_log(&root.join("work.wal")).unwrap();
+        assert!(replay.ops.is_empty());
+        assert!(!replay.torn_tail);
         let m = db2.database().class_by_name("musicians").unwrap();
         assert!(db2.database().entity_by_name(m, "Edith").is_ok());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn recover_falls_back_to_previous_generation() {
+        let root = tempdir("fallback");
+        let dir = StoreDir::open(&root).unwrap();
+        let checkpointed_image;
+        {
+            let mut db = dir.open_logged("work", SyncPolicy::EverySync).unwrap();
+            build_sample(&mut db);
+            db.checkpoint().unwrap();
+            checkpointed_image = db.database().to_image();
+        }
+        // The checkpoint rotated the open-time snapshot into the fallback
+        // slot. Corrupt the newest generation.
+        let snap = root.join("work.isis");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&snap, &bytes).unwrap();
+        let (db, report) = dir.recover("work").unwrap();
+        assert!(report.used_fallback);
+        assert_eq!(report.snapshot_errors.len(), 1);
+        // The stale (empty) log of the new generation was skipped; the
+        // fallback is the open-time fold, i.e. the pre-build_sample state.
+        assert!(db.is_consistent().unwrap());
+        assert!(!report.is_pristine());
+        // Reopening heals the newest slot: a fresh fold replaces the
+        // corrupt file, after which recovery is pristine again.
+        drop(dir.open_logged("work", SyncPolicy::EverySync).unwrap());
+        let (healed, report2) = dir.recover("work").unwrap();
+        assert!(report2.is_pristine());
+        assert!(healed.is_consistent().unwrap());
+        let _ = checkpointed_image;
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stale_wal_is_skipped_after_save() {
+        let root = tempdir("stale");
+        let dir = StoreDir::open(&root).unwrap();
+        {
+            let mut db = dir.open_logged("work", SyncPolicy::EverySync).unwrap();
+            build_sample(&mut db);
+        }
+        // Keep the old log around; save a fresh database over the name.
+        let wal = std::fs::read(root.join("work.wal")).unwrap();
+        let fresh = Database::new("work");
+        dir.save(&fresh, "work").unwrap();
+        std::fs::write(root.join("work.wal"), &wal).unwrap();
+        // The resurrected log names the old generation: skipped, reported.
+        let (db, report) = dir.recover("work").unwrap();
+        assert!(report.wal_stale);
+        assert_eq!(report.wal_records_replayed, 0);
+        assert_eq!(db.to_image(), fresh.to_image());
         std::fs::remove_dir_all(&root).unwrap();
     }
 

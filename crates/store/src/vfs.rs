@@ -1,0 +1,744 @@
+//! The virtual filesystem every byte of persistence goes through.
+//!
+//! All file I/O in `isis-store` — snapshot write/read, WAL append/replay,
+//! checkpoint rotation, directory listing — is routed through the [`Vfs`]
+//! trait so the storage engine can be run against:
+//!
+//! * [`StdVfs`] — the real filesystem, hardened for durability: data is
+//!   fsynced before any rename publishes it, parent directories are fsynced
+//!   after renames, and transient failures (`Interrupted`, `WouldBlock`)
+//!   are retried under a configurable [`RetryPolicy`] with linear backoff;
+//! * [`FaultVfs`] — a deterministic fault injector that can crash the
+//!   "process" at any byte boundary of any write (torn writes), fail
+//!   fsyncs, drop renames, flip bits, and report `ENOSPC`, driven either
+//!   by an exact crash step or by a seeded pseudo-random profile. The
+//!   crash-consistency suite (`tests/crash_consistency.rs`) sweeps every
+//!   such fault point and asserts recovery always succeeds.
+//!
+//! The trait is deliberately path-based (no open handles cross the trait
+//! boundary): every operation names the file it touches, which is what
+//! makes exhaustive fault enumeration tractable. [`StdVfs`] keeps a small
+//! append-handle cache so WAL appends do not pay an `open(2)` per record.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Filesystem operations the storage engine needs, in path-based form.
+///
+/// Implementations must be usable behind `Arc<dyn Vfs>` from multiple
+/// threads; mutating operations act on whole files (there is no seek API),
+/// which keeps fault injection exhaustive and implementations simple.
+pub trait Vfs: std::fmt::Debug + Send + Sync {
+    /// Reads the entire file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates or truncates `path` and writes `bytes` (not yet durable —
+    /// call [`Vfs::sync_file`]).
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Appends `bytes` to `path`, creating it if absent.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Truncates `path` to zero length.
+    fn truncate(&self, path: &Path) -> io::Result<()>;
+    /// Forces file contents to stable storage (`fsync`).
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Forces directory metadata (entries, renames) to stable storage.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Atomically renames `from` to `to` (not durable until the parent
+    /// directory is synced).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// `true` if the path exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Length of the file in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// The entries of a directory (files only, unsorted).
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Creates a directory and its ancestors.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// Retry discipline for transient I/O failures in [`StdVfs`].
+///
+/// A transient failure is an error the kernel may resolve on its own
+/// (`Interrupted`, `WouldBlock`); anything else is surfaced immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retry).
+    pub max_attempts: u32,
+    /// Sleep before retry `n` is `backoff * n` (linear backoff).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: every failure is surfaced immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e)
+                    if attempt < self.max_attempts
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
+                        ) =>
+                {
+                    if !self.backoff.is_zero() {
+                        std::thread::sleep(self.backoff * attempt);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// The real filesystem, with durable-write discipline and transient-failure
+/// retries.
+#[derive(Debug, Default)]
+pub struct StdVfs {
+    retry: RetryPolicy,
+    /// Cached append handles so per-record WAL appends skip `open(2)`.
+    /// Invalidated whenever the same path is written, truncated, renamed,
+    /// or removed through this VFS.
+    append_handles: Mutex<HashMap<PathBuf, File>>,
+}
+
+impl StdVfs {
+    /// A `StdVfs` with the default retry policy.
+    pub fn new() -> StdVfs {
+        StdVfs::default()
+    }
+
+    /// A `StdVfs` with an explicit retry policy.
+    pub fn with_retry(retry: RetryPolicy) -> StdVfs {
+        StdVfs {
+            retry,
+            append_handles: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn drop_handle(&self, path: &Path) {
+        self.append_handles.lock().unwrap().remove(path);
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.retry.run(|| {
+            let mut buf = Vec::new();
+            File::open(path)?.read_to_end(&mut buf)?;
+            Ok(buf)
+        })
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.drop_handle(path);
+        self.retry.run(|| {
+            let mut f = File::create(path)?;
+            f.write_all(bytes)?;
+            Ok(())
+        })
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut handles = self.append_handles.lock().unwrap();
+        if !handles.contains_key(path) {
+            let f = self
+                .retry
+                .run(|| OpenOptions::new().create(true).append(true).open(path))?;
+            handles.insert(path.to_path_buf(), f);
+        }
+        let f = handles.get_mut(path).expect("just inserted");
+        let out = self.retry.run(|| f.write_all(bytes));
+        if out.is_err() {
+            // The handle's offset may be mid-record; never reuse it.
+            handles.remove(path);
+        }
+        out
+    }
+
+    fn truncate(&self, path: &Path) -> io::Result<()> {
+        self.drop_handle(path);
+        self.retry.run(|| {
+            let f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?;
+            f.sync_data()
+        })
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        // Prefer the cached append handle (cheaper, and guarantees the
+        // synced handle is the one that wrote).
+        let handles = self.append_handles.lock().unwrap();
+        if let Some(f) = handles.get(path) {
+            return self.retry.run(|| f.sync_data());
+        }
+        drop(handles);
+        self.retry.run(|| File::open(path)?.sync_data())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Windows cannot open directories for sync; POSIX needs it for
+        // rename durability. Best effort elsewhere.
+        #[cfg(unix)]
+        {
+            self.retry.run(|| File::open(dir)?.sync_all())
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            Ok(())
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.drop_handle(from);
+        self.drop_handle(to);
+        self.retry.run(|| std::fs::rename(from, to))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.drop_handle(path);
+        self.retry.run(|| std::fs::remove_file(path))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(self.retry.run(|| std::fs::metadata(path))?.len())
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.retry.run(|| {
+            let mut out = Vec::new();
+            for entry in std::fs::read_dir(dir)? {
+                out.push(entry?.path());
+            }
+            Ok(out)
+        })
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.retry.run(|| std::fs::create_dir_all(dir))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// What a [`FaultVfs`] does at each fault point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Inject nothing; count fault points. Use [`FaultVfs::steps`] after a
+    /// run to learn how many crash points the workload exposes.
+    Count,
+    /// Crash at fault point `n` (0-based): the operation in flight takes
+    /// partial effect (a torn write, a dropped rename, a failed fsync) and
+    /// every subsequent operation fails, as after a power cut.
+    CrashAt(u64),
+    /// Seeded pseudo-random faults: each write/append/rename/sync rolls
+    /// against [`FaultProfile`] probabilities. Deterministic per seed.
+    Seeded(u64),
+}
+
+/// Per-operation fault probabilities for [`FaultMode::Seeded`], in permille
+/// (0 = never, 1000 = always).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultProfile {
+    /// A write or append persists only a prefix, then errors.
+    pub short_write: u16,
+    /// One bit of an *appended* record is flipped, silently (the write
+    /// still reports success). Models bit rot / a misdirected sector in
+    /// the log; snapshot writes are protected by their rename barrier.
+    pub append_bit_flip: u16,
+    /// `fsync` reports failure (data may or may not be durable).
+    pub fsync_failure: u16,
+    /// A rename is dropped (as if the crash hit before the metadata
+    /// journal committed) and errors.
+    pub rename_drop: u16,
+    /// The device is full: the operation errors with no effect.
+    pub enospc: u16,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            short_write: 30,
+            append_bit_flip: 20,
+            fsync_failure: 20,
+            rename_drop: 15,
+            enospc: 10,
+        }
+    }
+}
+
+/// Counters of what a [`FaultVfs`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Torn (prefix-only) writes or appends injected.
+    pub short_writes: u64,
+    /// Bits flipped in appended records.
+    pub bit_flips: u64,
+    /// fsync failures injected.
+    pub fsync_failures: u64,
+    /// Renames dropped.
+    pub rename_drops: u64,
+    /// ENOSPC errors injected.
+    pub enospc: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults.
+    pub fn total(&self) -> u64 {
+        self.short_writes + self.bit_flips + self.fsync_failures + self.rename_drops + self.enospc
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    crashed: bool,
+    rng: u64,
+    stats: FaultStats,
+}
+
+/// A deterministic fault-injecting [`Vfs`] wrapper.
+///
+/// Fault points are counted globally across all operations: every write or
+/// append of `n` bytes exposes `n + 1` crash points (before any byte, and
+/// after each byte — "torn writes at every byte boundary"), and each
+/// rename, truncate, fsync, and remove exposes one. [`FaultMode::CrashAt`]
+/// turns exactly one of those points into a crash; sweeping `0..steps`
+/// therefore simulates a crash at *every* point in a workload.
+#[derive(Debug)]
+pub struct FaultVfs {
+    inner: StdVfs,
+    mode: FaultMode,
+    profile: FaultProfile,
+    step: AtomicU64,
+    state: Mutex<FaultState>,
+}
+
+fn crashed_err() -> io::Error {
+    io::Error::other("injected crash: storage is offline")
+}
+
+fn injected(kind: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {kind}"))
+}
+
+impl FaultVfs {
+    /// A fault VFS in the given mode over a pristine [`StdVfs`] (retries
+    /// disabled so injected faults are not silently absorbed).
+    pub fn new(mode: FaultMode) -> FaultVfs {
+        let seed = match mode {
+            FaultMode::Seeded(s) => s,
+            _ => 0,
+        };
+        FaultVfs {
+            inner: StdVfs::with_retry(RetryPolicy::none()),
+            mode,
+            profile: FaultProfile::default(),
+            step: AtomicU64::new(0),
+            state: Mutex::new(FaultState {
+                crashed: false,
+                // splitmix64 wants a non-zero-ish seed; any constant works.
+                rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+                stats: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// Count mode: see how many fault points a workload exposes.
+    pub fn counting() -> FaultVfs {
+        FaultVfs::new(FaultMode::Count)
+    }
+
+    /// Crash exactly at fault point `step`.
+    pub fn crash_at(step: u64) -> FaultVfs {
+        FaultVfs::new(FaultMode::CrashAt(step))
+    }
+
+    /// Seeded random faults with the default [`FaultProfile`].
+    pub fn seeded(seed: u64) -> FaultVfs {
+        FaultVfs::new(FaultMode::Seeded(seed))
+    }
+
+    /// Seeded random faults with an explicit profile.
+    pub fn seeded_with(seed: u64, profile: FaultProfile) -> FaultVfs {
+        let mut v = FaultVfs::new(FaultMode::Seeded(seed));
+        v.profile = profile;
+        v
+    }
+
+    /// Fault points consumed so far.
+    pub fn steps(&self) -> u64 {
+        self.step.load(Ordering::SeqCst)
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().unwrap().stats
+    }
+
+    /// `true` once a [`FaultMode::CrashAt`] point has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    fn check_crashed(&self) -> io::Result<()> {
+        if self.state.lock().unwrap().crashed {
+            Err(crashed_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consumes `n` fault points; if the crash point falls inside, returns
+    /// `Some(k)` — the number of points consumed before the crash (for a
+    /// write, the number of bytes that reach the file).
+    fn consume(&self, n: u64) -> Option<u64> {
+        let start = self.step.fetch_add(n, Ordering::SeqCst);
+        if let FaultMode::CrashAt(at) = self.mode {
+            if at >= start && at < start + n {
+                self.state.lock().unwrap().crashed = true;
+                return Some(at - start);
+            }
+        }
+        None
+    }
+
+    /// splitmix64 step; returns a value in `0..1000` for permille rolls.
+    fn roll(state: &mut FaultState) -> u64 {
+        state.rng = state.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn permille(state: &mut FaultState) -> u16 {
+        (Self::roll(state) % 1000) as u16
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check_crashed()?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.check_crashed()?;
+        if let Some(k) = self.consume(bytes.len() as u64 + 1) {
+            // Torn write: a prefix reaches the file, then the lights go out.
+            let _ = self.inner.write(path, &bytes[..k as usize]);
+            self.state.lock().unwrap().stats.short_writes += 1;
+            return Err(crashed_err());
+        }
+        if let FaultMode::Seeded(_) = self.mode {
+            let mut st = self.state.lock().unwrap();
+            let roll = Self::permille(&mut st);
+            if roll < self.profile.enospc {
+                st.stats.enospc += 1;
+                return Err(injected("ENOSPC"));
+            }
+            if roll < self.profile.enospc + self.profile.short_write {
+                st.stats.short_writes += 1;
+                let cut = (Self::roll(&mut st) as usize) % (bytes.len() + 1);
+                drop(st);
+                let _ = self.inner.write(path, &bytes[..cut]);
+                return Err(injected("short write"));
+            }
+        }
+        self.inner.write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.check_crashed()?;
+        if let Some(k) = self.consume(bytes.len() as u64 + 1) {
+            let _ = self.inner.append(path, &bytes[..k as usize]);
+            self.state.lock().unwrap().stats.short_writes += 1;
+            return Err(crashed_err());
+        }
+        if let FaultMode::Seeded(_) = self.mode {
+            let mut st = self.state.lock().unwrap();
+            let roll = Self::permille(&mut st);
+            if roll < self.profile.enospc {
+                st.stats.enospc += 1;
+                return Err(injected("ENOSPC"));
+            }
+            if roll < self.profile.enospc + self.profile.short_write {
+                st.stats.short_writes += 1;
+                let cut = (Self::roll(&mut st) as usize) % (bytes.len() + 1);
+                drop(st);
+                let _ = self.inner.append(path, &bytes[..cut]);
+                return Err(injected("short append"));
+            }
+            let flip =
+                self.profile.enospc + self.profile.short_write + self.profile.append_bit_flip;
+            if roll < flip && !bytes.is_empty() {
+                st.stats.bit_flips += 1;
+                let pos = (Self::roll(&mut st) as usize) % bytes.len();
+                let bit = (Self::roll(&mut st) % 8) as u8;
+                drop(st);
+                let mut bad = bytes.to_vec();
+                bad[pos] ^= 1 << bit;
+                // Silent corruption: the caller sees success.
+                return self.inner.append(path, &bad);
+            }
+        }
+        self.inner.append(path, bytes)
+    }
+
+    fn truncate(&self, path: &Path) -> io::Result<()> {
+        self.check_crashed()?;
+        if self.consume(1).is_some() {
+            return Err(crashed_err());
+        }
+        self.inner.truncate(path)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        self.check_crashed()?;
+        if self.consume(1).is_some() {
+            // The data reached the page cache (our inner write already
+            // happened); whether it is durable is the recovery suite's
+            // problem. Report failure.
+            self.state.lock().unwrap().stats.fsync_failures += 1;
+            return Err(crashed_err());
+        }
+        if let FaultMode::Seeded(_) = self.mode {
+            let mut st = self.state.lock().unwrap();
+            if Self::permille(&mut st) < self.profile.fsync_failure {
+                st.stats.fsync_failures += 1;
+                return Err(injected("fsync failure"));
+            }
+        }
+        self.inner.sync_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.check_crashed()?;
+        if self.consume(1).is_some() {
+            self.state.lock().unwrap().stats.fsync_failures += 1;
+            return Err(crashed_err());
+        }
+        self.inner.sync_dir(dir)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.check_crashed()?;
+        if self.consume(1).is_some() {
+            // Dropped rename: the crash hit before the metadata committed.
+            self.state.lock().unwrap().stats.rename_drops += 1;
+            return Err(crashed_err());
+        }
+        if let FaultMode::Seeded(_) = self.mode {
+            let mut st = self.state.lock().unwrap();
+            if Self::permille(&mut st) < self.profile.rename_drop {
+                st.stats.rename_drops += 1;
+                return Err(injected("rename dropped"));
+            }
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.check_crashed()?;
+        if self.consume(1).is_some() {
+            return Err(crashed_err());
+        }
+        self.inner.remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.check_crashed()?;
+        self.inner.file_len(path)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.check_crashed()?;
+        self.inner.read_dir(dir)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.check_crashed()?;
+        self.inner.create_dir_all(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("isis_vfs_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn std_vfs_roundtrip() {
+        let dir = tempdir("std");
+        let vfs = StdVfs::new();
+        let p = dir.join("a.bin");
+        vfs.write(&p, b"hello").unwrap();
+        vfs.sync_file(&p).unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), b"hello");
+        vfs.append(&p, b" world").unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), b"hello world");
+        assert_eq!(vfs.file_len(&p).unwrap(), 11);
+        let q = dir.join("b.bin");
+        vfs.rename(&p, &q).unwrap();
+        vfs.sync_dir(&dir).unwrap();
+        assert!(!vfs.exists(&p));
+        assert!(vfs.exists(&q));
+        // Append after rename goes to the new file, not a stale handle.
+        vfs.append(&q, b"!").unwrap();
+        assert_eq!(vfs.read(&q).unwrap(), b"hello world!");
+        vfs.truncate(&q).unwrap();
+        assert_eq!(vfs.file_len(&q).unwrap(), 0);
+        let listed = vfs.read_dir(&dir).unwrap();
+        assert_eq!(listed.len(), 1);
+        vfs.remove_file(&q).unwrap();
+        assert!(!vfs.exists(&q));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_invalidates_append_handle() {
+        let dir = tempdir("inval");
+        let vfs = StdVfs::new();
+        let p = dir.join("w.bin");
+        vfs.append(&p, b"aaaa").unwrap();
+        vfs.write(&p, b"b").unwrap();
+        vfs.append(&p, b"c").unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), b"bc");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_at_tears_writes_at_exact_boundary() {
+        for k in 0..=4u64 {
+            let dir = tempdir(&format!("tear{k}"));
+            let vfs = FaultVfs::crash_at(k);
+            let p = dir.join("t.bin");
+            let err = vfs.write(&p, b"abcd").unwrap_err();
+            assert!(err.to_string().contains("injected crash"));
+            assert!(vfs.has_crashed());
+            // Exactly k bytes landed.
+            let got = std::fs::read(&p).unwrap_or_default();
+            assert_eq!(got.len() as u64, k, "crash point {k}");
+            // Everything afterwards fails.
+            assert!(vfs.read(&p).is_err());
+            assert!(vfs.write(&p, b"x").is_err());
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn counting_mode_counts_byte_boundaries() {
+        let dir = tempdir("count");
+        let vfs = FaultVfs::counting();
+        let p = dir.join("c.bin");
+        vfs.write(&p, b"abc").unwrap(); // 4 points
+        vfs.append(&p, b"de").unwrap(); // 3 points
+        vfs.sync_file(&p).unwrap(); // 1 point
+        vfs.rename(&p, &dir.join("d.bin")).unwrap(); // 1 point
+        assert_eq!(vfs.steps(), 9);
+        assert_eq!(vfs.stats().total(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seeded_mode_is_deterministic() {
+        let profile = FaultProfile {
+            short_write: 300,
+            append_bit_flip: 200,
+            fsync_failure: 200,
+            rename_drop: 100,
+            enospc: 100,
+        };
+        let run = |seed: u64| {
+            let dir = tempdir(&format!("seed{seed}"));
+            let vfs = FaultVfs::seeded_with(seed, profile);
+            let p = dir.join("s.bin");
+            let mut outcomes = Vec::new();
+            for i in 0..40 {
+                outcomes.push(vfs.append(&p, &[i as u8; 16]).is_ok());
+                outcomes.push(vfs.sync_file(&p).is_ok());
+            }
+            let stats = vfs.stats();
+            std::fs::remove_dir_all(&dir).unwrap();
+            (outcomes, stats)
+        };
+        let (o1, s1) = run(7);
+        let (o2, s2) = run(7);
+        assert_eq!(o1, o2);
+        assert_eq!(s1, s2);
+        assert!(s1.total() > 0, "profile should inject something: {s1:?}");
+        let (o3, _) = run(8);
+        assert_ne!(o1, o3, "different seeds should differ");
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_errors() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+        };
+        let mut calls = 0;
+        let out: io::Result<u32> = policy.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::from(io::ErrorKind::Interrupted))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls, 3);
+        // Non-transient errors are not retried.
+        let mut calls = 0;
+        let out: io::Result<u32> = policy.run(|| {
+            calls += 1;
+            Err(io::Error::from(io::ErrorKind::NotFound))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+}

@@ -8,11 +8,25 @@
 //! id-allocating operation (including literal interning) is logged in order.
 //!
 //! A torn final record — the classic crash during append — is detected by
-//! its checksum/length and discarded on open.
+//! its checksum/length and discarded on open. Replay can also run in
+//! *salvage* mode ([`replay_with`]): instead of stopping at the first
+//! corrupt mid-log record it scans forward, byte by byte, to the next
+//! position where a whole frame checksums *and* decodes, and resumes there
+//! — reporting how many bytes it skipped so recovery can tell the user.
+//!
+//! A log segment opened by a [`StoreDir`](crate::StoreDir) begins with a
+//! header record naming the *snapshot generation* it extends. On recovery
+//! the log is replayed only when its header generation matches the snapshot
+//! actually loaded; a crash between installing a new snapshot and resetting
+//! the log can therefore never double-apply old operations. Headerless logs
+//! (standalone [`WalFile`] use, pre-generation files) replay
+//! unconditionally, as before.
+//!
+//! All file I/O goes through the [`Vfs`](crate::vfs::Vfs) trait, so the
+//! crash-consistency suite can inject faults at every byte boundary.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use isis_core::{
     AttrDerivation, AttrId, ClassId, ConstraintId, ConstraintKind, Database, EntityId, GroupingId,
@@ -22,6 +36,7 @@ use isis_core::{
 use crate::codec::{frame, read_frame, CodecError, Reader, Writer};
 use crate::encode::{r_map, r_predicate, w_map, w_predicate};
 use crate::error::StoreError;
+use crate::vfs::{StdVfs, Vfs};
 
 /// A logical, replayable database operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -438,27 +453,57 @@ pub enum SyncPolicy {
     OsFlush,
 }
 
+/// Magic bytes at the start of a WAL segment header record's payload.
+/// The header frame's payload is these 8 bytes followed by the u64 (LE)
+/// snapshot generation the segment extends.
+pub const WAL_HEADER_MAGIC: &[u8; 8] = b"ISISWAL\x01";
+
+fn header_frame(generation: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16);
+    payload.extend_from_slice(WAL_HEADER_MAGIC);
+    payload.extend_from_slice(&generation.to_le_bytes());
+    frame(&payload)
+}
+
+fn parse_header(payload: &[u8]) -> Option<u64> {
+    if payload.len() != 16 || &payload[..8] != WAL_HEADER_MAGIC {
+        return None;
+    }
+    let mut gen8 = [0u8; 8];
+    gen8.copy_from_slice(&payload[8..16]);
+    Some(u64::from_le_bytes(gen8))
+}
+
 /// An append-only write-ahead log file.
 #[derive(Debug)]
 pub struct WalFile {
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
-    file: File,
     policy: SyncPolicy,
     records: usize,
 }
 
 impl WalFile {
-    /// Opens (creating if needed) the log at `path` for appending.
+    /// Opens (creating if needed) the log at `path` for appending, on the
+    /// real filesystem.
     pub fn open(path: impl Into<PathBuf>, policy: SyncPolicy) -> Result<WalFile, StoreError> {
+        WalFile::open_with(Arc::new(StdVfs::new()), path, policy)
+    }
+
+    /// Opens (creating if needed) the log at `path` through an explicit
+    /// [`Vfs`].
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl Into<PathBuf>,
+        policy: SyncPolicy,
+    ) -> Result<WalFile, StoreError> {
         let path = path.into();
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .read(true)
-            .open(&path)?;
+        if !vfs.exists(&path) {
+            vfs.append(&path, &[])?;
+        }
         Ok(WalFile {
+            vfs,
             path,
-            file,
             policy,
             records: 0,
         })
@@ -469,6 +514,11 @@ impl WalFile {
         &self.path
     }
 
+    /// The durability policy the log was opened with.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
     /// Records appended through this handle.
     pub fn appended_records(&self) -> usize {
         self.records
@@ -477,10 +527,9 @@ impl WalFile {
     /// Appends one operation.
     pub fn append(&mut self, op: &LogOp) -> Result<(), StoreError> {
         let framed = frame(&op.encode());
-        self.file.write_all(&framed)?;
-        match self.policy {
-            SyncPolicy::EverySync => self.file.sync_data()?,
-            SyncPolicy::OsFlush => self.file.flush()?,
+        self.vfs.append(&self.path, &framed)?;
+        if self.policy == SyncPolicy::EverySync {
+            self.vfs.sync_file(&self.path)?;
         }
         self.records += 1;
         Ok(())
@@ -488,15 +537,25 @@ impl WalFile {
 
     /// Forces the log to stable storage.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        self.file.sync_data()?;
+        self.vfs.sync_file(&self.path)?;
         Ok(())
     }
 
     /// Truncates the log (after a checkpoint made its contents redundant).
     pub fn truncate(&mut self) -> Result<(), StoreError> {
-        self.file.set_len(0)?;
-        self.file.sync_data()?;
+        self.vfs.truncate(&self.path)?;
         self.records = 0;
+        Ok(())
+    }
+
+    /// Starts a fresh log segment extending snapshot `generation`: truncates
+    /// the log, writes the generation header record, and makes it durable.
+    /// On recovery the segment replays only onto that exact generation.
+    pub fn reset(&mut self, generation: u64) -> Result<(), StoreError> {
+        self.vfs.truncate(&self.path)?;
+        self.records = 0;
+        self.vfs.append(&self.path, &header_frame(generation))?;
+        self.vfs.sync_file(&self.path)?;
         Ok(())
     }
 }
@@ -506,55 +565,95 @@ impl WalFile {
 pub struct Replay {
     /// Operations recovered, in order.
     pub ops: Vec<LogOp>,
-    /// Bytes of valid log prefix.
+    /// Bytes consumed as valid frames (header record included).
     pub valid_bytes: usize,
     /// `true` if a torn/corrupt tail was discarded.
     pub torn_tail: bool,
+    /// The snapshot generation named by the segment header, or `None` for
+    /// a headerless (standalone / pre-generation) log, which replays
+    /// unconditionally.
+    pub snapshot_gen: Option<u64>,
+    /// Bytes skipped by salvage resynchronisation (0 in strict mode).
+    pub skipped_bytes: usize,
+    /// Number of corrupt regions salvage scanned past (0 in strict mode).
+    pub resyncs: usize,
+}
+
+impl Replay {
+    fn empty() -> Replay {
+        Replay {
+            ops: Vec::new(),
+            valid_bytes: 0,
+            torn_tail: false,
+            snapshot_gen: None,
+            skipped_bytes: 0,
+            resyncs: 0,
+        }
+    }
+}
+
+/// The first position at or after `from` where a complete frame checksums
+/// and decodes as a [`LogOp`].
+fn resync(bytes: &[u8], from: usize) -> Option<usize> {
+    (from..bytes.len()).find(
+        |&q| matches!(read_frame(&bytes[q..]), Ok((payload, _)) if LogOp::decode(payload).is_ok()),
+    )
 }
 
 /// Reads a log file, returning every valid operation up to the first torn
 /// or corrupt record (which a crash during append can legitimately leave).
 pub fn replay_log(path: &Path) -> Result<Replay, StoreError> {
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(Replay {
-                ops: Vec::new(),
-                valid_bytes: 0,
-                torn_tail: false,
-            })
-        }
+    replay_with(&StdVfs::new(), path, false)
+}
+
+/// Reads a log file through a [`Vfs`]. In strict mode (`salvage == false`)
+/// replay stops at the first torn or corrupt record, exactly like
+/// [`replay_log`]. In salvage mode a corrupt mid-log region is scanned past
+/// to the next whole, decodable frame; the skipped byte count and resync
+/// count are reported so callers can surface the loss.
+pub fn replay_with(vfs: &dyn Vfs, path: &Path, salvage: bool) -> Result<Replay, StoreError> {
+    let bytes = match vfs.read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Replay::empty()),
         Err(e) => return Err(e.into()),
-    }
-    let mut ops = Vec::new();
+    };
+    let mut replay = Replay::empty();
     let mut pos = 0;
-    let mut torn_tail = false;
+    // A generation header is recognised only as the segment's first record.
+    if let Ok((payload, consumed)) = read_frame(&bytes) {
+        if let Some(generation) = parse_header(payload) {
+            replay.snapshot_gen = Some(generation);
+            pos = consumed;
+            replay.valid_bytes = consumed;
+        }
+    }
     while pos < bytes.len() {
-        match read_frame(&bytes[pos..]) {
+        let ok = match read_frame(&bytes[pos..]) {
             Ok((payload, consumed)) => match LogOp::decode(payload) {
                 Ok(op) => {
-                    ops.push(op);
+                    replay.ops.push(op);
                     pos += consumed;
+                    replay.valid_bytes += consumed;
+                    true
                 }
-                Err(_) => {
-                    torn_tail = true;
-                    break;
-                }
+                Err(_) => false,
             },
-            Err(_) => {
-                torn_tail = true;
-                break;
+            Err(_) => false,
+        };
+        if !ok {
+            if salvage {
+                if let Some(next) = resync(&bytes, pos + 1) {
+                    replay.skipped_bytes += next - pos;
+                    replay.resyncs += 1;
+                    pos = next;
+                    continue;
+                }
             }
+            replay.torn_tail = true;
+            break;
         }
     }
-    Ok(Replay {
-        ops,
-        valid_bytes: pos,
-        torn_tail,
-    })
+    Ok(replay)
 }
 
 #[cfg(test)]
@@ -720,5 +819,56 @@ mod tests {
     #[test]
     fn intern_literal_tag_4_is_corrupt() {
         assert!(LogOp::decode(&[13u8, 4]).is_err());
+    }
+
+    #[test]
+    fn reset_writes_generation_header() {
+        let dir = tempdir("reset");
+        let path = dir.join("g.wal");
+        let mut wal = WalFile::open(&path, SyncPolicy::EverySync).unwrap();
+        wal.reset(7).unwrap();
+        wal.append(&LogOp::CreateBaseclass("x".into())).unwrap();
+        let replay = replay_log(&path).unwrap();
+        assert_eq!(replay.snapshot_gen, Some(7));
+        assert_eq!(replay.ops, vec![LogOp::CreateBaseclass("x".into())]);
+        assert!(!replay.torn_tail);
+        // Resetting again starts a fresh segment under the new generation.
+        wal.reset(8).unwrap();
+        let replay = replay_log(&path).unwrap();
+        assert_eq!(replay.snapshot_gen, Some(8));
+        assert!(replay.ops.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_resyncs_past_mid_log_corruption() {
+        let dir = tempdir("salvage");
+        let path = dir.join("s.wal");
+        let ops = sample_ops();
+        {
+            let mut wal = WalFile::open(&path, SyncPolicy::OsFlush).unwrap();
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+        }
+        // Flip a payload bit inside the third record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let skip: usize = ops[..2].iter().map(|op| op.encode().len() + 8).sum();
+        bytes[skip + 8] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        // Strict replay stops at the corruption.
+        let strict = replay_log(&path).unwrap();
+        assert!(strict.torn_tail);
+        assert_eq!(strict.ops, &ops[..2]);
+        // Salvage skips exactly the corrupted record and resumes.
+        let vfs = StdVfs::new();
+        let salvaged = replay_with(&vfs, &path, true).unwrap();
+        assert!(!salvaged.torn_tail);
+        assert_eq!(salvaged.resyncs, 1);
+        assert_eq!(salvaged.skipped_bytes, ops[2].encode().len() + 8);
+        let mut expect = ops.clone();
+        expect.remove(2);
+        assert_eq!(salvaged.ops, expect);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

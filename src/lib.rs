@@ -41,7 +41,9 @@ pub mod prelude {
         NormalForm, Operator, OrderedSet, Predicate, Rhs, SchemaEdit, SchemaNode,
     };
     pub use isis_query::{DerivedMaintainer, IndexManager, IndexedEvaluator, QbeQuery};
-    pub use isis_session::{Command, RefreshPolicy, Script, Session};
-    pub use isis_store::StoreDir;
+    pub use isis_session::{Command, RefreshPolicy, Script, Session, SessionBuilder};
+    pub use isis_store::{
+        FaultMode, FaultVfs, FsckReport, LoggedDatabase, RecoveryReport, StoreDir, SyncPolicy,
+    };
     pub use isis_views::{render, Scene};
 }

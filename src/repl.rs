@@ -61,6 +61,10 @@ worksheet:    define | derive | constraint NAME forall|forbidden
 session:      load NAME | save NAME | checks | undo | redo | stop | help
               refresh [manual|oncommit|immediate] — re-evaluate derived state
               (no argument) or set when it happens automatically
+              doctor [NAME] — print the recovery report (last load, or a
+              dry-run recovery of a stored database)
+              fsck [NAME] — verify a stored database: recovery dry run plus
+              consistency check (defaults to the current database's name)
 operators:    = ~ <=s >=s <s >s < <= > >=       literals: 42, 2.5, yes, no, \"text\"";
 
 /// A text-driven ISIS session.
@@ -298,6 +302,10 @@ impl Repl {
             "save" => self
                 .session
                 .apply(Command::Save(one(&parts, "save NAME")?))?,
+            "doctor" => self
+                .session
+                .apply(Command::Doctor(parts.first().cloned()))?,
+            "fsck" => self.session.apply(Command::Fsck(parts.first().cloned()))?,
             "undo" => self.session.apply(Command::Undo)?,
             "redo" => self.session.apply(Command::Redo)?,
             "stop" | "quit" | "exit" => self.session.apply(Command::Stop)?,
