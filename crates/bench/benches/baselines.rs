@@ -88,7 +88,13 @@ fn engines(c: &mut Criterion) {
         });
 
         // Optimizer-reordered ISIS evaluation (reordering done once).
-        let (opt, _) = optimize(&f.s.db, f.s.music_groups, &f.quartets, Some(&indexed)).unwrap();
+        let (opt, _) = optimize(
+            &f.s.db,
+            f.s.music_groups,
+            &f.quartets,
+            Some(indexed.service()),
+        )
+        .unwrap();
         g.bench_with_input(BenchmarkId::new("isis_optimized", n), &n, |b, _| {
             b.iter(|| {
                 f.s.db

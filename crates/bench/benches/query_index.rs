@@ -1,0 +1,202 @@
+//! The shared index service vs per-query index rebuilds.
+//!
+//! Experiment E-3: a query stream interleaved with point updates. The
+//! "rebuild" arm constructs fresh attribute indexes for every query (what a
+//! planner without shared state must do); the "shared" arm keeps one
+//! [`IndexService`] alive and drains the delta log incrementally. The
+//! shared service must win on the 10k-entity workload — the incremental
+//! drain is O(changes) while the rebuild is O(extent) per query.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isis_bench::fixture;
+use isis_core::{Database, EntityId, OrderedSet, Predicate};
+use isis_query::IndexService;
+
+/// One round of the workload: a point update (`size` of one group toggles
+/// between 4 and 5), then the two standard queries.
+struct Workload {
+    target: EntityId,
+    size: isis_core::AttrId,
+    parent: isis_core::ClassId,
+    four: EntityId,
+    five: EntityId,
+    size4: Predicate,
+    quartets: Predicate,
+}
+
+impl Workload {
+    fn update(&self, db: &mut Database, round: usize) {
+        let v = if round.is_multiple_of(2) {
+            self.five
+        } else {
+            self.four
+        };
+        db.assign_single(self.target, self.size, v).unwrap();
+    }
+
+    fn queries(&self, db: &Database, svc: &IndexService) -> (OrderedSet, OrderedSet) {
+        let a = svc.evaluate(db, self.parent, &self.size4).unwrap();
+        let b = svc.evaluate(db, self.parent, &self.quartets).unwrap();
+        (a, b)
+    }
+}
+
+fn make_workload(f: &isis_bench::Fixture, db: &mut Database) -> Workload {
+    Workload {
+        target: f.s.group_ids[0],
+        size: f.s.size,
+        parent: f.s.music_groups,
+        four: db.int(4),
+        five: db.int(5),
+        size4: f.size4.clone(),
+        quartets: f.quartets.clone(),
+    }
+}
+
+/// Timed portion of the rebuild arm: build the index, answer both queries.
+fn rebuild_round(db: &Database, w: &Workload) -> (OrderedSet, OrderedSet) {
+    let mut svc = IndexService::new(db);
+    svc.ensure_index(db, w.size).unwrap();
+    w.queries(db, &svc)
+}
+
+/// Timed portion of the shared arm: drain the delta log, answer both
+/// queries from the maintained indexes.
+fn shared_round(db: &Database, svc: &mut IndexService, w: &Workload) -> (OrderedSet, OrderedSet) {
+    svc.refresh(db).unwrap();
+    w.queries(db, svc)
+}
+
+fn rebuild_vs_shared(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_index");
+    for n in [100usize, 400, 1600] {
+        {
+            let f = fixture(n);
+            let mut db = f.s.db.clone();
+            let w = make_workload(&f, &mut db);
+            let mut round = 0usize;
+            g.bench_with_input(BenchmarkId::new("rebuild_per_query", n), &n, |b, _| {
+                b.iter(|| {
+                    w.update(&mut db, round);
+                    round += 1;
+                    rebuild_round(&db, &w)
+                })
+            });
+        }
+        {
+            let f = fixture(n);
+            let mut db = f.s.db.clone();
+            let w = make_workload(&f, &mut db);
+            let mut svc = IndexService::new(&db);
+            svc.ensure_index(&db, w.size).unwrap();
+            let mut round = 0usize;
+            g.bench_with_input(BenchmarkId::new("shared_maintained", n), &n, |b, _| {
+                b.iter(|| {
+                    w.update(&mut db, round);
+                    round += 1;
+                    shared_round(&db, &mut svc, &w)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// The headline report: the same update+query stream through both arms at
+/// 10k-entity scale, written to `out/query_index.md`.
+fn query_index_report(_c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (n, rounds) = if smoke { (300, 4) } else { (10_000, 200) };
+
+    // Rebuild arm.
+    let f = fixture(n);
+    let mut db = f.s.db.clone();
+    let w = make_workload(&f, &mut db);
+    let entities = db.entity_count();
+    let mut rebuild_total = Duration::ZERO;
+    let mut rebuild_last = (OrderedSet::new(), OrderedSet::new());
+    for round in 0..rounds {
+        w.update(&mut db, round);
+        let t = Instant::now();
+        rebuild_last = rebuild_round(&db, &w);
+        rebuild_total += t.elapsed();
+    }
+
+    // Shared arm, identical stream on an identical database.
+    let mut db2 = f.s.db.clone();
+    let mut svc = IndexService::new(&db2);
+    svc.ensure_index(&db2, w.size).unwrap();
+    let mut shared_total = Duration::ZERO;
+    let mut shared_last = (OrderedSet::new(), OrderedSet::new());
+    for round in 0..rounds {
+        w.update(&mut db2, round);
+        let t = Instant::now();
+        shared_last = shared_round(&db2, &mut svc, &w);
+        shared_total += t.elapsed();
+    }
+
+    // Both arms and the naive evaluator must agree on the final state.
+    let naive4 = db2.evaluate_derived_members(w.parent, &w.size4).unwrap();
+    let naive_q = db2.evaluate_derived_members(w.parent, &w.quartets).unwrap();
+    assert_eq!(rebuild_last.0.as_slice(), naive4.as_slice());
+    assert_eq!(rebuild_last.1.as_slice(), naive_q.as_slice());
+    assert_eq!(shared_last.0.as_slice(), naive4.as_slice());
+    assert_eq!(shared_last.1.as_slice(), naive_q.as_slice());
+
+    let istats = svc.index_stats();
+    let qstats = svc.query_stats();
+    let rebuild_us = rebuild_total.as_secs_f64() * 1e6 / rounds as f64;
+    let shared_us = shared_total.as_secs_f64() * 1e6 / rounds as f64;
+    let speedup = rebuild_us / shared_us;
+    println!(
+        "query_index_report: n={n} ({entities} entities) rebuild={rebuild_us:.1}us \
+         shared={shared_us:.1}us speedup={speedup:.1}x \
+         (patches={}, rebuilds={}, probes={})",
+        istats.incremental_updates, istats.rebuilds, qstats.index_probes
+    );
+    if !smoke {
+        assert!(
+            speedup > 1.0,
+            "shared maintained indexes must beat per-query rebuilds \
+             (rebuild {rebuild_us:.1}us vs shared {shared_us:.1}us)"
+        );
+    }
+
+    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../out");
+    std::fs::create_dir_all(&out_dir).expect("create out/");
+    let report = format!(
+        "# Query path: per-query index rebuild vs shared maintained indexes\n\n\
+         {rounds} rounds of (one `size` point update, then the `size = {{4}}`\n\
+         and quartets queries) over {entities} entities ({n} musicians).\n\
+         Timed per round: rebuild arm = build the `size` index + 2 queries;\n\
+         shared arm = drain the delta log into the [`IndexService`] + 2 queries.\n\n\
+         | arm | mean per round |\n\
+         | --- | --- |\n\
+         | rebuild index per query | {rebuild_us:.1} µs |\n\
+         | shared maintained index | {shared_us:.1} µs |\n\n\
+         **Speedup: {speedup:.1}×**{}.\n\n\
+         Shared-arm counters: {} incremental posting patches, {} rebuilds,\n\
+         {} index probes over {} queries ({} sequential scans).\n",
+        if smoke {
+            " (smoke run under `--test`)"
+        } else {
+            ""
+        },
+        istats.incremental_updates,
+        istats.rebuilds,
+        qstats.index_probes,
+        qstats.queries,
+        qstats.seq_scans,
+    );
+    std::fs::write(out_dir.join("query_index.md"), report).expect("write report");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = rebuild_vs_shared, query_index_report
+}
+criterion_main!(benches);

@@ -16,16 +16,38 @@ use isis_core::{
     Rhs, ValueClass,
 };
 
-use crate::index::AttrIndex;
+use crate::index::IndexLookup;
+use crate::manager::IndexManager;
 
 /// Maintains one derived subclass incrementally.
+///
+/// Two modes of operation:
+///
+/// * **standalone** — the maintainer owns a private [`IndexManager`] over
+///   the attributes its predicate uses, and [`apply_changes`] /
+///   [`apply_attr_change`] both maintain those indexes and settle
+///   membership;
+/// * **shared** — a coordinator (the session) owns one
+///   [`crate::IndexService`] for every consumer, drains the delta log once
+///   per round, and drives each maintainer through
+///   [`collect_affected`](DerivedMaintainer::collect_affected) (before and
+///   after the shared drain) and [`settle`](DerivedMaintainer::settle).
+///
+/// [`apply_changes`]: DerivedMaintainer::apply_changes
+/// [`apply_attr_change`]: DerivedMaintainer::apply_attr_change
 #[derive(Debug)]
 pub struct DerivedMaintainer {
     class: ClassId,
     parent: ClassId,
     pred: Predicate,
-    /// Inverted indexes for every attribute any map of the predicate uses.
-    inverses: HashMap<AttrId, AttrIndex>,
+    /// Every attribute any map of the predicate uses.
+    used: Vec<AttrId>,
+    /// base attribute → grouping-ranged used attributes keyed by it. A
+    /// transition of the base re-partitions the grouping and silently
+    /// changes the expansion of every stored value of the dependents.
+    grouping_bases: HashMap<AttrId, Vec<AttrId>>,
+    /// Private inverted indexes for standalone operation.
+    indexes: IndexManager,
 }
 
 impl DerivedMaintainer {
@@ -41,21 +63,41 @@ impl DerivedMaintainer {
             .predicate()
             .cloned()
             .ok_or(isis_core::CoreError::DerivedClass(class))?;
-        let mut inverses = HashMap::new();
-        for attr in Self::attrs_used(&pred) {
-            inverses.insert(attr, AttrIndex::build(db, attr)?);
+        let used = Self::attrs_used(&pred);
+        let grouping_bases = Self::find_grouping_bases(db, &used)?;
+        let mut indexes = IndexManager::new(db);
+        for &attr in &used {
+            indexes.add_index(db, attr)?;
         }
         Ok(DerivedMaintainer {
             class,
             parent,
             pred,
-            inverses,
+            used,
+            grouping_bases,
+            indexes,
         })
     }
 
     /// The derived class being maintained.
     pub fn class(&self) -> ClassId {
         self.class
+    }
+
+    /// The attributes the predicate's maps traverse — the indexes a shared
+    /// service must hold for this maintainer.
+    pub fn used_attrs(&self) -> &[AttrId] {
+        &self.used
+    }
+
+    fn find_grouping_bases(db: &Database, used: &[AttrId]) -> Result<HashMap<AttrId, Vec<AttrId>>> {
+        let mut out: HashMap<AttrId, Vec<AttrId>> = HashMap::new();
+        for &a in used {
+            if let ValueClass::Grouping(g) = db.attr(a)?.value_class {
+                out.entry(db.grouping(g)?.on_attr).or_default().push(a);
+            }
+        }
+        Ok(out)
     }
 
     fn attrs_used(pred: &Predicate) -> Vec<AttrId> {
@@ -79,18 +121,32 @@ impl DerivedMaintainer {
 
     /// `true` if the predicate mentions `attr` in any map.
     pub fn depends_on(&self, attr: AttrId) -> bool {
-        self.inverses.contains_key(&attr)
+        self.used.contains(&attr)
     }
 
     /// Candidates (members of the parent class) whose predicate result may
-    /// change after attribute `attr` of the `owners` entities was modified.
+    /// change after attribute `attr` of the `owners` entities was modified,
+    /// walked through the maintainer's private indexes.
+    pub fn affected_candidates(
+        &self,
+        db: &Database,
+        attr: AttrId,
+        owners: &OrderedSet,
+    ) -> Result<OrderedSet> {
+        self.affected_candidates_in(db, &self.indexes, attr, owners)
+    }
+
+    /// Candidates whose predicate result may change after attribute `attr`
+    /// of the `owners` entities was modified, walked through `indexes`
+    /// (private or shared).
     ///
     /// For every occurrence of `attr` at position *i* of a predicate map,
     /// the owners are walked backwards through the *i* prefix steps via the
     /// inverted indexes; survivors that are parent members are affected.
-    pub fn affected_candidates(
+    pub fn affected_candidates_in(
         &self,
         db: &Database,
+        indexes: &dyn IndexLookup,
         attr: AttrId,
         owners: &OrderedSet,
     ) -> Result<OrderedSet> {
@@ -100,9 +156,16 @@ impl DerivedMaintainer {
             return Ok(affected);
         }
         for atom in self.pred.atoms() {
-            self.walk_back(&atom.lhs, attr, owners, parent_members, &mut affected);
+            self.walk_back(
+                &atom.lhs,
+                indexes,
+                attr,
+                owners,
+                parent_members,
+                &mut affected,
+            );
             if let Rhs::SelfMap(m) = &atom.rhs {
-                self.walk_back(m, attr, owners, parent_members, &mut affected);
+                self.walk_back(m, indexes, attr, owners, parent_members, &mut affected);
             }
         }
         Ok(affected)
@@ -111,6 +174,7 @@ impl DerivedMaintainer {
     fn walk_back(
         &self,
         map: &Map,
+        indexes: &dyn IndexLookup,
         attr: AttrId,
         owners: &OrderedSet,
         parent_members: &OrderedSet,
@@ -125,7 +189,7 @@ impl DerivedMaintainer {
             let mut frontier = owners.clone();
             for &prev_attr in steps[..i].iter().rev() {
                 let mut prev = OrderedSet::new();
-                if let Some(idx) = self.inverses.get(&prev_attr) {
+                if let Some(idx) = indexes.index_for(prev_attr) {
                     for v in frontier.iter() {
                         if let Some(os) = idx.owners_of(v) {
                             prev.extend_from(os);
@@ -145,6 +209,35 @@ impl DerivedMaintainer {
         }
     }
 
+    /// Candidates affected by a transition of `base`, the attribute some
+    /// used grouping-ranged attribute is keyed by: the re-partition can
+    /// change the expansion of *any* stored value of the dependents, so
+    /// every owner currently holding a value is walked back. Empty when
+    /// `base` keys no used grouping.
+    fn base_shift_affected(
+        &self,
+        db: &Database,
+        indexes: &dyn IndexLookup,
+        base: AttrId,
+    ) -> Result<OrderedSet> {
+        let mut affected = OrderedSet::new();
+        let Some(dependents) = self.grouping_bases.get(&base) else {
+            return Ok(affected);
+        };
+        for &x in dependents {
+            match indexes.index_for(x) {
+                Some(idx) => {
+                    let owners = idx.all_owners();
+                    affected.extend_from(&self.affected_candidates_in(db, indexes, x, &owners)?);
+                }
+                // No index to bound the blast radius: conservatively
+                // re-evaluate the whole parent extent.
+                None => affected.extend_from(db.members(self.parent)?),
+            }
+        }
+        Ok(affected)
+    }
+
     /// Notifies the maintainer that attribute `attr` of the `owners`
     /// entities changed: refreshes the affected inverted index postings,
     /// re-evaluates the predicate for affected candidates only, and adds /
@@ -158,20 +251,66 @@ impl DerivedMaintainer {
         // Affected candidates are computed against the *old* index state
         // first, then again against the new one: an owner that left a
         // posting list must still trigger re-evaluation of the candidates
-        // that used to reach it.
+        // that used to reach it. A change to a grouping's base attribute
+        // additionally touches every owner of the dependent ranged indexes.
         let mut affected = self.affected_candidates(db, attr, owners)?;
-        if let Some(idx) = self.inverses.get_mut(&attr) {
-            for e in owners.iter() {
-                let old = idx.owned_values(e);
-                let new = db.attr_value_set(e, attr)?;
-                idx.update(e, &old, &new);
+        affected.extend_from(&self.base_shift_affected(db, &self.indexes, attr)?);
+        self.indexes.refresh_owners(db, attr, owners)?;
+        affected.extend_from(&self.affected_candidates(db, attr, owners)?);
+        affected.extend_from(&self.base_shift_affected(db, &self.indexes, attr)?);
+        self.settle(db, &affected)
+    }
+
+    /// Collects every candidate a change window can affect, walking the
+    /// given `indexes` (which must still describe the *start* of the
+    /// window; call again after the index drain for the end state).
+    /// Read-only: does not touch indexes or membership.
+    pub fn collect_affected(
+        &self,
+        db: &Database,
+        indexes: &dyn IndexLookup,
+        changes: &ChangeSet,
+    ) -> Result<OrderedSet> {
+        let mut affected = OrderedSet::new();
+        for change in changes.iter() {
+            match change {
+                Change::AttrAssigned { entity, attr, .. } => {
+                    if self.depends_on(*attr) {
+                        let owners: OrderedSet = [*entity].into_iter().collect();
+                        affected.extend_from(
+                            &self.affected_candidates_in(db, indexes, *attr, &owners)?,
+                        );
+                    }
+                    affected.extend_from(&self.base_shift_affected(db, indexes, *attr)?);
+                }
+                Change::MembershipAdded { entity, class }
+                | Change::MembershipRemoved { entity, class } => {
+                    // Echoes of our own membership writes land here too;
+                    // they re-evaluate to a no-op.
+                    if *class == self.parent {
+                        affected.insert(*entity);
+                    }
+                }
+                Change::EntityInserted { .. }
+                | Change::EntityDeleted { .. }
+                | Change::EntityRenamed { .. }
+                | Change::Schema(_) => {}
             }
         }
-        affected.extend_from(&self.affected_candidates(db, attr, owners)?);
+        Ok(affected)
+    }
+
+    /// Re-evaluates the predicate for the `affected` candidates and adds /
+    /// removes membership as needed. Returns `(added, removed)` counts.
+    pub fn settle(&self, db: &mut Database, affected: &OrderedSet) -> Result<(usize, usize)> {
         let mut added = 0;
         let mut removed = 0;
         for e in affected.iter() {
-            let should = db.eval_predicate_for(e, &self.pred, None)?;
+            if db.entity(e).is_err() {
+                continue; // deleted later in the window; extents already scrubbed
+            }
+            let in_parent = db.members(self.parent)?.contains(e);
+            let should = in_parent && db.eval_predicate_for(e, &self.pred, None)?;
             let is = db.members(self.class)?.contains(e);
             if should && !is {
                 db.force_membership(e, self.class)?;
@@ -199,71 +338,14 @@ impl DerivedMaintainer {
         if changes.has_schema_changes() {
             return self.rebuild(db);
         }
-        let mut affected = OrderedSet::new();
-        for change in changes.iter() {
-            match change {
-                Change::AttrAssigned {
-                    entity,
-                    attr,
-                    old,
-                    new,
-                } => {
-                    if !self.depends_on(*attr) {
-                        continue;
-                    }
-                    let owners: OrderedSet = [*entity].into_iter().collect();
-                    // Candidates reached through the *old* postings (an owner
-                    // leaving a posting list must still re-evaluate whoever
-                    // used to reach it), then through the new ones.
-                    affected.extend_from(&self.affected_candidates(db, *attr, &owners)?);
-                    let grouping_ranged = db
-                        .attr(*attr)
-                        .map(|r| matches!(r.value_class, ValueClass::Grouping(_)))
-                        .unwrap_or(false);
-                    if let Some(idx) = self.inverses.get_mut(attr) {
-                        if grouping_ranged {
-                            // The recorded transition is in grouping-index
-                            // entities; postings hold expanded members.
-                            *idx = AttrIndex::build(db, *attr)?;
-                        } else {
-                            idx.update(*entity, &old.as_set(), &new.as_set());
-                        }
-                    }
-                    affected.extend_from(&self.affected_candidates(db, *attr, &owners)?);
-                }
-                Change::MembershipAdded { entity, class }
-                | Change::MembershipRemoved { entity, class } => {
-                    if *class == self.parent {
-                        affected.insert(*entity);
-                    }
-                    // Echoes of our own membership writes land here too;
-                    // they re-evaluate to a no-op.
-                    self.refresh_owner_postings(db, *entity, *class)?;
-                }
-                Change::EntityInserted { .. }
-                | Change::EntityDeleted { .. }
-                | Change::EntityRenamed { .. }
-                | Change::Schema(_) => {}
-            }
-        }
-        let mut added = 0;
-        let mut removed = 0;
-        for e in affected.iter() {
-            if db.entity(e).is_err() {
-                continue; // deleted later in the window; extents already scrubbed
-            }
-            let in_parent = db.members(self.parent)?.contains(e);
-            let should = in_parent && db.eval_predicate_for(e, &self.pred, None)?;
-            let is = db.members(self.class)?.contains(e);
-            if should && !is {
-                db.force_membership(e, self.class)?;
-                added += 1;
-            } else if !should && is {
-                db.remove_from_class(e, self.class)?;
-                removed += 1;
-            }
-        }
-        Ok((added, removed))
+        // Candidates reached through the *old* postings (an owner leaving a
+        // posting list must still re-evaluate whoever used to reach it) …
+        let mut affected = self.collect_affected(db, &self.indexes, changes)?;
+        // … then drain the window into the private indexes …
+        self.indexes.apply(db, changes)?;
+        // … and collect again through the new postings.
+        affected.extend_from(&self.collect_affected(db, &self.indexes, changes)?);
+        self.settle(db, &affected)
     }
 
     /// Full fallback: re-reads the stored predicate (a schema edit may have
@@ -284,41 +366,13 @@ impl DerivedMaintainer {
         let after = db.members(self.class)?;
         let added = after.iter().filter(|e| !before.contains(*e)).count();
         let removed = before.iter().filter(|e| !after.contains(*e)).count();
-        self.inverses.clear();
-        for attr in Self::attrs_used(&self.pred) {
-            self.inverses.insert(attr, AttrIndex::build(db, attr)?);
+        self.used = Self::attrs_used(&self.pred);
+        self.grouping_bases = Self::find_grouping_bases(db, &self.used)?;
+        self.indexes = IndexManager::new(db);
+        for &attr in &self.used {
+            self.indexes.add_index(db, attr)?;
         }
         Ok((added, removed))
-    }
-
-    /// An entity entered or left `class`: indexes over attributes *owned by*
-    /// `class` gain or lose that owner's postings (index content follows the
-    /// owner extent, exactly like [`AttrIndex::build`]).
-    fn refresh_owner_postings(
-        &mut self,
-        db: &Database,
-        entity: EntityId,
-        class: ClassId,
-    ) -> Result<()> {
-        let owned: Vec<AttrId> = self
-            .inverses
-            .keys()
-            .copied()
-            .filter(|a| db.attr(*a).map(|r| r.owner == class).unwrap_or(false))
-            .collect();
-        for attr in owned {
-            let in_extent = db.entity(entity).is_ok() && db.members(class)?.contains(entity);
-            let new = if in_extent {
-                db.attr_value_set(entity, attr)?
-            } else {
-                OrderedSet::new()
-            };
-            if let Some(idx) = self.inverses.get_mut(&attr) {
-                let old = idx.owned_values(entity);
-                idx.update(entity, &old, &new);
-            }
-        }
-        Ok(())
     }
 
     /// Handles an entity joining or leaving the *parent* class: the entity
@@ -606,6 +660,65 @@ mod tests {
             .collect();
         want.sort();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn grouping_rekey_mid_drain_updates_derived_membership() {
+        use isis_core::{Atom, Clause, CompareOp, Multiplicity};
+        let mut im = instrumental_music().unwrap();
+        // sections: music_groups → by_family sets. The predicate asks which
+        // groups' sections *expand* to a set containing the flute.
+        let sections = im
+            .db
+            .create_attribute(
+                im.music_groups,
+                "sections",
+                im.by_family,
+                Multiplicity::Multi,
+            )
+            .unwrap();
+        let fling = im
+            .db
+            .entity_by_name(im.music_groups, "String Fling")
+            .unwrap();
+        im.db.assign_multi(fling, sections, [im.brass]).unwrap();
+        im.db
+            .assign_multi(im.labelle, sections, [im.woodwind])
+            .unwrap();
+        let pred = Predicate::dnf(vec![Clause::new(vec![Atom::new(
+            Map::single(sections),
+            CompareOp::Match,
+            Rhs::constant(im.instruments, [im.flute]),
+        )])]);
+        let flute_groups = im
+            .db
+            .create_derived_subclass(im.music_groups, "flute_groups")
+            .unwrap();
+        im.db.commit_membership(flute_groups, pred.clone()).unwrap();
+        // flute starts mis-filed under brass → String Fling qualifies.
+        assert!(im.db.members(flute_groups).unwrap().contains(fling));
+        assert!(!im.db.members(flute_groups).unwrap().contains(im.labelle));
+        let mut maint = DerivedMaintainer::new(&im.db, flute_groups).unwrap();
+        let mark = im.db.delta_epoch();
+        // Mid-drain re-key: the §4.2 correction moves flute to woodwind,
+        // re-partitioning by_family and silently re-aiming every stored
+        // sections value — without any transition of `sections` itself.
+        let gil = im.db.entity_by_name(im.musicians, "Gil").unwrap();
+        im.db.add_value(gil, im.plays, im.piano).unwrap(); // unrelated noise
+        im.db
+            .assign_single(im.flute, im.family, im.woodwind)
+            .unwrap();
+        let changes = im.db.changes_since(mark).unwrap();
+        let (added, removed) = maint.apply_changes(&mut im.db, &changes).unwrap();
+        assert_eq!((added, removed), (1, 1), "re-key must swap the member");
+        let got = im.db.members(flute_groups).unwrap();
+        assert!(got.contains(im.labelle), "woodwind sections now hold flute");
+        assert!(!got.contains(fling), "brass sections lost the flute");
+        let want = im
+            .db
+            .evaluate_derived_members(im.music_groups, &pred)
+            .unwrap();
+        assert!(got.set_eq(&want));
     }
 
     #[test]

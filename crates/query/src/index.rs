@@ -9,9 +9,9 @@
 
 use std::collections::HashMap;
 
-use isis_core::{
-    Atom, AttrId, ClassId, CompareOp, Database, EntityId, OrderedSet, Predicate, Result, Rhs,
-};
+use isis_core::{Atom, AttrId, ClassId, Database, EntityId, OrderedSet, Predicate, Result};
+
+use crate::service::IndexService;
 
 /// An inverted index over one attribute: value → owners.
 #[derive(Debug, Clone)]
@@ -86,6 +86,18 @@ impl AttrIndex {
         out
     }
 
+    /// Every owner currently present in some posting list (owners with an
+    /// empty value set do not appear). Used by maintenance to bound the
+    /// blast radius of a change that can move *any* stored value, e.g. a
+    /// grouping re-keyed by its base attribute.
+    pub fn all_owners(&self) -> OrderedSet {
+        let mut out = OrderedSet::new();
+        for owners in self.postings.values() {
+            out.extend_from(owners);
+        }
+        out
+    }
+
     /// Incrementally reflects a change of `owner`'s value set from `old` to
     /// `new` (used by the incremental maintenance machinery).
     pub fn update(&mut self, owner: EntityId, old: &OrderedSet, new: &OrderedSet) {
@@ -107,12 +119,33 @@ impl AttrIndex {
     }
 }
 
+/// Read access to a keyed collection of inverted attribute indexes.
+///
+/// Implemented by the raw `HashMap` store, by [`crate::IndexManager`], and
+/// by [`crate::IndexService`], so maintenance code that *walks* indexes
+/// (e.g. [`crate::DerivedMaintainer`]) can run against private or shared
+/// index sets interchangeably.
+pub trait IndexLookup {
+    /// The index registered for `attr`, if any.
+    fn index_for(&self, attr: AttrId) -> Option<&AttrIndex>;
+}
+
+impl IndexLookup for HashMap<AttrId, AttrIndex> {
+    fn index_for(&self, attr: AttrId) -> Option<&AttrIndex> {
+        self.get(&attr)
+    }
+}
+
 /// A predicate evaluator that exploits attribute indexes for *indexable*
 /// atoms — single-step, non-negated `~` / `⊇` / `=` comparisons against a
 /// plain constant set — and falls back to per-entity evaluation otherwise.
+///
+/// Since the shared-index refactor this is a thin facade over an owned
+/// [`IndexService`]: callers that want planner statistics, explicit access
+/// paths, or delta-driven maintenance should use the service directly.
 #[derive(Debug, Default)]
 pub struct IndexedEvaluator {
-    indexes: HashMap<AttrId, AttrIndex>,
+    service: IndexService,
 }
 
 impl IndexedEvaluator {
@@ -123,150 +156,46 @@ impl IndexedEvaluator {
 
     /// Builds and registers an index for `attr`.
     pub fn add_index(&mut self, db: &Database, attr: AttrId) -> Result<()> {
-        self.indexes.insert(attr, AttrIndex::build(db, attr)?);
-        Ok(())
+        self.service.ensure_index(db, attr).map(|_| ())
     }
 
     /// Access a registered index.
     pub fn index(&self, attr: AttrId) -> Option<&AttrIndex> {
-        self.indexes.get(&attr)
+        self.service.index(attr)
     }
 
     /// `true` if the atom can be answered from a registered index.
     pub fn indexable(&self, atom: &Atom) -> bool {
-        if atom.op.negated {
-            return false;
-        }
-        if atom.lhs.len() != 1 {
-            return false;
-        }
-        if !matches!(
-            atom.op.op,
-            CompareOp::Match | CompareOp::Superset | CompareOp::SetEq
-        ) {
-            return false;
-        }
-        match &atom.rhs {
-            Rhs::Constant { map, .. } => {
-                map.is_identity() && self.indexes.contains_key(&atom.lhs.steps()[0])
-            }
-            _ => false,
-        }
+        self.service.indexable(atom)
     }
 
-    /// The candidate set an indexable atom admits (a superset of the exact
-    /// answer for `=`; exact for `~`; exact for `⊇` via intersection).
-    fn index_candidates(&self, atom: &Atom) -> Option<OrderedSet> {
-        let idx = self.indexes.get(&atom.lhs.steps()[0])?;
-        let anchors = match &atom.rhs {
-            Rhs::Constant { anchors, .. } => anchors,
-            _ => return None,
-        };
-        match atom.op.op {
-            // x qualifies only if it carries *some* anchor.
-            CompareOp::Match => {
-                let mut out = OrderedSet::new();
-                for a in anchors.iter() {
-                    if let Some(s) = idx.owners_of(a) {
-                        out.extend_from(s);
-                    }
-                }
-                Some(out)
-            }
-            // x must carry *every* anchor: intersect posting lists,
-            // starting from the rarest.
-            CompareOp::Superset | CompareOp::SetEq => {
-                if anchors.is_empty() {
-                    return None; // everything qualifies; no pruning to gain
-                }
-                let mut lists: Vec<&OrderedSet> = Vec::new();
-                for a in anchors.iter() {
-                    match idx.owners_of(a) {
-                        Some(s) => lists.push(s),
-                        None => return Some(OrderedSet::new()),
-                    }
-                }
-                lists.sort_by_key(|s| s.len());
-                let mut out = lists[0].clone();
-                for s in &lists[1..] {
-                    let keep: Vec<EntityId> = out.iter().filter(|e| s.contains(*e)).collect();
-                    out = keep.into_iter().collect();
-                }
-                Some(out)
-            }
-            _ => None,
-        }
+    /// The shared index service backing this evaluator.
+    pub fn service(&self) -> &IndexService {
+        &self.service
+    }
+
+    /// Mutable access to the backing service (refresh, more indexes).
+    pub fn service_mut(&mut self) -> &mut IndexService {
+        &mut self.service
+    }
+
+    /// Unwraps the backing service.
+    pub fn into_service(self) -> IndexService {
+        self.service
     }
 
     /// Evaluates a whole DNF/CNF predicate over `parent`, using indexes to
     /// prune candidates where possible. Semantically identical to
     /// [`Database::evaluate_derived_members`].
     pub fn evaluate(&self, db: &Database, parent: ClassId, pred: &Predicate) -> Result<OrderedSet> {
-        db.validate_predicate(parent, None, pred)?;
-        // For a DNF predicate whose first clause contains an indexable atom,
-        // we could prune per-clause; the general, always-correct strategy is
-        // per-candidate evaluation with index pre-filtering when *every*
-        // clause (CNF) or *some* clause (DNF) is index-prunable. We apply
-        // the conservative common case: a CNF clause list where some clause
-        // consists of exactly one indexable atom lets us intersect down the
-        // candidate pool; a DNF where every clause starts with an indexable
-        // atom lets us union pools. Anything else falls back to a scan.
-        let mut pool: Option<OrderedSet> = None;
-        match pred.form {
-            isis_core::NormalForm::Cnf => {
-                for clause in &pred.clauses {
-                    if clause.atoms.len() == 1 && self.indexable(&clause.atoms[0]) {
-                        if let Some(c) = self.index_candidates(&clause.atoms[0]) {
-                            pool = Some(match pool {
-                                None => c,
-                                Some(p) => p.iter().filter(|e| c.contains(*e)).collect(),
-                            });
-                        }
-                    }
-                }
-            }
-            isis_core::NormalForm::Dnf => {
-                let mut union = OrderedSet::new();
-                let mut all_prunable = !pred.clauses.is_empty();
-                for clause in &pred.clauses {
-                    match clause.atoms.iter().find(|a| self.indexable(a)) {
-                        Some(a) => {
-                            if let Some(c) = self.index_candidates(a) {
-                                union.extend_from(&c);
-                            } else {
-                                all_prunable = false;
-                            }
-                        }
-                        None => all_prunable = false,
-                    }
-                }
-                if all_prunable {
-                    pool = Some(union);
-                }
-            }
-        }
-        let candidates: Vec<EntityId> = match &pool {
-            Some(p) => db
-                .members(parent)?
-                .iter()
-                .filter(|e| p.contains(*e))
-                .collect(),
-            None => db.members(parent)?.iter().collect(),
-        };
-        let mut out = OrderedSet::new();
-        for e in candidates {
-            if db.eval_predicate_for(e, pred, None)? {
-                out.insert(e);
-            }
-        }
-        Ok(out)
+        self.service.evaluate(db, parent, pred)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isis_core::{Clause, Map, Operator};
+    use isis_core::{Clause, CompareOp, Map, Operator, Rhs};
     use isis_sample::{instrumental_music, quartets_predicate};
 
     #[test]

@@ -16,6 +16,9 @@
 //!   inverse map traversal, fed by the core delta log;
 //! * [`manager`] — an [`IndexManager`] that keeps a set of attribute
 //!   indexes current by consuming [`isis_core::ChangeSet`]s;
+//! * [`service`] — the shared [`IndexService`]: one maintained index set
+//!   serving the evaluator, the optimizer, and derived-class maintenance,
+//!   with an access-path planner and observable [`QueryStats`];
 //! * [`optimizer`] — a short-circuit atom/clause reordering optimizer with
 //!   index-informed selectivity estimates.
 
@@ -32,6 +35,7 @@ pub mod optimizer;
 pub mod parallel;
 pub mod qbe;
 pub mod relmodel;
+pub mod service;
 
 pub use algebra::{eval_cached, Condition, Operand, RaExpr, ScalarOracle};
 pub use compile::{
@@ -39,9 +43,10 @@ pub use compile::{
 };
 pub use error::QueryError;
 pub use incremental::DerivedMaintainer;
-pub use index::{AttrIndex, IndexedEvaluator};
+pub use index::{AttrIndex, IndexLookup, IndexedEvaluator};
 pub use manager::{IndexManager, IndexStats};
 pub use optimizer::{estimate_atom, optimize, AtomEstimate, Explain};
-pub use parallel::evaluate_derived_members_parallel;
+pub use parallel::{evaluate_derived_members_parallel, evaluate_pruned_parallel};
 pub use qbe::{Cell, ConditionEntry, QbeQuery, TemplateRow};
 pub use relmodel::{encode_database, Relation, RelationalDb};
+pub use service::{AccessPath, IndexService, QueryStats};

@@ -16,7 +16,7 @@ use isis_core::{
     SchemaEdit, ValueClass,
 };
 
-use crate::index::AttrIndex;
+use crate::index::{AttrIndex, IndexLookup};
 
 /// Counters describing how an [`IndexManager`] kept its indexes current.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,7 +30,7 @@ pub struct IndexStats {
 
 /// Owns inverted attribute indexes and applies [`ChangeSet`]s to them
 /// incrementally.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct IndexManager {
     indexes: HashMap<AttrId, AttrIndex>,
     /// Owner class of each indexed attribute (membership changes there
@@ -87,6 +87,13 @@ impl IndexManager {
         self.cursor
     }
 
+    /// Re-anchors the cursor. For coordinators that drain the delta log
+    /// themselves and feed this manager explicit windows via
+    /// [`IndexManager::apply`].
+    pub fn set_cursor(&mut self, epoch: u64) {
+        self.cursor = epoch;
+    }
+
     /// Brings every index up to date with `db`, consuming the delta log
     /// from the manager's cursor. Falls back to full rebuilds when the
     /// window is gone (or the cursor is from another database line).
@@ -137,17 +144,10 @@ impl IndexManager {
         Ok(())
     }
 
-    fn apply_transition(
-        &mut self,
-        db: &Database,
-        entity: EntityId,
-        attr: AttrId,
-        old: &AttrValue,
-        new: &AttrValue,
-    ) -> Result<()> {
-        // A transition of a grouping's base attribute re-partitions the
-        // grouping, changing the expansion of every index value of any
-        // attribute ranging over it.
+    /// Rebuilds every grouping-ranged index whose grouping is keyed by
+    /// `attr`: a transition of the base attribute re-partitions the
+    /// grouping, changing the expansion of every stored index value.
+    fn rebuild_dependents(&mut self, db: &Database, attr: AttrId) -> Result<()> {
         let dependents: Vec<AttrId> = self
             .grouping_bases
             .iter()
@@ -158,6 +158,48 @@ impl IndexManager {
             self.indexes.insert(a, AttrIndex::build(db, a)?);
             self.stats.rebuilds += 1;
         }
+        Ok(())
+    }
+
+    /// Re-reads the current values of the `owners` entities for `attr` and
+    /// patches the posting lists accordingly (grouping-ranged indexes and
+    /// dependent grouping-ranged indexes rebuild instead). For callers that
+    /// know which owners changed without having a delta window.
+    pub fn refresh_owners(
+        &mut self,
+        db: &Database,
+        attr: AttrId,
+        owners: &OrderedSet,
+    ) -> Result<()> {
+        self.rebuild_dependents(db, attr)?;
+        if !self.indexes.contains_key(&attr) {
+            return Ok(());
+        }
+        if self.grouping_bases.contains_key(&attr) {
+            self.indexes.insert(attr, AttrIndex::build(db, attr)?);
+            self.stats.rebuilds += 1;
+            return Ok(());
+        }
+        for e in owners.iter() {
+            let new = db.attr_value_set(e, attr)?;
+            if let Some(idx) = self.indexes.get_mut(&attr) {
+                let old = idx.owned_values(e);
+                idx.update(e, &old, &new);
+                self.stats.incremental_updates += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_transition(
+        &mut self,
+        db: &Database,
+        entity: EntityId,
+        attr: AttrId,
+        old: &AttrValue,
+        new: &AttrValue,
+    ) -> Result<()> {
+        self.rebuild_dependents(db, attr)?;
         if let Some(idx) = self.indexes.get_mut(&attr) {
             if self.grouping_bases.contains_key(&attr) {
                 // Grouping-ranged: the stored transition is in index
@@ -249,6 +291,12 @@ impl IndexManager {
     }
 }
 
+impl IndexLookup for IndexManager {
+    fn index_for(&self, attr: AttrId) -> Option<&AttrIndex> {
+        self.indexes.get(&attr)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +369,77 @@ mod tests {
         // cursor is now ahead of restored's epoch → None → rebuild.
         mgr.refresh(&restored).unwrap();
         assert_index_fresh(&mgr, &restored, im.plays);
+    }
+
+    #[test]
+    fn grouping_rekeyed_mid_drain_keeps_ranged_index_fresh() {
+        use isis_core::Multiplicity;
+        let mut im = instrumental_music().unwrap();
+        // sections: music_groups → by_family sets; its index postings hold
+        // the *expanded* members of each named family set.
+        let sections = im
+            .db
+            .create_attribute(
+                im.music_groups,
+                "sections",
+                im.by_family,
+                Multiplicity::Multi,
+            )
+            .unwrap();
+        im.db
+            .assign_multi(im.labelle, sections, [im.stringed, im.keyboard])
+            .unwrap();
+        let fling = im
+            .db
+            .entity_by_name(im.music_groups, "String Fling")
+            .unwrap();
+        im.db.assign_multi(fling, sections, [im.brass]).unwrap();
+        let mut mgr = IndexManager::new(&im.db);
+        mgr.add_index(&im.db, sections).unwrap();
+        mgr.add_index(&im.db, im.family).unwrap();
+        // One window interleaving a sections edit, the grouping re-key
+        // (flute leaves brass for woodwind, re-partitioning by_family and
+        // thus the expansion of every sections value), and another edit.
+        im.db
+            .assign_multi(fling, sections, [im.percussion])
+            .unwrap();
+        im.db
+            .assign_single(im.flute, im.family, im.woodwind)
+            .unwrap();
+        im.db
+            .assign_multi(im.labelle, sections, [im.brass, im.keyboard])
+            .unwrap();
+        mgr.refresh(&im.db).unwrap();
+        assert_index_fresh(&mgr, &im.db, sections);
+        assert_index_fresh(&mgr, &im.db, im.family);
+        assert!(
+            mgr.stats().rebuilds >= 1,
+            "base-attr move must rebuild the dependent ranged index"
+        );
+        // The stale-range smoking gun: flute must no longer be credited to
+        // owners whose sections still name brass.
+        let idx = mgr.index(sections).unwrap();
+        if let Some(owners) = idx.owners_of(im.flute) {
+            assert!(!owners.is_empty())
+        }
+        let live = AttrIndex::build(&im.db, sections).unwrap();
+        assert_eq!(
+            idx.owners_of(im.flute).map(|s| s.len()),
+            live.owners_of(im.flute).map(|s| s.len())
+        );
+    }
+
+    #[test]
+    fn refresh_owners_patches_point_changes() {
+        let mut im = instrumental_music().unwrap();
+        let mut mgr = IndexManager::new(&im.db);
+        mgr.add_index(&im.db, im.plays).unwrap();
+        let gil = im.db.entity_by_name(im.musicians, "Gil").unwrap();
+        im.db.add_value(gil, im.plays, im.piano).unwrap();
+        let owners: OrderedSet = [gil].into_iter().collect();
+        mgr.refresh_owners(&im.db, im.plays, &owners).unwrap();
+        assert_index_fresh(&mgr, &im.db, im.plays);
+        assert_eq!(mgr.stats().rebuilds, 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use isis_core::{Atom, ClassId, CompareOp, Database, Map, NormalForm, Predicate, Result, Rhs};
 
-use crate::index::IndexedEvaluator;
+use crate::service::IndexService;
 
 /// Cost/selectivity estimate for one atom.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,7 +45,7 @@ pub fn estimate_atom(
     db: &Database,
     parent: ClassId,
     atom: &Atom,
-    indexes: Option<&IndexedEvaluator>,
+    indexes: Option<&IndexService>,
 ) -> AtomEstimate {
     let mut cost = map_cost(db, parent, &atom.lhs);
     cost += match &atom.rhs {
@@ -62,10 +62,10 @@ pub fn estimate_atom(
         CompareOp::ProperSubset | CompareOp::ProperSuperset => 0.15,
         CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => 0.5,
     };
-    if let (Some(ev), 1, Rhs::Constant { anchors, map, .. }) = (indexes, atom.lhs.len(), &atom.rhs)
+    if let (Some(sv), 1, Rhs::Constant { anchors, map, .. }) = (indexes, atom.lhs.len(), &atom.rhs)
     {
         if map.is_identity() {
-            if let Some(idx) = ev.index(atom.lhs.steps()[0]) {
+            if let Some(idx) = sv.index(atom.lhs.steps()[0]) {
                 let s: f64 = match atom.op.op {
                     // P(some anchor present) ≈ capped sum.
                     CompareOp::Match => anchors
@@ -79,6 +79,10 @@ pub fn estimate_atom(
                     }
                     _ => selectivity,
                 };
+                selectivity = s;
+            } else if let Some(s) = sv.grouping_selectivity(db, atom) {
+                // No index, but a grouping on the attribute still yields
+                // real set-size statistics.
                 selectivity = s;
             }
         }
@@ -105,7 +109,7 @@ pub fn optimize(
     db: &Database,
     parent: ClassId,
     pred: &Predicate,
-    indexes: Option<&IndexedEvaluator>,
+    indexes: Option<&IndexService>,
 ) -> Result<(Predicate, Explain)> {
     let mut clauses: Vec<(isis_core::Clause, Vec<AtomEstimate>, f64)> = Vec::new();
     for clause in &pred.clauses {
@@ -214,18 +218,32 @@ mod tests {
     #[test]
     fn index_statistics_sharpen_selectivity() {
         let im = instrumental_music().unwrap();
-        let mut ev = IndexedEvaluator::new();
-        ev.add_index(&im.db, im.plays).unwrap();
+        let mut sv = IndexService::new(&im.db);
+        sv.ensure_index(&im.db, im.plays).unwrap();
         let atom = Atom::new(
             Map::single(im.plays),
             CompareOp::Match,
             Rhs::constant(im.instruments, [im.piano]),
         );
-        let with_idx = estimate_atom(&im.db, im.musicians, &atom, Some(&ev));
+        let with_idx = estimate_atom(&im.db, im.musicians, &atom, Some(&sv));
         let without = estimate_atom(&im.db, im.musicians, &atom, None);
         // 3 of 12 musicians play piano → 0.25, not the 0.3 default.
         assert!((with_idx.selectivity - 0.25).abs() < 1e-9);
         assert!((without.selectivity - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouping_statistics_sharpen_selectivity_without_an_index() {
+        let im = instrumental_music().unwrap();
+        let sv = IndexService::new(&im.db);
+        // No index anywhere, but by_instrument groups musicians on plays.
+        let atom = Atom::new(
+            Map::single(im.plays),
+            CompareOp::Match,
+            Rhs::constant(im.instruments, [im.piano]),
+        );
+        let est = estimate_atom(&im.db, im.musicians, &atom, Some(&sv));
+        assert!((est.selectivity - 0.25).abs() < 1e-9);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use isis_core::{ClassId, Database, EntityId, OrderedSet, Predicate};
 
 use crate::error::QueryError;
+use crate::service::IndexService;
 
 /// Evaluates `{ e ∈ parent | P(e) }` across `threads` workers. With
 /// `threads <= 1` (or a tiny extent) this falls back to the serial
@@ -30,6 +31,69 @@ pub fn evaluate_derived_members_parallel(
         return db
             .evaluate_derived_members(parent, pred)
             .map_err(QueryError::from);
+    }
+    let chunk = members.len().div_ceil(threads);
+    let chunks: Vec<&[EntityId]> = members.chunks(chunk).collect();
+    let mut per_chunk: Vec<Result<Vec<EntityId>, isis_core::CoreError>> =
+        Vec::with_capacity(chunks.len());
+    crossbeam_utils::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| -> Result<Vec<EntityId>, isis_core::CoreError> {
+                    let mut keep = Vec::new();
+                    for &e in *chunk {
+                        if db.eval_predicate_for(e, pred, None)? {
+                            keep.push(e);
+                        }
+                    }
+                    Ok(keep)
+                })
+            })
+            .collect();
+        for h in handles {
+            per_chunk.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope panicked");
+    let mut out = OrderedSet::new();
+    for part in per_chunk {
+        for e in part? {
+            out.insert(e);
+        }
+    }
+    Ok(out)
+}
+
+/// Index-pruned parallel evaluation: the shared [`IndexService`] planner
+/// first shrinks the candidate pool (index probe / grouping-range scan),
+/// then the surviving candidates are partitioned across `threads` workers.
+/// Results are identical to [`IndexService::evaluate`], in the same order.
+pub fn evaluate_pruned_parallel(
+    service: &IndexService,
+    db: &Database,
+    parent: ClassId,
+    pred: &Predicate,
+    threads: usize,
+) -> Result<OrderedSet, QueryError> {
+    db.validate_predicate(parent, None, pred)?;
+    let pool = service.candidate_pool(db, pred)?;
+    let members: Vec<EntityId> = match &pool {
+        Some(p) => db
+            .members(parent)?
+            .iter()
+            .filter(|e| p.contains(*e))
+            .collect(),
+        None => db.members(parent)?.iter().collect(),
+    };
+    if threads <= 1 || members.len() < 64 {
+        let mut out = OrderedSet::new();
+        for e in members {
+            if db.eval_predicate_for(e, pred, None)? {
+                out.insert(e);
+            }
+        }
+        return Ok(out);
     }
     let chunk = members.len().div_ceil(threads);
     let chunks: Vec<&[EntityId]> = members.chunks(chunk).collect();
@@ -90,6 +154,27 @@ mod tests {
         let pred = isis_core::Predicate::always_true();
         let par = evaluate_derived_members_parallel(&im.db, im.musicians, &pred, 8).unwrap();
         assert_eq!(par.len(), im.all_musicians.len());
+    }
+
+    #[test]
+    fn pruned_parallel_matches_serial_exactly() {
+        let mut s = synthetic_music(Scale::of(400), 21).unwrap();
+        let probe = s.instrument_ids[0];
+        let pred = workload::quartets_query(&mut s, probe, 4);
+        let mut svc = IndexService::new(&s.db);
+        svc.ensure_index(&s.db, s.size).unwrap();
+        let serial =
+            s.db.evaluate_derived_members(s.music_groups, &pred)
+                .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par =
+                evaluate_pruned_parallel(&svc, &s.db, s.music_groups, &pred, threads).unwrap();
+            assert_eq!(par.as_slice(), serial.as_slice(), "threads={threads}");
+        }
+        assert!(
+            svc.query_stats().index_probes >= 4,
+            "the size clause must probe the shared index on every call"
+        );
     }
 
     #[test]

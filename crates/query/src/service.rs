@@ -1,0 +1,506 @@
+//! The shared index service behind the query path.
+//!
+//! The paper's predicate worksheet makes queries first-class derived
+//! subclasses, so query answering and derived-class maintenance are two
+//! consumers of the same attribute structure. [`IndexService`] is that
+//! structure made shared: one [`IndexManager`]-maintained set of inverted
+//! attribute indexes, kept current from the core delta log, read by
+//!
+//! * the predicate evaluator ([`IndexService::evaluate`], which the
+//!   [`crate::IndexedEvaluator`] facade delegates to),
+//! * the short-circuit optimizer ([`crate::optimize`] consults the service
+//!   for selectivity statistics), and
+//! * [`crate::DerivedMaintainer`]s, which walk the same indexes backwards
+//!   to find the candidates a change can affect.
+//!
+//! The service also hosts the *access-path planner*: for each atom it
+//! chooses between an index probe (posting-list lookup), a grouping-range
+//! scan (reading the sets of a §2 grouping defined on the atom's
+//! attribute), and a sequential scan, and counts each decision in
+//! [`QueryStats`] so planner behaviour is observable (the REPL `stats`
+//! command prints these counters).
+
+use std::cell::Cell;
+
+use isis_core::{
+    Atom, AttrId, ChangeSet, ClassId, CompareOp, Database, EntityId, GroupingId, NormalForm,
+    OrderedSet, Predicate, Result, Rhs,
+};
+
+use crate::index::{AttrIndex, IndexLookup};
+use crate::manager::{IndexManager, IndexStats};
+
+/// Counters describing the access-path decisions a service has made.
+///
+/// Maintenance-side counters (posting patches, rebuilds) live in
+/// [`IndexStats`]; these are the read side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Predicates evaluated through [`IndexService::evaluate`].
+    pub queries: u64,
+    /// Atoms answered from a maintained index posting list.
+    pub index_probes: u64,
+    /// Atoms answered by reading a grouping's sets instead of an index.
+    pub grouping_scans: u64,
+    /// Predicates that fell back to scanning the whole parent extent.
+    pub seq_scans: u64,
+    /// Atoms of indexable shape that found no maintained index (planner
+    /// misses; a persistent count here suggests an index worth adding).
+    pub index_misses: u64,
+}
+
+/// The physical access path the planner picks for one atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Probe the maintained index on this attribute.
+    IndexProbe(AttrId),
+    /// Read the sets of this grouping (defined on the atom's attribute).
+    GroupingRange(GroupingId),
+    /// No physical structure applies; evaluate against the parent extent.
+    SeqScan,
+}
+
+/// One maintained set of attribute indexes shared by every query-path
+/// consumer. See the module docs for the ownership model; DESIGN.md
+/// documents the staleness contract.
+#[derive(Debug, Default)]
+pub struct IndexService {
+    manager: IndexManager,
+    queries: Cell<u64>,
+    index_probes: Cell<u64>,
+    grouping_scans: Cell<u64>,
+    seq_scans: Cell<u64>,
+    index_misses: Cell<u64>,
+}
+
+impl IndexService {
+    /// An empty service synchronised to the database's current delta epoch.
+    pub fn new(db: &Database) -> IndexService {
+        IndexService {
+            manager: IndexManager::new(db),
+            ..IndexService::default()
+        }
+    }
+
+    /// Builds and registers an index for `attr` unless one already exists.
+    /// Returns `true` if an index was built.
+    pub fn ensure_index(&mut self, db: &Database, attr: AttrId) -> Result<bool> {
+        if self.manager.index(attr).is_some() {
+            return Ok(false);
+        }
+        self.manager.add_index(db, attr)?;
+        Ok(true)
+    }
+
+    /// Access a registered index.
+    pub fn index(&self, attr: AttrId) -> Option<&AttrIndex> {
+        self.manager.index(attr)
+    }
+
+    /// The attributes currently indexed.
+    pub fn indexed_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.manager.indexed_attrs()
+    }
+
+    /// The delta epoch the indexes are synchronised to.
+    pub fn cursor(&self) -> u64 {
+        self.manager.cursor()
+    }
+
+    /// Brings every index up to date with `db` by consuming the delta log
+    /// from the service's cursor (rebuilding when the window is gone).
+    pub fn refresh(&mut self, db: &Database) -> Result<()> {
+        self.manager.refresh(db)
+    }
+
+    /// Applies one explicit [`ChangeSet`] window. The set must describe the
+    /// transition from the indexes' current state to `db`'s, as when a
+    /// coordinator drains `db.changes_since(..)` once and feeds every
+    /// consumer the same window.
+    pub fn apply(&mut self, db: &Database, changes: &ChangeSet) -> Result<()> {
+        self.manager.apply(db, changes)
+    }
+
+    /// Re-anchors the cursor to the database's current epoch (after the
+    /// coordinator has fed the service every outstanding window).
+    pub fn set_cursor(&mut self, db: &Database) {
+        self.manager.set_cursor(db.delta_epoch());
+    }
+
+    /// Maintenance counters (posting patches, rebuilds).
+    pub fn index_stats(&self) -> IndexStats {
+        self.manager.stats()
+    }
+
+    /// Planner counters (probes, grouping scans, seq scans, misses).
+    pub fn query_stats(&self) -> QueryStats {
+        QueryStats {
+            queries: self.queries.get(),
+            index_probes: self.index_probes.get(),
+            grouping_scans: self.grouping_scans.get(),
+            seq_scans: self.seq_scans.get(),
+            index_misses: self.index_misses.get(),
+        }
+    }
+
+    /// Zeroes the planner counters (maintenance counters are cumulative).
+    pub fn reset_query_stats(&self) {
+        self.queries.set(0);
+        self.index_probes.set(0);
+        self.grouping_scans.set(0);
+        self.seq_scans.set(0);
+        self.index_misses.set(0);
+    }
+
+    /// `true` when the atom has indexable shape — single-step, non-negated
+    /// `~` / `⊇` / `=` against a plain constant set.
+    fn atom_shape(atom: &Atom) -> bool {
+        !atom.op.negated
+            && atom.lhs.len() == 1
+            && matches!(
+                atom.op.op,
+                CompareOp::Match | CompareOp::Superset | CompareOp::SetEq
+            )
+            && matches!(&atom.rhs, Rhs::Constant { map, .. } if map.is_identity())
+    }
+
+    /// `true` if the atom can be answered from a registered index.
+    pub fn indexable(&self, atom: &Atom) -> bool {
+        Self::atom_shape(atom) && self.manager.index(atom.lhs.steps()[0]).is_some()
+    }
+
+    /// Chooses the access path for one atom: a maintained index wins; a
+    /// grouping defined on the attribute (covering the attribute's whole
+    /// owner extent) is the fallback; otherwise sequential scan. Counts a
+    /// planner miss when the shape was indexable but no index exists.
+    pub fn plan_atom(&self, db: &Database, atom: &Atom) -> AccessPath {
+        if !Self::atom_shape(atom) {
+            return AccessPath::SeqScan;
+        }
+        let attr = atom.lhs.steps()[0];
+        if self.manager.index(attr).is_some() {
+            return AccessPath::IndexProbe(attr);
+        }
+        self.index_misses.set(self.index_misses.get() + 1);
+        if let Ok(rec) = db.attr(attr) {
+            // Only a grouping of the attribute's own owner class covers
+            // every candidate that can carry the attribute.
+            if let Some((g, _)) = db
+                .groupings()
+                .find(|(_, gr)| gr.on_attr == attr && gr.parent == rec.owner)
+            {
+                return AccessPath::GroupingRange(g);
+            }
+        }
+        AccessPath::SeqScan
+    }
+
+    /// The candidate set an atom admits under its chosen access path (a
+    /// superset of the exact answer for `=`; exact for `~` and `⊇`).
+    /// `None` means no pruning is possible for this atom.
+    fn atom_candidates(&self, db: &Database, atom: &Atom) -> Result<Option<OrderedSet>> {
+        let anchors = match &atom.rhs {
+            Rhs::Constant { anchors, .. } => anchors,
+            _ => return Ok(None),
+        };
+        match self.plan_atom(db, atom) {
+            AccessPath::IndexProbe(attr) => {
+                let idx = match self.manager.index(attr) {
+                    Some(i) => i,
+                    None => return Ok(None),
+                };
+                let out = Self::combine(atom.op.op, anchors, |a| idx.owners_of(a));
+                if out.is_some() {
+                    self.index_probes.set(self.index_probes.get() + 1);
+                }
+                Ok(out)
+            }
+            AccessPath::GroupingRange(g) => {
+                let sets = db.grouping_sets(g)?;
+                let out = Self::combine(atom.op.op, anchors, |a| {
+                    sets.iter().find(|s| s.index == a).map(|s| &s.members)
+                });
+                if out.is_some() {
+                    self.grouping_scans.set(self.grouping_scans.get() + 1);
+                }
+                Ok(out)
+            }
+            AccessPath::SeqScan => Ok(None),
+        }
+    }
+
+    /// Combines per-anchor owner lists under the atom's operator: union for
+    /// `~` (some anchor present), rarest-first intersection for `⊇`/`=`
+    /// (every anchor present). An absent list means no owner carries the
+    /// anchor.
+    fn combine<'a>(
+        op: CompareOp,
+        anchors: &OrderedSet,
+        owners_of: impl Fn(EntityId) -> Option<&'a OrderedSet>,
+    ) -> Option<OrderedSet> {
+        match op {
+            CompareOp::Match => {
+                let mut out = OrderedSet::new();
+                for a in anchors.iter() {
+                    if let Some(s) = owners_of(a) {
+                        out.extend_from(s);
+                    }
+                }
+                Some(out)
+            }
+            CompareOp::Superset | CompareOp::SetEq => {
+                if anchors.is_empty() {
+                    return None; // everything qualifies; no pruning to gain
+                }
+                let mut lists: Vec<&OrderedSet> = Vec::new();
+                for a in anchors.iter() {
+                    match owners_of(a) {
+                        Some(s) => lists.push(s),
+                        None => return Some(OrderedSet::new()),
+                    }
+                }
+                lists.sort_by_key(|s| s.len());
+                let mut out = lists[0].clone();
+                for s in &lists[1..] {
+                    let keep: Vec<EntityId> = out.iter().filter(|e| s.contains(*e)).collect();
+                    out = keep.into_iter().collect();
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// Estimated truth probability of a shape-indexable atom, derived from
+    /// grouping-set sizes when no index exists. Feeds the optimizer's
+    /// selectivity model for attributes that are grouped but not indexed.
+    pub fn grouping_selectivity(&self, db: &Database, atom: &Atom) -> Option<f64> {
+        if !Self::atom_shape(atom) {
+            return None;
+        }
+        let g = match self.plan_atom(db, atom) {
+            AccessPath::GroupingRange(g) => g,
+            _ => return None,
+        };
+        let anchors = match &atom.rhs {
+            Rhs::Constant { anchors, .. } => anchors,
+            _ => return None,
+        };
+        let parent = db.grouping(g).ok()?.parent;
+        let total = db.members(parent).ok()?.len();
+        if total == 0 {
+            return None;
+        }
+        let sets = db.grouping_sets(g).ok()?;
+        let frac = |a: EntityId| {
+            sets.iter()
+                .find(|s| s.index == a)
+                .map_or(0.0, |s| s.members.len() as f64)
+                / total as f64
+        };
+        match atom.op.op {
+            CompareOp::Match => Some(anchors.iter().map(frac).sum::<f64>().min(1.0)),
+            CompareOp::Superset | CompareOp::SetEq => Some(anchors.iter().map(frac).product()),
+            _ => None,
+        }
+    }
+
+    /// The pruned candidate pool for a whole predicate, or `None` when no
+    /// clause structure admits pruning. A CNF clause of exactly one
+    /// prunable atom intersects the pool; a DNF where *every* clause has a
+    /// prunable atom unions per-clause pools.
+    pub fn candidate_pool(&self, db: &Database, pred: &Predicate) -> Result<Option<OrderedSet>> {
+        let mut pool: Option<OrderedSet> = None;
+        match pred.form {
+            NormalForm::Cnf => {
+                for clause in &pred.clauses {
+                    if clause.atoms.len() == 1 {
+                        if let Some(c) = self.atom_candidates(db, &clause.atoms[0])? {
+                            pool = Some(match pool {
+                                None => c,
+                                Some(p) => p.iter().filter(|e| c.contains(*e)).collect(),
+                            });
+                        }
+                    }
+                }
+            }
+            NormalForm::Dnf => {
+                let mut union = OrderedSet::new();
+                let mut all_prunable = !pred.clauses.is_empty();
+                'clauses: for clause in &pred.clauses {
+                    for atom in &clause.atoms {
+                        if let Some(c) = self.atom_candidates(db, atom)? {
+                            union.extend_from(&c);
+                            continue 'clauses;
+                        }
+                    }
+                    all_prunable = false;
+                    break;
+                }
+                if all_prunable {
+                    pool = Some(union);
+                }
+            }
+        }
+        Ok(pool)
+    }
+
+    /// Evaluates a whole DNF/CNF predicate over `parent`, pruning the
+    /// candidate pool through the planned access paths. Semantically
+    /// identical to [`Database::evaluate_derived_members`].
+    pub fn evaluate(&self, db: &Database, parent: ClassId, pred: &Predicate) -> Result<OrderedSet> {
+        db.validate_predicate(parent, None, pred)?;
+        self.queries.set(self.queries.get() + 1);
+        let pool = self.candidate_pool(db, pred)?;
+        if pool.is_none() {
+            self.seq_scans.set(self.seq_scans.get() + 1);
+        }
+        let candidates: Vec<EntityId> = match &pool {
+            Some(p) => db
+                .members(parent)?
+                .iter()
+                .filter(|e| p.contains(*e))
+                .collect(),
+            None => db.members(parent)?.iter().collect(),
+        };
+        let mut out = OrderedSet::new();
+        for e in candidates {
+            if db.eval_predicate_for(e, pred, None)? {
+                out.insert(e);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl IndexLookup for IndexService {
+    fn index_for(&self, attr: AttrId) -> Option<&AttrIndex> {
+        self.manager.index(attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isis_core::{Clause, Map};
+    use isis_sample::{instrumental_music, quartets_predicate};
+
+    fn match_atom(attr: AttrId, class: ClassId, anchor: EntityId) -> Atom {
+        Atom::new(
+            Map::single(attr),
+            CompareOp::Match,
+            Rhs::constant(class, [anchor]),
+        )
+    }
+
+    #[test]
+    fn planner_probes_available_index() {
+        let mut im = instrumental_music().unwrap();
+        let mut svc = IndexService::new(&im.db);
+        svc.ensure_index(&im.db, im.plays).unwrap();
+        let atom = match_atom(im.plays, im.instruments, im.piano);
+        assert_eq!(
+            svc.plan_atom(&im.db, &atom),
+            AccessPath::IndexProbe(im.plays)
+        );
+        let pred = Predicate::dnf(vec![Clause::new(vec![atom])]);
+        let got = svc.evaluate(&im.db, im.musicians, &pred).unwrap();
+        let want = im.db.evaluate_derived_members(im.musicians, &pred).unwrap();
+        assert!(got.set_eq(&want));
+        let stats = svc.query_stats();
+        assert_eq!(stats.queries, 1);
+        assert!(stats.index_probes >= 1, "index available → must probe");
+        assert_eq!(stats.seq_scans, 0, "pruned query must not seq-scan");
+        let _ = quartets_predicate(&mut im);
+    }
+
+    #[test]
+    fn planner_falls_back_to_grouping_range_then_scan() {
+        let mut im = instrumental_music().unwrap();
+        let svc = IndexService::new(&im.db);
+        // No index on family, but by_family is a grouping on it.
+        let atom = match_atom(im.family, im.families, im.stringed);
+        assert_eq!(
+            svc.plan_atom(&im.db, &atom),
+            AccessPath::GroupingRange(im.by_family)
+        );
+        let pred = Predicate::dnf(vec![Clause::new(vec![atom])]);
+        let got = svc.evaluate(&im.db, im.instruments, &pred).unwrap();
+        let want = im
+            .db
+            .evaluate_derived_members(im.instruments, &pred)
+            .unwrap();
+        assert!(got.set_eq(&want));
+        let stats = svc.query_stats();
+        assert!(stats.grouping_scans >= 1);
+        assert!(stats.index_misses >= 1, "shape was indexable, no index");
+        assert_eq!(stats.index_probes, 0);
+
+        // No index and no grouping on popular → sequential scan.
+        svc.reset_query_stats();
+        let yes = im.db.boolean(true);
+        let booleans = im.db.predefined(isis_core::BaseKind::Booleans);
+        let atom = match_atom(im.popular, booleans, yes);
+        assert_eq!(svc.plan_atom(&im.db, &atom), AccessPath::SeqScan);
+        let pred = Predicate::dnf(vec![Clause::new(vec![atom])]);
+        let got = svc.evaluate(&im.db, im.instruments, &pred).unwrap();
+        let want = im
+            .db
+            .evaluate_derived_members(im.instruments, &pred)
+            .unwrap();
+        assert!(got.set_eq(&want));
+        let stats = svc.query_stats();
+        assert!(stats.seq_scans >= 1);
+        assert_eq!(stats.index_probes, 0);
+    }
+
+    #[test]
+    fn grouping_range_scan_agrees_on_superset() {
+        let mut im = instrumental_music().unwrap();
+        let svc = IndexService::new(&im.db);
+        // work_status groups musicians on union: probe YES via the grouping.
+        let yes = im.db.boolean(true);
+        let booleans = im.db.predefined(isis_core::BaseKind::Booleans);
+        let atom = Atom::new(
+            Map::single(im.union_attr),
+            CompareOp::Superset,
+            Rhs::constant(booleans, [yes]),
+        );
+        assert_eq!(
+            svc.plan_atom(&im.db, &atom),
+            AccessPath::GroupingRange(im.work_status)
+        );
+        let pred = Predicate::cnf(vec![Clause::new(vec![atom])]);
+        let got = svc.evaluate(&im.db, im.musicians, &pred).unwrap();
+        let want = im.db.evaluate_derived_members(im.musicians, &pred).unwrap();
+        assert!(got.set_eq(&want));
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn shared_drain_keeps_queries_fresh() {
+        let mut im = instrumental_music().unwrap();
+        let mut svc = IndexService::new(&im.db);
+        svc.ensure_index(&im.db, im.plays).unwrap();
+        let gil = im.db.entity_by_name(im.musicians, "Gil").unwrap();
+        im.db.add_value(gil, im.plays, im.piano).unwrap();
+        svc.refresh(&im.db).unwrap();
+        let atom = match_atom(im.plays, im.instruments, im.piano);
+        let pred = Predicate::dnf(vec![Clause::new(vec![atom])]);
+        let got = svc.evaluate(&im.db, im.musicians, &pred).unwrap();
+        assert!(got.contains(gil));
+        let want = im.db.evaluate_derived_members(im.musicians, &pred).unwrap();
+        assert!(got.set_eq(&want));
+        assert_eq!(svc.index_stats().rebuilds, 0, "point update must patch");
+    }
+
+    #[test]
+    fn grouping_selectivity_matches_set_sizes() {
+        let im = instrumental_music().unwrap();
+        let svc = IndexService::new(&im.db);
+        let atom = match_atom(im.family, im.families, im.stringed);
+        // 5 of 12 instruments are stringed at seed state.
+        let sel = svc.grouping_selectivity(&im.db, &atom).unwrap();
+        assert!((sel - 5.0 / 12.0).abs() < 1e-9);
+    }
+}

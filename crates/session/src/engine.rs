@@ -2,10 +2,10 @@
 //! state, and builds the current view's [`Scene`].
 
 use isis_core::{
-    Atom, AttrDerivation, AttrId, Change, ChangeSet, ClassId, CoreError, Database, Map, Predicate,
-    Rhs, SchemaNode, ValueClass,
+    Atom, AttrDerivation, AttrId, Change, ChangeSet, ClassId, CoreError, Database, Map, OrderedSet,
+    Predicate, Rhs, SchemaNode, ValueClass,
 };
-use isis_query::DerivedMaintainer;
+use isis_query::{DerivedMaintainer, IndexService};
 use isis_store::{RecoveryReport, StoreDir};
 use isis_views::{
     data_view, forest_view, network_view, worksheet_view, DataViewInput, ForestViewOptions,
@@ -73,6 +73,12 @@ pub struct Session {
     /// `None` after anything that invalidates them (database swap, schema
     /// change) — the next refresh rebuilds them from scratch.
     maintainers: Option<Vec<DerivedMaintainer>>,
+    /// The shared attribute-index service: one maintained set of indexes
+    /// read by the derived-class maintainers and by ad-hoc queries
+    /// ([`Session::query`]). Built alongside the maintainers in
+    /// [`Session::full_refresh`]; advanced only by the refresh pipeline's
+    /// delta drain, so it never runs ahead of `refresh_cursor`.
+    service: Option<IndexService>,
     /// What recovery found the last time a database was loaded from the
     /// store this session (the *doctor* command reprints it).
     last_recovery: Option<RecoveryReport>,
@@ -153,6 +159,7 @@ impl Session {
             policy: RefreshPolicy::Manual,
             refresh_cursor: 0,
             maintainers: None,
+            service: None,
             last_recovery: None,
         }
     }
@@ -248,6 +255,7 @@ impl Session {
     /// lines are not comparable, so the next refresh must rebuild.
     fn invalidate_refresh(&mut self) {
         self.maintainers = None;
+        self.service = None;
     }
 
     fn refresh_after_data_mod(&mut self) -> Result<(), SessionError> {
@@ -276,6 +284,7 @@ impl Session {
     /// database was replaced since the last refresh.
     pub fn refresh_derived(&mut self) -> Result<(), SessionError> {
         let needs_full = self.maintainers.is_none()
+            || self.service.is_none()
             || match self.db.changes_since(self.refresh_cursor) {
                 None => true,
                 Some(cs) => cs.has_schema_changes(),
@@ -300,23 +309,43 @@ impl Session {
             }
             self.refresh_cursor = self.db.delta_epoch();
             let mut maints = self.maintainers.take().unwrap_or_default();
-            let outcome = self.apply_round(&mut maints, &cs);
+            let mut service = self.service.take().unwrap_or_default();
+            let outcome = self.apply_round(&mut maints, &mut service, &cs);
             self.maintainers = Some(maints);
+            self.service = Some(service);
             outcome?;
         }
         // Did not quiesce within the bound; settle with a full pass.
         self.full_refresh()
     }
 
-    /// One delta round: feed the change window to every derived-class
-    /// maintainer, then refresh the derived attributes the window touches.
+    /// One delta round, with a single shared index drain: every maintainer
+    /// first collects its affected candidates against the *pre-state*
+    /// indexes, the service consumes the window once, the maintainers
+    /// re-collect against the post-state indexes and settle, and finally
+    /// the derived attributes the window touches are refreshed.
     fn apply_round(
         &mut self,
         maints: &mut [DerivedMaintainer],
+        service: &mut IndexService,
         cs: &ChangeSet,
     ) -> Result<(), SessionError> {
-        for m in maints.iter_mut() {
-            let (added, removed) = m.apply_changes(&mut self.db, cs)?;
+        // Pre-state: the shared indexes still reflect the old attribute
+        // values, so walk-backs find candidates that *used to* reach a
+        // changed entity.
+        let mut affected: Vec<OrderedSet> = Vec::with_capacity(maints.len());
+        for m in maints.iter() {
+            affected.push(m.collect_affected(&self.db, &*service, cs)?);
+        }
+        // The one drain: both the maintainers and the ad-hoc query planner
+        // read from these indexes afterwards.
+        service.apply(&self.db, cs)?;
+        // Post-state: candidates that *now* reach a changed entity.
+        for (m, aff) in maints.iter().zip(affected.iter_mut()) {
+            aff.extend_from(&m.collect_affected(&self.db, &*service, cs)?);
+        }
+        for (m, aff) in maints.iter().zip(affected.iter()) {
+            let (added, removed) = m.settle(&mut self.db, aff)?;
             if added + removed > 0 {
                 let name = self.db.class(m.class())?.name.clone();
                 self.say(format!(
@@ -387,9 +416,49 @@ impl Session {
         for c in derived_classes {
             maints.push(DerivedMaintainer::new(&self.db, c)?);
         }
+        // Rebuild the shared index service to cover every attribute any
+        // maintainer's predicate traverses; ad-hoc queries benefit from the
+        // same postings.
+        let mut service = IndexService::new(&self.db);
+        for m in &maints {
+            for &attr in m.used_attrs() {
+                service.ensure_index(&self.db, attr)?;
+            }
+        }
+        service.set_cursor(&self.db);
         self.maintainers = Some(maints);
+        self.service = Some(service);
         self.refresh_cursor = self.db.delta_epoch();
         Ok(())
+    }
+
+    /// The shared index service, once a refresh has built it. The planner
+    /// and maintenance counters it carries back the *stats* REPL command.
+    pub fn index_service(&self) -> Option<&IndexService> {
+        self.service.as_ref()
+    }
+
+    /// Answers `{ e ∈ parent | P(e) }` through the shared index service.
+    ///
+    /// Under [`RefreshPolicy::OnCommit`] / [`RefreshPolicy::Immediate`] the
+    /// refresh pipeline is synchronised first, so the answer always comes
+    /// from index-pruned evaluation. Under [`RefreshPolicy::Manual`] the
+    /// session refuses to advance the shared indexes out from under the
+    /// maintainers: if un-drained changes are pending, it falls back to a
+    /// direct scan (correct, just unassisted) until the next refresh.
+    pub fn query(&mut self, parent: ClassId, pred: &Predicate) -> Result<OrderedSet, SessionError> {
+        if self.policy != RefreshPolicy::Manual {
+            self.refresh_derived()?;
+        }
+        let in_sync = self.service.is_some()
+            && matches!(self.db.changes_since(self.refresh_cursor), Some(cs) if cs.is_empty());
+        if in_sync {
+            let svc = self.service.as_ref().expect("in_sync implies a service");
+            Ok(svc.evaluate(&self.db, parent, pred)?)
+        } else {
+            self.db.validate_predicate(parent, None, pred)?;
+            Ok(self.db.evaluate_derived_members(parent, pred)?)
+        }
     }
 
     fn say(&mut self, msg: impl Into<String>) {

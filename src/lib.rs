@@ -40,7 +40,9 @@ pub mod prelude {
         CoreError, Database, DeltaLog, EntityId, GroupingId, Literal, Map, Multiplicity,
         NormalForm, Operator, OrderedSet, Predicate, Rhs, SchemaEdit, SchemaNode,
     };
-    pub use isis_query::{DerivedMaintainer, IndexManager, IndexedEvaluator, QbeQuery};
+    pub use isis_query::{
+        DerivedMaintainer, IndexManager, IndexService, IndexedEvaluator, QbeQuery, QueryStats,
+    };
     pub use isis_session::{Command, RefreshPolicy, Script, Session, SessionBuilder};
     pub use isis_store::{
         FaultMode, FaultVfs, FsckReport, LoggedDatabase, RecoveryReport, StoreDir, SyncPolicy,

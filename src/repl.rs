@@ -61,6 +61,8 @@ worksheet:    define | derive | constraint NAME forall|forbidden
 session:      load NAME | save NAME | checks | undo | redo | stop | help
               refresh [manual|oncommit|immediate] — re-evaluate derived state
               (no argument) or set when it happens automatically
+              stats — planner and index-maintenance counters of the shared
+              index service (built by the first refresh)
               doctor [NAME] — print the recovery report (last load, or a
               dry-run recovery of a stored database)
               fsck [NAME] — verify a stored database: recovery dry run plus
@@ -279,6 +281,39 @@ impl Repl {
             "switch" => self.session.apply(Command::WsSwitchAndOr)?,
             "commit" => self.session.apply(Command::WsCommit)?,
             "checks" => self.session.apply(Command::CheckConstraints)?,
+            "stats" => {
+                return Ok(match self.session.index_service() {
+                    Some(svc) => {
+                        let q = svc.query_stats();
+                        let i = svc.index_stats();
+                        let attrs: Vec<String> = svc
+                            .indexed_attrs()
+                            .filter_map(|a| {
+                                self.session.database().attr(a).ok().map(|r| r.name.clone())
+                            })
+                            .collect();
+                        format!(
+                            "indexed attrs:  {}\n\
+                             queries:        {} ({} index probes, {} grouping scans, \
+                             {} seq scans, {} misses)\n\
+                             maintenance:    {} posting patches, {} rebuilds",
+                            if attrs.is_empty() {
+                                "(none)".to_string()
+                            } else {
+                                attrs.join(", ")
+                            },
+                            q.queries,
+                            q.index_probes,
+                            q.grouping_scans,
+                            q.seq_scans,
+                            q.index_misses,
+                            i.incremental_updates,
+                            i.rebuilds,
+                        )
+                    }
+                    None => "no index service yet — run 'refresh' to build it".to_string(),
+                });
+            }
             "refresh" => match parts.first().map(String::as_str) {
                 None => self.session.apply(Command::Refresh)?,
                 Some("manual") => self
@@ -567,6 +602,45 @@ mod tests {
         let db = r.session.database();
         let q = db.class_by_name("quartets").unwrap();
         assert_eq!(db.members(q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stats_reports_the_shared_index_service() {
+        let mut r = repl();
+        assert!(r.exec("stats").unwrap().contains("no index service"));
+        for line in [
+            "pick music_groups",
+            "subclass quartets",
+            "define",
+            "atom",
+            "clause 1",
+            "push size",
+            "op =",
+            "const",
+            "toggle 4",
+            "done",
+            "commit",
+            "refresh",
+        ] {
+            r.exec(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let out = r.exec("stats").unwrap();
+        assert!(out.contains("indexed attrs"), "{out}");
+        assert!(out.contains("size"), "{out}");
+        // A query routed through the session bumps the planner counters.
+        let db = r.session.database();
+        let groups = db.class_by_name("music_groups").unwrap();
+        let quartets = db.class_by_name("quartets").unwrap();
+        let pred = db
+            .class(quartets)
+            .unwrap()
+            .kind
+            .predicate()
+            .unwrap()
+            .clone();
+        r.session.query(groups, &pred).unwrap();
+        let out = r.exec("stats").unwrap();
+        assert!(out.contains("1 index probes"), "{out}");
     }
 
     #[test]

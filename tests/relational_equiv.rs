@@ -149,7 +149,7 @@ proptest! {
         prop_assert_eq!(&idx, &reference, "indexed disagrees for {}", pred);
 
         // 4. Optimizer-reordered predicate.
-        let (opt, _) = optimize(&im.db, im.musicians, &pred, Some(&indexed)).unwrap();
+        let (opt, _) = optimize(&im.db, im.musicians, &pred, Some(indexed.service())).unwrap();
         let mut o: Vec<EntityId> = im
             .db
             .evaluate_derived_members(im.musicians, &opt)
