@@ -131,8 +131,9 @@ impl PlaysToggle {
 
 /// Experiment E-2b: the headline comparison for the delta-refresh pipeline.
 /// Full re-evaluation vs `changes_since` + `apply_changes` after a single
-/// point update, at a 10k-entity scale, written to `out/derived_refresh.md`.
-fn refresh_report(_c: &mut Criterion) {
+/// point update, at a 10k-entity scale, written to `out/derived_refresh.md`
+/// and (machine-readable) `out/bench_derived_class.json`.
+fn refresh_report(c: &mut Criterion) {
     let smoke = std::env::args().any(|a| a == "--test");
     let (n, full_iters, delta_iters) = if smoke {
         (300, 2, 8)
@@ -203,6 +204,30 @@ fn refresh_report(_c: &mut Criterion) {
         if smoke { "; smoke run under `--test`" } else { "" }
     );
     std::fs::write(out_dir.join("derived_refresh.md"), report).expect("write report");
+
+    // Machine-readable sibling: aggregate rows plus the criterion runs.
+    isis_bench::BenchReport::new("derived_class")
+        .smoke(smoke)
+        .param("n", n)
+        .param("full_iters", full_iters as u64)
+        .param("delta_iters", delta_iters as u64)
+        .param("entities", entities)
+        .result(
+            "derived_class/report/full_refresh_per_update",
+            full_us * 1e3,
+            full_iters as u64,
+        )
+        .result(
+            "derived_class/report/delta_refresh_per_update",
+            delta_us * 1e3,
+            delta_iters as u64,
+        )
+        .results_from(
+            c.measurements()
+                .iter()
+                .map(|m| (m.id.clone(), m.mean_ns, m.iters)),
+        )
+        .write();
 }
 
 criterion_group! {

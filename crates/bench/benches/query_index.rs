@@ -106,8 +106,9 @@ fn rebuild_vs_shared(c: &mut Criterion) {
 }
 
 /// The headline report: the same update+query stream through both arms at
-/// 10k-entity scale, written to `out/query_index.md`.
-fn query_index_report(_c: &mut Criterion) {
+/// 10k-entity scale, written to `out/query_index.md` and (machine-readable)
+/// `out/bench_query_index.json`.
+fn query_index_report(c: &mut Criterion) {
     let smoke = std::env::args().any(|a| a == "--test");
     let (n, rounds) = if smoke { (300, 4) } else { (10_000, 200) };
 
@@ -192,6 +193,30 @@ fn query_index_report(_c: &mut Criterion) {
         qstats.seq_scans,
     );
     std::fs::write(out_dir.join("query_index.md"), report).expect("write report");
+
+    // Machine-readable sibling: the report-loop aggregates plus every
+    // criterion measurement taken earlier in this run.
+    isis_bench::BenchReport::new("query_index")
+        .smoke(smoke)
+        .param("n", n)
+        .param("rounds", rounds)
+        .param("entities", entities)
+        .result(
+            "query_index/report/rebuild_per_round",
+            rebuild_us * 1e3,
+            rounds as u64,
+        )
+        .result(
+            "query_index/report/shared_per_round",
+            shared_us * 1e3,
+            rounds as u64,
+        )
+        .results_from(
+            c.measurements()
+                .iter()
+                .map(|m| (m.id.clone(), m.mean_ns, m.iters)),
+        )
+        .write();
 }
 
 criterion_group! {

@@ -9,5 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report;
 
 pub use harness::{fixture, Fixture, SIZES};
+pub use report::BenchReport;

@@ -112,11 +112,15 @@ impl Database {
     /// Re-verifies every §2 consistency rule from scratch, returning all
     /// violations found (empty means the database is consistent).
     pub fn check_consistency(&self) -> Result<Vec<Violation>> {
+        let obs = isis_obs::global();
+        let _span = obs.span("core.consistency.check");
         let mut v = Vec::new();
         self.check_forest(&mut v)?;
         self.check_extents(&mut v)?;
         self.check_attr_values(&mut v)?;
         self.check_name_index(&mut v)?;
+        obs.count("core.consistency.checks", 1);
+        obs.count("core.consistency.violations", v.len() as u64);
         Ok(v)
     }
 

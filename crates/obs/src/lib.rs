@@ -1,0 +1,426 @@
+//! `isis-obs`: hand-rolled observability for the ISIS reproduction.
+//!
+//! The build environment has no crates.io access, so this crate provides —
+//! with zero dependencies — what `tracing` + `metrics` would: a lock-cheap
+//! span/event recorder with a bounded ring buffer ([`trace`]), a typed
+//! metrics registry with counters, gauges, and log₂ histograms
+//! ([`metrics`]), a minimal JSON codec ([`json`]), and text/JSON exporters.
+//!
+//! # The fast path
+//!
+//! Everything hangs off an [`Obs`] handle (usually [`global()`]). Every
+//! instrument call first checks [`Obs::enabled`] — a single relaxed atomic
+//! load — and returns immediately when observability is off. No clock is
+//! read, no lock is taken, no allocation happens on the disabled path; the
+//! `obs_overhead` bench in `isis-bench` holds this to <2% of the
+//! 10k-musician query benchmark (DESIGN.md §5c records the budget).
+//!
+//! # Toggles
+//!
+//! * `ISIS_OBS` environment variable, read once when [`global()`] is first
+//!   used: `1`/`on`/`true`/`yes` enables metrics, `trace` additionally
+//!   enables the span recorder, anything else (or unset) leaves both off.
+//! * [`Obs::set_enabled`] / [`Obs::set_tracing`] at runtime — the REPL's
+//!   `metrics on|off` and `trace on|off` commands call these.
+//!
+//! # Naming
+//!
+//! Metric and span names follow `crate.component.event`, e.g.
+//! `query.service.index_probes`, `store.wal.fsync_ns`,
+//! `session.refresh.apply_ns`. Histograms of durations end in `_ns`.
+//!
+//! ```
+//! let obs = isis_obs::Obs::new();
+//! obs.set_enabled(true);
+//! obs.set_tracing(true);
+//! {
+//!     let _outer = obs.span("demo.outer.work");
+//!     let _inner = obs.span("demo.inner.step");
+//!     obs.count("demo.inner.items", 3);
+//! }
+//! assert_eq!(obs.recorder().snapshot().span_count(), 2);
+//! assert!(obs.registry().snapshot().to_text().contains("demo.inner.items"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+pub use json::{Json, JsonError};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsSnapshot, Registry,
+};
+pub use trace::{Recorder, TraceRecord, TraceSnapshot};
+
+thread_local! {
+    /// The stack of span ids open on this thread; the top is the parent of
+    /// the next span or event.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One observability domain: an enabled flag, a metrics registry, and a
+/// trace recorder sharing a clock epoch.
+///
+/// The process-wide instance is [`global()`]; tests build private instances
+/// with [`Obs::new`] so their assertions don't race other tests.
+#[derive(Debug)]
+pub struct Obs {
+    enabled: AtomicBool,
+    tracing: AtomicBool,
+    registry: Registry,
+    recorder: Recorder,
+    epoch: Instant,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+impl Obs {
+    /// A fresh instance with metrics and tracing both off.
+    pub fn new() -> Obs {
+        Obs {
+            enabled: AtomicBool::new(false),
+            tracing: AtomicBool::new(false),
+            registry: Registry::new(),
+            recorder: Recorder::default(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Is any instrumentation live? This is the one branch every
+    /// instrument call pays when observability is off.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn metrics (and the possibility of tracing) on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is the span recorder live? (Requires [`Obs::enabled`] too.)
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Turn span/event recording on or off. Turning tracing on also
+    /// enables metrics — a span without its histogram is half a story.
+    pub fn set_tracing(&self, on: bool) {
+        if on {
+            self.set_enabled(true);
+        }
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The trace recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Nanoseconds since this instance was created — the epoch all trace
+    /// records are stamped with.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Bump the counter `name` by `delta`. No-op when disabled.
+    #[inline]
+    pub fn count(&self, name: &str, delta: u64) {
+        if self.enabled() {
+            self.registry.counter(name).add(delta);
+        }
+    }
+
+    /// Set the gauge `name` to `v`. No-op when disabled.
+    #[inline]
+    pub fn gauge(&self, name: &str, v: i64) {
+        if self.enabled() {
+            self.registry.gauge(name).set(v);
+        }
+    }
+
+    /// Record `v` into the histogram `name`. No-op when disabled.
+    #[inline]
+    pub fn observe(&self, name: &str, v: u64) {
+        if self.enabled() {
+            self.registry.histogram(name).record(v);
+        }
+    }
+
+    /// Start a timer that records its elapsed nanoseconds into the
+    /// histogram `name` when dropped. When disabled this reads no clock.
+    #[inline]
+    pub fn timer<'a>(&'a self, name: &'static str) -> Timer<'a> {
+        Timer {
+            inner: if self.enabled() {
+                Some((self, name, Instant::now()))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Open a span: records a trace span (when tracing) **and** feeds the
+    /// histogram `name` with the span's duration (when enabled), so one
+    /// call instruments a site for both exporters. When disabled this is
+    /// the single-atomic-load fast path.
+    #[inline]
+    pub fn span<'a>(&'a self, name: &'static str) -> Span<'a> {
+        if !self.enabled() {
+            return Span { inner: None };
+        }
+        let trace_id = if self.tracing() {
+            let id = self.recorder.next_span_id();
+            let parent = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+            self.recorder.push(TraceRecord::SpanStart {
+                id,
+                parent,
+                name,
+                t_ns: self.now_ns(),
+            });
+            SPAN_STACK.with(|s| s.borrow_mut().push(id));
+            id
+        } else {
+            0
+        };
+        Span {
+            inner: Some(SpanInner {
+                obs: self,
+                name,
+                trace_id,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Record a point event under the innermost open span. The `detail`
+    /// closure only runs when tracing is live, so formatting costs nothing
+    /// on the disabled path.
+    #[inline]
+    pub fn event(&self, name: &'static str, detail: impl FnOnce() -> String) {
+        if self.enabled() && self.tracing() {
+            let span = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+            self.recorder.push(TraceRecord::Event {
+                span,
+                name,
+                detail: detail(),
+                t_ns: self.now_ns(),
+            });
+        }
+    }
+
+    /// A machine-readable report of everything this instance has seen:
+    /// `{"schema": "isis-obs/1", "metrics": {...}, "trace": {...}}`.
+    pub fn run_report(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from("isis-obs/1")),
+            ("metrics", self.registry.snapshot().to_json()),
+            ("trace", self.recorder.snapshot().to_json()),
+        ])
+    }
+}
+
+struct SpanInner<'a> {
+    obs: &'a Obs,
+    name: &'static str,
+    trace_id: u64,
+    start: Instant,
+}
+
+/// RAII guard returned by [`Obs::span`]; closes the span on drop.
+pub struct Span<'a> {
+    inner: Option<SpanInner<'a>>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_ns = inner.start.elapsed().as_nanos() as u64;
+        if inner.trace_id != 0 {
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&id| id == inner.trace_id) {
+                    stack.truncate(pos);
+                }
+            });
+            inner.obs.recorder.push(TraceRecord::SpanEnd {
+                id: inner.trace_id,
+                dur_ns,
+            });
+        }
+        if inner.obs.enabled() {
+            inner.obs.registry.histogram(inner.name).record(dur_ns);
+        }
+    }
+}
+
+/// RAII guard returned by [`Obs::timer`]; records elapsed ns on drop.
+pub struct Timer<'a> {
+    inner: Option<(&'a Obs, &'static str, Instant)>,
+}
+
+impl Timer<'_> {
+    /// Stop the timer and return the elapsed nanoseconds it recorded
+    /// (`None` when observability was disabled at start).
+    pub fn stop(mut self) -> Option<u64> {
+        let (obs, name, start) = self.inner.take()?;
+        let ns = start.elapsed().as_nanos() as u64;
+        obs.registry.histogram(name).record(ns);
+        Some(ns)
+    }
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        if let Some((obs, name, start)) = self.inner.take() {
+            obs.registry
+                .histogram(name)
+                .record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// The process-wide [`Obs`] instance.
+///
+/// On first use, the `ISIS_OBS` environment variable decides the initial
+/// state: `1`/`on`/`true`/`yes` enables metrics, `trace` enables metrics
+/// and tracing, anything else (including unset) leaves everything off —
+/// the disabled fast path.
+pub fn global() -> &'static Obs {
+    GLOBAL.get_or_init(|| {
+        let obs = Obs::new();
+        match std::env::var("ISIS_OBS").as_deref() {
+            Ok("1") | Ok("on") | Ok("true") | Ok("yes") => obs.set_enabled(true),
+            Ok("trace") => obs.set_tracing(true),
+            _ => {}
+        }
+        obs
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_instruments_record_nothing() {
+        let obs = Obs::new();
+        obs.count("a.b.c", 3);
+        obs.observe("a.b.ns", 10);
+        obs.gauge("a.b.g", 1);
+        {
+            let _s = obs.span("a.b.span");
+            obs.event("a.b.e", || unreachable!("detail must not run"));
+        }
+        assert!(obs.registry().snapshot().entries.is_empty());
+        assert!(obs.recorder().snapshot().records.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_via_the_thread_stack() {
+        let obs = Obs::new();
+        obs.set_tracing(true);
+        {
+            let _a = obs.span("t.a.outer");
+            {
+                let _b = obs.span("t.b.inner");
+                obs.event("t.b.note", || "hello".into());
+            }
+            let _c = obs.span("t.c.sibling");
+        }
+        let snap = obs.recorder().snapshot();
+        let starts: Vec<(u64, u64, &str)> = snap
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::SpanStart {
+                    id, parent, name, ..
+                } => Some((*id, *parent, *name)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts.len(), 3);
+        let (outer_id, outer_parent, _) = starts[0];
+        assert_eq!(outer_parent, 0);
+        assert_eq!(starts[1].1, outer_id, "inner's parent is outer");
+        assert_eq!(starts[2].1, outer_id, "sibling's parent is outer");
+        // The span histograms were fed too.
+        let metrics = obs.registry().snapshot();
+        assert!(metrics.entries.iter().any(|(n, _)| n == "t.b.inner"));
+    }
+
+    #[test]
+    fn metrics_without_tracing_skip_the_ring() {
+        let obs = Obs::new();
+        obs.set_enabled(true);
+        {
+            let _s = obs.span("m.only.span");
+        }
+        obs.count("m.only.count", 1);
+        assert!(obs.recorder().snapshot().records.is_empty());
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.entries.len(), 2);
+    }
+
+    #[test]
+    fn timer_records_elapsed_ns() {
+        let obs = Obs::new();
+        obs.set_enabled(true);
+        let t = obs.timer("x.y.ns");
+        let ns = t.stop().expect("enabled timer returns ns");
+        let snap = obs.registry().snapshot();
+        let MetricValue::Histogram(h) = &snap.entries[0].1 else {
+            panic!("expected histogram");
+        };
+        assert_eq!(h.count, 1);
+        assert!(h.max >= ns || h.count == 1);
+        // Disabled timers return None and record nothing.
+        let off = Obs::new();
+        assert!(off.timer("x.y.ns").stop().is_none());
+    }
+
+    #[test]
+    fn set_tracing_implies_enabled() {
+        let obs = Obs::new();
+        obs.set_tracing(true);
+        assert!(obs.enabled());
+        obs.set_tracing(false);
+        assert!(obs.enabled(), "disabling tracing keeps metrics on");
+    }
+
+    #[test]
+    fn run_report_is_parseable() {
+        let obs = Obs::new();
+        obs.set_tracing(true);
+        {
+            let _s = obs.span("r.r.span");
+        }
+        obs.count("r.r.count", 2);
+        let report = obs.run_report();
+        let back = Json::parse(&report.pretty()).unwrap();
+        assert_eq!(back.get("schema").unwrap().as_str(), Some("isis-obs/1"));
+        assert!(back.get("metrics").unwrap().get("r.r.count").is_some());
+    }
+}

@@ -1,0 +1,451 @@
+//! The span/event recorder: a bounded ring buffer of trace records.
+//!
+//! Spans carry hierarchical ids — each span records the id of the span that
+//! was open on the same thread when it started — so a dump reconstructs the
+//! call tree (e.g. `session.command.refresh` containing the four refresh
+//! phases). The ring is bounded: when full, the **oldest** records are
+//! dropped and counted, so a long session keeps the most recent activity
+//! and memory stays constant.
+//!
+//! The recorder itself is clock-free; [`crate::Obs`] stamps records with
+//! nanoseconds since its construction so all timestamps share one epoch.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Default ring capacity (records, not spans — a span is two records).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// One record in the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// A span opened.
+    SpanStart {
+        /// Unique span id (never 0).
+        id: u64,
+        /// Id of the enclosing span on the same thread, or 0 for a root.
+        parent: u64,
+        /// Span name (`crate.component.event`).
+        name: &'static str,
+        /// Nanoseconds since the recorder's epoch.
+        t_ns: u64,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Id from the matching [`TraceRecord::SpanStart`].
+        id: u64,
+        /// Wall-clock duration of the span in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point event, attributed to the innermost open span.
+    Event {
+        /// Id of the enclosing span, or 0 if none was open.
+        span: u64,
+        /// Event name (`crate.component.event`).
+        name: &'static str,
+        /// Free-form detail (e.g. the access path a query chose).
+        detail: String,
+        /// Nanoseconds since the recorder's epoch.
+        t_ns: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<TraceRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// The bounded recorder. See the module docs for semantics.
+#[derive(Debug)]
+pub struct Recorder {
+    ring: Mutex<Ring>,
+    next_id: AtomicU64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Recorder {
+    /// A recorder whose ring holds at most `cap` records (min 2: one span).
+    pub fn with_capacity(cap: usize) -> Recorder {
+        Recorder {
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                cap: cap.max(2),
+                dropped: 0,
+            }),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocate a fresh span id (monotonic, never 0).
+    pub fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Append a record, evicting the oldest if the ring is full.
+    pub fn push(&self, rec: TraceRecord) {
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(rec);
+    }
+
+    /// Discard all records (capacity and the id counter are kept).
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        ring.buf.clear();
+        ring.dropped = 0;
+    }
+
+    /// Change the capacity, evicting oldest records if shrinking.
+    pub fn set_capacity(&self, cap: usize) {
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        ring.cap = cap.max(2);
+        while ring.buf.len() > ring.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+    }
+
+    /// Copy out the current contents.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let ring = self.ring.lock().expect("trace ring poisoned");
+        TraceSnapshot {
+            records: ring.buf.iter().cloned().collect(),
+            dropped: ring.dropped,
+            capacity: ring.cap,
+        }
+    }
+}
+
+/// A copied-out view of the ring, ready for export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSnapshot {
+    /// Records oldest-first.
+    pub records: Vec<TraceRecord>,
+    /// Records evicted since the last [`Recorder::clear`].
+    pub dropped: u64,
+    /// Ring capacity at snapshot time.
+    pub capacity: usize,
+}
+
+/// A span reassembled from its start/end records.
+#[derive(Debug, Clone)]
+struct SpanNode {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    t_ns: u64,
+    dur_ns: Option<u64>,
+    children: Vec<usize>,
+    events: Vec<usize>,
+}
+
+impl TraceSnapshot {
+    /// Number of span-start records in the snapshot.
+    pub fn span_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::SpanStart { .. }))
+            .count()
+    }
+
+    fn assemble(&self) -> (Vec<SpanNode>, Vec<usize>, Vec<&TraceRecord>) {
+        let mut spans: Vec<SpanNode> = Vec::new();
+        let mut orphan_events: Vec<usize> = Vec::new();
+        let mut events: Vec<&TraceRecord> = Vec::new();
+        for rec in &self.records {
+            match rec {
+                TraceRecord::SpanStart {
+                    id,
+                    parent,
+                    name,
+                    t_ns,
+                } => spans.push(SpanNode {
+                    id: *id,
+                    parent: *parent,
+                    name,
+                    t_ns: *t_ns,
+                    dur_ns: None,
+                    children: Vec::new(),
+                    events: Vec::new(),
+                }),
+                TraceRecord::SpanEnd { id, dur_ns } => {
+                    if let Some(s) = spans.iter_mut().rev().find(|s| s.id == *id) {
+                        s.dur_ns = Some(*dur_ns);
+                    }
+                }
+                TraceRecord::Event { span, .. } => {
+                    let idx = events.len();
+                    events.push(rec);
+                    match spans.iter().position(|s| s.id == *span) {
+                        Some(si) => spans[si].events.push(idx),
+                        None => orphan_events.push(idx),
+                    }
+                }
+            }
+        }
+        // Wire up parent → child links; spans whose parent fell off the
+        // ring become roots.
+        let mut roots = Vec::new();
+        for i in 0..spans.len() {
+            let parent = spans[i].parent;
+            match spans.iter().position(|s| s.id == parent) {
+                Some(pi) if parent != 0 => spans[pi].children.push(i),
+                _ => roots.push(i),
+            }
+        }
+        (spans, roots, events)
+    }
+
+    /// Render as an indented tree — the REPL `trace dump` output.
+    pub fn to_text(&self) -> String {
+        let (spans, roots, events) = self.assemble();
+        let mut out = format!(
+            "trace: {} span(s), {} event(s), {} dropped (capacity {})\n",
+            spans.len(),
+            events.len(),
+            self.dropped,
+            self.capacity
+        );
+        fn fmt_ns(ns: u64) -> String {
+            if ns >= 1_000_000_000 {
+                format!("{:.2}s", ns as f64 / 1e9)
+            } else if ns >= 1_000_000 {
+                format!("{:.2}ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.1}µs", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        }
+        fn walk(
+            out: &mut String,
+            spans: &[SpanNode],
+            events: &[&TraceRecord],
+            i: usize,
+            depth: usize,
+        ) {
+            let s = &spans[i];
+            let dur = match s.dur_ns {
+                Some(d) => fmt_ns(d),
+                None => "open".to_string(),
+            };
+            out.push_str(&format!(
+                "{:indent$}{} [{dur}]\n",
+                "",
+                s.name,
+                indent = depth * 2
+            ));
+            for &ei in &s.events {
+                if let TraceRecord::Event { name, detail, .. } = events[ei] {
+                    out.push_str(&format!(
+                        "{:indent$}· {name}: {detail}\n",
+                        "",
+                        indent = (depth + 1) * 2
+                    ));
+                }
+            }
+            for &ci in &s.children {
+                walk(out, spans, events, ci, depth + 1);
+            }
+        }
+        for &r in &roots {
+            walk(&mut out, &spans, &events, r, 1);
+        }
+        for rec in &self.records {
+            if let TraceRecord::Event {
+                span: 0,
+                name,
+                detail,
+                ..
+            } = rec
+            {
+                out.push_str(&format!("  · {name}: {detail}\n"));
+            }
+        }
+        out
+    }
+
+    /// Render as a flat JSON document (spans merged with their end records,
+    /// events attributed by span id) that [`Json::parse`] round-trips.
+    pub fn to_json(&self) -> Json {
+        let (spans, _, _) = self.assemble();
+        let span_items: Vec<Json> = spans
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("id", Json::from(s.id)),
+                    ("parent", Json::from(s.parent)),
+                    ("name", Json::from(s.name)),
+                    ("start_ns", Json::from(s.t_ns)),
+                    (
+                        "dur_ns",
+                        match s.dur_ns {
+                            Some(d) => Json::from(d),
+                            None => Json::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        let event_items: Vec<Json> = self
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Event {
+                    span,
+                    name,
+                    detail,
+                    t_ns,
+                } => Some(Json::obj([
+                    ("span", Json::from(*span)),
+                    ("name", Json::from(*name)),
+                    ("detail", Json::from(detail.clone())),
+                    ("t_ns", Json::from(*t_ns)),
+                ])),
+                _ => None,
+            })
+            .collect();
+        Json::obj([
+            ("dropped", Json::from(self.dropped)),
+            ("capacity", Json::from(self.capacity)),
+            ("spans", Json::Arr(span_items)),
+            ("events", Json::Arr(event_items)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_never_exceeds_capacity_and_counts_drops() {
+        let r = Recorder::with_capacity(8);
+        for i in 0..100 {
+            r.push(TraceRecord::SpanStart {
+                id: i + 1,
+                parent: 0,
+                name: "t",
+                t_ns: i,
+            });
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.records.len(), 8);
+        assert_eq!(snap.dropped, 92);
+        // Oldest evicted: the survivors are the last 8 pushes.
+        assert!(matches!(
+            snap.records[0],
+            TraceRecord::SpanStart { id: 93, .. }
+        ));
+    }
+
+    #[test]
+    fn text_dump_indents_children_under_parents() {
+        let r = Recorder::default();
+        r.push(TraceRecord::SpanStart {
+            id: 1,
+            parent: 0,
+            name: "session.command.refresh",
+            t_ns: 0,
+        });
+        r.push(TraceRecord::SpanStart {
+            id: 2,
+            parent: 1,
+            name: "session.refresh.drain",
+            t_ns: 10,
+        });
+        r.push(TraceRecord::Event {
+            span: 2,
+            name: "session.refresh.rounds",
+            detail: "2 rounds".into(),
+            t_ns: 15,
+        });
+        r.push(TraceRecord::SpanEnd {
+            id: 2,
+            dur_ns: 1500,
+        });
+        r.push(TraceRecord::SpanEnd {
+            id: 1,
+            dur_ns: 2_000_000,
+        });
+        let text = r.snapshot().to_text();
+        assert!(text.contains("session.command.refresh [2.00ms]"), "{text}");
+        assert!(text.contains("    session.refresh.drain [1.5µs]"), "{text}");
+        assert!(
+            text.contains("· session.refresh.rounds: 2 rounds"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn unfinished_spans_render_as_open() {
+        let r = Recorder::default();
+        r.push(TraceRecord::SpanStart {
+            id: 1,
+            parent: 0,
+            name: "x",
+            t_ns: 0,
+        });
+        assert!(r.snapshot().to_text().contains("x [open]"));
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let r = Recorder::default();
+        r.push(TraceRecord::SpanStart {
+            id: 1,
+            parent: 0,
+            name: "a",
+            t_ns: 5,
+        });
+        r.push(TraceRecord::SpanEnd { id: 1, dur_ns: 42 });
+        r.push(TraceRecord::Event {
+            span: 1,
+            name: "e",
+            detail: "d \"quoted\"".into(),
+            t_ns: 7,
+        });
+        let json = r.snapshot().to_json();
+        let back = Json::parse(&json.pretty()).unwrap();
+        assert_eq!(back, json);
+        assert_eq!(
+            back.get("spans")
+                .unwrap()
+                .idx(0)
+                .unwrap()
+                .get("dur_ns")
+                .unwrap()
+                .as_f64(),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oldest() {
+        let r = Recorder::with_capacity(10);
+        for i in 0..10 {
+            r.push(TraceRecord::SpanEnd { id: i, dur_ns: 0 });
+        }
+        r.set_capacity(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.records.len(), 3);
+        assert_eq!(snap.capacity, 3);
+        assert!(matches!(
+            snap.records[0],
+            TraceRecord::SpanEnd { id: 7, .. }
+        ));
+    }
+}

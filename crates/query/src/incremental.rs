@@ -271,6 +271,7 @@ impl DerivedMaintainer {
         indexes: &dyn IndexLookup,
         changes: &ChangeSet,
     ) -> Result<OrderedSet> {
+        let _span = isis_obs::global().span("query.incremental.collect");
         let mut affected = OrderedSet::new();
         for change in changes.iter() {
             match change {
@@ -303,6 +304,9 @@ impl DerivedMaintainer {
     /// Re-evaluates the predicate for the `affected` candidates and adds /
     /// removes membership as needed. Returns `(added, removed)` counts.
     pub fn settle(&self, db: &mut Database, affected: &OrderedSet) -> Result<(usize, usize)> {
+        let obs = isis_obs::global();
+        let _span = obs.span("query.incremental.settle");
+        obs.count("query.incremental.candidates", affected.len() as u64);
         let mut added = 0;
         let mut removed = 0;
         for e in affected.iter() {
@@ -320,6 +324,8 @@ impl DerivedMaintainer {
                 removed += 1;
             }
         }
+        obs.count("query.incremental.added", added as u64);
+        obs.count("query.incremental.removed", removed as u64);
         Ok((added, removed))
     }
 
@@ -352,6 +358,9 @@ impl DerivedMaintainer {
     /// replaced it), rebuilds every inverted index, and re-evaluates the
     /// whole parent extent via [`Database::refresh_derived_class`].
     pub fn rebuild(&mut self, db: &mut Database) -> Result<(usize, usize)> {
+        let obs = isis_obs::global();
+        let _span = obs.span("query.incremental.rebuild");
+        obs.count("query.incremental.rebuilds", 1);
         let rec = db.class(self.class)?;
         self.parent = rec
             .parent

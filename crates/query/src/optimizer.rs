@@ -111,6 +111,9 @@ pub fn optimize(
     pred: &Predicate,
     indexes: Option<&IndexService>,
 ) -> Result<(Predicate, Explain)> {
+    let obs = isis_obs::global();
+    let _span = obs.span("query.optimizer.optimize");
+    obs.count("query.optimizer.predicates", 1);
     let mut clauses: Vec<(isis_core::Clause, Vec<AtomEstimate>, f64)> = Vec::new();
     for clause in &pred.clauses {
         let mut scored: Vec<(Atom, AtomEstimate)> = clause

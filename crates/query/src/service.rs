@@ -19,8 +19,17 @@
 //! attribute), and a sequential scan, and counts each decision in
 //! [`QueryStats`] so planner behaviour is observable (the REPL `stats`
 //! command prints these counters).
+//!
+//! Every planner decision is also mirrored into the process-wide
+//! [`isis_obs`] registry under `query.service.*` / `query.index.*`
+//! (DESIGN.md §5c), and [`IndexService::evaluate`] runs under a
+//! `query.service.evaluate` span, so the REPL `metrics` and `trace dump`
+//! commands see the query path without any extra plumbing.
 
 use std::cell::Cell;
+use std::sync::Arc;
+
+use isis_obs::Counter;
 
 use isis_core::{
     Atom, AttrId, ChangeSet, ClassId, CompareOp, Database, EntityId, GroupingId, NormalForm,
@@ -34,6 +43,13 @@ use crate::manager::{IndexManager, IndexStats};
 ///
 /// Maintenance-side counters (posting patches, rebuilds) live in
 /// [`IndexStats`]; these are the read side.
+///
+/// **Deprecated accessor path**: this struct survives as a per-service
+/// compat shim for `Session::query` / the REPL `stats` command. New code
+/// should read the process-wide [`isis_obs`] registry instead
+/// (`query.service.queries`, `query.service.index_probes`, …), which
+/// aggregates every service in the process and adds rows-scanned/returned
+/// and timing histograms the shim never had.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Predicates evaluated through [`IndexService::evaluate`].
@@ -60,12 +76,42 @@ pub enum AccessPath {
     SeqScan,
 }
 
+/// Cached handles into the global [`isis_obs`] registry, resolved once per
+/// service so the enabled path pays one atomic add per bump, never a
+/// registry lookup.
+#[derive(Debug)]
+struct ServiceObs {
+    queries: Arc<Counter>,
+    index_probes: Arc<Counter>,
+    grouping_scans: Arc<Counter>,
+    seq_scans: Arc<Counter>,
+    index_misses: Arc<Counter>,
+    rows_scanned: Arc<Counter>,
+    rows_returned: Arc<Counter>,
+}
+
+impl Default for ServiceObs {
+    fn default() -> ServiceObs {
+        let r = isis_obs::global().registry();
+        ServiceObs {
+            queries: r.counter("query.service.queries"),
+            index_probes: r.counter("query.service.index_probes"),
+            grouping_scans: r.counter("query.service.grouping_scans"),
+            seq_scans: r.counter("query.service.seq_scans"),
+            index_misses: r.counter("query.service.index_misses"),
+            rows_scanned: r.counter("query.service.rows_scanned"),
+            rows_returned: r.counter("query.service.rows_returned"),
+        }
+    }
+}
+
 /// One maintained set of attribute indexes shared by every query-path
 /// consumer. See the module docs for the ownership model; DESIGN.md
 /// documents the staleness contract.
 #[derive(Debug, Default)]
 pub struct IndexService {
     manager: IndexManager,
+    obs: ServiceObs,
     queries: Cell<u64>,
     index_probes: Cell<u64>,
     grouping_scans: Cell<u64>,
@@ -107,10 +153,45 @@ impl IndexService {
         self.manager.cursor()
     }
 
+    /// Bumps a per-service counter and, when observability is live, its
+    /// process-wide mirror. Disabled cost: one relaxed atomic load.
+    #[inline]
+    fn bump(&self, cell: &Cell<u64>, mirror: &Counter) {
+        cell.set(cell.get() + 1);
+        if isis_obs::global().enabled() {
+            mirror.inc();
+        }
+    }
+
+    /// Mirrors the maintenance counters the manager accumulated during one
+    /// refresh/apply into the registry (as deltas, so the global counters
+    /// aggregate correctly across services).
+    fn mirror_maintenance(&self, before: IndexStats) {
+        let obs = isis_obs::global();
+        if !obs.enabled() {
+            return;
+        }
+        let after = self.manager.stats();
+        obs.count(
+            "query.index.patches",
+            after
+                .incremental_updates
+                .saturating_sub(before.incremental_updates) as u64,
+        );
+        obs.count(
+            "query.index.rebuilds",
+            after.rebuilds.saturating_sub(before.rebuilds) as u64,
+        );
+    }
+
     /// Brings every index up to date with `db` by consuming the delta log
     /// from the service's cursor (rebuilding when the window is gone).
     pub fn refresh(&mut self, db: &Database) -> Result<()> {
-        self.manager.refresh(db)
+        let _span = isis_obs::global().span("query.index.refresh");
+        let before = self.manager.stats();
+        let out = self.manager.refresh(db);
+        self.mirror_maintenance(before);
+        out
     }
 
     /// Applies one explicit [`ChangeSet`] window. The set must describe the
@@ -118,7 +199,11 @@ impl IndexService {
     /// coordinator drains `db.changes_since(..)` once and feeds every
     /// consumer the same window.
     pub fn apply(&mut self, db: &Database, changes: &ChangeSet) -> Result<()> {
-        self.manager.apply(db, changes)
+        let _span = isis_obs::global().span("query.index.apply");
+        let before = self.manager.stats();
+        let out = self.manager.apply(db, changes);
+        self.mirror_maintenance(before);
+        out
     }
 
     /// Re-anchors the cursor to the database's current epoch (after the
@@ -133,6 +218,12 @@ impl IndexService {
     }
 
     /// Planner counters (probes, grouping scans, seq scans, misses).
+    ///
+    /// Compat shim: prefer the process-wide [`isis_obs`] registry
+    /// (`query.service.*`), which this service mirrors every bump into
+    /// whenever observability is enabled. The shim stays because its
+    /// counters are per-service (tests and the bench report rely on that
+    /// isolation) while the registry aggregates the whole process.
     pub fn query_stats(&self) -> QueryStats {
         QueryStats {
             queries: self.queries.get(),
@@ -181,7 +272,7 @@ impl IndexService {
         if self.manager.index(attr).is_some() {
             return AccessPath::IndexProbe(attr);
         }
-        self.index_misses.set(self.index_misses.get() + 1);
+        self.bump(&self.index_misses, &self.obs.index_misses);
         if let Ok(rec) = db.attr(attr) {
             // Only a grouping of the attribute's own owner class covers
             // every candidate that can carry the attribute.
@@ -211,7 +302,7 @@ impl IndexService {
                 };
                 let out = Self::combine(atom.op.op, anchors, |a| idx.owners_of(a));
                 if out.is_some() {
-                    self.index_probes.set(self.index_probes.get() + 1);
+                    self.bump(&self.index_probes, &self.obs.index_probes);
                 }
                 Ok(out)
             }
@@ -221,7 +312,7 @@ impl IndexService {
                     sets.iter().find(|s| s.index == a).map(|s| &s.members)
                 });
                 if out.is_some() {
-                    self.grouping_scans.set(self.grouping_scans.get() + 1);
+                    self.bump(&self.grouping_scans, &self.obs.grouping_scans);
                 }
                 Ok(out)
             }
@@ -349,12 +440,18 @@ impl IndexService {
     /// candidate pool through the planned access paths. Semantically
     /// identical to [`Database::evaluate_derived_members`].
     pub fn evaluate(&self, db: &Database, parent: ClassId, pred: &Predicate) -> Result<OrderedSet> {
+        let obs = isis_obs::global();
+        let _span = obs.span("query.service.evaluate");
         db.validate_predicate(parent, None, pred)?;
-        self.queries.set(self.queries.get() + 1);
+        self.bump(&self.queries, &self.obs.queries);
         let pool = self.candidate_pool(db, pred)?;
         if pool.is_none() {
-            self.seq_scans.set(self.seq_scans.get() + 1);
+            self.bump(&self.seq_scans, &self.obs.seq_scans);
         }
+        obs.event("query.service.plan", || match &pool {
+            Some(p) => format!("pruned pool of {} candidate(s)", p.len()),
+            None => "no prunable atom; sequential scan".to_string(),
+        });
         let candidates: Vec<EntityId> = match &pool {
             Some(p) => db
                 .members(parent)?
@@ -364,12 +461,30 @@ impl IndexService {
             None => db.members(parent)?.iter().collect(),
         };
         let mut out = OrderedSet::new();
+        let scanned = candidates.len() as u64;
         for e in candidates {
             if db.eval_predicate_for(e, pred, None)? {
                 out.insert(e);
             }
         }
+        if obs.enabled() {
+            self.obs.rows_scanned.add(scanned);
+            self.obs.rows_returned.add(out.len() as u64);
+        }
+        obs.event("query.service.rows", || {
+            format!("{scanned} scanned, {} returned", out.len())
+        });
         Ok(out)
+    }
+
+    /// Records a query that was answered *outside* the service — the
+    /// session's Manual-policy fallback scans the extent directly when the
+    /// indexes are behind the database. Counting it here (one query, one
+    /// sequential scan) keeps `stats` honest instead of silently dropping
+    /// the most expensive path.
+    pub fn note_unassisted_scan(&self) {
+        self.bump(&self.queries, &self.obs.queries);
+        self.bump(&self.seq_scans, &self.obs.seq_scans);
     }
 }
 

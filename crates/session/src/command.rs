@@ -170,6 +170,65 @@ pub enum Command {
     Stop,
 }
 
+impl Command {
+    /// The observability span this command runs under —
+    /// `session.command.<verb>` per the naming contract in DESIGN.md §5c.
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            Command::Pick(_) => "session.command.pick",
+            Command::PickByName(_) => "session.command.pick_by_name",
+            Command::PickAttr(_) => "session.command.pick_attr",
+            Command::ViewAssociations => "session.command.view_associations",
+            Command::ViewContents => "session.command.view_contents",
+            Command::Pop => "session.command.pop",
+            Command::Rename(_) => "session.command.rename",
+            Command::CreateSubclass(_) => "session.command.create_subclass",
+            Command::CreateAttribute { .. } => "session.command.create_attribute",
+            Command::SpecifyValueClass(_) => "session.command.specify_value_class",
+            Command::CreateGrouping { .. } => "session.command.create_grouping",
+            Command::Delete => "session.command.delete",
+            Command::DisplayPredicate => "session.command.display_predicate",
+            Command::SelectEntity(_) => "session.command.select_entity",
+            Command::Follow(_) => "session.command.follow",
+            Command::FollowGrouping => "session.command.follow_grouping",
+            Command::ReassignAttrValue { .. } => "session.command.reassign_attr_value",
+            Command::ReassignAttrValues { .. } => "session.command.reassign_attr_values",
+            Command::CreateEntity(_) => "session.command.create_entity",
+            Command::MakeSubclass(_) => "session.command.make_subclass",
+            Command::Scroll(_) => "session.command.scroll",
+            Command::Move(..) => "session.command.move",
+            Command::Pan(..) => "session.command.pan",
+            Command::DefineMembership => "session.command.define_membership",
+            Command::DefineDerivation => "session.command.define_derivation",
+            Command::DefineConstraint { .. } => "session.command.define_constraint",
+            Command::CheckConstraints => "session.command.check_constraints",
+            Command::WsNewAtom => "session.command.ws_new_atom",
+            Command::WsEdit(_) => "session.command.ws_edit",
+            Command::WsLhsPush(_) => "session.command.ws_lhs_push",
+            Command::WsLhsPop => "session.command.ws_lhs_pop",
+            Command::WsOperator(_) => "session.command.ws_operator",
+            Command::WsRhsSelfMap(_) => "session.command.ws_rhs_self_map",
+            Command::WsRhsSourceMap(_) => "session.command.ws_rhs_source_map",
+            Command::WsRhsConstant(_) => "session.command.ws_rhs_constant",
+            Command::ConstantToggle(_) => "session.command.constant_toggle",
+            Command::ConstantDone => "session.command.constant_done",
+            Command::WsPlaceInClause(_) => "session.command.ws_place_in_clause",
+            Command::WsSwitchAndOr => "session.command.ws_switch_and_or",
+            Command::WsHandAssign(_) => "session.command.ws_hand_assign",
+            Command::WsCommit => "session.command.ws_commit",
+            Command::Load(_) => "session.command.load",
+            Command::Save(_) => "session.command.save",
+            Command::Doctor(_) => "session.command.doctor",
+            Command::Fsck(_) => "session.command.fsck",
+            Command::Refresh => "session.command.refresh",
+            Command::SetRefreshPolicy(_) => "session.command.set_refresh_policy",
+            Command::Undo => "session.command.undo",
+            Command::Redo => "session.command.redo",
+            Command::Stop => "session.command.stop",
+        }
+    }
+}
+
 /// Grouping id helper used by scripts (re-exported for convenience).
 pub type Grouping = GroupingId;
 

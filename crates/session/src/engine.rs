@@ -283,6 +283,8 @@ impl Session {
     /// only when the window contains schema edits, was evicted, or the
     /// database was replaced since the last refresh.
     pub fn refresh_derived(&mut self) -> Result<(), SessionError> {
+        let obs = isis_obs::global();
+        let _span = obs.span("session.refresh.drain");
         let needs_full = self.maintainers.is_none()
             || self.service.is_none()
             || match self.db.changes_since(self.refresh_cursor) {
@@ -307,6 +309,7 @@ impl Session {
             if cs.has_schema_changes() {
                 return self.full_refresh();
             }
+            obs.count("session.refresh.rounds", 1);
             self.refresh_cursor = self.db.delta_epoch();
             let mut maints = self.maintainers.take().unwrap_or_default();
             let mut service = self.service.take().unwrap_or_default();
@@ -330,27 +333,44 @@ impl Session {
         service: &mut IndexService,
         cs: &ChangeSet,
     ) -> Result<(), SessionError> {
+        let obs = isis_obs::global();
+        let _round = obs.span("session.refresh.round");
+        obs.event("session.refresh.window", || {
+            format!("{} change(s), {} maintainer(s)", cs.len(), maints.len())
+        });
         // Pre-state: the shared indexes still reflect the old attribute
         // values, so walk-backs find candidates that *used to* reach a
         // changed entity.
         let mut affected: Vec<OrderedSet> = Vec::with_capacity(maints.len());
-        for m in maints.iter() {
-            affected.push(m.collect_affected(&self.db, &*service, cs)?);
+        {
+            let _collect = obs.span("session.refresh.collect");
+            for m in maints.iter() {
+                affected.push(m.collect_affected(&self.db, &*service, cs)?);
+            }
         }
         // The one drain: both the maintainers and the ad-hoc query planner
         // read from these indexes afterwards.
-        service.apply(&self.db, cs)?;
-        // Post-state: candidates that *now* reach a changed entity.
-        for (m, aff) in maints.iter().zip(affected.iter_mut()) {
-            aff.extend_from(&m.collect_affected(&self.db, &*service, cs)?);
+        {
+            let _apply = obs.span("session.refresh.apply");
+            service.apply(&self.db, cs)?;
         }
-        for (m, aff) in maints.iter().zip(affected.iter()) {
-            let (added, removed) = m.settle(&mut self.db, aff)?;
-            if added + removed > 0 {
-                let name = self.db.class(m.class())?.name.clone();
-                self.say(format!(
-                    "{name} re-evaluated: +{added} -{removed} members (delta)"
-                ));
+        // Post-state: candidates that *now* reach a changed entity.
+        {
+            let _collect = obs.span("session.refresh.collect");
+            for (m, aff) in maints.iter().zip(affected.iter_mut()) {
+                aff.extend_from(&m.collect_affected(&self.db, &*service, cs)?);
+            }
+        }
+        {
+            let _settle = obs.span("session.refresh.settle");
+            for (m, aff) in maints.iter().zip(affected.iter()) {
+                let (added, removed) = m.settle(&mut self.db, aff)?;
+                if added + removed > 0 {
+                    let name = self.db.class(m.class())?.name.clone();
+                    self.say(format!(
+                        "{name} re-evaluated: +{added} -{removed} members (delta)"
+                    ));
+                }
             }
         }
         let touched = cs.touched_attrs();
@@ -389,6 +409,9 @@ impl Session {
     /// Full fallback: re-evaluates every derived subclass and derived
     /// attribute, rebuilds the maintainers, and re-anchors the cursor.
     fn full_refresh(&mut self) -> Result<(), SessionError> {
+        let obs = isis_obs::global();
+        let _span = obs.span("session.refresh.full");
+        obs.count("session.refresh.fulls", 1);
         let derived_classes: Vec<ClassId> = self
             .db
             .classes()
@@ -447,6 +470,8 @@ impl Session {
     /// maintainers: if un-drained changes are pending, it falls back to a
     /// direct scan (correct, just unassisted) until the next refresh.
     pub fn query(&mut self, parent: ClassId, pred: &Predicate) -> Result<OrderedSet, SessionError> {
+        let obs = isis_obs::global();
+        let _span = obs.span("session.query.answer");
         if self.policy != RefreshPolicy::Manual {
             self.refresh_derived()?;
         }
@@ -456,6 +481,15 @@ impl Session {
             let svc = self.service.as_ref().expect("in_sync implies a service");
             Ok(svc.evaluate(&self.db, parent, pred)?)
         } else {
+            // The direct scan bypasses the service, so record it there as a
+            // sequential-scan query — before this it vanished from `stats`.
+            if let Some(svc) = self.service.as_ref() {
+                svc.note_unassisted_scan();
+            }
+            obs.count("session.query.unassisted", 1);
+            obs.event("session.query.fallback", || {
+                "pending changes under Manual policy; direct extent scan".to_string()
+            });
             self.db.validate_predicate(parent, None, pred)?;
             Ok(self.db.evaluate_derived_members(parent, pred)?)
         }
@@ -519,6 +553,9 @@ impl Session {
 
     /// Applies one command.
     pub fn apply(&mut self, cmd: Command) -> Result<(), SessionError> {
+        let obs = isis_obs::global();
+        let _span = obs.span(cmd.span_name());
+        obs.count("session.commands", 1);
         match cmd {
             // ---- navigation ------------------------------------------
             Command::Pick(node) => {

@@ -179,6 +179,9 @@ impl StoreDir {
     /// candidate's own error when only one exists, or
     /// [`StoreError::Recovery`] listing every failure when both do.
     pub fn recover(&self, name: &str) -> Result<(Database, RecoveryReport), StoreError> {
+        let obs = isis_obs::global();
+        let _span = obs.span("store.recovery.recover");
+        obs.count("store.recovery.runs", 1);
         StoreDir::check_name(name)?;
         let vfs = self.vfs().clone();
         let candidates = [
@@ -248,6 +251,17 @@ impl StoreDir {
             wal_torn_tail: !wal_stale && replay.torn_tail,
             wal_stale,
         };
+        obs.count("store.recovery.wal_replayed", wal_records_replayed as u64);
+        obs.count("store.recovery.wal_rejected", wal_records_rejected as u64);
+        if report.used_fallback {
+            obs.count("store.recovery.fallbacks", 1);
+        }
+        obs.event("store.recovery.outcome", || {
+            format!(
+                "generation {} ({} replayed, fallback={})",
+                report.snapshot_generation, wal_records_replayed, report.used_fallback
+            )
+        });
         Ok((db, report))
     }
 
@@ -255,6 +269,7 @@ impl StoreDir {
     /// `name`: a full recovery dry run (nothing on disk is modified) plus
     /// a consistency check of the recovered state.
     pub fn fsck(&self, name: &str) -> Result<FsckReport, StoreError> {
+        let _span = isis_obs::global().span("store.recovery.fsck");
         let (db, recovery) = self.recover(name)?;
         let consistent = db.is_consistent().unwrap_or(false);
         Ok(FsckReport {

@@ -258,6 +258,7 @@ impl StoreDir {
     /// existing database of that name and supersedes its log; the previous
     /// snapshot (if any) is kept as the fallback generation.
     pub fn save(&self, db: &Database, name: &str) -> Result<(), StoreError> {
+        let _span = isis_obs::global().span("store.snapshot.save");
         Self::check_name(name)?;
         let generation = self.next_generation(name);
         self.install(name, &snapshot_bytes_with_gen(db, generation), true)?;
@@ -402,13 +403,14 @@ impl LoggedDatabase {
     /// rename recovers the old generation plus its complete log; a crash
     /// after it recovers the new snapshot and skips the stale log.
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        let obs = isis_obs::global();
+        let _span = obs.span("store.checkpoint.run");
         self.wal.sync()?;
         let generation = self.generation + 1;
-        self.dir.install(
-            &self.name,
-            &snapshot_bytes_with_gen(&self.db, generation),
-            true,
-        )?;
+        let bytes = snapshot_bytes_with_gen(&self.db, generation);
+        obs.count("store.checkpoint.runs", 1);
+        obs.count("store.checkpoint.snapshot_bytes", bytes.len() as u64);
+        self.dir.install(&self.name, &bytes, true)?;
         self.wal.reset(generation)?;
         self.generation = generation;
         Ok(())

@@ -18,12 +18,15 @@
 //! * [`session`] — the Diagram-1 interaction engine;
 //! * [`sample`] — the §4.1 Instrumental_Music database and
 //!   synthetic workloads;
-//! * [`holiday`] — the §4.2 session script that regenerates Figures 1–12.
+//! * [`holiday`] — the §4.2 session script that regenerates Figures 1–12;
+//! * [`obs`] — structured tracing, metrics, and machine-readable run
+//!   reports across the query/refresh/storage pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use isis_core as core;
+pub use isis_obs as obs;
 pub use isis_query as query;
 pub use isis_sample as sample;
 pub use isis_session as session;

@@ -63,6 +63,11 @@ session:      load NAME | save NAME | checks | undo | redo | stop | help
               (no argument) or set when it happens automatically
               stats — planner and index-maintenance counters of the shared
               index service (built by the first refresh)
+              metrics [json|reset|on|off] — the process-wide observability
+              registry (counters and latency histograms; ISIS_OBS=1 to
+              enable at startup)
+              trace on|off|dump|json|clear — span recording across the
+              query/refresh/storage pipeline (bounded ring buffer)
               doctor [NAME] — print the recovery report (last load, or a
               dry-run recovery of a stored database)
               fsck [NAME] — verify a stored database: recovery dry run plus
@@ -292,7 +297,7 @@ impl Repl {
                                 self.session.database().attr(a).ok().map(|r| r.name.clone())
                             })
                             .collect();
-                        format!(
+                        let mut out = format!(
                             "indexed attrs:  {}\n\
                              queries:        {} ({} index probes, {} grouping scans, \
                              {} seq scans, {} misses)\n\
@@ -309,9 +314,85 @@ impl Repl {
                             q.index_misses,
                             i.incremental_updates,
                             i.rebuilds,
-                        )
+                        );
+                        // With observability live, extend the per-service
+                        // shim with the process-wide latency histogram.
+                        let obs = isis_obs::global();
+                        if obs.enabled() {
+                            let snap = obs.registry().snapshot();
+                            if let Some(isis_obs::MetricValue::Histogram(h)) = snap
+                                .entries
+                                .iter()
+                                .find(|(n, _)| n == "query.service.evaluate")
+                                .map(|(_, v)| v.clone())
+                            {
+                                out.push_str(&format!(
+                                    "\nevaluate:       p50<={}ns p95<={}ns p99<={}ns \
+                                     over {} queries (process-wide; see 'metrics')",
+                                    h.p50, h.p95, h.p99, h.count
+                                ));
+                            }
+                        }
+                        out
                     }
                     None => "no index service yet — run 'refresh' to build it".to_string(),
+                });
+            }
+            "metrics" => {
+                let obs = isis_obs::global();
+                return Ok(match parts.first().map(String::as_str) {
+                    None => {
+                        if obs.enabled() {
+                            obs.registry().snapshot().to_text()
+                        } else {
+                            "observability is off — 'metrics on' (or ISIS_OBS=1) enables it"
+                                .to_string()
+                        }
+                    }
+                    Some("json") => obs.run_report().pretty(),
+                    Some("reset") => {
+                        obs.registry().reset();
+                        obs.recorder().clear();
+                        "metrics and trace ring reset".to_string()
+                    }
+                    Some("on") => {
+                        obs.set_enabled(true);
+                        "metrics collection on".to_string()
+                    }
+                    Some("off") => {
+                        obs.set_tracing(false);
+                        obs.set_enabled(false);
+                        "metrics collection off".to_string()
+                    }
+                    Some(other) => {
+                        return Err(ReplError::Parse(format!(
+                            "'{other}'? metrics [json|reset|on|off]"
+                        )))
+                    }
+                });
+            }
+            "trace" => {
+                let obs = isis_obs::global();
+                return Ok(match parts.first().map(String::as_str) {
+                    Some("on") => {
+                        obs.set_tracing(true);
+                        "tracing on (metrics collection too)".to_string()
+                    }
+                    Some("off") => {
+                        obs.set_tracing(false);
+                        "tracing off".to_string()
+                    }
+                    Some("dump") => obs.recorder().snapshot().to_text(),
+                    Some("json") => obs.recorder().snapshot().to_json().pretty(),
+                    Some("clear") => {
+                        obs.recorder().clear();
+                        "trace ring cleared".to_string()
+                    }
+                    _ => {
+                        return Err(ReplError::Parse(
+                            "usage: trace on|off|dump|json|clear".into(),
+                        ))
+                    }
                 });
             }
             "refresh" => match parts.first().map(String::as_str) {
@@ -744,6 +825,89 @@ mod tests {
             isis_session::RefreshPolicy::Immediate
         );
         assert!(r.exec("refresh sometimes").is_err());
+    }
+
+    #[test]
+    fn metrics_and_trace_cover_query_refresh_and_recovery() {
+        let im = isis_sample::instrumental_music().unwrap();
+        let root = std::env::temp_dir().join(format!("isis_obs_repl_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = isis_store::StoreDir::open(&root).unwrap();
+        let mut r = Repl::new(Session::with_store(im.db, store));
+        assert!(r.exec("metrics").unwrap().contains("observability is off"));
+        r.exec("trace on").unwrap();
+
+        // A derived class, an incremental refresh after a point update, and
+        // a save/load pair (snapshot install + recovery).
+        for line in [
+            "pick music_groups",
+            "subclass quartets",
+            "define",
+            "atom",
+            "clause 1",
+            "push size",
+            "op =",
+            "const",
+            "toggle 4",
+            "done",
+            "commit",
+            "refresh",
+            "pick music_groups",
+            "contents",
+            "select \"Trio Grande\"",
+            "assign size 4",
+            "refresh",
+        ] {
+            r.exec(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        // One query through the shared service (in sync after the refresh).
+        let db = r.session.database();
+        let groups = db.class_by_name("music_groups").unwrap();
+        let quartets = db.class_by_name("quartets").unwrap();
+        let pred = db
+            .class(quartets)
+            .unwrap()
+            .kind
+            .predicate()
+            .unwrap()
+            .clone();
+        r.session.query(groups, &pred).unwrap();
+        // The extended stats line appears while observability is live.
+        assert!(r.exec("stats").unwrap().contains("evaluate:"));
+        // Snapshot install + recovery.
+        r.exec("save party").unwrap();
+        r.exec("load party").unwrap();
+
+        let metrics = r.exec("metrics").unwrap();
+        for name in [
+            "query.service.queries",
+            "session.refresh.rounds",
+            "store.recovery.runs",
+            "store.snapshot.save",
+            "session.commands",
+        ] {
+            assert!(metrics.contains(name), "metrics missing {name}:\n{metrics}");
+        }
+        let dump = r.exec("trace dump").unwrap();
+        for name in [
+            "session.command.refresh",
+            "session.refresh.settle",
+            "store.recovery.recover",
+            "query.service.evaluate",
+        ] {
+            assert!(dump.contains(name), "trace dump missing {name}:\n{dump}");
+        }
+        // Both JSON exports parse through the vendored codec.
+        let report = r.exec("metrics json").unwrap();
+        let parsed = isis_obs::Json::parse(&report).expect("metrics json parses");
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some("isis-obs/1"));
+        let trace_json = r.exec("trace json").unwrap();
+        assert!(isis_obs::Json::parse(&trace_json).is_ok());
+
+        r.exec("metrics off").unwrap();
+        r.exec("metrics reset").unwrap();
+        assert!(r.exec("trace nonsense").is_err());
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

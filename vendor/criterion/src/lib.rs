@@ -13,6 +13,21 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+/// One completed benchmark run, as recorded by the harness.
+///
+/// Real criterion persists these under `target/criterion/`; this stand-in
+/// keeps them in memory so report targets can export machine-readable
+/// summaries (`out/bench_<name>.json`) after the timed groups finish.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration (0.0 under `--test`).
+    pub mean_ns: f64,
+    /// Total iterations measured (1 under `--test`).
+    pub iters: u64,
+}
+
 /// Top-level harness configuration and entry point.
 #[derive(Debug, Clone)]
 pub struct Criterion {
@@ -21,6 +36,7 @@ pub struct Criterion {
     warm_up_time: Duration,
     test_mode: bool,
     filter: Option<String>,
+    measurements: Vec<Measurement>,
 }
 
 impl Default for Criterion {
@@ -31,6 +47,7 @@ impl Default for Criterion {
             warm_up_time: Duration::from_secs(3),
             test_mode: false,
             filter: None,
+            measurements: Vec::new(),
         }
     }
 }
@@ -79,7 +96,17 @@ impl Criterion {
         }
     }
 
-    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    /// Whether the harness is in `--test` smoke mode (one untimed pass).
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Every benchmark run so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
         if let Some(filter) = &self.filter {
             if !id.contains(filter.as_str()) {
                 return;
@@ -107,6 +134,11 @@ impl Criterion {
                 b.mean_ns, b.iters
             );
         }
+        self.measurements.push(Measurement {
+            id: id.to_string(),
+            mean_ns: b.mean_ns,
+            iters: b.iters,
+        });
     }
 }
 
@@ -320,6 +352,18 @@ mod tests {
         g.bench_function("plain", |b| b.iter(|| runs += 1));
         g.finish();
         assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn measurements_are_recorded() {
+        let mut c = test_criterion();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("one", |b| b.iter(|| 1));
+        g.finish();
+        let m = c.measurements();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].id, "g/one");
+        assert_eq!(m[0].iters, 1);
     }
 
     #[test]
