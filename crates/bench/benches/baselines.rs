@@ -119,9 +119,23 @@ fn engines(c: &mut Criterion) {
     g.finish();
 }
 
+/// Machine-readable sibling of the engine comparison: every criterion
+/// measurement taken this run, written to `out/bench_baselines.json`.
+fn export_report(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    isis_bench::BenchReport::new("baselines")
+        .smoke(smoke)
+        .results_from(
+            c.measurements()
+                .iter()
+                .map(|m| (m.id.clone(), m.mean_ns, m.iters)),
+        )
+        .write();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = engines
+    targets = engines, export_report
 }
 criterion_main!(benches);

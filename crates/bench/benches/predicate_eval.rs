@@ -49,9 +49,23 @@ fn clause_shape_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+/// Machine-readable sibling of the sweeps above: every criterion
+/// measurement taken this run, written to `out/bench_predicate_eval.json`.
+fn export_report(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    isis_bench::BenchReport::new("predicate_eval")
+        .smoke(smoke)
+        .results_from(
+            c.measurements()
+                .iter()
+                .map(|m| (m.id.clone(), m.mean_ns, m.iters)),
+        )
+        .write();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = class_size_sweep, clause_shape_sweep
+    targets = class_size_sweep, clause_shape_sweep, export_report
 }
 criterion_main!(benches);

@@ -11,7 +11,7 @@ use crate::class::ClassKind;
 use crate::error::{CoreError, Result};
 use crate::ids::{AttrId, ClassId, EntityId};
 use crate::map::{Map, MapTrace};
-use crate::op::CompareOp;
+use crate::op::{CompareOp, Operator};
 use crate::orderedset::OrderedSet;
 use crate::predicate::{AttrDerivation, NormalForm, Predicate};
 use crate::Database;
@@ -94,8 +94,22 @@ impl Database {
                 self.eval_map([x], m)?
             }
         };
-        let raw = self.compare_sets(&lhs, atom.op.op, &rhs)?;
-        Ok(atom.op.finish(raw))
+        self.eval_prepared_atom(&lhs, atom.op, &rhs)
+    }
+
+    /// Compares two pre-evaluated atom images under `op`, applying the
+    /// operator's negation — the comparison kernel shared by the
+    /// per-candidate interpreter ([`Database::eval_atom`]) and isis-query's
+    /// compiled predicate programs, which materialise `lhs` / `rhs` through
+    /// hoisted constants and memoised map slots before delegating here.
+    pub fn eval_prepared_atom(
+        &self,
+        lhs: &OrderedSet,
+        op: Operator,
+        rhs: &OrderedSet,
+    ) -> Result<bool> {
+        let raw = self.compare_sets(lhs, op.op, rhs)?;
+        Ok(op.finish(raw))
     }
 
     /// Applies a comparison operator to two entity sets.

@@ -17,6 +17,9 @@ pub enum QueryError {
     Core(CoreError),
     /// A predicate shape the compiler does not support.
     Unsupported(String),
+    /// A parallel evaluation worker panicked; the panic was contained and
+    /// surfaced instead of aborting the session.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for QueryError {
@@ -27,6 +30,7 @@ impl fmt::Display for QueryError {
             QueryError::BadTemplate(m) => write!(f, "bad QBE template: {m}"),
             QueryError::Core(e) => write!(f, "core error: {e}"),
             QueryError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            QueryError::WorkerPanic(m) => write!(f, "evaluation worker panicked: {m}"),
         }
     }
 }

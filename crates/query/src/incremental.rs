@@ -9,6 +9,7 @@
 //! predicate's maps and walking the prefix steps backwards through inverted
 //! indexes.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use isis_core::{
@@ -18,6 +19,7 @@ use isis_core::{
 
 use crate::index::IndexLookup;
 use crate::manager::IndexManager;
+use crate::program::{MemoTable, PredicateProgram};
 
 /// Maintains one derived subclass incrementally.
 ///
@@ -48,6 +50,14 @@ pub struct DerivedMaintainer {
     grouping_bases: HashMap<AttrId, Vec<AttrId>>,
     /// Private inverted indexes for standalone operation.
     indexes: IndexManager,
+    /// The predicate compiled once per (re)build and shared by every
+    /// re-evaluation ([`settle`], [`apply_membership_change`]); mapped
+    /// constant images are re-hoisted lazily when the delta epoch moves
+    /// (`RefCell`: settle takes `&self`).
+    ///
+    /// [`settle`]: DerivedMaintainer::settle
+    /// [`apply_membership_change`]: DerivedMaintainer::apply_membership_change
+    program: RefCell<PredicateProgram>,
 }
 
 impl DerivedMaintainer {
@@ -69,6 +79,7 @@ impl DerivedMaintainer {
         for &attr in &used {
             indexes.add_index(db, attr)?;
         }
+        let program = RefCell::new(PredicateProgram::compile(db, parent, &pred)?);
         Ok(DerivedMaintainer {
             class,
             parent,
@@ -76,6 +87,7 @@ impl DerivedMaintainer {
             used,
             grouping_bases,
             indexes,
+            program,
         })
     }
 
@@ -307,6 +319,13 @@ impl DerivedMaintainer {
         let obs = isis_obs::global();
         let _span = obs.span("query.incremental.settle");
         obs.count("query.incremental.candidates", affected.len() as u64);
+        // One compiled program serves every candidate; mapped constant
+        // images are re-hoisted once here if data changed since the last
+        // settle (membership writes below don't touch attribute values, so
+        // refreshing once at entry is sound).
+        let mut prog = self.program.borrow_mut();
+        prog.ensure_fresh(db)?;
+        let mut memo = MemoTable::new(&prog);
         let mut added = 0;
         let mut removed = 0;
         for e in affected.iter() {
@@ -314,7 +333,7 @@ impl DerivedMaintainer {
                 continue; // deleted later in the window; extents already scrubbed
             }
             let in_parent = db.members(self.parent)?.contains(e);
-            let should = in_parent && db.eval_predicate_for(e, &self.pred, None)?;
+            let should = in_parent && prog.eval_for(db, e, None, &mut memo)?;
             let is = db.members(self.class)?.contains(e);
             if should && !is {
                 db.force_membership(e, self.class)?;
@@ -324,6 +343,7 @@ impl DerivedMaintainer {
                 removed += 1;
             }
         }
+        memo.flush_obs();
         obs.count("query.incremental.added", added as u64);
         obs.count("query.incremental.removed", removed as u64);
         Ok((added, removed))
@@ -381,6 +401,8 @@ impl DerivedMaintainer {
         for &attr in &self.used {
             self.indexes.add_index(db, attr)?;
         }
+        // A schema edit may have replaced the predicate: recompile.
+        *self.program.borrow_mut() = PredicateProgram::compile(db, self.parent, &self.pred)?;
         Ok((added, removed))
     }
 
@@ -395,7 +417,10 @@ impl DerivedMaintainer {
         let mut removed = 0;
         let in_parent = db.members(self.parent)?.contains(entity);
         let is = db.members(self.class)?.contains(entity);
-        let should = in_parent && db.eval_predicate_for(entity, &self.pred, None)?;
+        let mut prog = self.program.borrow_mut();
+        prog.ensure_fresh(db)?;
+        let mut memo = MemoTable::new(&prog);
+        let should = in_parent && prog.eval_for(db, entity, None, &mut memo)?;
         if should && !is {
             db.force_membership(entity, self.class)?;
             added += 1;

@@ -20,7 +20,12 @@
 //!   serving the evaluator, the optimizer, and derived-class maintenance,
 //!   with an access-path planner and observable [`QueryStats`];
 //! * [`optimizer`] — a short-circuit atom/clause reordering optimizer with
-//!   index-informed selectivity estimates.
+//!   index-informed selectivity estimates;
+//! * [`program`] — compiled predicate programs: constant hoisting,
+//!   shared-map memoization, and barrier-respecting atom reordering, the
+//!   artifact every serial/parallel/delta evaluation path shares;
+//! * [`parallel`] — parallel predicate evaluation over a lazily-spawned
+//!   persistent worker pool with adaptive chunking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +38,7 @@ pub mod index;
 pub mod manager;
 pub mod optimizer;
 pub mod parallel;
+pub mod program;
 pub mod qbe;
 pub mod relmodel;
 pub mod service;
@@ -46,7 +52,11 @@ pub use incremental::DerivedMaintainer;
 pub use index::{AttrIndex, IndexLookup, IndexedEvaluator};
 pub use manager::{IndexManager, IndexStats};
 pub use optimizer::{estimate_atom, optimize, AtomEstimate, Explain};
-pub use parallel::{evaluate_derived_members_parallel, evaluate_pruned_parallel};
+pub use parallel::{
+    evaluate_derived_members_parallel, evaluate_derived_members_spawn, evaluate_pruned_parallel,
+    EvalPool,
+};
+pub use program::{MemoTable, PredicateProgram};
 pub use qbe::{Cell, ConditionEntry, QbeQuery, TemplateRow};
 pub use relmodel::{encode_database, Relation, RelationalDb};
 pub use service::{AccessPath, IndexService, QueryStats};

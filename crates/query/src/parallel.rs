@@ -1,23 +1,288 @@
-//! Parallel predicate evaluation.
+//! Parallel predicate evaluation over compiled programs.
 //!
 //! The ISIS evaluator is per-candidate and read-only, so a derived-subclass
-//! evaluation parallelises trivially: partition the parent extent across
-//! scoped worker threads, evaluate each chunk against the shared database,
-//! and splice the survivors back in extent order (determinism: the result
-//! set is identical to the serial evaluator's, in the same order).
+//! evaluation parallelises trivially: partition the parent extent into
+//! chunks, evaluate each chunk against the shared database with its own
+//! [`MemoTable`], and splice the survivors back in extent order
+//! (determinism: the result set is identical to the serial evaluator's, in
+//! the same order — including *which* error surfaces first, because chunks
+//! are disjoint ordered ranges scanned in order).
 //!
-//! The original ISIS ran on a single-user workstation; this module is the
-//! "production library" concession for modern multi-core hosts, and the
-//! `parallel` bench measures when it pays.
+//! Every path here evaluates one shared [`PredicateProgram`] compiled once
+//! per call, and workers come from **persistent** pools ([`EvalPool`] for a
+//! service-owned pool, a process-wide registry for the free function) so
+//! repeated queries pay thread startup once, not per call. Chunking is
+//! adaptive: extents too small to amortise a handoff run serially, and
+//! larger extents are split into several chunks per worker to absorb
+//! per-candidate cost skew. A per-call spawn baseline
+//! ([`evaluate_derived_members_spawn`]) is kept for the
+//! `predicate_compile` bench to measure exactly what pooling buys.
+//!
+//! Worker panics are contained with `catch_unwind` and surface as
+//! [`QueryError::WorkerPanic`] instead of aborting the session.
 
-use isis_core::{ClassId, Database, EntityId, OrderedSet, Predicate};
+use std::cell::RefCell;
+use std::fmt;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
+
+use isis_core::{ClassId, CoreError, Database, EntityId, OrderedSet, Predicate};
 
 use crate::error::QueryError;
+use crate::program::{MemoTable, PredicateProgram};
 use crate::service::IndexService;
 
-/// Evaluates `{ e ∈ parent | P(e) }` across `threads` workers. With
-/// `threads <= 1` (or a tiny extent) this falls back to the serial
-/// evaluator. Results are identical to
+/// Smallest chunk worth handing a worker: below this the per-job handoff
+/// outweighs the evaluation itself.
+const MIN_CHUNK: usize = 16;
+
+/// Chunks handed out per worker — oversubscription absorbs per-candidate
+/// cost skew without work stealing.
+const OVERSUBSCRIBE: usize = 4;
+
+/// Splits `0..len` into chunks for `threads` workers, or `None` when the
+/// extent is too small for parallelism to pay (serial fallback). Replaces
+/// the old hard-coded `len < 64` threshold: the number of workers actually
+/// used scales down with the extent so every chunk stays ≥ [`MIN_CHUNK`].
+fn plan_chunks(len: usize, threads: usize) -> Option<Vec<Range<usize>>> {
+    if threads <= 1 || len < MIN_CHUNK * 2 {
+        return None;
+    }
+    let usable = threads.min(len / MIN_CHUNK);
+    if usable <= 1 {
+        return None;
+    }
+    let want = usable * OVERSUBSCRIBE;
+    let chunk = len.div_ceil(want).max(MIN_CHUNK);
+    Some(
+        (0..len)
+            .step_by(chunk)
+            .map(|s| s..(s + chunk).min(len))
+            .collect(),
+    )
+}
+
+/// Why one chunk failed to produce survivors.
+enum WorkerFailure {
+    Core(CoreError),
+    Panic(String),
+}
+
+type ChunkResult = Result<Vec<EntityId>, WorkerFailure>;
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Evaluates one chunk with its own memo table, containing panics.
+fn eval_chunk(
+    db: &Database,
+    prog: &PredicateProgram,
+    chunk: &[EntityId],
+    source: Option<EntityId>,
+) -> ChunkResult {
+    let run = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<EntityId>, CoreError> {
+        let mut memo = MemoTable::new(prog);
+        let mut keep = Vec::new();
+        for &e in chunk {
+            if prog.eval_for(db, e, source, &mut memo)? {
+                keep.push(e);
+            }
+        }
+        memo.flush_obs();
+        Ok(keep)
+    }));
+    match run {
+        Ok(Ok(keep)) => Ok(keep),
+        Ok(Err(e)) => Err(WorkerFailure::Core(e)),
+        Err(p) => Err(WorkerFailure::Panic(panic_message(p.as_ref()))),
+    }
+}
+
+/// Serial fallback sharing the same compiled program.
+fn eval_serial(
+    db: &Database,
+    prog: &PredicateProgram,
+    members: &[EntityId],
+    source: Option<EntityId>,
+) -> Result<OrderedSet, QueryError> {
+    let mut memo = MemoTable::new(prog);
+    let mut out = OrderedSet::new();
+    for &e in members {
+        if prog.eval_for(db, e, source, &mut memo)? {
+            out.insert(e);
+        }
+    }
+    memo.flush_obs();
+    Ok(out)
+}
+
+/// Runs the chunk plan on a persistent pool, filling one result slot per
+/// chunk.
+fn run_on_pool(
+    pool: &mut scoped_threadpool::Pool,
+    db: &Database,
+    prog: &PredicateProgram,
+    members: &[EntityId],
+    source: Option<EntityId>,
+    ranges: &[Range<usize>],
+) -> Vec<Option<ChunkResult>> {
+    let mut results: Vec<Option<ChunkResult>> = ranges.iter().map(|_| None).collect();
+    pool.scoped(|scope| {
+        for (slot, range) in results.iter_mut().zip(ranges) {
+            let chunk = &members[range.clone()];
+            scope.execute(move || {
+                *slot = Some(eval_chunk(db, prog, chunk, source));
+            });
+        }
+    });
+    results
+}
+
+/// Per-call spawn baseline: same program, same chunk plan, fresh scoped OS
+/// threads every call.
+fn run_spawned(
+    db: &Database,
+    prog: &PredicateProgram,
+    members: &[EntityId],
+    source: Option<EntityId>,
+    ranges: &[Range<usize>],
+) -> Vec<Option<ChunkResult>> {
+    let mut results: Vec<Option<ChunkResult>> = ranges.iter().map(|_| None).collect();
+    let _ = crossbeam_utils::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|range| {
+                let chunk = &members[range.clone()];
+                scope.spawn(move |_| eval_chunk(db, prog, chunk, source))
+            })
+            .collect();
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(match h.join() {
+                Ok(r) => r,
+                Err(p) => Err(WorkerFailure::Panic(panic_message(p.as_ref()))),
+            });
+        }
+    });
+    results
+}
+
+/// Splices per-chunk survivors back in extent order. Chunks are disjoint
+/// ordered ranges scanned in order, so the first failing chunk reproduces
+/// the serial evaluator's first error.
+fn splice(results: Vec<Option<ChunkResult>>) -> Result<OrderedSet, QueryError> {
+    let mut out = OrderedSet::new();
+    for slot in results {
+        let part = match slot {
+            Some(Ok(p)) => p,
+            Some(Err(WorkerFailure::Core(e))) => return Err(QueryError::Core(e)),
+            Some(Err(WorkerFailure::Panic(m))) => return Err(QueryError::WorkerPanic(m)),
+            None => return Err(QueryError::WorkerPanic("worker produced no result".into())),
+        };
+        for e in part {
+            out.insert(e);
+        }
+    }
+    Ok(out)
+}
+
+/// A lazily-initialised persistent worker pool for parallel predicate
+/// evaluation. The OS threads are spawned on first use and reused across
+/// queries; dropping the pool joins them. Owned by
+/// [`crate::IndexService`] (sized via `SessionBuilder::eval_threads`) and
+/// constructible standalone for benches and embedders.
+pub struct EvalPool {
+    threads: usize,
+    inner: RefCell<Option<scoped_threadpool::Pool>>,
+}
+
+impl fmt::Debug for EvalPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvalPool")
+            .field("threads", &self.threads)
+            .field("spawned", &self.inner.borrow().is_some())
+            .finish()
+    }
+}
+
+impl EvalPool {
+    /// A pool of `threads` workers (at least one); no threads are spawned
+    /// until the first parallel evaluation needs them.
+    pub fn new(threads: usize) -> EvalPool {
+        EvalPool {
+            threads: threads.max(1),
+            inner: RefCell::new(None),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` once the worker threads have actually been spawned.
+    pub fn is_spawned(&self) -> bool {
+        self.inner.borrow().is_some()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut scoped_threadpool::Pool) -> R) -> R {
+        let mut guard = self.inner.borrow_mut();
+        let pool = guard.get_or_insert_with(|| scoped_threadpool::Pool::new(self.threads as u32));
+        f(pool)
+    }
+
+    /// Evaluates a compiled program over `members` (extent order), chunking
+    /// across the pool's workers; small slices run serially. Results and
+    /// first-error behaviour are identical to the serial evaluator's.
+    pub fn evaluate(
+        &self,
+        db: &Database,
+        prog: &PredicateProgram,
+        members: &[EntityId],
+        source: Option<EntityId>,
+    ) -> Result<OrderedSet, QueryError> {
+        match plan_chunks(members.len(), self.threads) {
+            None => eval_serial(db, prog, members, source),
+            Some(ranges) => {
+                splice(self.with(|pool| run_on_pool(pool, db, prog, members, source, &ranges)))
+            }
+        }
+    }
+}
+
+/// Runs `f` against a process-wide persistent pool of exactly `threads`
+/// workers, creating it on first use. Backs the free evaluation functions,
+/// which have no service to own a pool; the mutex serialises concurrent
+/// borrowers of the same pool size.
+fn with_shared_pool<R>(threads: usize, f: impl FnOnce(&mut scoped_threadpool::Pool) -> R) -> R {
+    static POOLS: OnceLock<Mutex<Vec<scoped_threadpool::Pool>>> = OnceLock::new();
+    let mut pools = POOLS
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let pos = match pools
+        .iter()
+        .position(|p| p.thread_count() as usize == threads)
+    {
+        Some(i) => i,
+        None => {
+            pools.push(scoped_threadpool::Pool::new(threads as u32));
+            pools.len() - 1
+        }
+    };
+    f(&mut pools[pos])
+}
+
+/// Evaluates `{ e ∈ parent | P(e) }` across `threads` persistent-pool
+/// workers, compiling the predicate once. With `threads <= 1` (or a tiny
+/// extent) the compiled program runs serially. Results are identical to
 /// [`Database::evaluate_derived_members`], in the same order.
 pub fn evaluate_derived_members_parallel(
     db: &Database,
@@ -25,50 +290,39 @@ pub fn evaluate_derived_members_parallel(
     pred: &Predicate,
     threads: usize,
 ) -> Result<OrderedSet, QueryError> {
-    db.validate_predicate(parent, None, pred)?;
+    let prog = PredicateProgram::compile(db, parent, pred)?;
     let members: Vec<EntityId> = db.members(parent)?.iter().collect();
-    if threads <= 1 || members.len() < 64 {
-        return db
-            .evaluate_derived_members(parent, pred)
-            .map_err(QueryError::from);
+    match plan_chunks(members.len(), threads) {
+        None => eval_serial(db, &prog, &members, None),
+        Some(ranges) => splice(with_shared_pool(threads, |pool| {
+            run_on_pool(pool, db, &prog, &members, None, &ranges)
+        })),
     }
-    let chunk = members.len().div_ceil(threads);
-    let chunks: Vec<&[EntityId]> = members.chunks(chunk).collect();
-    let mut per_chunk: Vec<Result<Vec<EntityId>, isis_core::CoreError>> =
-        Vec::with_capacity(chunks.len());
-    crossbeam_utils::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| -> Result<Vec<EntityId>, isis_core::CoreError> {
-                    let mut keep = Vec::new();
-                    for &e in *chunk {
-                        if db.eval_predicate_for(e, pred, None)? {
-                            keep.push(e);
-                        }
-                    }
-                    Ok(keep)
-                })
-            })
-            .collect();
-        for h in handles {
-            per_chunk.push(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("scope panicked");
-    let mut out = OrderedSet::new();
-    for part in per_chunk {
-        for e in part? {
-            out.insert(e);
-        }
+}
+
+/// Per-call thread-spawn baseline for [`evaluate_derived_members_parallel`]:
+/// identical program, chunking and semantics, but fresh scoped OS threads
+/// on every call. Kept public so the `predicate_compile` bench can measure
+/// exactly what the persistent pool buys.
+pub fn evaluate_derived_members_spawn(
+    db: &Database,
+    parent: ClassId,
+    pred: &Predicate,
+    threads: usize,
+) -> Result<OrderedSet, QueryError> {
+    let prog = PredicateProgram::compile(db, parent, pred)?;
+    let members: Vec<EntityId> = db.members(parent)?.iter().collect();
+    match plan_chunks(members.len(), threads) {
+        None => eval_serial(db, &prog, &members, None),
+        Some(ranges) => splice(run_spawned(db, &prog, &members, None, &ranges)),
     }
-    Ok(out)
 }
 
 /// Index-pruned parallel evaluation: the shared [`IndexService`] planner
 /// first shrinks the candidate pool (index probe / grouping-range scan),
-/// then the surviving candidates are partitioned across `threads` workers.
-/// Results are identical to [`IndexService::evaluate`], in the same order.
+/// then the surviving candidates are evaluated through one compiled
+/// program on the service's persistent pool. Results are identical to
+/// [`IndexService::evaluate`], in the same order.
 pub fn evaluate_pruned_parallel(
     service: &IndexService,
     db: &Database,
@@ -76,7 +330,7 @@ pub fn evaluate_pruned_parallel(
     pred: &Predicate,
     threads: usize,
 ) -> Result<OrderedSet, QueryError> {
-    db.validate_predicate(parent, None, pred)?;
+    let prog = PredicateProgram::compile_with(db, parent, None, pred, Some(service))?;
     let pool = service.candidate_pool(db, pred)?;
     let members: Vec<EntityId> = match &pool {
         Some(p) => db
@@ -86,46 +340,12 @@ pub fn evaluate_pruned_parallel(
             .collect(),
         None => db.members(parent)?.iter().collect(),
     };
-    if threads <= 1 || members.len() < 64 {
-        let mut out = OrderedSet::new();
-        for e in members {
-            if db.eval_predicate_for(e, pred, None)? {
-                out.insert(e);
-            }
-        }
-        return Ok(out);
+    match plan_chunks(members.len(), threads) {
+        None => eval_serial(db, &prog, &members, None),
+        Some(ranges) => splice(service.with_eval_pool(threads, |pool| {
+            run_on_pool(pool, db, &prog, &members, None, &ranges)
+        })),
     }
-    let chunk = members.len().div_ceil(threads);
-    let chunks: Vec<&[EntityId]> = members.chunks(chunk).collect();
-    let mut per_chunk: Vec<Result<Vec<EntityId>, isis_core::CoreError>> =
-        Vec::with_capacity(chunks.len());
-    crossbeam_utils::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| -> Result<Vec<EntityId>, isis_core::CoreError> {
-                    let mut keep = Vec::new();
-                    for &e in *chunk {
-                        if db.eval_predicate_for(e, pred, None)? {
-                            keep.push(e);
-                        }
-                    }
-                    Ok(keep)
-                })
-            })
-            .collect();
-        for h in handles {
-            per_chunk.push(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("scope panicked");
-    let mut out = OrderedSet::new();
-    for part in per_chunk {
-        for e in part? {
-            out.insert(e);
-        }
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -145,6 +365,9 @@ mod tests {
             let par =
                 evaluate_derived_members_parallel(&s.db, s.music_groups, &pred, threads).unwrap();
             assert_eq!(par.as_slice(), serial.as_slice(), "threads={threads}");
+            let spawned =
+                evaluate_derived_members_spawn(&s.db, s.music_groups, &pred, threads).unwrap();
+            assert_eq!(spawned.as_slice(), serial.as_slice(), "threads={threads}");
         }
     }
 
@@ -154,6 +377,25 @@ mod tests {
         let pred = isis_core::Predicate::always_true();
         let par = evaluate_derived_members_parallel(&im.db, im.musicians, &pred, 8).unwrap();
         assert_eq!(par.len(), im.all_musicians.len());
+        assert!(plan_chunks(12, 8).is_none(), "12 candidates stay serial");
+    }
+
+    #[test]
+    fn chunk_plans_cover_without_overlap() {
+        for (len, threads) in [(64, 2), (100, 4), (1000, 8), (32, 2), (129, 3)] {
+            match plan_chunks(len, threads) {
+                None => assert!(len < MIN_CHUNK * 2 || threads.min(len / MIN_CHUNK) <= 1),
+                Some(ranges) => {
+                    let mut next = 0;
+                    for r in &ranges {
+                        assert_eq!(r.start, next, "gapless, in order");
+                        assert!(r.end > r.start && r.end - r.start >= 1);
+                        next = r.end;
+                    }
+                    assert_eq!(next, len, "plan covers the whole extent");
+                }
+            }
+        }
     }
 
     #[test]
@@ -178,6 +420,22 @@ mod tests {
     }
 
     #[test]
+    fn service_pool_persists_across_calls() {
+        let mut s = synthetic_music(Scale::of(400), 7).unwrap();
+        let probe = s.instrument_ids[0];
+        let pred = workload::quartets_query(&mut s, probe, 4);
+        let svc = IndexService::new(&s.db);
+        for _ in 0..3 {
+            evaluate_pruned_parallel(&svc, &s.db, s.music_groups, &pred, 4).unwrap();
+        }
+        assert_eq!(
+            svc.eval_pool_threads(),
+            Some(4),
+            "one persistent pool, reused across calls"
+        );
+    }
+
+    #[test]
     fn errors_propagate_from_workers() {
         let mut s = synthetic_music(Scale::of(200), 3).unwrap();
         // An ordering atom over a multivalued map errors on some entity;
@@ -190,6 +448,32 @@ mod tests {
                 isis_core::CompareOp::Lt,
                 isis_core::Rhs::constant(ints, [anchor]),
             )])]);
-        assert!(evaluate_derived_members_parallel(&s.db, s.musicians, &bad, 4).is_err());
+        let serial = s.db.evaluate_derived_members(s.musicians, &bad);
+        let par = evaluate_derived_members_parallel(&s.db, s.musicians, &bad, 4);
+        match (serial, par) {
+            (Err(want), Err(QueryError::Core(got))) => assert_eq!(got, want),
+            (a, b) => panic!("both paths must fail with the serial error: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panics_surface_as_query_errors() {
+        let mut pool = scoped_threadpool::Pool::new(2);
+        // Drive splice through a panicking job directly: the public paths
+        // contain panics inside eval_chunk, so forge a panicking chunk.
+        let mut results: Vec<Option<ChunkResult>> = vec![None];
+        pool.scoped(|scope| {
+            let slot = &mut results[0];
+            scope.execute(move || {
+                *slot = Some(
+                    match catch_unwind(|| -> Vec<EntityId> { panic!("injected fault") }) {
+                        Ok(v) => Ok(v),
+                        Err(p) => Err(WorkerFailure::Panic(panic_message(p.as_ref()))),
+                    },
+                );
+            });
+        });
+        let err = splice(results).unwrap_err();
+        assert!(matches!(err, QueryError::WorkerPanic(ref m) if m.contains("injected fault")));
     }
 }

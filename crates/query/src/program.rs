@@ -1,0 +1,609 @@
+//! Compiled predicate programs (DESIGN.md §4d).
+//!
+//! [`Database::eval_predicate_for`] re-interprets the predicate AST for
+//! every candidate entity: it re-walks every map — including the
+//! candidate-independent `Rhs::Constant` anchor images — once per atom per
+//! candidate. [`PredicateProgram`] compiles a validated [`Predicate`] once
+//! per query into a flat form that fixes all three per-candidate wastes:
+//!
+//! * **constant hoisting** — every `Rhs::Constant { anchors, map }` image
+//!   is evaluated exactly once at compile time and stored; a constant-RHS
+//!   atom drops from `O(|extent| · |anchors·map|)` to `O(|anchors·map|)`;
+//! * **shared-map memoization** — distinct candidate-side maps (atom
+//!   `lhs` and `Rhs::SelfMap` alike) are deduplicated into numbered slots;
+//!   a per-candidate [`MemoTable`] walks each distinct map at most once
+//!   per entity no matter how many atoms reference it;
+//! * **short-circuit ordering** — within each clause, atoms are reordered
+//!   by the optimizer's cost/selectivity estimate so DNF-AND clauses fail
+//!   fast and CNF-OR clauses succeed fast. Only *infallible* atoms move:
+//!   ordering-operator atoms (`<`, `≤`, `>`, `≥`) are the one comparison
+//!   that can error (non-singleton / non-literal operands) and act as
+//!   fixed barriers, which makes the reordering equivalence exact — for
+//!   results *and* errors (see DESIGN.md §4d for the argument).
+//!
+//! Programs are shared by every evaluation consumer: the serial
+//! [`crate::IndexService::evaluate`] residual filter, the parallel
+//! evaluators in [`crate::parallel`], and [`crate::DerivedMaintainer`]'s
+//! delta path. Staleness contract: slot and source images are evaluated
+//! per candidate so they are always current; hoisted *identity*-map
+//! constant images equal the anchor set stored in the predicate and can
+//! never go stale; hoisted *mapped* constant images depend on attribute
+//! values and must be re-hoisted via [`PredicateProgram::ensure_fresh`]
+//! once the database's delta epoch has advanced.
+//!
+//! [`Database::eval_predicate_for`]: isis_core::Database::eval_predicate_for
+
+use std::collections::HashMap;
+
+use isis_core::{
+    ClassId, CoreError, Database, EntityId, Map, NormalForm, Operator, OrderedSet, Predicate,
+    Result, Rhs,
+};
+
+use crate::optimizer::estimate_atom;
+use crate::service::IndexService;
+
+/// The right-hand side of one compiled atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompiledRhs {
+    /// A candidate-entity map slot (`Rhs::SelfMap`).
+    SelfSlot(u32),
+    /// A hoisted constant image (`Rhs::Constant`).
+    Const(u32),
+    /// A source-entity map slot (`Rhs::SourceMap`).
+    Source(u32),
+}
+
+/// One atom, with its maps resolved to numbered slots.
+#[derive(Debug, Clone)]
+struct CompiledAtom {
+    /// Candidate-map slot index of the left-hand side.
+    lhs: u32,
+    op: Operator,
+    rhs: CompiledRhs,
+}
+
+/// A hoisted constant: the predicate's literal anchors, the map applied to
+/// them, and the materialised image.
+#[derive(Debug, Clone)]
+struct ConstSlot {
+    anchors: OrderedSet,
+    map: Map,
+    image: OrderedSet,
+}
+
+/// A [`Predicate`] compiled for repeated evaluation over one parent class.
+/// See the module docs for what compilation buys and when a program goes
+/// stale.
+#[derive(Debug, Clone)]
+pub struct PredicateProgram {
+    form: NormalForm,
+    clauses: Vec<Vec<CompiledAtom>>,
+    /// Deduplicated candidate-entity maps (atom lhs and self-map rhs).
+    slots: Vec<Map>,
+    /// Deduplicated source-entity maps.
+    source_slots: Vec<Map>,
+    /// Hoisted constant images.
+    consts: Vec<ConstSlot>,
+    /// Delta epoch the constant images were hoisted at.
+    hoist_epoch: u64,
+    /// Whether any hoisted constant applies a non-identity map (only those
+    /// images can go stale under data changes).
+    mapped_consts: bool,
+}
+
+fn intern(slots: &mut Vec<Map>, ids: &mut HashMap<Map, u32>, map: &Map) -> u32 {
+    if let Some(&i) = ids.get(map) {
+        return i;
+    }
+    let i = slots.len() as u32;
+    slots.push(map.clone());
+    ids.insert(map.clone(), i);
+    i
+}
+
+/// Reorders a clause's atoms by the optimizer's short-circuit sort key,
+/// permuting only runs of infallible atoms between ordering-op barriers
+/// (the sort is stable, so ties keep source order).
+fn reorder_clause<'a>(
+    db: &Database,
+    parent: ClassId,
+    form: NormalForm,
+    atoms: &'a [isis_core::Atom],
+    indexes: Option<&IndexService>,
+) -> Vec<&'a isis_core::Atom> {
+    fn flush<'a>(run: &mut Vec<(&'a isis_core::Atom, f64)>, out: &mut Vec<&'a isis_core::Atom>) {
+        run.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.extend(run.drain(..).map(|(a, _)| a));
+    }
+    let mut out = Vec::with_capacity(atoms.len());
+    let mut run: Vec<(&isis_core::Atom, f64)> = Vec::new();
+    for atom in atoms {
+        if atom.op.op.is_ordering() {
+            // Fallible barrier: keep its position relative to its run.
+            flush(&mut run, &mut out);
+            out.push(atom);
+        } else {
+            let e = estimate_atom(db, parent, atom, indexes);
+            let key = match form {
+                // AND clause: fail fast — most selective per unit cost.
+                NormalForm::Dnf => e.selectivity * e.cost + e.cost * 0.01,
+                // OR clause: succeed fast — most probable per unit cost.
+                NormalForm::Cnf => (1.0 - e.selectivity) * e.cost + e.cost * 0.01,
+            };
+            run.push((atom, key));
+        }
+    }
+    flush(&mut run, &mut out);
+    out
+}
+
+impl PredicateProgram {
+    /// Compiles `pred` for candidates drawn from `parent` (validating it
+    /// first), without index statistics or source-entity support.
+    pub fn compile(db: &Database, parent: ClassId, pred: &Predicate) -> Result<PredicateProgram> {
+        Self::compile_with(db, parent, None, pred, None)
+    }
+
+    /// Compiles `pred` for candidates drawn from `parent`. Source-entity
+    /// atoms are allowed iff `source_class` is given (derived-attribute
+    /// predicates); `indexes` sharpens the reordering's selectivity
+    /// estimates when available.
+    pub fn compile_with(
+        db: &Database,
+        parent: ClassId,
+        source_class: Option<ClassId>,
+        pred: &Predicate,
+        indexes: Option<&IndexService>,
+    ) -> Result<PredicateProgram> {
+        db.validate_predicate(parent, source_class, pred)?;
+        let mut slots: Vec<Map> = Vec::new();
+        let mut slot_ids: HashMap<Map, u32> = HashMap::new();
+        let mut source_slots: Vec<Map> = Vec::new();
+        let mut source_ids: HashMap<Map, u32> = HashMap::new();
+        let mut consts: Vec<ConstSlot> = Vec::new();
+        let mut clauses = Vec::with_capacity(pred.clauses.len());
+        for clause in &pred.clauses {
+            let ordered = reorder_clause(db, parent, pred.form, &clause.atoms, indexes);
+            let mut compiled = Vec::with_capacity(ordered.len());
+            for atom in ordered {
+                let lhs = intern(&mut slots, &mut slot_ids, &atom.lhs);
+                let rhs = match &atom.rhs {
+                    Rhs::SelfMap(m) => CompiledRhs::SelfSlot(intern(&mut slots, &mut slot_ids, m)),
+                    Rhs::SourceMap(m) => {
+                        CompiledRhs::Source(intern(&mut source_slots, &mut source_ids, m))
+                    }
+                    Rhs::Constant { anchors, map, .. } => {
+                        // Constants are few per predicate; linear dedup.
+                        let i = consts
+                            .iter()
+                            .position(|c| {
+                                c.map == *map && c.anchors.as_slice() == anchors.as_slice()
+                            })
+                            .unwrap_or_else(|| {
+                                consts.push(ConstSlot {
+                                    anchors: anchors.clone(),
+                                    map: map.clone(),
+                                    image: OrderedSet::new(),
+                                });
+                                consts.len() - 1
+                            });
+                        CompiledRhs::Const(i as u32)
+                    }
+                };
+                compiled.push(CompiledAtom {
+                    lhs,
+                    op: atom.op,
+                    rhs,
+                });
+            }
+            clauses.push(compiled);
+        }
+        let mapped_consts = consts.iter().any(|c| !c.map.is_identity());
+        let mut prog = PredicateProgram {
+            form: pred.form,
+            clauses,
+            slots,
+            source_slots,
+            consts,
+            hoist_epoch: 0,
+            mapped_consts,
+        };
+        prog.hoist(db)?;
+        isis_obs::global().count("query.program.compiles", 1);
+        Ok(prog)
+    }
+
+    /// (Re)materialises every hoisted constant image from `db`.
+    fn hoist(&mut self, db: &Database) -> Result<()> {
+        for c in &mut self.consts {
+            c.image = if c.map.is_identity() {
+                c.anchors.clone()
+            } else {
+                db.eval_map(c.anchors.iter(), &c.map)?
+            };
+        }
+        self.hoist_epoch = db.delta_epoch();
+        Ok(())
+    }
+
+    /// Re-hoists mapped constant images when the database's delta epoch has
+    /// advanced past the one they were hoisted at. Identity-map constants
+    /// equal the anchor set stored in the predicate and never go stale, so
+    /// a program without mapped constants refreshes for free. Long-lived
+    /// holders (the delta-maintenance path) must call this before reuse;
+    /// per-query compilation sidesteps it.
+    pub fn ensure_fresh(&mut self, db: &Database) -> Result<()> {
+        if self.mapped_consts && db.delta_epoch() != self.hoist_epoch {
+            isis_obs::global().count("query.program.rehoists", 1);
+            self.hoist(db)?;
+        } else {
+            self.hoist_epoch = db.delta_epoch();
+        }
+        Ok(())
+    }
+
+    /// The number of deduplicated candidate-map slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The number of hoisted constant images.
+    pub fn const_count(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// `true` when some hoisted constant applies a non-identity map (the
+    /// only images [`PredicateProgram::ensure_fresh`] ever recomputes).
+    pub fn has_mapped_consts(&self) -> bool {
+        self.mapped_consts
+    }
+
+    fn ensure_slot(&self, db: &Database, e: EntityId, memo: &mut MemoTable, i: u32) -> Result<()> {
+        let slot = &mut memo.slots[i as usize];
+        if slot.is_some() {
+            memo.hits += 1;
+        } else {
+            memo.misses += 1;
+            *slot = Some(db.eval_map([e], &self.slots[i as usize])?);
+        }
+        Ok(())
+    }
+
+    fn ensure_source_slot(
+        &self,
+        db: &Database,
+        x: EntityId,
+        memo: &mut MemoTable,
+        i: u32,
+    ) -> Result<()> {
+        let slot = &mut memo.source_slots[i as usize];
+        if slot.is_some() {
+            memo.hits += 1;
+        } else {
+            memo.misses += 1;
+            *slot = Some(db.eval_map([x], &self.source_slots[i as usize])?);
+        }
+        Ok(())
+    }
+
+    fn eval_compiled_atom(
+        &self,
+        db: &Database,
+        e: EntityId,
+        source: Option<EntityId>,
+        memo: &mut MemoTable,
+        atom: &CompiledAtom,
+    ) -> Result<bool> {
+        self.ensure_slot(db, e, memo, atom.lhs)?;
+        let rhs: &OrderedSet = match atom.rhs {
+            CompiledRhs::Const(i) => &self.consts[i as usize].image,
+            CompiledRhs::SelfSlot(i) => {
+                self.ensure_slot(db, e, memo, i)?;
+                memo.slots[i as usize].as_ref().expect("slot just filled")
+            }
+            CompiledRhs::Source(i) => {
+                let x = source.ok_or_else(|| {
+                    CoreError::Inconsistent(
+                        "atom references the source entity x outside a derived-attribute predicate"
+                            .into(),
+                    )
+                })?;
+                self.ensure_source_slot(db, x, memo, i)?;
+                memo.source_slots[i as usize]
+                    .as_ref()
+                    .expect("slot just filled")
+            }
+        };
+        let lhs = memo.slots[atom.lhs as usize]
+            .as_ref()
+            .expect("lhs slot filled above");
+        db.eval_prepared_atom(lhs, atom.op, rhs)
+    }
+
+    /// Evaluates the program for candidate `e` (with optional source `x`),
+    /// honouring the DNF/CNF short-circuit semantics. Identical in results
+    /// *and* errors to [`Database::eval_predicate_for`] on the predicate
+    /// the program was compiled from.
+    ///
+    /// [`Database::eval_predicate_for`]: isis_core::Database::eval_predicate_for
+    pub fn eval_for(
+        &self,
+        db: &Database,
+        e: EntityId,
+        source: Option<EntityId>,
+        memo: &mut MemoTable,
+    ) -> Result<bool> {
+        memo.begin_candidate(source);
+        match self.form {
+            NormalForm::Dnf => {
+                // OR of clauses; each clause an AND of atoms.
+                for clause in &self.clauses {
+                    let mut all = true;
+                    for atom in clause {
+                        if !self.eval_compiled_atom(db, e, source, memo, atom)? {
+                            all = false;
+                            break;
+                        }
+                    }
+                    if all {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            NormalForm::Cnf => {
+                // AND of clauses; each clause an OR of atoms.
+                for clause in &self.clauses {
+                    let mut any = false;
+                    for atom in clause {
+                        if self.eval_compiled_atom(db, e, source, memo, atom)? {
+                            any = true;
+                            break;
+                        }
+                    }
+                    if !any {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Serial driver: evaluates the program over the whole extent of the
+    /// class it was compiled for, preserving extent order. Equivalent to
+    /// [`Database::evaluate_derived_members`].
+    ///
+    /// [`Database::evaluate_derived_members`]: isis_core::Database::evaluate_derived_members
+    pub fn evaluate_extent(&self, db: &Database, parent: ClassId) -> Result<OrderedSet> {
+        let mut memo = MemoTable::new(self);
+        let mut out = OrderedSet::new();
+        for e in db.members(parent)?.iter().collect::<Vec<_>>() {
+            if self.eval_for(db, e, None, &mut memo)? {
+                out.insert(e);
+            }
+        }
+        memo.flush_obs();
+        Ok(out)
+    }
+}
+
+/// Per-candidate memoisation scratch for one [`PredicateProgram`]: each
+/// distinct candidate map is walked at most once per entity, and source
+/// images are reused across candidates while the source is unchanged.
+/// Reusable across candidates and queries against the same program.
+#[derive(Debug, Clone)]
+pub struct MemoTable {
+    slots: Vec<Option<OrderedSet>>,
+    source_slots: Vec<Option<OrderedSet>>,
+    source_for: Option<EntityId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MemoTable {
+    /// A memo table sized for `prog`'s slots.
+    pub fn new(prog: &PredicateProgram) -> MemoTable {
+        MemoTable {
+            slots: vec![None; prog.slots.len()],
+            source_slots: vec![None; prog.source_slots.len()],
+            source_for: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn begin_candidate(&mut self, source: Option<EntityId>) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        if self.source_for != source {
+            for s in &mut self.source_slots {
+                *s = None;
+            }
+            self.source_for = source;
+        }
+    }
+
+    /// Slot lookups answered from the memo since construction / last flush.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Slot lookups that had to walk the map.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Publishes the accumulated hit/miss counts to the process-wide
+    /// [`isis_obs`] registry (`query.program.memo_hits` / `.memo_misses`)
+    /// and zeroes them. One call per evaluation run keeps the hot loop free
+    /// of registry traffic.
+    pub fn flush_obs(&mut self) {
+        let obs = isis_obs::global();
+        if obs.enabled() {
+            obs.count("query.program.memo_hits", self.hits);
+            obs.count("query.program.memo_misses", self.misses);
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isis_core::{Atom, BaseKind, Clause, CompareOp, Multiplicity};
+    use isis_sample::{instrumental_music, quartets_predicate};
+
+    #[test]
+    fn compiled_matches_interpreted_on_the_quartets_query() {
+        let mut im = instrumental_music().unwrap();
+        let pred = quartets_predicate(&mut im);
+        let want = im
+            .db
+            .evaluate_derived_members(im.music_groups, &pred)
+            .unwrap();
+        let prog = PredicateProgram::compile(&im.db, im.music_groups, &pred).unwrap();
+        let got = prog.evaluate_extent(&im.db, im.music_groups).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn shared_lhs_maps_are_memoised() {
+        let mut im = instrumental_music().unwrap();
+        let four = im.db.int(4);
+        let two = im.db.int(2);
+        let ints = im.db.predefined(BaseKind::Integers);
+        // Two atoms over the same lhs map → one slot, memo hits > 0.
+        let a = Atom::new(
+            isis_core::Map::single(im.size),
+            CompareOp::SetEq,
+            Rhs::constant(ints, [four]),
+        );
+        let b = Atom::new(
+            isis_core::Map::single(im.size),
+            CompareOp::SetEq,
+            Rhs::constant(ints, [two]),
+        );
+        let pred = Predicate::cnf(vec![Clause::new(vec![a, b])]);
+        let prog = PredicateProgram::compile(&im.db, im.music_groups, &pred).unwrap();
+        assert_eq!(prog.slot_count(), 1);
+        assert_eq!(prog.const_count(), 2);
+        let mut memo = MemoTable::new(&prog);
+        let mut hits = 0;
+        for e in im.db.members(im.music_groups).unwrap().iter() {
+            let want = im.db.eval_predicate_for(e, &pred, None).unwrap();
+            let got = prog.eval_for(&im.db, e, None, &mut memo).unwrap();
+            assert_eq!(got, want);
+            hits = memo.hits();
+        }
+        assert!(hits > 0, "second atom must reuse the memoised size image");
+    }
+
+    #[test]
+    fn mapped_constants_rehoist_on_ensure_fresh() {
+        let mut im = instrumental_music().unwrap();
+        // Instruments in the same family as the flute — a mapped constant.
+        let atom = Atom::new(
+            isis_core::Map::single(im.family),
+            CompareOp::SetEq,
+            Rhs::Constant {
+                class: im.instruments,
+                anchors: [im.flute].into_iter().collect(),
+                map: isis_core::Map::single(im.family),
+            },
+        );
+        let pred = Predicate::dnf(vec![Clause::new(vec![atom])]);
+        let mut prog = PredicateProgram::compile(&im.db, im.instruments, &pred).unwrap();
+        assert!(prog.has_mapped_consts());
+        let before = prog.evaluate_extent(&im.db, im.instruments).unwrap();
+        assert_eq!(
+            before.as_slice(),
+            im.db
+                .evaluate_derived_members(im.instruments, &pred)
+                .unwrap()
+                .as_slice()
+        );
+        // The seed mis-files the flute under brass; the §4.2 correction
+        // moves it to woodwind, leaving the hoisted image stale until
+        // ensure_fresh re-hoists it.
+        im.db
+            .assign_single(im.flute, im.family, im.woodwind)
+            .unwrap();
+        prog.ensure_fresh(&im.db).unwrap();
+        let after = prog.evaluate_extent(&im.db, im.instruments).unwrap();
+        assert_eq!(
+            after.as_slice(),
+            im.db
+                .evaluate_derived_members(im.instruments, &pred)
+                .unwrap()
+                .as_slice()
+        );
+        assert_ne!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn ordering_atoms_error_identically_and_stay_barriers() {
+        let mut im = instrumental_music().unwrap();
+        let one = im.db.int(1);
+        let ints = im.db.predefined(BaseKind::Integers);
+        // plays < {1} errors on any musician with a non-singleton or
+        // non-literal plays image; an expensive infallible atom placed
+        // before it must not be hoisted past the barrier in a way that
+        // changes which side of the barrier short-circuits.
+        let fallible = Atom::new(
+            isis_core::Map::single(im.plays),
+            CompareOp::Lt,
+            Rhs::constant(ints, [one]),
+        );
+        let cheap_true = Atom::new(
+            isis_core::Map::identity(),
+            CompareOp::SetEq,
+            Rhs::SelfMap(isis_core::Map::identity()),
+        );
+        let pred = Predicate::dnf(vec![Clause::new(vec![fallible, cheap_true])]);
+        let prog = PredicateProgram::compile(&im.db, im.musicians, &pred).unwrap();
+        let mut memo = MemoTable::new(&prog);
+        for e in im.db.members(im.musicians).unwrap().iter() {
+            let want = im.db.eval_predicate_for(e, &pred, None);
+            let got = prog.eval_for(&im.db, e, None, &mut memo);
+            match (want, got) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("divergent fallibility: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn source_atoms_evaluate_against_the_source_entity() {
+        let mut im = instrumental_music().unwrap();
+        let colleagues = im
+            .db
+            .create_attribute(im.musicians, "similar", im.musicians, Multiplicity::Multi)
+            .unwrap();
+        let _ = colleagues;
+        let atom = Atom::new(
+            isis_core::Map::single(im.plays),
+            CompareOp::Match,
+            Rhs::SourceMap(isis_core::Map::single(im.plays)),
+        );
+        let pred = Predicate::dnf(vec![Clause::new(vec![atom])]);
+        let prog =
+            PredicateProgram::compile_with(&im.db, im.musicians, Some(im.musicians), &pred, None)
+                .unwrap();
+        let mut memo = MemoTable::new(&prog);
+        let members: Vec<EntityId> = im.db.members(im.musicians).unwrap().iter().collect();
+        for &x in &members {
+            for &e in &members {
+                let want = im.db.eval_predicate_for(e, &pred, Some(x)).unwrap();
+                let got = prog.eval_for(&im.db, e, Some(x), &mut memo).unwrap();
+                assert_eq!(got, want, "e={e:?} x={x:?}");
+            }
+        }
+        // Evaluating a source atom without a source errors, as interpreted.
+        assert!(prog.eval_for(&im.db, members[0], None, &mut memo).is_err());
+    }
+}

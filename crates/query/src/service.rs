@@ -26,7 +26,7 @@
 //! `query.service.evaluate` span, so the REPL `metrics` and `trace dump`
 //! commands see the query path without any extra plumbing.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 use isis_obs::Counter;
@@ -117,6 +117,13 @@ pub struct IndexService {
     grouping_scans: Cell<u64>,
     seq_scans: Cell<u64>,
     index_misses: Cell<u64>,
+    /// Worker count for parallel evaluation through this service (0/1 =
+    /// serial). Plumbed from `SessionBuilder::eval_threads`.
+    eval_threads: Cell<usize>,
+    /// Lazily-spawned persistent worker pool, reused across queries by
+    /// [`crate::evaluate_pruned_parallel`]; replaced only when a caller
+    /// asks for a different size.
+    eval_pool: RefCell<Option<scoped_threadpool::Pool>>,
 }
 
 impl IndexService {
@@ -151,6 +158,46 @@ impl IndexService {
     /// The delta epoch the indexes are synchronised to.
     pub fn cursor(&self) -> u64 {
         self.manager.cursor()
+    }
+
+    /// Configures how many workers parallel evaluation through this
+    /// service may use (`<= 1` keeps every query serial). The persistent
+    /// pool itself is spawned lazily, on the first query large enough to
+    /// parallelise.
+    pub fn set_eval_threads(&self, threads: usize) {
+        self.eval_threads.set(threads);
+    }
+
+    /// The configured parallel-evaluation worker count (at least 1).
+    pub fn eval_threads(&self) -> usize {
+        self.eval_threads.get().max(1)
+    }
+
+    /// The size of the spawned persistent pool, or `None` while no
+    /// parallel query has needed one yet.
+    pub fn eval_pool_threads(&self) -> Option<usize> {
+        self.eval_pool
+            .borrow()
+            .as_ref()
+            .map(|p| p.thread_count() as usize)
+    }
+
+    /// Runs `f` on this service's persistent worker pool, spawning it on
+    /// first use (and re-sizing it if a caller asks for a different width).
+    pub(crate) fn with_eval_pool<R>(
+        &self,
+        threads: usize,
+        f: impl FnOnce(&mut scoped_threadpool::Pool) -> R,
+    ) -> R {
+        let mut guard = self.eval_pool.borrow_mut();
+        let rebuild = match guard.as_ref() {
+            Some(p) => p.thread_count() as usize != threads,
+            None => true,
+        };
+        if rebuild {
+            *guard = Some(scoped_threadpool::Pool::new(threads as u32));
+        }
+        f(guard.as_mut().expect("pool just ensured"))
     }
 
     /// Bumps a per-service counter and, when observability is live, its
@@ -442,7 +489,11 @@ impl IndexService {
     pub fn evaluate(&self, db: &Database, parent: ClassId, pred: &Predicate) -> Result<OrderedSet> {
         let obs = isis_obs::global();
         let _span = obs.span("query.service.evaluate");
-        db.validate_predicate(parent, None, pred)?;
+        // Compilation validates the predicate and hoists constant images
+        // once; the residual filter below then runs the compiled program
+        // instead of re-interpreting the AST per candidate.
+        let prog =
+            crate::program::PredicateProgram::compile_with(db, parent, None, pred, Some(self))?;
         self.bump(&self.queries, &self.obs.queries);
         let pool = self.candidate_pool(db, pred)?;
         if pool.is_none() {
@@ -462,11 +513,13 @@ impl IndexService {
         };
         let mut out = OrderedSet::new();
         let scanned = candidates.len() as u64;
+        let mut memo = crate::program::MemoTable::new(&prog);
         for e in candidates {
-            if db.eval_predicate_for(e, pred, None)? {
+            if prog.eval_for(db, e, None, &mut memo)? {
                 out.insert(e);
             }
         }
+        memo.flush_obs();
         if obs.enabled() {
             self.obs.rows_scanned.add(scanned);
             self.obs.rows_returned.add(out.len() as u64);

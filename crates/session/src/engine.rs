@@ -82,6 +82,10 @@ pub struct Session {
     /// What recovery found the last time a database was loaded from the
     /// store this session (the *doctor* command reprints it).
     last_recovery: Option<RecoveryReport>,
+    /// Worker threads for compiled predicate evaluation (1 = serial). The
+    /// pool itself lives on the index service and is spawned lazily on the
+    /// first parallel query, then reused across queries.
+    eval_threads: usize,
 }
 
 /// Configures and builds a [`Session`]: attach a store, pick the refresh
@@ -100,6 +104,7 @@ pub struct SessionBuilder {
     store: Option<StoreDir>,
     policy: RefreshPolicy,
     delta_capacity: Option<usize>,
+    eval_threads: usize,
 }
 
 impl SessionBuilder {
@@ -122,6 +127,23 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets how many worker threads [`Session::query`] may use for compiled
+    /// predicate evaluation (default 1 = serial). The persistent pool is
+    /// spawned lazily on the first query large enough to split, and reused
+    /// afterwards.
+    ///
+    /// ```
+    /// use isis_session::Session;
+    ///
+    /// let db = isis_core::Database::new("demo");
+    /// let session = Session::builder(db).eval_threads(4).build();
+    /// assert_eq!(session.eval_threads(), 4);
+    /// ```
+    pub fn eval_threads(mut self, threads: usize) -> SessionBuilder {
+        self.eval_threads = threads.max(1);
+        self
+    }
+
     /// Builds the session.
     pub fn build(self) -> Session {
         let SessionBuilder {
@@ -129,6 +151,7 @@ impl SessionBuilder {
             store,
             policy,
             delta_capacity,
+            eval_threads,
         } = self;
         if let Some(capacity) = delta_capacity {
             db.set_delta_capacity(capacity);
@@ -136,6 +159,7 @@ impl SessionBuilder {
         let mut s = Session::new(db);
         s.store = store;
         s.policy = policy;
+        s.eval_threads = eval_threads;
         s
     }
 }
@@ -161,6 +185,7 @@ impl Session {
             maintainers: None,
             service: None,
             last_recovery: None,
+            eval_threads: 1,
         }
     }
 
@@ -172,6 +197,7 @@ impl Session {
             store: None,
             policy: RefreshPolicy::Manual,
             delta_capacity: None,
+            eval_threads: 1,
         }
     }
 
@@ -230,6 +256,21 @@ impl Session {
     /// The current refresh policy.
     pub fn refresh_policy(&self) -> RefreshPolicy {
         self.policy
+    }
+
+    /// Worker threads available to [`Session::query`] (1 = serial).
+    pub fn eval_threads(&self) -> usize {
+        self.eval_threads
+    }
+
+    /// Reconfigures how many worker threads [`Session::query`] may use.
+    /// Takes effect on the next query; the service's persistent pool is
+    /// resized lazily.
+    pub fn set_eval_threads(&mut self, threads: usize) {
+        self.eval_threads = threads.max(1);
+        if let Some(svc) = self.service.as_ref() {
+            svc.set_eval_threads(self.eval_threads);
+        }
     }
 
     /// Chooses when derived subclasses and attributes are re-evaluated
@@ -449,6 +490,7 @@ impl Session {
             }
         }
         service.set_cursor(&self.db);
+        service.set_eval_threads(self.eval_threads);
         self.maintainers = Some(maints);
         self.service = Some(service);
         self.refresh_cursor = self.db.delta_epoch();
@@ -479,7 +521,17 @@ impl Session {
             && matches!(self.db.changes_since(self.refresh_cursor), Some(cs) if cs.is_empty());
         if in_sync {
             let svc = self.service.as_ref().expect("in_sync implies a service");
-            Ok(svc.evaluate(&self.db, parent, pred)?)
+            if self.eval_threads > 1 {
+                Ok(isis_query::evaluate_pruned_parallel(
+                    svc,
+                    &self.db,
+                    parent,
+                    pred,
+                    self.eval_threads,
+                )?)
+            } else {
+                Ok(svc.evaluate(&self.db, parent, pred)?)
+            }
         } else {
             // The direct scan bypasses the service, so record it there as a
             // sequential-scan query — before this it vanished from `stats`.

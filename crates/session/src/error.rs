@@ -3,6 +3,7 @@
 use std::fmt;
 
 use isis_core::CoreError;
+use isis_query::QueryError;
 use isis_store::StoreError;
 
 /// Errors raised by session commands.
@@ -23,6 +24,8 @@ pub enum SessionError {
     NoStore,
     /// An engine error.
     Core(CoreError),
+    /// A query-layer error (planning, compiled programs, parallel workers).
+    Query(QueryError),
     /// A storage error.
     Store(StoreError),
 }
@@ -37,6 +40,7 @@ impl fmt::Display for SessionError {
             SessionError::NothingToUndo => write!(f, "nothing to undo/redo"),
             SessionError::NoStore => write!(f, "no database directory attached"),
             SessionError::Core(e) => write!(f, "{e}"),
+            SessionError::Query(e) => write!(f, "{e}"),
             SessionError::Store(e) => write!(f, "{e}"),
         }
     }
@@ -46,6 +50,7 @@ impl std::error::Error for SessionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SessionError::Core(e) => Some(e),
+            SessionError::Query(e) => Some(e),
             SessionError::Store(e) => Some(e),
             _ => None,
         }
@@ -61,6 +66,17 @@ impl From<CoreError> for SessionError {
 impl From<StoreError> for SessionError {
     fn from(e: StoreError) -> Self {
         SessionError::Store(e)
+    }
+}
+
+impl From<QueryError> for SessionError {
+    fn from(e: QueryError) -> Self {
+        // Core errors keep their original face: callers match on
+        // `SessionError::Core` regardless of which layer raised them.
+        match e {
+            QueryError::Core(c) => SessionError::Core(c),
+            other => SessionError::Query(other),
+        }
     }
 }
 

@@ -515,3 +515,44 @@ fn auto_refresh_keeps_derived_classes_fresh() {
         .iter()
         .any(|m| m.contains("quartets re-evaluated")));
 }
+
+#[test]
+fn parallel_query_matches_serial_and_keeps_a_persistent_pool() {
+    use isis_sample::{synthetic_music, workload, Scale};
+    use isis_session::RefreshPolicy;
+
+    let mut syn = synthetic_music(Scale::of(400), 11).unwrap();
+    let instrument = syn.instrument_ids[0];
+    let pred = workload::quartets_query(&mut syn, instrument, 4);
+
+    let mut serial = Session::builder(syn.db.clone())
+        .refresh_policy(RefreshPolicy::OnCommit)
+        .build();
+    let mut parallel = Session::builder(syn.db.clone())
+        .refresh_policy(RefreshPolicy::OnCommit)
+        .eval_threads(4)
+        .build();
+    assert_eq!(serial.eval_threads(), 1);
+    assert_eq!(parallel.eval_threads(), 4);
+
+    let want = serial.query(syn.music_groups, &pred).unwrap();
+    for _ in 0..3 {
+        let got = parallel.query(syn.music_groups, &pred).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+    // The pool was spawned once on the service and reused across queries.
+    assert_eq!(
+        parallel.index_service().unwrap().eval_pool_threads(),
+        Some(4)
+    );
+    assert_eq!(serial.index_service().unwrap().eval_pool_threads(), None);
+
+    // Reconfiguring mid-session takes effect on the next query.
+    parallel.set_eval_threads(2);
+    let got = parallel.query(syn.music_groups, &pred).unwrap();
+    assert_eq!(got.as_slice(), want.as_slice());
+    assert_eq!(
+        parallel.index_service().unwrap().eval_pool_threads(),
+        Some(2)
+    );
+}

@@ -96,6 +96,8 @@ const PAGE_DY: i32 = 3;
 
 /// Builds the data-level view.
 pub fn data_view(db: &Database, input: &DataViewInput) -> Result<DataView> {
+    let obs = isis_obs::global();
+    let _span = obs.span("views.build.data");
     let mut scene = Scene::new(db.name.clone());
     let mut page_rects = Vec::new();
     let mut member_rows = Vec::new();

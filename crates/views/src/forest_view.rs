@@ -182,6 +182,8 @@ impl ForestView {
 
 /// Builds the inheritance forest view of `db`.
 pub fn forest_view(db: &Database, opts: &ForestViewOptions) -> Result<ForestView> {
+    let obs = isis_obs::global();
+    let _span = obs.span("views.build.forest");
     let mut scene = Scene::new(db.name.clone());
     let roots: Vec<ClassId> = db
         .classes()

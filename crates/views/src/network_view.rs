@@ -40,6 +40,8 @@ impl NetworkView {
 
 /// Builds the semantic network view centred on `focus`.
 pub fn network_view(db: &Database, focus: ClassId) -> Result<NetworkView> {
+    let obs = isis_obs::global();
+    let _span = obs.span("views.build.network");
     let mut scene = Scene::new(db.name.clone());
     let mut positions = Vec::new();
 

@@ -121,6 +121,10 @@ impl Canvas {
 
 /// Renders a scene to a string of text.
 pub fn render(scene: &Scene) -> String {
+    let obs = isis_obs::global();
+    let _span = obs.span("views.render.ascii");
+    obs.count("views.renders", 1);
+    obs.count("views.render.elements", scene.elements.len() as u64);
     let b = scene.bounds();
     let w = (b.right().max(scene.title.chars().count() as i32 + 7) + 2).max(4) as usize;
     let h = (b.bottom() + 3).max(3) as usize;
@@ -246,6 +250,26 @@ mod tests {
         assert!(out.contains("== Instrumental_Music =="));
         assert!(out.contains("musicians"));
         assert!(out.contains("+"));
+    }
+
+    #[test]
+    fn rendering_records_observability_counters() {
+        let obs = isis_obs::global();
+        obs.set_enabled(true);
+        let renders = obs.registry().counter("views.renders");
+        let elements = obs.registry().counter("views.render.elements");
+        let (r0, e0) = (renders.get(), elements.get());
+        let mut s = Scene::new("obs");
+        s.push(Element::Frame {
+            rect: Rect::new(0, 0, 8, 3),
+            title: None,
+            style: FrameStyle::Window,
+        });
+        let _ = render(&s);
+        let _ = crate::render::svg::render(&s);
+        assert_eq!(renders.get(), r0 + 2);
+        assert_eq!(elements.get(), e0 + 2);
+        obs.set_enabled(false);
     }
 
     #[test]

@@ -31,6 +31,10 @@ fn py(y: i32) -> i32 {
 
 /// Renders a scene to a standalone SVG document.
 pub fn render(scene: &Scene) -> String {
+    let obs = isis_obs::global();
+    let _span = obs.span("views.render.svg");
+    obs.count("views.renders", 1);
+    obs.count("views.render.elements", scene.elements.len() as u64);
     let b = scene.bounds();
     let width = px(b.right() + 2).max(px(scene.title.chars().count() as i32 + 4));
     let height = py(b.bottom() + 3);

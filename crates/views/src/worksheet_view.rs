@@ -76,6 +76,8 @@ pub struct WorksheetView {
 
 /// Builds the predicate worksheet view.
 pub fn worksheet_view(input: &WorksheetInput) -> WorksheetView {
+    let obs = isis_obs::global();
+    let _span = obs.span("views.build.worksheet");
     let mut scene = Scene::new(format!(
         "{} — predicate worksheet: {} [{}]",
         input.database, input.target, input.form

@@ -1,0 +1,237 @@
+//! Offline API-compatible subset of the `scoped_threadpool` crate (the
+//! build environment has no crates.io access).
+//!
+//! A [`Pool`] owns a fixed set of **persistent** worker threads that take
+//! jobs from a shared channel. [`Pool::scoped`] lends the workers to a
+//! lifetime-scoped region: every job queued through the [`Scope`] is
+//! guaranteed to finish before `scoped` returns, which is what makes the
+//! lifetime erasure inside [`Scope::execute`] sound. The point of the
+//! crate — versus spawning scoped OS threads per call — is that thread
+//! startup cost is paid once, so short evaluation bursts can be
+//! parallelised profitably.
+//!
+//! Panic policy: a panicking job is caught inside the worker (the worker
+//! survives and keeps serving), the job is counted as finished, and the
+//! payload is dropped. Callers that need the payload should catch panics
+//! inside the closure they submit.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counts outstanding jobs; `wait` blocks until the count reaches zero.
+#[derive(Default)]
+struct WaitGroup {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl WaitGroup {
+    fn add(&self, n: usize) {
+        *self.count.lock().unwrap() += n;
+    }
+
+    fn done(&self) {
+        let mut c = self.count.lock().unwrap();
+        *c -= 1;
+        if *c == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut c = self.count.lock().unwrap();
+        while *c != 0 {
+            c = self.zero.wait(c).unwrap();
+        }
+    }
+}
+
+/// Marks the owning job finished even if it unwinds.
+struct DoneGuard(Arc<WaitGroup>);
+
+impl Drop for DoneGuard {
+    fn drop(&mut self) {
+        self.0.done();
+    }
+}
+
+/// Blocks until every job queued in the scope has run, even if the scope
+/// closure itself unwinds (queued jobs still borrow the caller's stack).
+struct ScopeBarrier<'a>(&'a WaitGroup);
+
+impl Drop for ScopeBarrier<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// A pool of persistent worker threads that can run scoped jobs.
+pub struct Pool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    thread_count: u32,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("thread_count", &self.thread_count)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawns `n` worker threads (at least one).
+    pub fn new(n: u32) -> Pool {
+        let n = n.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..n)
+            .map(|_| {
+                let rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while receiving, not while running.
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    match job {
+                        // A panicking job must not kill the worker; its
+                        // DoneGuard still marks it finished.
+                        Ok(job) => {
+                            let _ = catch_unwind(AssertUnwindSafe(job));
+                        }
+                        Err(_) => break, // pool dropped: channel closed
+                    }
+                })
+            })
+            .collect();
+        Pool {
+            sender: Some(tx),
+            workers,
+            thread_count: n,
+        }
+    }
+
+    /// The number of worker threads in the pool.
+    pub fn thread_count(&self) -> u32 {
+        self.thread_count
+    }
+
+    /// Runs `f` with a [`Scope`] through which jobs borrowing data of
+    /// lifetime `'scope` may be queued; blocks until all of them finish.
+    pub fn scoped<'pool, 'scope, F, R>(&'pool mut self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let wait = Arc::new(WaitGroup::default());
+        let scope = Scope {
+            sender: self.sender.as_ref().expect("pool is live"),
+            wait: Arc::clone(&wait),
+            _marker: PhantomData,
+        };
+        // Declared after `scope` so it drops first: the barrier must fire
+        // before any `'scope` borrow can expire.
+        let _barrier = ScopeBarrier(&wait);
+        f(&scope)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // close the channel; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Handle for queueing jobs inside one [`Pool::scoped`] region.
+pub struct Scope<'pool, 'scope> {
+    sender: &'pool Sender<Job>,
+    wait: Arc<WaitGroup>,
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Queues `f` on the pool. It runs on some worker thread before the
+    /// enclosing [`Pool::scoped`] call returns.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.wait.add(1);
+        let guard = DoneGuard(Arc::clone(&self.wait));
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let _guard = guard;
+            f();
+        });
+        // SAFETY: `Pool::scoped` blocks (via ScopeBarrier, which fires even
+        // on unwind) until every queued job has finished, so no worker can
+        // observe a `'scope` borrow after it expires; extending the
+        // closure's lifetime to 'static for the channel is therefore sound.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.sender
+            .send(job)
+            .expect("scoped_threadpool: worker channel closed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_complete_before_scoped_returns() {
+        let mut pool = Pool::new(4);
+        let mut out = vec![0u64; 64];
+        pool.scoped(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.execute(move || *slot = (i as u64) * 2);
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == (i as u64) * 2));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scoped_calls() {
+        let mut pool = Pool::new(2);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.scoped(|scope| {
+                for _ in 0..8 {
+                    scope.execute(|| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let mut pool = Pool::new(2);
+        pool.scoped(|scope| {
+            scope.execute(|| panic!("boom"));
+        });
+        // Workers must still be serving afterwards.
+        let ran = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..4 {
+                scope.execute(|| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+}
