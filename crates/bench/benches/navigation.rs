@@ -42,7 +42,7 @@ fn session_follow(c: &mut Criterion) {
     let im = instrumental_music().unwrap();
     g.bench_function("follow_plays_from_edith", |b| {
         b.iter(|| {
-            let mut s = Session::new(im.db.clone());
+            let mut s = Session::builder(im.db.clone()).build();
             s.apply(Command::Pick(isis_core::SchemaNode::Class(im.musicians)))
                 .unwrap();
             s.apply(Command::ViewContents).unwrap();
@@ -52,7 +52,7 @@ fn session_follow(c: &mut Criterion) {
         })
     });
     g.bench_function("scene_after_follow", |b| {
-        let mut s = Session::new(im.db.clone());
+        let mut s = Session::builder(im.db.clone()).build();
         s.apply(Command::Pick(isis_core::SchemaNode::Class(im.musicians)))
             .unwrap();
         s.apply(Command::ViewContents).unwrap();

@@ -74,6 +74,11 @@ pub enum Change {
         entity: EntityId,
         /// Its baseclass.
         base: ClassId,
+        /// The name it was inserted under (for literals, the display name).
+        /// Recorded so a change stream is self-contained: replaying a
+        /// commit onto another database line needs the insert-time name,
+        /// which later renames would otherwise erase.
+        name: String,
     },
     /// An entity was deleted outright. Membership removals and value scrubs
     /// are recorded separately before this entry.
@@ -89,6 +94,9 @@ pub enum Change {
     EntityRenamed {
         /// The renamed entity.
         entity: EntityId,
+        /// The new name (self-contained for replay, like
+        /// [`Change::EntityInserted::name`]).
+        name: String,
     },
     /// `entity` entered the extent of `class`.
     MembershipAdded {

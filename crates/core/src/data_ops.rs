@@ -48,7 +48,11 @@ impl Database {
         self.entities.push(EntityRecord::user(name, base));
         self.entity_names.insert((base, name.to_string()), id);
         self.classes[base.index()].members.insert(id);
-        self.record_change(Change::EntityInserted { entity: id, base });
+        self.record_change(Change::EntityInserted {
+            entity: id,
+            base,
+            name: name.to_string(),
+        });
         self.record_change(Change::MembershipAdded {
             entity: id,
             class: base,
@@ -308,7 +312,10 @@ impl Database {
             old: AttrValue::Single(old_str),
             new: AttrValue::Single(new_str),
         });
-        self.record_change(Change::EntityRenamed { entity });
+        self.record_change(Change::EntityRenamed {
+            entity,
+            name: name.to_string(),
+        });
         Ok(self.delta_suffix(mark))
     }
 

@@ -419,7 +419,11 @@ impl Database {
         self.literal_index.insert(key, id);
         self.entity_names.insert((base, name.clone()), id);
         self.classes[base.index()].members.insert(id);
-        self.record_change(crate::change::Change::EntityInserted { entity: id, base });
+        self.record_change(crate::change::Change::EntityInserted {
+            entity: id,
+            base,
+            name: name.clone(),
+        });
         self.record_change(crate::change::Change::MembershipAdded {
             entity: id,
             class: base,
@@ -430,6 +434,13 @@ impl Database {
             self.intern(Literal::Str(name))?;
         }
         Ok(id)
+    }
+
+    /// The entity an already-interned literal resolves to, without
+    /// mutating. Lets read paths resolve literal tokens against a pinned
+    /// snapshot before falling back to [`Database::intern`].
+    pub fn find_literal(&self, lit: impl Into<Literal>) -> Option<EntityId> {
+        self.literal_index.get(&lit.into().intern_key()).copied()
     }
 
     /// Interns an integer (convenience).

@@ -45,6 +45,7 @@ pub mod ids;
 pub mod image;
 pub mod literal;
 pub mod map;
+pub mod mvcc;
 pub mod network;
 pub mod op;
 pub mod orderedset;
@@ -67,6 +68,7 @@ pub use ids::{AttrId, ClassId, EntityId, GroupingId, SchemaNode};
 pub use image::DatabaseImage;
 pub use literal::{BaseKind, Literal};
 pub use map::{Map, MapTrace};
+pub use mvcc::{CommitConflict, CommitHook, CommitReceipt, SharedDatabase};
 pub use network::NetworkArc;
 pub use op::{CompareOp, Operator};
 pub use orderedset::OrderedSet;

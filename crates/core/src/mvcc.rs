@@ -1,0 +1,738 @@
+//! In-process snapshot isolation over the delta log.
+//!
+//! The paper's ISIS is a multi-user system; this module is the concurrency
+//! story for the reproduction. A [`SharedDatabase`] is an `Arc`-backed
+//! handle that any number of sessions open concurrently:
+//!
+//! * **Readers pin.** [`SharedDatabase::pin`] clones the head under the
+//!   lock. The clone carries the delta log, so the pinned epoch
+//!   ([`Database::delta_epoch`] of the clone) addresses the shared history:
+//!   a reader at epoch `E` never observes state newer than `E` until it
+//!   explicitly re-pins.
+//! * **Writers buffer.** A writer mutates its pinned clone locally — every
+//!   mutation lands in the clone's own delta log — and publishes with
+//!   [`SharedDatabase::commit`], which extracts the write set as
+//!   `local.changes_since(base_epoch)` and conflict-checks it against
+//!   whatever committed to the shared head after `base_epoch`.
+//! * **First committer wins.** If a concurrent commit touched an
+//!   overlapping key — the same `(entity, attr)` value, the same
+//!   `(entity, class)` membership, or an entity the other side deleted —
+//!   the later commit fails with a typed [`CommitConflict`] and the writer
+//!   re-pins, replays its intent, and retries. Schema edits are coarse:
+//!   any schema change conflicts with any concurrent commit.
+//! * **Non-conflicting commits rebase.** A write set that does not overlap
+//!   is replayed onto the current head through the ordinary mutators
+//!   (entity ids allocated after the base epoch are remapped), so
+//!   independent writers make progress without retry loops.
+//!
+//! Derived-state maintenance (derived-class extents, derived attribute
+//! values) is *excluded* from both the conflict check and the replay: the
+//! paper keeps derived subclasses stale between commits (§2), every
+//! session recomputes them against its own snapshot, and two sessions
+//! settling the same predicate must not be made to conflict by it.
+//!
+//! Durability hangs off the commit path: a [`CommitHook`] installed by the
+//! storage layer observes `(head-after-commit, applied changes)` *before*
+//! the head is published. If the hook fails, the commit is rejected and
+//! the in-memory head is untouched — a crash between commit and WAL fsync
+//! can lose the commit, but can never admit a phantom one.
+//!
+//! The shared delta log's capacity bounds writer staleness: a commit whose
+//! base epoch has slid out of the retained window fails with
+//! [`CommitConflict::SnapshotTooOld`] and must re-pin.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::attribute::AttrValue;
+use crate::change::{Change, ChangeSet};
+use crate::error::CoreError;
+use crate::ids::{AttrId, ClassId, EntityId};
+use crate::Database;
+
+/// Why a commit was refused. First committer wins: exactly one of two
+/// conflicting writers receives one of these; the other's receipt stands.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CommitConflict {
+    /// Both sides assigned the same attribute of the same entity.
+    Value {
+        /// The entity whose value both sides wrote.
+        entity: EntityId,
+        /// The attribute both sides assigned.
+        attr: AttrId,
+    },
+    /// Both sides changed the same entity's membership in the same class.
+    Membership {
+        /// The entity whose membership both sides changed.
+        entity: EntityId,
+        /// The class both sides changed it in.
+        class: ClassId,
+    },
+    /// One side deleted an entity the other side touched.
+    Delete {
+        /// The deleted entity.
+        entity: EntityId,
+    },
+    /// A schema edit collided with a concurrent commit. Schema edits are
+    /// rare and invalidate predicates and indexes wholesale, so any schema
+    /// change on either side of a concurrent pair conflicts.
+    Schema,
+    /// The writer's base epoch has been evicted from the shared delta
+    /// window (or belongs to another database line); re-pin and retry.
+    SnapshotTooOld {
+        /// The epoch the writer pinned.
+        base: u64,
+        /// The oldest epoch the relevant log still addresses.
+        oldest: u64,
+    },
+    /// Replaying the (non-overlapping) write set onto the current head
+    /// failed — e.g. a name both sides inserted, or a value referencing an
+    /// entity that no longer qualifies. Semantically a conflict.
+    Rebase(CoreError),
+    /// The durability hook refused the commit; nothing was installed.
+    Durability(String),
+}
+
+impl fmt::Display for CommitConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitConflict::Value { entity, attr } => write!(
+                f,
+                "commit conflict: concurrent assignment of attr {attr:?} on entity {entity:?}"
+            ),
+            CommitConflict::Membership { entity, class } => write!(
+                f,
+                "commit conflict: concurrent membership change of entity {entity:?} in class {class:?}"
+            ),
+            CommitConflict::Delete { entity } => write!(
+                f,
+                "commit conflict: entity {entity:?} was deleted concurrently"
+            ),
+            CommitConflict::Schema => {
+                write!(f, "commit conflict: schema edit raced a concurrent commit")
+            }
+            CommitConflict::SnapshotTooOld { base, oldest } => write!(
+                f,
+                "commit conflict: snapshot at epoch {base} is older than the \
+                 retained window (oldest {oldest}); re-pin and retry"
+            ),
+            CommitConflict::Rebase(e) => write!(f, "commit conflict: replay failed: {e}"),
+            CommitConflict::Durability(m) => write!(f, "commit rejected by durability hook: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommitConflict {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommitConflict::Rebase(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// What a successful commit reports back.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct CommitReceipt {
+    /// The shared head's epoch after this commit.
+    pub epoch: u64,
+    /// The commit sequence number (1 for the first commit ever applied).
+    pub commits: u64,
+    /// `true` if the write set was replayed onto concurrent commits (the
+    /// committer's local snapshot is now behind the head and should be
+    /// re-pinned); `false` on the fast path where the local snapshot *is*
+    /// the new head.
+    pub rebased: bool,
+    /// Number of changes applied to the head (0 for a no-op commit).
+    pub changes: usize,
+}
+
+/// Observes every commit before it is published, for durability. The hook
+/// runs under the shared lock with `db` being the head-to-be and `applied`
+/// the exact changes that advanced it past the previous head. Returning
+/// `Err` vetoes the commit: the in-memory head stays untouched and the
+/// committer receives [`CommitConflict::Durability`].
+///
+/// The error type is a plain string so `isis-core` stays independent of
+/// the storage crate that implements the hook.
+pub trait CommitHook: Send {
+    /// Make `applied` durable (or refuse).
+    fn on_commit(&mut self, db: &Database, applied: &ChangeSet) -> Result<(), String>;
+}
+
+struct SharedInner {
+    db: Database,
+    commits: u64,
+    hook: Option<Box<dyn CommitHook>>,
+}
+
+/// A shared, concurrently-committable database: the multi-session handle.
+/// Cloning the handle is cheap and refers to the same head.
+#[derive(Clone)]
+pub struct SharedDatabase {
+    inner: Arc<Mutex<SharedInner>>,
+}
+
+impl fmt::Debug for SharedDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("SharedDatabase")
+            .field("epoch", &inner.db.delta_epoch())
+            .field("commits", &inner.commits)
+            .field("hook", &inner.hook.is_some())
+            .finish()
+    }
+}
+
+impl SharedDatabase {
+    /// Wraps a database for shared use.
+    pub fn new(db: Database) -> SharedDatabase {
+        SharedDatabase {
+            inner: Arc::new(Mutex::new(SharedInner {
+                db,
+                commits: 0,
+                hook: None,
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SharedInner> {
+        // The head is only ever replaced whole (never mutated in place
+        // under the lock), so a poisoned lock cannot expose a half-applied
+        // commit; recover the guard.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Pins the current head: a full clone, delta log included, whose
+    /// [`Database::delta_epoch`] is the pinned epoch. The clone is a stable
+    /// snapshot — later commits to the shared head never show through.
+    pub fn pin(&self) -> Database {
+        self.lock().db.clone()
+    }
+
+    /// Runs `f` against the head without cloning (a read "at latest").
+    pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.lock().db)
+    }
+
+    /// The head's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.lock().db.delta_epoch()
+    }
+
+    /// How many commits have been applied through this handle.
+    pub fn commits(&self) -> u64 {
+        self.lock().commits
+    }
+
+    /// Installs (or clears) the durability hook. The storage layer calls
+    /// this once when it opens the shared handle.
+    pub fn set_commit_hook(&self, hook: Option<Box<dyn CommitHook>>) {
+        self.lock().hook = hook;
+    }
+
+    /// Publishes everything `local` recorded after `base_epoch` (the epoch
+    /// it was pinned at, or the epoch of its last successful commit).
+    ///
+    /// First committer wins: if a commit already advanced the head past
+    /// `base_epoch` with an overlapping write set, this returns a
+    /// [`CommitConflict`] and the head is untouched. Non-overlapping
+    /// concurrent commits are rebased (replayed onto the head); the
+    /// receipt's [`CommitReceipt::rebased`] tells the caller to re-pin.
+    pub fn commit(
+        &self,
+        base_epoch: u64,
+        local: &Database,
+    ) -> Result<CommitReceipt, CommitConflict> {
+        let write_set =
+            local
+                .changes_since(base_epoch)
+                .ok_or_else(|| CommitConflict::SnapshotTooOld {
+                    base: base_epoch,
+                    oldest: local.delta_log().base_epoch(),
+                })?;
+        let mut inner = self.lock();
+        let concurrent =
+            inner
+                .db
+                .changes_since(base_epoch)
+                .ok_or_else(|| CommitConflict::SnapshotTooOld {
+                    base: base_epoch,
+                    oldest: inner.db.delta_log().base_epoch(),
+                })?;
+
+        if concurrent.is_empty() {
+            // Fast path: nobody committed since the pin; the local snapshot
+            // becomes the head verbatim.
+            if write_set.is_empty() {
+                return Ok(CommitReceipt {
+                    epoch: inner.db.delta_epoch(),
+                    commits: inner.commits,
+                    rebased: false,
+                    changes: 0,
+                });
+            }
+            if let Some(hook) = inner.hook.as_mut() {
+                hook.on_commit(local, &write_set)
+                    .map_err(CommitConflict::Durability)?;
+            }
+            inner.db = local.clone();
+            inner.commits += 1;
+            return Ok(CommitReceipt {
+                epoch: inner.db.delta_epoch(),
+                commits: inner.commits,
+                rebased: false,
+                changes: write_set.len(),
+            });
+        }
+
+        // Derived-state maintenance never conflicts and is never replayed:
+        // each session recomputes it against its own snapshot.
+        let w = filter_derived(local, &write_set);
+        if w.is_empty() {
+            // Pure reader (or only derived-state noise): nothing to
+            // publish. The head has moved on, so tell the caller to re-pin.
+            return Ok(CommitReceipt {
+                epoch: inner.db.delta_epoch(),
+                commits: inner.commits,
+                rebased: true,
+                changes: 0,
+            });
+        }
+        if write_set.has_schema_changes() || concurrent.has_schema_changes() {
+            return Err(CommitConflict::Schema);
+        }
+        let c = filter_derived(&inner.db, &concurrent);
+        check_overlap(&w, &c)?;
+
+        // Rebase: replay the write set onto the head through the ordinary
+        // mutators, remapping entity ids allocated after the base epoch.
+        let mut next = inner.db.clone();
+        let mark = next.delta_epoch();
+        replay(&mut next, local, &w).map_err(CommitConflict::Rebase)?;
+        let applied = next.delta_suffix(mark);
+        if applied.is_empty() {
+            // Replay degenerated to a no-op (e.g. idempotent memberships
+            // already present on the head); nothing to publish.
+            return Ok(CommitReceipt {
+                epoch: inner.db.delta_epoch(),
+                commits: inner.commits,
+                rebased: true,
+                changes: 0,
+            });
+        }
+        if let Some(hook) = inner.hook.as_mut() {
+            hook.on_commit(&next, &applied)
+                .map_err(CommitConflict::Durability)?;
+        }
+        inner.db = next;
+        inner.commits += 1;
+        Ok(CommitReceipt {
+            epoch: inner.db.delta_epoch(),
+            commits: inner.commits,
+            rebased: true,
+            changes: applied.len(),
+        })
+    }
+}
+
+/// Drops derived-class membership changes and derived-attribute value
+/// changes; `schema` is the side's own database (it knows any classes or
+/// attributes that side created).
+fn filter_derived(schema: &Database, cs: &ChangeSet) -> Vec<Change> {
+    cs.iter()
+        .filter(|ch| match ch {
+            Change::MembershipAdded { class, .. } | Change::MembershipRemoved { class, .. } => {
+                !schema
+                    .class(*class)
+                    .map(|c| c.is_derived())
+                    .unwrap_or(false)
+            }
+            Change::AttrAssigned { attr, .. } => {
+                !schema.attr(*attr).map(|a| a.is_derived()).unwrap_or(false)
+            }
+            _ => true,
+        })
+        .cloned()
+        .collect()
+}
+
+/// The conflict keys one side's filtered write set exposes. Entities the
+/// side itself inserted are excluded: their ids are line-local (both lines
+/// allocate from the same next-id, so equal raw ids past the base epoch
+/// name *different* entities) and a concurrent commit cannot have touched
+/// them.
+struct Keys {
+    inserted: HashSet<EntityId>,
+    assigns: HashSet<(EntityId, AttrId)>,
+    members: HashSet<(EntityId, ClassId)>,
+    deletes: HashSet<EntityId>,
+    touched: HashSet<EntityId>,
+}
+
+fn keys(changes: &[Change]) -> Keys {
+    let mut k = Keys {
+        inserted: HashSet::new(),
+        assigns: HashSet::new(),
+        members: HashSet::new(),
+        deletes: HashSet::new(),
+        touched: HashSet::new(),
+    };
+    for ch in changes {
+        match ch {
+            Change::EntityInserted { entity, .. } => {
+                k.inserted.insert(*entity);
+            }
+            Change::EntityDeleted { entity, .. } => {
+                if !k.inserted.contains(entity) {
+                    k.deletes.insert(*entity);
+                    k.touched.insert(*entity);
+                }
+            }
+            Change::EntityRenamed { entity, .. } => {
+                if !k.inserted.contains(entity) {
+                    k.touched.insert(*entity);
+                }
+            }
+            Change::MembershipAdded { entity, class }
+            | Change::MembershipRemoved { entity, class } => {
+                if !k.inserted.contains(entity) {
+                    k.members.insert((*entity, *class));
+                    k.touched.insert(*entity);
+                }
+            }
+            Change::AttrAssigned { entity, attr, .. } => {
+                if !k.inserted.contains(entity) {
+                    k.assigns.insert((*entity, *attr));
+                    k.touched.insert(*entity);
+                }
+            }
+            Change::Schema(_) => {}
+        }
+    }
+    k
+}
+
+fn check_overlap(w: &[Change], c: &[Change]) -> Result<(), CommitConflict> {
+    let kw = keys(w);
+    let kc = keys(c);
+    if let Some(&(entity, attr)) = kw.assigns.intersection(&kc.assigns).next() {
+        return Err(CommitConflict::Value { entity, attr });
+    }
+    if let Some(&(entity, class)) = kw.members.intersection(&kc.members).next() {
+        return Err(CommitConflict::Membership { entity, class });
+    }
+    if let Some(&entity) = kw
+        .deletes
+        .intersection(&kc.touched)
+        .chain(kc.deletes.intersection(&kw.touched))
+        .next()
+    {
+        return Err(CommitConflict::Delete { entity });
+    }
+    Ok(())
+}
+
+/// Replays `w` (the filtered write set recorded by `local`) onto `next`
+/// through the public mutators. Entity ids minted by `local` after the
+/// base epoch are remapped to the ids `next` allocates for them.
+fn replay(next: &mut Database, local: &Database, w: &[Change]) -> Result<(), CoreError> {
+    // Entities inserted and deleted within the same write set never reach
+    // the head at all; entities deleted by the write set are handled by
+    // the single delete_entity call (which re-derives the removals and
+    // scrubs on the head), so their preceding per-extent entries are
+    // skipped.
+    let mut inserted: HashSet<EntityId> = HashSet::new();
+    let mut deleted: HashSet<EntityId> = HashSet::new();
+    for ch in w {
+        match ch {
+            Change::EntityInserted { entity, .. } => {
+                inserted.insert(*entity);
+            }
+            Change::EntityDeleted { entity, .. } => {
+                deleted.insert(*entity);
+            }
+            _ => {}
+        }
+    }
+    let mut remap: HashMap<EntityId, EntityId> = HashMap::new();
+    let map =
+        |remap: &HashMap<EntityId, EntityId>, e: EntityId| remap.get(&e).copied().unwrap_or(e);
+    for ch in w {
+        match ch {
+            Change::EntityInserted { entity, base, name } => {
+                let rec = local.entities.get(entity.index());
+                if let Some(lit) = rec.and_then(|r| r.literal.clone()) {
+                    // Literal intern: idempotent on the head, possibly a
+                    // different id.
+                    let id = next.intern(lit)?;
+                    remap.insert(*entity, id);
+                } else {
+                    if deleted.contains(entity) {
+                        // Inserted and deleted in the same commit: never
+                        // materialises on the head.
+                        continue;
+                    }
+                    let id = next.insert_entity(*base, name)?;
+                    remap.insert(*entity, id);
+                }
+            }
+            Change::EntityDeleted { entity, .. } => {
+                if inserted.contains(entity) {
+                    continue;
+                }
+                next.delete_entity(*entity)?;
+            }
+            Change::EntityRenamed { entity, name } => {
+                if deleted.contains(entity) {
+                    continue;
+                }
+                next.rename_entity(map(&remap, *entity), name)?;
+            }
+            Change::MembershipAdded { entity, class } => {
+                if deleted.contains(entity) {
+                    continue;
+                }
+                // Idempotent; cascades to ancestors like the original call.
+                next.add_to_class(map(&remap, *entity), *class)?;
+            }
+            Change::MembershipRemoved { entity, class } => {
+                if deleted.contains(entity) {
+                    continue;
+                }
+                next.remove_from_class(map(&remap, *entity), *class)?;
+            }
+            Change::AttrAssigned {
+                entity, attr, new, ..
+            } => {
+                if deleted.contains(entity) {
+                    continue;
+                }
+                let e = map(&remap, *entity);
+                match new {
+                    AttrValue::Single(v) if v.is_null() => {
+                        next.unassign(e, *attr)?;
+                    }
+                    AttrValue::Single(v) => {
+                        // Naming-attribute assignments redirect to rename
+                        // inside assign_single; the EntityRenamed entry
+                        // that follows then no-ops.
+                        next.assign_single(e, *attr, map(&remap, *v))?;
+                    }
+                    AttrValue::Multi(s) => {
+                        let vals: Vec<EntityId> = s.iter().map(|v| map(&remap, v)).collect();
+                        next.assign_multi(e, *attr, vals)?;
+                    }
+                }
+            }
+            Change::Schema(_) => {
+                // Schema edits conflict before replay is attempted.
+                debug_assert!(false, "schema edit reached replay");
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> (Database, ClassId, AttrId) {
+        let mut db = Database::new("mvcc-test");
+        let people = db.create_baseclass("PEOPLE").unwrap();
+        let ints = db.predefined(crate::literal::BaseKind::Integers);
+        let age = db
+            .create_attribute(people, "age", ints, crate::attribute::Multiplicity::Single)
+            .unwrap();
+        db.insert_entity(people, "ann").unwrap();
+        db.insert_entity(people, "bob").unwrap();
+        (db, people, age)
+    }
+
+    #[test]
+    fn pinned_reader_is_stable_and_fast_path_commits() {
+        let (db, people, _) = seeded();
+        let shared = SharedDatabase::new(db);
+        let reader = shared.pin();
+        let before = reader.class(people).unwrap().members.len();
+
+        let mut writer = shared.pin();
+        let base = writer.delta_epoch();
+        writer.insert_entity(people, "carol").unwrap();
+        let receipt = shared.commit(base, &writer).unwrap();
+        assert!(!receipt.rebased);
+        assert_eq!(shared.commits(), 1);
+
+        // The pinned reader still sees the old extent; the head sees carol.
+        assert_eq!(reader.class(people).unwrap().members.len(), before);
+        assert_eq!(
+            shared.read(|db| db.class(people).unwrap().members.len()),
+            before + 1
+        );
+    }
+
+    #[test]
+    fn conflicting_commits_one_wins() {
+        let (db, people, age) = seeded();
+        let ann = db.entity_by_name(people, "ann").unwrap();
+        let shared = SharedDatabase::new(db);
+
+        let mut w1 = shared.pin();
+        let b1 = w1.delta_epoch();
+        let mut w2 = shared.pin();
+        let b2 = w2.delta_epoch();
+
+        let v1 = w1.int(30);
+        w1.assign_single(ann, age, v1).unwrap();
+        let v2 = w2.int(40);
+        w2.assign_single(ann, age, v2).unwrap();
+
+        shared.commit(b1, &w1).unwrap();
+        let err = shared.commit(b2, &w2).unwrap_err();
+        assert_eq!(
+            err,
+            CommitConflict::Value {
+                entity: ann,
+                attr: age
+            }
+        );
+        // The first committer's value stands.
+        let thirty = shared.read(|db| {
+            let v = db.attr_value(ann, age).unwrap();
+            match v {
+                AttrValue::Single(e) => db.literal_of(e).cloned(),
+                _ => None,
+            }
+        });
+        assert_eq!(thirty, Some(crate::literal::Literal::Int(30)));
+    }
+
+    #[test]
+    fn disjoint_commits_rebase_with_id_remap() {
+        let (db, people, age) = seeded();
+        let shared = SharedDatabase::new(db);
+
+        let mut w1 = shared.pin();
+        let b1 = w1.delta_epoch();
+        let mut w2 = shared.pin();
+        let b2 = w2.delta_epoch();
+
+        // Both insert a new entity: raw ids collide across lines, the
+        // rebase must remap.
+        let carol = w1.insert_entity(people, "carol").unwrap();
+        let v = w1.int(25);
+        w1.assign_single(carol, age, v).unwrap();
+
+        let dave = w2.insert_entity(people, "dave").unwrap();
+        let v = w2.int(35);
+        w2.assign_single(dave, age, v).unwrap();
+
+        shared.commit(b1, &w1).unwrap();
+        let receipt = shared.commit(b2, &w2).unwrap();
+        assert!(receipt.rebased);
+        assert_eq!(shared.commits(), 2);
+
+        shared.read(|db| {
+            let carol = db.entity_by_name(people, "carol").unwrap();
+            let dave = db.entity_by_name(people, "dave").unwrap();
+            assert_ne!(carol, dave);
+            let get = |e| match db.attr_value(e, age).unwrap() {
+                AttrValue::Single(v) => db.literal_of(v).cloned(),
+                _ => None,
+            };
+            assert_eq!(get(carol), Some(crate::literal::Literal::Int(25)));
+            assert_eq!(get(dave), Some(crate::literal::Literal::Int(35)));
+            assert!(db.check_consistency().unwrap().is_empty());
+        });
+    }
+
+    #[test]
+    fn delete_vs_touch_conflicts() {
+        let (db, people, age) = seeded();
+        let ann = db.entity_by_name(people, "ann").unwrap();
+        let shared = SharedDatabase::new(db);
+
+        let mut w1 = shared.pin();
+        let b1 = w1.delta_epoch();
+        let mut w2 = shared.pin();
+        let b2 = w2.delta_epoch();
+
+        w1.delete_entity(ann).unwrap();
+        let v = w2.int(50);
+        w2.assign_single(ann, age, v).unwrap();
+
+        shared.commit(b1, &w1).unwrap();
+        assert_eq!(
+            shared.commit(b2, &w2).unwrap_err(),
+            CommitConflict::Delete { entity: ann }
+        );
+    }
+
+    #[test]
+    fn schema_edit_conflicts_coarsely() {
+        let (db, people, _) = seeded();
+        let shared = SharedDatabase::new(db);
+
+        let mut w1 = shared.pin();
+        let b1 = w1.delta_epoch();
+        let mut w2 = shared.pin();
+        let b2 = w2.delta_epoch();
+
+        w1.insert_entity(people, "carol").unwrap();
+        w2.create_subclass(people, "STAFF").unwrap();
+
+        shared.commit(b1, &w1).unwrap();
+        assert_eq!(shared.commit(b2, &w2).unwrap_err(), CommitConflict::Schema);
+    }
+
+    #[test]
+    fn snapshot_too_old_when_window_slides() {
+        let (mut db, people, _) = seeded();
+        db.set_delta_capacity(4);
+        let shared = SharedDatabase::new(db);
+
+        let mut late = shared.pin();
+        let b_late = late.delta_epoch();
+        late.insert_entity(people, "zed").unwrap();
+
+        // Other writers flood the shared log past the retained window.
+        for i in 0..4 {
+            let mut w = shared.pin();
+            let b = w.delta_epoch();
+            w.insert_entity(people, &format!("p{i}")).unwrap();
+            shared.commit(b, &w).unwrap();
+        }
+
+        match shared.commit(b_late, &late).unwrap_err() {
+            CommitConflict::SnapshotTooOld { base, .. } => assert_eq!(base, b_late),
+            other => panic!("expected SnapshotTooOld, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn durability_hook_vetoes_without_installing() {
+        struct Veto;
+        impl CommitHook for Veto {
+            fn on_commit(&mut self, _: &Database, _: &ChangeSet) -> Result<(), String> {
+                Err("disk on fire".into())
+            }
+        }
+        let (db, people, _) = seeded();
+        let shared = SharedDatabase::new(db);
+        shared.set_commit_hook(Some(Box::new(Veto)));
+
+        let mut w = shared.pin();
+        let b = w.delta_epoch();
+        w.insert_entity(people, "carol").unwrap();
+        match shared.commit(b, &w).unwrap_err() {
+            CommitConflict::Durability(m) => assert!(m.contains("disk on fire")),
+            other => panic!("expected Durability, got {other:?}"),
+        }
+        assert_eq!(shared.commits(), 0);
+        assert!(shared.read(|db| db.entity_by_name(people, "carol").is_err()));
+    }
+}

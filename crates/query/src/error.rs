@@ -6,6 +6,7 @@ use isis_core::CoreError;
 
 /// Errors raised by the relational engine, compiler and baselines.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum QueryError {
     /// A base relation name did not resolve.
     NoSuchRelation(String),

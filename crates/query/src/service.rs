@@ -25,6 +25,18 @@
 //! (DESIGN.md §5c), and [`IndexService::evaluate`] runs under a
 //! `query.service.evaluate` span, so the REPL `metrics` and `trace dump`
 //! commands see the query path without any extra plumbing.
+//!
+//! **Snapshot consistency under MVCC (DESIGN.md §6).** A service indexes
+//! exactly one database *line*: its delta cursor is an epoch on the
+//! database it was built from, and epochs are line-local. Under a
+//! `SharedDatabase` every session's pinned snapshot is its own line, so a
+//! service built over a pinned snapshot keeps answering from that snapshot
+//! no matter what other sessions commit to the shared head — queries are
+//! repeatable for as long as the pin is held. When a session moves lines
+//! (a pull, or a commit that was rebased onto concurrent commits), the
+//! old cursor is meaningless on the new line; `Session` handles this by
+//! discarding the service and rebuilding it against the fresh pin, exactly
+//! as it does for a database swap via load/undo.
 
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
@@ -670,5 +682,38 @@ mod tests {
         // 5 of 12 instruments are stringed at seed state.
         let sel = svc.grouping_selectivity(&im.db, &atom).unwrap();
         assert!((sel - 5.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pinned_service_is_repeatable_under_shared_commits() {
+        let im = instrumental_music().unwrap();
+        let shared = isis_core::SharedDatabase::new(im.db);
+        let pinned = shared.pin();
+        let mut svc = IndexService::new(&pinned);
+        svc.ensure_index(&pinned, im.plays).unwrap();
+        let atom = match_atom(im.plays, im.instruments, im.piano);
+        let pred = Predicate::dnf(vec![Clause::new(vec![atom])]);
+        let before = svc.evaluate(&pinned, im.musicians, &pred).unwrap();
+
+        // A concurrent session commits a new piano player to the head.
+        let mut w = shared.pin();
+        let base = w.delta_epoch();
+        let zed = w.insert_entity(im.musicians, "Zed").unwrap();
+        w.add_value(zed, im.plays, im.piano).unwrap();
+        shared.commit(base, &w).unwrap();
+
+        // The pinned line is untouched: refresh is a no-op and the answer
+        // is bit-identical — repeatable reads for as long as the pin lives.
+        svc.refresh(&pinned).unwrap();
+        let after = svc.evaluate(&pinned, im.musicians, &pred).unwrap();
+        assert_eq!(before, after, "pinned service must not see the commit");
+
+        // A service built over a *fresh* pin sees the committed state.
+        let fresh = shared.pin();
+        let mut svc2 = IndexService::new(&fresh);
+        svc2.ensure_index(&fresh, im.plays).unwrap();
+        let head = svc2.evaluate(&fresh, im.musicians, &pred).unwrap();
+        assert_eq!(head.len(), before.len() + 1);
+        assert!(head.contains(fresh.entity_by_name(im.musicians, "Zed").unwrap()));
     }
 }

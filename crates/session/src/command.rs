@@ -160,6 +160,12 @@ pub enum Command {
     /// delta log where possible (full re-evaluation only after schema
     /// changes or when the log window has been evicted).
     Refresh,
+    /// Publish the session's buffered changes to the shared head
+    /// (first-committer-wins; see DESIGN.md §6).
+    Commit,
+    /// Re-pin the session's snapshot at the shared head, making concurrent
+    /// commits visible. Refused while the session is dirty.
+    Pull,
     /// Choose when derived state is refreshed automatically.
     SetRefreshPolicy(crate::state::RefreshPolicy),
     /// Undo the last modification.
@@ -221,6 +227,8 @@ impl Command {
             Command::Doctor(_) => "session.command.doctor",
             Command::Fsck(_) => "session.command.fsck",
             Command::Refresh => "session.command.refresh",
+            Command::Commit => "session.command.commit",
+            Command::Pull => "session.command.pull",
             Command::SetRefreshPolicy(_) => "session.command.set_refresh_policy",
             Command::Undo => "session.command.undo",
             Command::Redo => "session.command.redo",

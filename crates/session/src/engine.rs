@@ -2,8 +2,8 @@
 //! state, and builds the current view's [`Scene`].
 
 use isis_core::{
-    Atom, AttrDerivation, AttrId, Change, ChangeSet, ClassId, CoreError, Database, Map, OrderedSet,
-    Predicate, Rhs, SchemaNode, ValueClass,
+    Atom, AttrDerivation, AttrId, Change, ChangeSet, ClassId, CommitReceipt, CoreError, Database,
+    Map, OrderedSet, Predicate, Rhs, SchemaNode, SharedDatabase, ValueClass,
 };
 use isis_query::{DerivedMaintainer, IndexService};
 use isis_store::{RecoveryReport, StoreDir};
@@ -38,7 +38,7 @@ struct Snapshot {
 /// let people = db.create_baseclass("people").unwrap();
 /// let ada = db.insert_entity(people, "Ada").unwrap();
 ///
-/// let mut session = Session::new(db);
+/// let mut session = Session::builder(db).build();
 /// session.apply(Command::PickByName("people".into()))?;
 /// session.apply(Command::ViewContents)?;       // → the data level
 /// session.apply(Command::SelectEntity(ada))?;  // select/reject
@@ -46,8 +46,43 @@ struct Snapshot {
 /// assert!(scene.has_text_with("Ada", isis_views::Emphasis::Bold));
 /// # Ok::<(), isis_session::SessionError>(())
 /// ```
+///
+/// Multiple sessions share one database through a
+/// [`SharedDatabase`] handle (snapshot isolation; see DESIGN.md §6):
+///
+/// ```
+/// use isis_core::SharedDatabase;
+/// use isis_session::Session;
+///
+/// let mut db = isis_core::Database::new("demo");
+/// let people = db.create_baseclass("people").unwrap();
+/// let shared = SharedDatabase::new(db);
+///
+/// let mut writer = Session::open(&shared).build();
+/// let reader = Session::open(&shared).build();
+///
+/// writer.transact(|db| db.insert_entity(people, "Ada"))?;
+/// writer.commit_changes()?;
+///
+/// // The reader is pinned: it re-pins explicitly to observe the commit.
+/// assert!(reader.database().entity_by_name(people, "Ada").is_err());
+/// # Ok::<(), isis_session::SessionError>(())
+/// ```
 #[derive(Debug)]
 pub struct Session {
+    /// The shared handle this session is a participant of. A session built
+    /// from a plain [`Database`] gets a private handle of its own, so the
+    /// single-owner API is the one-session special case of the shared one.
+    shared: SharedDatabase,
+    /// The epoch `db` was pinned at (or the epoch of the last successful
+    /// commit). The write set of [`Session::commit_changes`] is everything
+    /// `db` recorded after this epoch.
+    base_epoch: u64,
+    /// `true` once the session has buffered uncommitted user mutations.
+    /// Derived-state maintenance does not count: it is recomputed per
+    /// snapshot and never published by a commit.
+    dirty: bool,
+    /// The pinned local snapshot all reads and buffered writes go through.
     db: Database,
     mode: Mode,
     selection: Option<Selection>,
@@ -88,8 +123,20 @@ pub struct Session {
     eval_threads: usize,
 }
 
+/// Where a session's database comes from: a database it owns outright
+/// (wrapped in a private [`SharedDatabase`]) or a shared handle other
+/// sessions also participate in.
+#[derive(Debug)]
+enum Source {
+    Owned(Box<Database>),
+    Shared(SharedDatabase),
+}
+
 /// Configures and builds a [`Session`]: attach a store, pick the refresh
-/// policy, bound the database's delta log.
+/// policy, bound the database's delta log. This is the one construction
+/// path — [`Session::builder`] starts from an owned database,
+/// [`Session::open`] from a [`SharedDatabase`]; the deprecated
+/// `Session::new` / `Session::with_store` are thin wrappers over it.
 ///
 /// ```
 /// use isis_session::Session;
@@ -100,7 +147,7 @@ pub struct Session {
 /// ```
 #[derive(Debug)]
 pub struct SessionBuilder {
-    db: Database,
+    source: Source,
     store: Option<StoreDir>,
     policy: RefreshPolicy,
     delta_capacity: Option<usize>,
@@ -144,30 +191,36 @@ impl SessionBuilder {
         self
     }
 
-    /// Builds the session.
+    /// Builds the session: wraps an owned database in a private
+    /// [`SharedDatabase`] (or joins the given one) and pins a snapshot.
     pub fn build(self) -> Session {
         let SessionBuilder {
-            mut db,
+            source,
             store,
             policy,
             delta_capacity,
             eval_threads,
         } = self;
+        let shared = match source {
+            Source::Owned(mut db) => {
+                if let Some(capacity) = delta_capacity {
+                    db.set_delta_capacity(capacity);
+                }
+                SharedDatabase::new(*db)
+            }
+            Source::Shared(shared) => shared,
+        };
+        let mut db = shared.pin();
         if let Some(capacity) = delta_capacity {
+            // On a shared handle this bounds the *local* buffer only; the
+            // head keeps its own window (which bounds commit staleness).
             db.set_delta_capacity(capacity);
         }
-        let mut s = Session::new(db);
-        s.store = store;
-        s.policy = policy;
-        s.eval_threads = eval_threads;
-        s
-    }
-}
-
-impl Session {
-    /// Starts a session on an in-memory database (no load/save).
-    pub fn new(db: Database) -> Session {
+        let base_epoch = db.delta_epoch();
         Session {
+            shared,
+            base_epoch,
+            dirty: false,
             db,
             mode: Mode::Forest,
             selection: None,
@@ -176,24 +229,46 @@ impl Session {
             undo: Vec::new(),
             redo: Vec::new(),
             messages: Vec::new(),
-            store: None,
+            store,
             stopped: false,
             offsets: Vec::new(),
             pan: (0, 0),
-            policy: RefreshPolicy::Manual,
+            policy,
             refresh_cursor: 0,
             maintainers: None,
             service: None,
             last_recovery: None,
+            eval_threads,
+        }
+    }
+}
+
+impl Session {
+    /// Starts a session on an in-memory database (no load/save).
+    #[deprecated(note = "use Session::builder(db).build()")]
+    pub fn new(db: Database) -> Session {
+        Session::builder(db).build()
+    }
+
+    /// Starts configuring a session that owns its database (store, refresh
+    /// policy, delta-log capacity).
+    pub fn builder(db: Database) -> SessionBuilder {
+        SessionBuilder {
+            source: Source::Owned(Box::new(db)),
+            store: None,
+            policy: RefreshPolicy::Manual,
+            delta_capacity: None,
             eval_threads: 1,
         }
     }
 
-    /// Starts configuring a session (store, refresh policy, delta-log
-    /// capacity).
-    pub fn builder(db: Database) -> SessionBuilder {
+    /// Starts configuring a session on a [`SharedDatabase`] other sessions
+    /// may also have open. The session pins a snapshot of the head at
+    /// [`SessionBuilder::build`] time; see [`Session::commit_changes`] /
+    /// [`Session::pull`] for how it publishes and observes commits.
+    pub fn open(shared: &SharedDatabase) -> SessionBuilder {
         SessionBuilder {
-            db,
+            source: Source::Shared(shared.clone()),
             store: None,
             policy: RefreshPolicy::Manual,
             delta_capacity: None,
@@ -202,6 +277,7 @@ impl Session {
     }
 
     /// Starts a session attached to a database directory.
+    #[deprecated(note = "use Session::builder(db).store(store).build()")]
     pub fn with_store(db: Database, store: StoreDir) -> Session {
         Session::builder(db).store(store).build()
     }
@@ -212,15 +288,123 @@ impl Session {
         self.last_recovery.as_ref()
     }
 
-    /// Read access to the database.
+    /// Read access to the pinned snapshot.
     pub fn database(&self) -> &Database {
         &self.db
     }
 
-    /// Mutable access to the database (for tests and scripted setup; the
-    /// interface path is [`Session::apply`]).
+    /// Mutable access to the pinned snapshot. Mutations land in the local
+    /// buffer like any other write — they cannot bypass conflict detection,
+    /// because [`Session::commit_changes`] extracts the write set from the
+    /// delta log, not from the call path — but this accessor cannot run the
+    /// refresh pipeline afterwards, which is why it is deprecated.
+    #[deprecated(note = "use transact() so refresh policy and dirty tracking apply")]
     pub fn database_mut(&mut self) -> &mut Database {
+        self.dirty = true;
         &mut self.db
+    }
+
+    /// The explicit write-transaction entry point: runs `f` against the
+    /// pinned snapshot, records an undo point, marks the session dirty, and
+    /// applies the refresh policy. The buffered changes publish on
+    /// [`Session::commit_changes`].
+    pub fn transact<R>(
+        &mut self,
+        f: impl FnOnce(&mut Database) -> isis_core::Result<R>,
+    ) -> Result<R, SessionError> {
+        self.snapshot();
+        let out = f(&mut self.db)?;
+        self.refresh_after_data_mod()?;
+        Ok(out)
+    }
+
+    /// The shared handle this session participates in — clone it to open
+    /// more sessions on the same database.
+    pub fn shared(&self) -> &SharedDatabase {
+        &self.shared
+    }
+
+    /// The epoch the local snapshot is pinned at.
+    pub fn pinned_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// `true` if the session has buffered uncommitted mutations.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Publishes everything buffered since the pin (or the last commit) to
+    /// the shared head: first committer wins, conflicting concurrent
+    /// commits surface as [`SessionError::Conflict`]. On success the
+    /// session is clean and pinned at the new head; the undo history is
+    /// cleared (a commit is a transaction boundary).
+    pub fn commit_changes(&mut self) -> Result<CommitReceipt, SessionError> {
+        let receipt = self.shared.commit(self.base_epoch, &self.db)?;
+        if receipt.rebased || receipt.epoch != self.db.delta_epoch() {
+            // The head ran ahead (our write set was replayed onto it, or
+            // concurrent commits landed): re-pin.
+            self.db = self.shared.pin();
+            self.invalidate_refresh();
+            self.revalidate_interactive_state();
+        }
+        self.base_epoch = receipt.epoch;
+        self.dirty = false;
+        self.undo.clear();
+        self.redo.clear();
+        self.refresh_after_commit()?;
+        Ok(receipt)
+    }
+
+    /// Re-pins the snapshot at the current shared head, making concurrent
+    /// commits visible. Refuses while dirty ([`SessionError::DirtySnapshot`])
+    /// — commit or [`Session::discard_changes`] first.
+    pub fn pull(&mut self) -> Result<(), SessionError> {
+        if self.dirty {
+            return Err(SessionError::DirtySnapshot);
+        }
+        if self.shared.epoch() == self.base_epoch {
+            return Ok(());
+        }
+        self.repin()?;
+        Ok(())
+    }
+
+    /// Drops all buffered changes and re-pins at the current head.
+    pub fn discard_changes(&mut self) -> Result<(), SessionError> {
+        self.worksheet = None;
+        self.repin()
+    }
+
+    fn repin(&mut self) -> Result<(), SessionError> {
+        self.db = self.shared.pin();
+        self.base_epoch = self.db.delta_epoch();
+        self.dirty = false;
+        self.undo.clear();
+        self.redo.clear();
+        self.invalidate_refresh();
+        self.revalidate_interactive_state();
+        self.refresh_after_commit()
+    }
+
+    /// After a re-pin the interactive anchors may dangle (a concurrent
+    /// commit deleted the selected class or entity); drop the ones that no
+    /// longer resolve rather than letting views error.
+    fn revalidate_interactive_state(&mut self) {
+        let ok = match self.selection {
+            None => true,
+            Some(Selection::Class(c)) => self.db.class(c).is_ok(),
+            Some(Selection::Attr(a)) => self.db.attr(a).is_ok(),
+            Some(Selection::Grouping(g)) => self.db.grouping(g).is_ok(),
+        };
+        if !ok {
+            self.selection = None;
+        }
+        let db = &self.db;
+        self.pages.retain(|p| match p.node {
+            SchemaNode::Class(c) => db.class(c).is_ok(),
+            SchemaNode::Grouping(g) => db.grouping(g).is_ok(),
+        });
     }
 
     /// The current mode (view).
@@ -561,7 +745,13 @@ impl Session {
             .collect()
     }
 
+    /// Records an undo point; called before every user mutation, so it
+    /// doubles as the dirty-flag hook for commit tracking. (Undo snapshots
+    /// are taken after the pin and cleared at every commit/re-pin, so an
+    /// undone database still belongs to the pinned line and its epochs
+    /// stay commit-comparable.)
     fn snapshot(&mut self) {
+        self.dirty = true;
         self.undo.push(Snapshot {
             db: self.db.clone(),
             selection: self.selection,
@@ -1248,6 +1438,12 @@ impl Session {
             Command::Load(name) => {
                 let store = self.store.as_ref().ok_or(SessionError::NoStore)?;
                 let (db, report) = store.recover(&name)?;
+                // Loading replaces the database line wholesale: the session
+                // detaches onto a fresh private shared handle (other
+                // sessions on the old handle keep the old line).
+                self.shared = SharedDatabase::new(db.clone());
+                self.base_epoch = db.delta_epoch();
+                self.dirty = false;
                 self.db = db;
                 self.mode = Mode::Forest;
                 self.selection = None;
@@ -1320,6 +1516,7 @@ impl Session {
                 self.db = snap.db;
                 self.selection = snap.selection;
                 self.pages = snap.pages;
+                self.dirty = true;
                 self.invalidate_refresh();
                 self.say("undone");
                 Ok(())
@@ -1334,16 +1531,52 @@ impl Session {
                 self.db = snap.db;
                 self.selection = snap.selection;
                 self.pages = snap.pages;
+                self.dirty = true;
                 self.invalidate_refresh();
                 self.say("redone");
                 Ok(())
             }
             Command::Refresh => {
+                // A clean session also pulls: "refresh" at the interface
+                // means "show me the current state of the world", which on
+                // a shared database includes concurrent commits.
+                if !self.dirty && self.shared.epoch() != self.base_epoch {
+                    self.pull()?;
+                    self.say(format!("pulled shared head (epoch {})", self.base_epoch));
+                }
                 let before = self.messages.len();
                 self.refresh_derived()?;
                 if self.messages.len() == before {
                     self.say("derived state is up to date");
                 }
+                Ok(())
+            }
+            Command::Commit => {
+                let receipt = self.commit_changes()?;
+                self.say(if receipt.changes == 0 {
+                    "nothing to commit".to_string()
+                } else {
+                    format!(
+                        "committed {} change(s) as commit {}{}",
+                        receipt.changes,
+                        receipt.commits,
+                        if receipt.rebased {
+                            " (rebased onto concurrent commits)"
+                        } else {
+                            ""
+                        }
+                    )
+                });
+                Ok(())
+            }
+            Command::Pull => {
+                let before = self.base_epoch;
+                self.pull()?;
+                self.say(if self.base_epoch == before {
+                    "already at the shared head".to_string()
+                } else {
+                    format!("pulled shared head (epoch {})", self.base_epoch)
+                });
                 Ok(())
             }
             Command::SetRefreshPolicy(policy) => {

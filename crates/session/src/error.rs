@@ -2,12 +2,13 @@
 
 use std::fmt;
 
-use isis_core::CoreError;
+use isis_core::{CommitConflict, CoreError};
 use isis_query::QueryError;
 use isis_store::StoreError;
 
 /// Errors raised by session commands.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum SessionError {
     /// The command is not available in the current mode/view.
     WrongMode(String),
@@ -22,6 +23,12 @@ pub enum SessionError {
     NothingToUndo,
     /// No database directory is attached (load/save unavailable).
     NoStore,
+    /// A commit lost the first-committer-wins race (or was vetoed by the
+    /// durability hook); re-pin and retry.
+    Conflict(CommitConflict),
+    /// `pull` was refused because the session has uncommitted changes;
+    /// commit or discard them first.
+    DirtySnapshot,
     /// An engine error.
     Core(CoreError),
     /// A query-layer error (planning, compiled programs, parallel workers).
@@ -39,6 +46,11 @@ impl fmt::Display for SessionError {
             SessionError::NoWorksheet(m) => write!(f, "no worksheet: {m}"),
             SessionError::NothingToUndo => write!(f, "nothing to undo/redo"),
             SessionError::NoStore => write!(f, "no database directory attached"),
+            SessionError::Conflict(e) => write!(f, "{e}"),
+            SessionError::DirtySnapshot => write!(
+                f,
+                "uncommitted changes; commit or discard them before pulling"
+            ),
             SessionError::Core(e) => write!(f, "{e}"),
             SessionError::Query(e) => write!(f, "{e}"),
             SessionError::Store(e) => write!(f, "{e}"),
@@ -52,6 +64,7 @@ impl std::error::Error for SessionError {
             SessionError::Core(e) => Some(e),
             SessionError::Query(e) => Some(e),
             SessionError::Store(e) => Some(e),
+            SessionError::Conflict(e) => Some(e),
             _ => None,
         }
     }
@@ -60,6 +73,12 @@ impl std::error::Error for SessionError {
 impl From<CoreError> for SessionError {
     fn from(e: CoreError) -> Self {
         SessionError::Core(e)
+    }
+}
+
+impl From<CommitConflict> for SessionError {
+    fn from(e: CommitConflict) -> Self {
+        SessionError::Conflict(e)
     }
 }
 

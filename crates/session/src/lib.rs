@@ -28,5 +28,7 @@ pub mod state;
 pub use command::Command;
 pub use engine::{Session, SessionBuilder};
 pub use error::SessionError;
+// Re-exported so multi-session callers need only this crate.
+pub use isis_core::{CommitConflict, CommitReceipt, SharedDatabase};
 pub use script::{Script, Step, Transcript};
 pub use state::{AtomDraft, Mode, RefreshPolicy, Selection, WorksheetState, WsTarget};

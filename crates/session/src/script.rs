@@ -124,7 +124,7 @@ mod tests {
     fn script_runs_and_captures() {
         let mut db = Database::new("t");
         let m = db.create_baseclass("musicians").unwrap();
-        let mut session = Session::new(db);
+        let mut session = Session::builder(db).build();
         let mut script = Script::new();
         script
             .cmd(Command::Pick(isis_core::SchemaNode::Class(m)))
@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn script_stops_on_error() {
         let db = Database::new("t");
-        let mut session = Session::new(db);
+        let mut session = Session::builder(db).build();
         let mut script = Script::new();
         script.cmd(Command::ViewContents); // nothing selected
         assert!(script.run(&mut session).is_err());

@@ -1,5 +1,10 @@
 //! End-to-end tests of the session engine against the §4.2 narrative and
 //! the Diagram-1 state invariants.
+//!
+//! Deliberately stays on the deprecated `Session::new` / `with_store` /
+//! `database_mut` shims: this file is the compat coverage proving they
+//! still behave like the builder path they wrap.
+#![allow(deprecated)]
 
 use isis_core::{CompareOp, EntityId, Multiplicity, SchemaNode};
 use isis_sample::instrumental_music;

@@ -285,6 +285,7 @@ pub fn describe(db: &Database, op: &LogOp) -> String {
             class_name(db, *c)
         ),
         LogOp::DeleteConstraint(id) => format!("delete constraint {id}"),
+        LogOp::CommitBatch(ops) => format!("commit {} operation(s) atomically", ops.len()),
     }
 }
 

@@ -28,6 +28,7 @@ pub mod encode;
 pub mod error;
 pub mod history;
 pub mod recovery;
+pub mod shared;
 mod store;
 pub mod vfs;
 pub mod wal;
@@ -36,6 +37,7 @@ pub use codec::{crc32, CodecError};
 pub use error::StoreError;
 pub use history::{describe, is_schema_level, DesignHistory, HistoryEntry};
 pub use recovery::{FsckReport, RecoveryReport};
+pub use shared::WalCommitHook;
 pub use store::{
     read_snapshot, read_snapshot_bytes, read_snapshot_bytes_gen, snapshot_bytes_with_gen,
     write_snapshot, write_snapshot_bytes, LoggedDatabase, StoreDir, SNAPSHOT_MAGIC,

@@ -22,7 +22,7 @@
 //! (standalone [`WalFile`] use, pre-generation files) replay
 //! unconditionally, as before.
 //!
-//! All file I/O goes through the [`Vfs`](crate::vfs::Vfs) trait, so the
+//! All file I/O goes through the [`Vfs`] trait, so the
 //! crash-consistency suite can inject faults at every byte boundary.
 
 use std::path::{Path, PathBuf};
@@ -101,6 +101,10 @@ pub enum LogOp {
     CreateConstraint(String, ClassId, Predicate, ConstraintKind),
     /// `delete_constraint(id)`.
     DeleteConstraint(ConstraintId),
+    /// One MVCC commit's operations, framed as a single atomic record:
+    /// a torn tail or checksum failure discards the *whole* commit, so
+    /// recovery can never observe half of one. Batches never nest.
+    CommitBatch(Vec<LogOp>),
 }
 
 impl LogOp {
@@ -143,6 +147,12 @@ impl LogOp {
                 db.create_constraint(n, *c, p.clone(), *k).map(|_| ())
             }
             LogOp::DeleteConstraint(id) => db.delete_constraint(*id),
+            LogOp::CommitBatch(ops) => {
+                for op in ops {
+                    op.apply(db)?;
+                }
+                Ok(())
+            }
         }
     }
 
@@ -340,6 +350,10 @@ impl LogOp {
                 w.u8(29);
                 w.u32(id.raw());
             }
+            LogOp::CommitBatch(ops) => {
+                w.u8(30);
+                w.seq(ops, |w, op| w.bytes_field(&op.encode()));
+            }
         }
         w.into_bytes()
     }
@@ -432,6 +446,18 @@ impl LogOp {
                 LogOp::CreateConstraint(n, c, p, k)
             }
             29 => LogOp::DeleteConstraint(ConstraintId::from_raw(r.u32()?)),
+            30 => {
+                let ops = r.seq(|r| {
+                    let bytes = r.bytes_field()?;
+                    // Reject nesting *before* recursing so hostile input
+                    // cannot drive the decoder arbitrarily deep.
+                    if bytes.first() == Some(&30) {
+                        return Err(CodecError::Corrupt("nested commit batch".into()));
+                    }
+                    LogOp::decode(bytes)
+                })?;
+                LogOp::CommitBatch(ops)
+            }
             t => return Err(CodecError::Corrupt(format!("log op tag {t}"))),
         };
         if !r.is_at_end() {
@@ -537,6 +563,25 @@ impl WalFile {
         drop(timer);
         obs.count("store.wal.appends", 1);
         obs.count("store.wal.append_bytes", framed.len() as u64);
+        Ok(())
+    }
+
+    /// Current byte length of the log file — a rollback mark for
+    /// [`WalFile::rewind_to`].
+    pub(crate) fn len(&self) -> Result<u64, StoreError> {
+        Ok(self.vfs.file_len(&self.path)?)
+    }
+
+    /// Rewinds the file to `len` bytes and makes the rewind durable,
+    /// discarding a failed append so recovery can never replay a record
+    /// whose write was reported as failed. The [`Vfs`] has no partial
+    /// truncate, so the retained prefix is rewritten wholesale.
+    pub(crate) fn rewind_to(&mut self, len: u64) -> Result<(), StoreError> {
+        let bytes = self.vfs.read(&self.path)?;
+        if bytes.len() as u64 > len {
+            self.vfs.write(&self.path, &bytes[..len as usize])?;
+        }
+        self.vfs.sync_file(&self.path)?;
         Ok(())
     }
 
@@ -727,6 +772,40 @@ mod tests {
         let mut bytes = LogOp::EnableMultipleInheritance.encode();
         bytes.push(0);
         assert!(LogOp::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn commit_batch_roundtrips_and_rejects_nesting() {
+        let batch = LogOp::CommitBatch(sample_ops());
+        assert_eq!(LogOp::decode(&batch.encode()).unwrap(), batch);
+        assert_eq!(
+            LogOp::decode(&LogOp::CommitBatch(Vec::new()).encode()).unwrap(),
+            LogOp::CommitBatch(Vec::new())
+        );
+        let nested = LogOp::CommitBatch(vec![LogOp::CommitBatch(sample_ops())]);
+        assert!(LogOp::decode(&nested.encode()).is_err());
+    }
+
+    #[test]
+    fn commit_batch_applies_atomically_through_replay() {
+        let dir = tempdir("batch");
+        let path = dir.join("batch.wal");
+        let mut wal = WalFile::open(&path, SyncPolicy::EverySync).unwrap();
+        wal.append(&LogOp::CommitBatch(vec![
+            LogOp::CreateBaseclass("musicians".into()),
+            LogOp::InsertEntity(ClassId::from_raw(4), "Edith".into()),
+        ]))
+        .unwrap();
+        drop(wal);
+        let replay = replay_log(&path).unwrap();
+        assert_eq!(replay.ops.len(), 1);
+        let mut db = Database::new("batch");
+        for op in &replay.ops {
+            op.apply(&mut db).unwrap();
+        }
+        let musicians = db.class_by_name("musicians").unwrap();
+        assert!(db.entity_by_name(musicians, "Edith").is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,7 +18,7 @@ fn show(title: &str, session: &Session) -> Result<(), Box<dyn std::error::Error>
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let im = isis::sample::instrumental_music()?;
-    let mut s = Session::new(im.db.clone());
+    let mut s = Session::builder(im.db.clone()).build();
 
     // Schema browsing: the forest, then associations of music_groups.
     s.apply(C::Pick(SchemaNode::Class(im.music_groups)))?;
@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     s.apply(C::Pick(SchemaNode::Grouping(im.work_status)))?;
     s.apply(C::DisplayPredicate)?;
     s.apply(C::ViewContents)?;
-    let yes = s.database_mut().boolean(true);
+    let yes = s
+        .database()
+        .find_literal(true)
+        .expect("booleans are pre-interned");
     s.apply(C::SelectEntity(yes))?;
     show("the work_status grouping (union members selected)", &s)?;
     s.apply(C::FollowGrouping)?;

@@ -13,13 +13,14 @@ use isis::prelude::*;
 use isis::session::Command as C;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut session = Session::new(Database::new("university"));
+    let mut session = Session::builder(Database::new("university")).build();
 
-    // Baseclasses are created directly on the database (the forest view's
-    // create-class gesture); everything else goes through commands.
-    let people = session.database_mut().create_baseclass("people")?;
-    let courses = session.database_mut().create_baseclass("courses")?;
-    let rooms = session.database_mut().create_baseclass("rooms")?;
+    // Baseclasses are created directly on the database through the explicit
+    // write-transaction entry point (the forest view's create-class
+    // gesture); everything else goes through commands.
+    let people = session.transact(|db| db.create_baseclass("people"))?;
+    let courses = session.transact(|db| db.create_baseclass("courses"))?;
+    let rooms = session.transact(|db| db.create_baseclass("rooms"))?;
 
     // people: attributes and subclasses.
     session.apply(C::Pick(SchemaNode::Class(people)))?;
@@ -56,12 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Multiple inheritance — the paper's §5 extension: teaching assistants
     // are both students and staff.
-    let db = session.database_mut();
-    db.enable_multiple_inheritance();
-    let students = db.class_by_name("students")?;
-    let staff = db.class_by_name("staff")?;
-    let tas = db.create_subclass(students, "teaching_assistants")?;
-    db.add_secondary_parent(tas, staff)?;
+    let (tas, students, staff) = session.transact(|db| {
+        db.enable_multiple_inheritance();
+        let students = db.class_by_name("students")?;
+        let staff = db.class_by_name("staff")?;
+        let tas = db.create_subclass(students, "teaching_assistants")?;
+        db.add_secondary_parent(tas, staff)?;
+        Ok((tas, students, staff))
+    })?;
 
     // Data entry through the data level.
     session.apply(C::PickByName("rooms".into()))?;

@@ -34,7 +34,7 @@ fn main() {
             im.db
         }
     };
-    let mut repl = Repl::new(isis::session::Session::with_store(db, store));
+    let mut repl = Repl::new(isis::session::Session::builder(db).store(store).build());
     eprintln!("ISIS — type `help` for commands, `show` to render, `stop` to leave.");
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();

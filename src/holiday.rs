@@ -125,8 +125,8 @@ pub fn run_holiday_party(
     }
     script.cmd(Command::Stop);
     let mut session = match store {
-        Some(dir) => Session::with_store(im.db.clone(), dir),
-        None => Session::new(im.db.clone()),
+        Some(dir) => Session::builder(im.db.clone()).store(dir).build(),
+        None => Session::builder(im.db.clone()).build(),
     };
     let transcript = script.run(&mut session)?;
     Ok((session, transcript))

@@ -46,7 +46,10 @@ pub mod prelude {
     pub use isis_query::{
         DerivedMaintainer, IndexManager, IndexService, IndexedEvaluator, QbeQuery, QueryStats,
     };
-    pub use isis_session::{Command, RefreshPolicy, Script, Session, SessionBuilder};
+    pub use isis_session::{
+        Command, CommitConflict, CommitReceipt, RefreshPolicy, Script, Session, SessionBuilder,
+        SharedDatabase,
+    };
     pub use isis_store::{
         FaultMode, FaultVfs, FsckReport, LoggedDatabase, RecoveryReport, StoreDir, SyncPolicy,
     };

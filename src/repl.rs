@@ -59,6 +59,10 @@ worksheet:    define | derive | constraint NAME forall|forbidden
               rhsmap ATTR... | rhssrc ATTR... | const [CLASS] | toggle NAME|LITERAL
               done | clause N | switch | hand ATTR... | commit
 session:      load NAME | save NAME | checks | undo | redo | stop | help
+              publish — commit this session's buffered changes to the
+              shared database head (first committer wins; non-conflicting
+              concurrent commits are rebased underneath)
+              pull — fast-forward a clean session to the shared head
               refresh [manual|oncommit|immediate] — re-evaluate derived state
               (no argument) or set when it happens automatically
               stats — planner and index-maintenance counters of the shared
@@ -422,6 +426,8 @@ impl Repl {
                 .session
                 .apply(Command::Doctor(parts.first().cloned()))?,
             "fsck" => self.session.apply(Command::Fsck(parts.first().cloned()))?,
+            "publish" => self.session.apply(Command::Commit)?,
+            "pull" => self.session.apply(Command::Pull)?,
             "undo" => self.session.apply(Command::Undo)?,
             "redo" => self.session.apply(Command::Redo)?,
             "stop" | "quit" | "exit" => self.session.apply(Command::Stop)?,
@@ -493,7 +499,10 @@ impl Repl {
     /// the current page's class.
     fn resolve_entity(&mut self, token: &str) -> Result<EntityId, ReplError> {
         if let Some(lit) = parse_literal(token) {
-            return Ok(self.session.database_mut().intern(lit)?);
+            if let Some(id) = self.session.database().find_literal(lit.clone()) {
+                return Ok(id);
+            }
+            return Ok(self.session.transact(|db| db.intern(lit))?);
         }
         let class = self.page_class()?;
         let db = self.session.database();
@@ -509,7 +518,10 @@ impl Repl {
         token: &str,
     ) -> Result<EntityId, ReplError> {
         if let Some(lit) = parse_literal(token) {
-            return Ok(self.session.database_mut().intern(lit)?);
+            if let Some(id) = self.session.database().find_literal(lit.clone()) {
+                return Ok(id);
+            }
+            return Ok(self.session.transact(|db| db.intern(lit))?);
         }
         let db = self.session.database();
         let class = match vc {
@@ -606,7 +618,48 @@ mod tests {
 
     fn repl() -> Repl {
         let im = isis_sample::instrumental_music().unwrap();
-        Repl::new(Session::new(im.db))
+        Repl::new(Session::builder(im.db).build())
+    }
+
+    #[test]
+    fn publish_and_pull_share_one_database() {
+        let im = isis_sample::instrumental_music().unwrap();
+        let shared = isis_session::SharedDatabase::new(im.db);
+        let mut writer = Repl::new(Session::open(&shared).build());
+        let mut reader = Repl::new(Session::open(&shared).build());
+
+        for line in ["pick musicians", "contents", "newentity Zoe"] {
+            writer.exec(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let out = writer.exec("publish").unwrap();
+        assert!(out.contains("committed"), "{out}");
+
+        // The reader's pinned snapshot is stable until it pulls.
+        let musicians = reader
+            .session
+            .database()
+            .class_by_name("musicians")
+            .unwrap();
+        assert!(reader
+            .session
+            .database()
+            .entity_by_name(musicians, "Zoe")
+            .is_err());
+        let out = reader.exec("pull").unwrap();
+        assert!(out.contains("pulled shared head"), "{out}");
+        assert!(reader
+            .session
+            .database()
+            .entity_by_name(musicians, "Zoe")
+            .is_ok());
+        assert!(reader
+            .exec("pull")
+            .unwrap()
+            .contains("already at the shared head"));
+        assert!(writer
+            .exec("publish")
+            .unwrap()
+            .contains("nothing to commit"));
     }
 
     #[test]
@@ -833,7 +886,7 @@ mod tests {
         let root = std::env::temp_dir().join(format!("isis_obs_repl_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let store = isis_store::StoreDir::open(&root).unwrap();
-        let mut r = Repl::new(Session::with_store(im.db, store));
+        let mut r = Repl::new(Session::builder(im.db).store(store).build());
         assert!(r.exec("metrics").unwrap().contains("observability is off"));
         r.exec("trace on").unwrap();
 

@@ -50,7 +50,7 @@ fn office() -> Office {
 #[test]
 fn manager_constraint_through_the_worksheet() {
     let o = office();
-    let mut s = Session::new(o.db.clone());
+    let mut s = Session::builder(o.db.clone()).build();
     s.apply(Command::Pick(SchemaNode::Class(o.employees)))
         .unwrap();
     s.apply(Command::DefineConstraint {
@@ -71,7 +71,9 @@ fn manager_constraint_through_the_worksheet() {
         .unwrap();
     s.apply(Command::WsCommit).unwrap();
     assert!(s.messages().last().unwrap().contains("installed and holds"));
-    // Break it in the data and have the checker catch it.
+    // Break it in the data and have the checker catch it (the raw
+    // escape hatch, deliberately skipping refresh).
+    #[allow(deprecated)]
     let db = s.database_mut();
     let s95 = db.int(95);
     db.assign_single(o.bob, o.salary, s95).unwrap();
@@ -166,7 +168,7 @@ fn constraints_survive_snapshot_and_wal() {
 #[test]
 fn forall_constraint_through_worksheet_with_constant() {
     let o = office();
-    let mut s = Session::new(o.db.clone());
+    let mut s = Session::builder(o.db.clone()).build();
     // Everyone must earn at least 10 — uses the constant temporary visit.
     s.apply(Command::Pick(SchemaNode::Class(o.employees)))
         .unwrap();
@@ -180,6 +182,7 @@ fn forall_constraint_through_worksheet_with_constant() {
     s.apply(Command::WsLhsPush(o.salary)).unwrap();
     s.apply(Command::WsOperator(CompareOp::Ge.into())).unwrap();
     s.apply(Command::WsRhsConstant(None)).unwrap();
+    #[allow(deprecated)]
     let ten = s.database_mut().int(10);
     s.apply(Command::ConstantToggle(ten)).unwrap();
     s.apply(Command::ConstantDone).unwrap();
@@ -189,6 +192,7 @@ fn forall_constraint_through_worksheet_with_constant() {
     let k = db.constraint_by_name("living_wage").unwrap();
     assert!(db.check_constraint(k).unwrap().holds());
     // Alice violates after a pay cut.
+    #[allow(deprecated)]
     let db = s.database_mut();
     let five = db.int(5);
     db.assign_single(o.alice, o.salary, five).unwrap();

@@ -324,6 +324,7 @@ proptest! {
 
         let mut fresh = 0u32;
         for op in &ops {
+            #[allow(deprecated)]
             apply_op(session.database_mut(), &ids, &mut live, &mut fresh, op);
         }
 

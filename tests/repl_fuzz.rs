@@ -95,7 +95,7 @@ proptest! {
         lines in proptest::collection::vec(line_strategy(), 1..40)
     ) {
         let im = isis::sample::instrumental_music().unwrap();
-        let mut repl = Repl::new(Session::new(im.db));
+        let mut repl = Repl::new(Session::builder(im.db).build());
         for line in &lines {
             // Errors are fine; panics are not.
             let _ = repl.exec(line);
@@ -106,7 +106,7 @@ proptest! {
     #[test]
     fn repl_handles_arbitrary_garbage(lines in proptest::collection::vec("[ -~]{0,60}", 1..20)) {
         let im = isis::sample::instrumental_music().unwrap();
-        let mut repl = Repl::new(Session::new(im.db));
+        let mut repl = Repl::new(Session::builder(im.db).build());
         for line in &lines {
             let _ = repl.exec(line);
         }

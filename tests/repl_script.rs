@@ -80,7 +80,7 @@ stop
 #[test]
 fn the_whole_session_runs_as_a_text_script() {
     let im = isis::sample::instrumental_music().unwrap();
-    let mut repl = Repl::new(Session::new(im.db.clone()));
+    let mut repl = Repl::new(Session::builder(im.db.clone()).build());
     for (lineno, line) in SCRIPT.lines().enumerate() {
         repl.exec(line)
             .unwrap_or_else(|e| panic!("line {}: {:?}: {e}", lineno + 1, line));
@@ -114,7 +114,7 @@ fn the_whole_session_runs_as_a_text_script() {
 fn text_script_replay_is_deterministic() {
     let run = || {
         let im = isis::sample::instrumental_music().unwrap();
-        let mut repl = Repl::new(Session::new(im.db));
+        let mut repl = Repl::new(Session::builder(im.db).build());
         for line in SCRIPT.lines() {
             repl.exec(line).unwrap();
         }

@@ -14,7 +14,7 @@ fn replay_is_deterministic_to_the_byte() {
     let run = || {
         let mut im = instrumental_music().unwrap();
         let script = holiday_party_script(&mut im).unwrap();
-        let mut session = Session::new(im.db.clone());
+        let mut session = Session::builder(im.db.clone()).build();
         let t = script.run(&mut session).unwrap();
         let mut out = String::new();
         for name in FIGURES {
@@ -35,7 +35,7 @@ fn scripted_database_equals_directly_built_one() {
     // calling the core API directly.
     let mut im = instrumental_music().unwrap();
     let script = holiday_party_script(&mut im).unwrap();
-    let mut session = Session::new(im.db.clone());
+    let mut session = Session::builder(im.db.clone()).build();
     script.run(&mut session).unwrap();
     let via_session = session.database();
 
@@ -93,7 +93,7 @@ fn scripted_database_equals_directly_built_one() {
 fn undo_rewinds_an_entire_session_of_modifications() {
     let im = instrumental_music().unwrap();
     let start = im.db.to_image();
-    let mut s = Session::new(im.db.clone());
+    let mut s = Session::builder(im.db.clone()).build();
     // A run of modifications (each snapshots).
     s.apply(Command::Pick(SchemaNode::Class(im.musicians)))
         .unwrap();
@@ -123,7 +123,7 @@ fn undo_rewinds_an_entire_session_of_modifications() {
 #[test]
 fn navigation_commands_do_not_snapshot() {
     let im = instrumental_music().unwrap();
-    let mut s = Session::new(im.db.clone());
+    let mut s = Session::builder(im.db.clone()).build();
     s.apply(Command::Pick(SchemaNode::Class(im.musicians)))
         .unwrap();
     s.apply(Command::ViewAssociations).unwrap();
@@ -139,7 +139,7 @@ fn navigation_commands_do_not_snapshot() {
 #[test]
 fn mode_transitions_follow_diagram_1() {
     let im = instrumental_music().unwrap();
-    let mut s = Session::new(im.db.clone());
+    let mut s = Session::builder(im.db.clone()).build();
     assert_eq!(*s.mode(), Mode::Forest);
     s.apply(Command::Pick(SchemaNode::Class(im.musicians)))
         .unwrap();
@@ -171,7 +171,7 @@ fn mode_transitions_follow_diagram_1() {
 #[test]
 fn every_view_renders_in_every_reachable_mode() {
     let im = instrumental_music().unwrap();
-    let mut s = Session::new(im.db.clone());
+    let mut s = Session::builder(im.db.clone()).build();
     let check = |s: &Session| {
         let scene = s.scene().unwrap();
         // Renders cleanly in both backends and is non-trivial.
@@ -208,7 +208,7 @@ fn every_view_renders_in_every_reachable_mode() {
 #[test]
 fn grouping_page_via_session_renders_sets() {
     let im = instrumental_music().unwrap();
-    let mut s = Session::new(im.db.clone());
+    let mut s = Session::builder(im.db.clone()).build();
     s.apply(Command::Pick(SchemaNode::Grouping(im.work_status)))
         .unwrap();
     s.apply(Command::ViewContents).unwrap();

@@ -10,7 +10,7 @@ use isis_views::Emphasis;
 #[test]
 fn deep_chain_renders_with_four_levels() {
     let u = university().unwrap();
-    let mut s = Session::new(u.db.clone());
+    let mut s = Session::builder(u.db.clone()).build();
     s.apply(Command::Pick(SchemaNode::Class(u.teaching_assistants)))
         .unwrap();
     let scene = s.scene().unwrap();
@@ -29,7 +29,7 @@ fn deep_chain_renders_with_four_levels() {
 #[test]
 fn following_a_grouping_ranged_attribute_lands_on_the_grouping_page() {
     let u = university().unwrap();
-    let mut s = Session::new(u.db.clone());
+    let mut s = Session::builder(u.db.clone()).build();
     // departments.teaches_in ranges over the by_building grouping: following
     // it must open the *grouping* page with the index sets highlighted.
     s.apply(Command::Pick(SchemaNode::Class(u.departments)))
@@ -64,7 +64,7 @@ fn following_a_grouping_ranged_attribute_lands_on_the_grouping_page() {
 #[test]
 fn constraint_check_reports_through_the_session() {
     let u = university().unwrap();
-    let mut s = Session::new(u.db.clone());
+    let mut s = Session::builder(u.db.clone()).build();
     s.apply(Command::CheckConstraints).unwrap();
     assert!(s
         .messages()
@@ -74,6 +74,7 @@ fn constraint_check_reports_through_the_session() {
     // Corrupt advising behind the engine's back, then re-check.
     let paris = u.paris;
     let advisor = u.advisor;
+    #[allow(deprecated)]
     s.database_mut()
         .assign_single(paris, advisor, paris)
         .unwrap();
@@ -86,7 +87,7 @@ fn constraint_check_reports_through_the_session() {
 #[test]
 fn multi_parent_membership_through_session_commands() {
     let u = university().unwrap();
-    let mut s = Session::new(u.db.clone());
+    let mut s = Session::builder(u.db.clone()).build();
     s.apply(Command::Pick(SchemaNode::Class(u.teaching_assistants)))
         .unwrap();
     s.apply(Command::ViewContents).unwrap();
