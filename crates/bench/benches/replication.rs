@@ -1,0 +1,230 @@
+//! Log-shipping replication: ship throughput and replay lag.
+//!
+//! The primary commits a 10k-entity history through the MVCC commit path
+//! (each commit one `CommitBatch` WAL frame), then we measure the two
+//! halves of the replication pipeline:
+//!
+//! - **ship**: draining the primary's [`ReplicationLog`] — the read-only
+//!   frame extraction a replica's puller runs — in frames per second;
+//! - **replay**: a cold replica bootstrapping to the primary's head
+//!   (checkpoint install + frame replay into its own store), and a warm
+//!   replica catching up an incremental tail, reported as time to drive
+//!   the shipped lag to zero.
+//!
+//! Micro-arm: a single up-to-date `ship` poll (the steady-state cost of a
+//! puller finding nothing to do). The report arm writes
+//! `out/bench_replication.md` and machine-readable
+//! `out/bench_replication.json`.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isis_core::{BaseKind, Multiplicity};
+use isis_store::{Replica, ReplicationLog, Shipment, StoreDir, SyncPolicy};
+
+const NAME: &str = "bench";
+
+struct Fixture {
+    root: PathBuf,
+    primary: isis_core::SharedDatabase,
+    log: ReplicationLog,
+    frames: u64,
+}
+
+/// A primary with `commits` committed frames of `batch` inserts each
+/// (after a schema checkpoint), on the real store layout.
+fn primary_fixture(tag: &str, commits: usize, batch: usize) -> Fixture {
+    let root = std::env::temp_dir().join(format!(
+        "isis_bench_replication_{}_{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let proot = root.join("primary");
+    let dir = StoreDir::open(&proot).unwrap();
+    // OsFlush: the bench measures shipping and replay, not the primary's
+    // fsync discipline (storage.rs covers that).
+    let (primary, _) = dir.open_shared(NAME, SyncPolicy::OsFlush).unwrap();
+
+    let mut w = primary.pin();
+    let base = w.delta_epoch();
+    let people = w.create_baseclass("people").unwrap();
+    let ints = w.predefined(BaseKind::Integers);
+    w.create_attribute(people, "age", ints, Multiplicity::Single)
+        .unwrap();
+    primary.commit(base, &w).unwrap();
+
+    for c in 0..commits {
+        let mut w = primary.pin();
+        let base = w.delta_epoch();
+        let people = w.class_by_name("people").unwrap();
+        let age = w.attr_by_name(people, "age").unwrap();
+        for i in 0..batch {
+            let e = w.insert_entity(people, &format!("p{c}_{i}")).unwrap();
+            let lit = w.intern(((c * batch + i) % 97) as i64).unwrap();
+            w.assign_single(e, age, lit).unwrap();
+        }
+        primary.commit(base, &w).unwrap();
+    }
+
+    let log = ReplicationLog::open(&StoreDir::open(&proot).unwrap(), NAME).unwrap();
+    Fixture {
+        root,
+        primary,
+        log,
+        frames: commits as u64,
+    }
+}
+
+/// Steady-state puller poll: `ship` against a caught-up cursor.
+fn ship_poll(c: &mut Criterion) {
+    let f = primary_fixture("poll", 64, 4);
+    let mut replica = Replica::open(
+        &StoreDir::open(f.root.join("replica_poll")).unwrap(),
+        NAME,
+        SyncPolicy::OsFlush,
+    )
+    .unwrap()
+    .0;
+    replica.sync(&f.log).unwrap();
+    let cursor = replica.cursor();
+    let mut g = c.benchmark_group("replication");
+    g.bench_with_input(BenchmarkId::new("ship_poll_up_to_date", 64), &64, |b, _| {
+        b.iter(|| {
+            let s = f.log.ship(&cursor, 64).unwrap();
+            assert!(matches!(s, Shipment::UpToDate));
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&f.root);
+}
+
+fn replication_report(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    // 10k entities shipped in 500 frames of 20 inserts (smoke: 200 in 40).
+    let (commits, batch, tail): (usize, usize, usize) =
+        if smoke { (40, 5, 8) } else { (500, 20, 64) };
+    let f = primary_fixture("report", commits, batch);
+    let entities = f.primary.read(|db| db.entity_count());
+
+    // Arm 1 — ship throughput: drain the whole log, frames only, no
+    // replica behind it (cursor advanced by hand past the bootstrap
+    // checkpoint), i.e. the primary-side read cost of replication.
+    let t = Instant::now();
+    let mut cursor = isis_store::ShipCursor::genesis();
+    let mut shipped_frames = 0u64;
+    loop {
+        match f.log.ship(&cursor, 64).unwrap() {
+            Shipment::UpToDate => break,
+            Shipment::Frames(ops) => {
+                shipped_frames += ops.len() as u64;
+                cursor.frames += ops.len() as u64;
+            }
+            Shipment::Checkpoint { generation, .. } => {
+                cursor = isis_store::ShipCursor {
+                    generation,
+                    frames: 0,
+                };
+            }
+        }
+    }
+    let ship = t.elapsed();
+
+    // Arm 2 — cold replay lag: a fresh replica bootstraps to head.
+    let rroot = f.root.join("replica_cold");
+    let t = Instant::now();
+    let mut replica = Replica::open(&StoreDir::open(&rroot).unwrap(), NAME, SyncPolicy::OsFlush)
+        .unwrap()
+        .0;
+    let lag_before = replica.status(&f.log).unwrap().lag;
+    let status = replica.sync(&f.log).unwrap();
+    let cold = t.elapsed();
+    assert!(status.caught_up());
+    assert_eq!(
+        f.primary.read(|db| db.entity_count()),
+        replica.pin().entity_count()
+    );
+
+    // Arm 3 — warm catch-up: `tail` more commits land, the caught-up
+    // replica drives its lag back to zero.
+    for i in 0..tail {
+        let mut w = f.primary.pin();
+        let base = w.delta_epoch();
+        let people = w.class_by_name("people").unwrap();
+        w.insert_entity(people, &format!("tail_{i}")).unwrap();
+        f.primary.commit(base, &w).unwrap();
+    }
+    let t = Instant::now();
+    let status = replica.sync(&f.log).unwrap();
+    let warm = t.elapsed();
+    assert!(status.caught_up());
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let fps = shipped_frames as f64 / ship.as_secs_f64();
+    println!(
+        "replication_report: {entities} entities in {} frames — ship={:.1}ms \
+         ({fps:.0} frames/s) cold_replay={:.1}ms (lag {lag_before}→0) \
+         warm_catch_up[{tail}]={:.1}ms",
+        f.frames,
+        ms(ship),
+        ms(cold),
+        ms(warm)
+    );
+
+    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../out");
+    std::fs::create_dir_all(&out_dir).expect("create out/");
+    let report = format!(
+        "# Log-shipping replication: ship throughput and replay lag\n\n\
+         A primary with {entities} entities committed across {} `CommitBatch`\n\
+         frames; shipping reads the primary's snapshot + WAL, replay drives a\n\
+         replica's own store and head.\n\n\
+         | arm | wall time | note |\n\
+         | --- | --- | --- |\n\
+         | ship (drain {shipped_frames} frames) | {:.1} ms | {fps:.0} frames/s |\n\
+         | cold replay to head | {:.1} ms | lag {lag_before} → 0 |\n\
+         | warm catch-up ({tail} frames) | {:.1} ms | steady-state lag |\n{}",
+        f.frames,
+        ms(ship),
+        ms(cold),
+        ms(warm),
+        if smoke {
+            "\n(smoke run under `--test`)\n"
+        } else {
+            ""
+        },
+    );
+    std::fs::write(out_dir.join("bench_replication.md"), report).expect("write report");
+
+    isis_bench::BenchReport::new("replication")
+        .smoke(smoke)
+        .param("entities", entities)
+        .param("frames", f.frames)
+        .param("batch", batch)
+        .param("tail", tail)
+        .result(
+            "replication/report/ship_drain",
+            ms(ship) * 1e6,
+            shipped_frames,
+        )
+        .result("replication/report/cold_replay", ms(cold) * 1e6, f.frames)
+        .result(
+            "replication/report/warm_catch_up",
+            ms(warm) * 1e6,
+            tail as u64,
+        )
+        .results_from(
+            c.measurements()
+                .iter()
+                .map(|m| (m.id.clone(), m.mean_ns, m.iters)),
+        )
+        .write();
+
+    let _ = std::fs::remove_dir_all(&f.root);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = ship_poll, replication_report
+}
+criterion_main!(benches);

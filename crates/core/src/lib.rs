@@ -68,7 +68,7 @@ pub use ids::{AttrId, ClassId, EntityId, GroupingId, SchemaNode};
 pub use image::DatabaseImage;
 pub use literal::{BaseKind, Literal};
 pub use map::{Map, MapTrace};
-pub use mvcc::{CommitConflict, CommitHook, CommitReceipt, SharedDatabase};
+pub use mvcc::{CommitConflict, CommitHook, CommitReceipt, RetryBackoff, SharedDatabase};
 pub use network::NetworkArc;
 pub use op::{CompareOp, Operator};
 pub use orderedset::OrderedSet;

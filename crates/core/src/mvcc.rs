@@ -44,6 +44,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use crate::attribute::AttrValue;
 use crate::change::{Change, ChangeSet};
@@ -133,6 +134,88 @@ impl std::error::Error for CommitConflict {
     }
 }
 
+impl CommitConflict {
+    /// `true` if re-pinning at the current head and replaying the intent
+    /// may succeed — every first-committer-wins outcome qualifies, because
+    /// the conflicting state is visible after a re-pin. A
+    /// [`Durability`](CommitConflict::Durability) refusal is *not*
+    /// retryable: the storage layer vetoed the commit and retrying cannot
+    /// help until the store is healthy again.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            CommitConflict::Value { .. }
+            | CommitConflict::Membership { .. }
+            | CommitConflict::Delete { .. }
+            | CommitConflict::Schema
+            | CommitConflict::SnapshotTooOld { .. }
+            | CommitConflict::Rebase(_) => true,
+            CommitConflict::Durability(_) => false,
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+}
+
+/// Bounded exponential backoff with deterministic full jitter, for retry
+/// loops over [`CommitConflict`]s (see
+/// [`SharedDatabase::transact_with_retry`]).
+///
+/// The delay before retry `attempt` (0-based) is uniform in
+/// `[0, min(cap, base · 2^attempt)]`, drawn from a splitmix64 stream
+/// seeded by `seed` — two loops with the same seed sleep identically, so
+/// torture schedules stay reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryBackoff {
+    /// Retries after the first attempt (0 = try exactly once).
+    pub max_retries: u32,
+    /// Backoff ceiling for the first retry.
+    pub base: Duration,
+    /// Hard cap on any single delay.
+    pub cap: Duration,
+    /// Jitter seed; same seed ⇒ same delays.
+    pub seed: u64,
+}
+
+impl Default for RetryBackoff {
+    fn default() -> RetryBackoff {
+        RetryBackoff {
+            max_retries: 16,
+            base: Duration::from_micros(250),
+            cap: Duration::from_millis(20),
+            seed: 0x1515_1515,
+        }
+    }
+}
+
+impl RetryBackoff {
+    /// A backoff that retries without sleeping (for tests and single-
+    /// threaded schedules where real delays only slow the suite down).
+    pub fn unslept(max_retries: u32) -> RetryBackoff {
+        RetryBackoff {
+            max_retries,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// The deterministic delay before retry `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(20));
+        let ceiling = exp.min(self.cap).as_nanos() as u64;
+        if ceiling == 0 {
+            return Duration::ZERO;
+        }
+        let mut z = self
+            .seed
+            .wrapping_add((u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Duration::from_nanos(z % (ceiling + 1))
+    }
+}
+
 /// What a successful commit reports back.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -161,6 +244,16 @@ pub struct CommitReceipt {
 pub trait CommitHook: Send {
     /// Make `applied` durable (or refuse).
     fn on_commit(&mut self, db: &Database, applied: &ChangeSet) -> Result<(), String>;
+
+    /// `true` if an earlier partial failure left the hook permanently
+    /// refusing commits (disk and memory may have diverged). A poisoned
+    /// hook means the handle should be reopened; sessions can ask via
+    /// [`SharedDatabase::hook_poisoned`] before pinning a snapshot that
+    /// can never publish. Defaults to `false` for hooks without a poison
+    /// state.
+    fn poisoned(&self) -> bool {
+        false
+    }
 }
 
 struct SharedInner {
@@ -232,6 +325,60 @@ impl SharedDatabase {
     /// this once when it opens the shared handle.
     pub fn set_commit_hook(&self, hook: Option<Box<dyn CommitHook>>) {
         self.lock().hook = hook;
+    }
+
+    /// `true` if the installed durability hook reports itself poisoned
+    /// ([`CommitHook::poisoned`]): every commit through this handle will
+    /// be refused until the store is reopened. `false` when no hook is
+    /// installed.
+    pub fn hook_poisoned(&self) -> bool {
+        self.lock().hook.as_ref().is_some_and(|h| h.poisoned())
+    }
+
+    /// Replaces the head wholesale — the replication resync primitive.
+    ///
+    /// Existing pinned clones stay valid as snapshots of the *old* line;
+    /// epoch numbering restarts at the new head's delta epoch, so epoch
+    /// comparisons across an `install_head` are meaningless. The commit
+    /// hook is kept but **not** consulted: durability of the installed
+    /// head is the caller's responsibility. Counts as one commit; returns
+    /// the new head epoch.
+    pub fn install_head(&self, db: Database) -> u64 {
+        let mut inner = self.lock();
+        inner.db = db;
+        inner.commits += 1;
+        inner.db.delta_epoch()
+    }
+
+    /// Pin–apply–commit with bounded, jittered retries: runs `f` against a
+    /// fresh pin of the head and commits the result, re-pinning and
+    /// replaying `f` whenever the commit fails with a
+    /// [retryable](CommitConflict::is_retryable) conflict, sleeping
+    /// [`RetryBackoff::delay`] between attempts.
+    ///
+    /// An error from `f` itself surfaces as
+    /// [`CommitConflict::Rebase`] immediately (the intent does not apply
+    /// to the current head) and is not retried. After `max_retries`
+    /// exhausted retries the last conflict is returned.
+    pub fn transact_with_retry(
+        &self,
+        backoff: &RetryBackoff,
+        mut f: impl FnMut(&mut Database) -> Result<(), CoreError>,
+    ) -> Result<CommitReceipt, CommitConflict> {
+        let mut attempt = 0u32;
+        loop {
+            let mut local = self.pin();
+            let base = local.delta_epoch();
+            f(&mut local).map_err(CommitConflict::Rebase)?;
+            match self.commit(base, &local) {
+                Ok(receipt) => return Ok(receipt),
+                Err(conflict) if conflict.is_retryable() && attempt < backoff.max_retries => {
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                }
+                Err(conflict) => return Err(conflict),
+            }
+        }
     }
 
     /// Publishes everything `local` recorded after `base_epoch` (the epoch
@@ -734,5 +881,96 @@ mod tests {
         }
         assert_eq!(shared.commits(), 0);
         assert!(shared.read(|db| db.entity_by_name(people, "carol").is_err()));
+    }
+
+    #[test]
+    fn retryable_classification_and_deterministic_jitter() {
+        assert!(CommitConflict::Schema.is_retryable());
+        assert!(CommitConflict::SnapshotTooOld { base: 0, oldest: 1 }.is_retryable());
+        assert!(!CommitConflict::Durability("x".into()).is_retryable());
+
+        let b = RetryBackoff::default();
+        for attempt in 0..8 {
+            let d = b.delay(attempt);
+            assert!(d <= b.cap, "delay {d:?} above cap at attempt {attempt}");
+            assert_eq!(d, b.delay(attempt), "jitter must be deterministic");
+        }
+        assert_eq!(RetryBackoff::unslept(4).delay(3), Duration::ZERO);
+    }
+
+    #[test]
+    fn transact_with_retry_converges_under_contention() {
+        let (db, people, age) = seeded();
+        let shared = SharedDatabase::new(db);
+        let backoff = RetryBackoff::unslept(16);
+
+        // Two writers race assignments to the same key; with retries both
+        // must eventually land, in some order.
+        let alice = shared.read(|db| db.entity_by_name(people, "ann").unwrap());
+        for value in [30i64, 31, 32, 33] {
+            // Interleave: pin both, commit both — the second conflicts and
+            // must win on retry.
+            let mut stale = shared.pin();
+            let stale_base = stale.delta_epoch();
+            let v = stale.intern(value).unwrap();
+            stale.assign_single(alice, age, v).unwrap();
+
+            shared
+                .transact_with_retry(&backoff, |db| {
+                    let v = db.intern(value + 100)?;
+                    db.assign_single(alice, age, v)?;
+                    Ok(())
+                })
+                .unwrap();
+
+            // The stale writer conflicts on the same (entity, attr)...
+            assert!(shared.commit(stale_base, &stale).is_err());
+            // ...but a retry loop re-pins and converges.
+            shared
+                .transact_with_retry(&backoff, |db| {
+                    let v = db.intern(value)?;
+                    db.assign_single(alice, age, v)?;
+                    Ok(())
+                })
+                .unwrap();
+            let v = shared.read(|db| db.attr_value(alice, age).unwrap());
+            let want = shared.read(|db| db.find_literal(value).unwrap());
+            assert_eq!(v, AttrValue::Single(want));
+        }
+    }
+
+    #[test]
+    fn install_head_replaces_wholesale_and_keeps_hook() {
+        struct Veto;
+        impl CommitHook for Veto {
+            fn on_commit(&mut self, _: &Database, _: &ChangeSet) -> Result<(), String> {
+                Err("read-only".into())
+            }
+            fn poisoned(&self) -> bool {
+                false
+            }
+        }
+        let (db, people, _) = seeded();
+        let shared = SharedDatabase::new(db);
+        shared.set_commit_hook(Some(Box::new(Veto)));
+        assert!(!shared.hook_poisoned());
+
+        let old_pin = shared.pin();
+        let mut replacement = Database::new("other");
+        replacement.create_baseclass("crew").unwrap();
+        shared.install_head(replacement);
+        assert_eq!(shared.commits(), 1);
+        assert!(shared.read(|db| db.class_by_name("crew").is_ok()));
+        // Old pins remain intact snapshots of the previous line.
+        assert!(old_pin.entity_by_name(people, "ann").is_ok());
+        // The hook survived the swap: commits are still vetoed.
+        let mut w = shared.pin();
+        let b = w.delta_epoch();
+        w.insert_entity(w.class_by_name("crew").unwrap(), "dana")
+            .unwrap();
+        assert!(matches!(
+            shared.commit(b, &w).unwrap_err(),
+            CommitConflict::Durability(_)
+        ));
     }
 }

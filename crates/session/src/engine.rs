@@ -191,6 +191,27 @@ impl SessionBuilder {
         self
     }
 
+    /// Builds the session like [`SessionBuilder::build`], but refuses to
+    /// pin a [`SharedDatabase`] whose durability hook is poisoned. A
+    /// poisoned hook means an earlier partial failure (a failed WAL
+    /// rollback, a half-finished checkpoint) left disk and memory
+    /// possibly disagreeing: a session silently pinned at such a head
+    /// could serve — or replicate — state that was never made durable.
+    /// Surfaces [`SessionError::Poisoned`] instead; reopen the store to
+    /// heal. Sessions over an owned database never fail this check.
+    pub fn try_build(self) -> Result<Session, SessionError> {
+        if let Source::Shared(shared) = &self.source {
+            if shared.hook_poisoned() {
+                return Err(SessionError::Poisoned(
+                    "the head's durability hook refused further commits after a partial \
+                     failure; opening a session here could observe non-durable state"
+                        .into(),
+                ));
+            }
+        }
+        Ok(self.build())
+    }
+
     /// Builds the session: wraps an owned database in a private
     /// [`SharedDatabase`] (or joins the given one) and pins a snapshot.
     pub fn build(self) -> Session {
@@ -354,6 +375,69 @@ impl Session {
         self.redo.clear();
         self.refresh_after_commit()?;
         Ok(receipt)
+    }
+
+    /// Runs `f` as a transaction and commits it, retrying the whole
+    /// cycle (re-pin at the new head, re-run `f`, re-commit) with the
+    /// given backoff when the commit loses the first-committer-wins race.
+    /// `f` must therefore be safe to re-run: it sees a *fresh* snapshot
+    /// on every attempt, so name lookups belong inside the closure, not
+    /// captured from before it.
+    ///
+    /// Only retryable conflicts are retried (see
+    /// [`CommitConflict::is_retryable`](isis_core::CommitConflict::is_retryable)):
+    /// a durability veto means the store refused the write and repeating
+    /// it cannot help. Errors from `f` itself propagate immediately with
+    /// the buffered changes discarded. Refuses to start while the session
+    /// is dirty — buffered changes would be swept into the first commit.
+    ///
+    /// ```
+    /// use isis_core::{RetryBackoff, SharedDatabase};
+    /// use isis_session::Session;
+    ///
+    /// let mut db = isis_core::Database::new("demo");
+    /// let people = db.create_baseclass("people").unwrap();
+    /// let shared = SharedDatabase::new(db);
+    /// let mut session = Session::open(&shared).build();
+    /// let receipt = session.transact_with_retry(&RetryBackoff::default(), |db| {
+    ///     db.insert_entity(people, "Ada")?;
+    ///     Ok(())
+    /// })?;
+    /// assert!(!receipt.rebased);
+    /// # Ok::<(), isis_session::SessionError>(())
+    /// ```
+    pub fn transact_with_retry(
+        &mut self,
+        backoff: &isis_core::RetryBackoff,
+        mut f: impl FnMut(&mut Database) -> isis_core::Result<()>,
+    ) -> Result<CommitReceipt, SessionError> {
+        if self.dirty {
+            return Err(SessionError::DirtySnapshot);
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            if let Err(e) = self.transact(&mut f) {
+                self.discard_changes()?;
+                return Err(e);
+            }
+            match self.commit_changes() {
+                Ok(receipt) => return Ok(receipt),
+                Err(SessionError::Conflict(c))
+                    if c.is_retryable() && attempt < backoff.max_retries =>
+                {
+                    self.discard_changes()?;
+                    let delay = backoff.delay(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.discard_changes()?;
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Re-pins the snapshot at the current shared head, making concurrent

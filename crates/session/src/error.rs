@@ -29,6 +29,11 @@ pub enum SessionError {
     /// `pull` was refused because the session has uncommitted changes;
     /// commit or discard them first.
     DirtySnapshot,
+    /// The shared database's durability hook is poisoned: an earlier
+    /// partial failure left disk and memory possibly disagreeing, so a
+    /// new session pinned at this head could read or publish state that
+    /// was never made durable. Reopen the store to heal.
+    Poisoned(String),
     /// An engine error.
     Core(CoreError),
     /// A query-layer error (planning, compiled programs, parallel workers).
@@ -50,6 +55,10 @@ impl fmt::Display for SessionError {
             SessionError::DirtySnapshot => write!(
                 f,
                 "uncommitted changes; commit or discard them before pulling"
+            ),
+            SessionError::Poisoned(detail) => write!(
+                f,
+                "shared database is poisoned (reopen the store to heal): {detail}"
             ),
             SessionError::Core(e) => write!(f, "{e}"),
             SessionError::Query(e) => write!(f, "{e}"),

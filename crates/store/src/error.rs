@@ -27,6 +27,24 @@ pub enum StoreError {
         /// The per-generation failures, joined for display.
         detail: String,
     },
+    /// An earlier partial failure left the handle unable to guarantee that
+    /// disk and memory agree; every further operation is refused until the
+    /// store is reopened.
+    Poisoned {
+        /// The database name.
+        name: String,
+        /// What failed, and why the handle cannot continue.
+        detail: String,
+    },
+    /// The replication stream is inconsistent: a shipped frame was
+    /// rejected, a replica ran ahead of its primary, or a checkpoint did
+    /// not match the generation it claimed.
+    Replication {
+        /// The database name.
+        name: String,
+        /// What the ship/replay path observed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -40,6 +58,12 @@ impl fmt::Display for StoreError {
             StoreError::BadName(n) => write!(f, "bad database name: {n:?}"),
             StoreError::Recovery { name, detail } => {
                 write!(f, "recovery of {name:?} failed: {detail}")
+            }
+            StoreError::Poisoned { name, detail } => {
+                write!(f, "store handle for {name:?} is poisoned: {detail}")
+            }
+            StoreError::Replication { name, detail } => {
+                write!(f, "replication of {name:?} inconsistent: {detail}")
             }
         }
     }

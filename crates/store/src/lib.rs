@@ -18,7 +18,11 @@
 //!   [`RecoveryReport`] and an `fsck`-style verification pass;
 //! * [`StoreDir`] — a directory of named databases (list / save / load /
 //!   delete), and [`LoggedDatabase`] — a database handle whose mutations
-//!   are WAL-durable with crash-safe `checkpoint()` compaction.
+//!   are WAL-durable with crash-safe `checkpoint()` compaction;
+//! * [`replication`] — primary→replica log shipping over WAL commit
+//!   frames: [`ReplicationLog`] serves frames and resync checkpoints,
+//!   [`Replica`] replays them into its own durable directory and shared
+//!   head, with explicit lag accounting in [`ReplicaStatus`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +32,7 @@ pub mod encode;
 pub mod error;
 pub mod history;
 pub mod recovery;
+pub mod replication;
 pub mod shared;
 mod store;
 pub mod vfs;
@@ -37,6 +42,7 @@ pub use codec::{crc32, CodecError};
 pub use error::StoreError;
 pub use history::{describe, is_schema_level, DesignHistory, HistoryEntry};
 pub use recovery::{FsckReport, RecoveryReport};
+pub use replication::{Replica, ReplicaStatus, ReplicationLog, ShipCursor, Shipment};
 pub use shared::WalCommitHook;
 pub use store::{
     read_snapshot, read_snapshot_bytes, read_snapshot_bytes_gen, snapshot_bytes_with_gen,

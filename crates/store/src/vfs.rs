@@ -43,6 +43,11 @@ pub trait Vfs: std::fmt::Debug + Send + Sync {
     fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
     /// Truncates `path` to zero length.
     fn truncate(&self, path: &Path) -> io::Result<()>;
+    /// Shrinks `path` to `len` bytes and makes the shrink durable. Must
+    /// never disturb the retained prefix: rolling back a failed append
+    /// with a read–rewrite cycle could itself fail partway and destroy
+    /// records that were already durable, so this is a primitive.
+    fn truncate_to(&self, path: &Path, len: u64) -> io::Result<()>;
     /// Forces file contents to stable storage (`fsync`).
     fn sync_file(&self, path: &Path) -> io::Result<()>;
     /// Forces directory metadata (entries, renames) to stable storage.
@@ -140,8 +145,18 @@ impl StdVfs {
         }
     }
 
+    /// The append-handle cache lock, poison-tolerant: the cache is only an
+    /// `open(2)` memo — a thread that panicked while holding it cannot have
+    /// left a half-applied state worth refusing, and the WAL hot path must
+    /// degrade to an I/O error (or a reopen), never a panic.
+    fn handles(&self) -> std::sync::MutexGuard<'_, HashMap<PathBuf, File>> {
+        self.append_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn drop_handle(&self, path: &Path) {
-        self.append_handles.lock().unwrap().remove(path);
+        self.handles().remove(path);
     }
 }
 
@@ -164,14 +179,16 @@ impl Vfs for StdVfs {
     }
 
     fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
-        let mut handles = self.append_handles.lock().unwrap();
-        if !handles.contains_key(path) {
-            let f = self
-                .retry
-                .run(|| OpenOptions::new().create(true).append(true).open(path))?;
-            handles.insert(path.to_path_buf(), f);
-        }
-        let f = handles.get_mut(path).expect("just inserted");
+        let mut handles = self.handles();
+        let f = match handles.entry(path.to_path_buf()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let f = self
+                    .retry
+                    .run(|| OpenOptions::new().create(true).append(true).open(path))?;
+                e.insert(f)
+            }
+        };
         let out = self.retry.run(|| f.write_all(bytes));
         if out.is_err() {
             // The handle's offset may be mid-record; never reuse it.
@@ -192,10 +209,19 @@ impl Vfs for StdVfs {
         })
     }
 
+    fn truncate_to(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.drop_handle(path);
+        self.retry.run(|| {
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(len)?;
+            f.sync_data()
+        })
+    }
+
     fn sync_file(&self, path: &Path) -> io::Result<()> {
         // Prefer the cached append handle (cheaper, and guarantees the
         // synced handle is the one that wrote).
-        let handles = self.append_handles.lock().unwrap();
+        let handles = self.handles();
         if let Some(f) = handles.get(path) {
             return self.retry.run(|| f.sync_data());
         }
@@ -351,6 +377,17 @@ fn crashed_err() -> io::Error {
     io::Error::other("injected crash: storage is offline")
 }
 
+impl FaultVfs {
+    /// Poison-tolerant access to the fault state: the injector must keep
+    /// returning errors (not panics) even if a faulted thread panicked
+    /// while holding the lock.
+    fn fault_state(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 fn injected(kind: &str) -> io::Error {
     io::Error::other(format!("injected fault: {kind}"))
 }
@@ -406,16 +443,16 @@ impl FaultVfs {
 
     /// What has been injected so far.
     pub fn stats(&self) -> FaultStats {
-        self.state.lock().unwrap().stats
+        self.fault_state().stats
     }
 
     /// `true` once a [`FaultMode::CrashAt`] point has fired.
     pub fn has_crashed(&self) -> bool {
-        self.state.lock().unwrap().crashed
+        self.fault_state().crashed
     }
 
     fn check_crashed(&self) -> io::Result<()> {
-        if self.state.lock().unwrap().crashed {
+        if self.fault_state().crashed {
             Err(crashed_err())
         } else {
             Ok(())
@@ -429,7 +466,7 @@ impl FaultVfs {
         let start = self.step.fetch_add(n, Ordering::SeqCst);
         if let FaultMode::CrashAt(at) = self.mode {
             if at >= start && at < start + n {
-                self.state.lock().unwrap().crashed = true;
+                self.fault_state().crashed = true;
                 return Some(at - start);
             }
         }
@@ -461,11 +498,11 @@ impl Vfs for FaultVfs {
         if let Some(k) = self.consume(bytes.len() as u64 + 1) {
             // Torn write: a prefix reaches the file, then the lights go out.
             let _ = self.inner.write(path, &bytes[..k as usize]);
-            self.state.lock().unwrap().stats.short_writes += 1;
+            self.fault_state().stats.short_writes += 1;
             return Err(crashed_err());
         }
         if let FaultMode::Seeded(_) = self.mode {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.fault_state();
             let roll = Self::permille(&mut st);
             if roll < self.profile.enospc {
                 st.stats.enospc += 1;
@@ -486,11 +523,11 @@ impl Vfs for FaultVfs {
         self.check_crashed()?;
         if let Some(k) = self.consume(bytes.len() as u64 + 1) {
             let _ = self.inner.append(path, &bytes[..k as usize]);
-            self.state.lock().unwrap().stats.short_writes += 1;
+            self.fault_state().stats.short_writes += 1;
             return Err(crashed_err());
         }
         if let FaultMode::Seeded(_) = self.mode {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.fault_state();
             let roll = Self::permille(&mut st);
             if roll < self.profile.enospc {
                 st.stats.enospc += 1;
@@ -527,17 +564,35 @@ impl Vfs for FaultVfs {
         self.inner.truncate(path)
     }
 
+    fn truncate_to(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.check_crashed()?;
+        if self.consume(1).is_some() {
+            return Err(crashed_err());
+        }
+        if let FaultMode::Seeded(_) = self.mode {
+            // The shrink syncs internally; model a failed sync as an
+            // error with the file left intact (all-or-nothing — the
+            // retained prefix is never at risk, matching `set_len`).
+            let mut st = self.fault_state();
+            if Self::permille(&mut st) < self.profile.fsync_failure {
+                st.stats.fsync_failures += 1;
+                return Err(injected("truncate fsync failure"));
+            }
+        }
+        self.inner.truncate_to(path, len)
+    }
+
     fn sync_file(&self, path: &Path) -> io::Result<()> {
         self.check_crashed()?;
         if self.consume(1).is_some() {
             // The data reached the page cache (our inner write already
             // happened); whether it is durable is the recovery suite's
             // problem. Report failure.
-            self.state.lock().unwrap().stats.fsync_failures += 1;
+            self.fault_state().stats.fsync_failures += 1;
             return Err(crashed_err());
         }
         if let FaultMode::Seeded(_) = self.mode {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.fault_state();
             if Self::permille(&mut st) < self.profile.fsync_failure {
                 st.stats.fsync_failures += 1;
                 return Err(injected("fsync failure"));
@@ -549,7 +604,7 @@ impl Vfs for FaultVfs {
     fn sync_dir(&self, dir: &Path) -> io::Result<()> {
         self.check_crashed()?;
         if self.consume(1).is_some() {
-            self.state.lock().unwrap().stats.fsync_failures += 1;
+            self.fault_state().stats.fsync_failures += 1;
             return Err(crashed_err());
         }
         self.inner.sync_dir(dir)
@@ -559,11 +614,11 @@ impl Vfs for FaultVfs {
         self.check_crashed()?;
         if self.consume(1).is_some() {
             // Dropped rename: the crash hit before the metadata committed.
-            self.state.lock().unwrap().stats.rename_drops += 1;
+            self.fault_state().stats.rename_drops += 1;
             return Err(crashed_err());
         }
         if let FaultMode::Seeded(_) = self.mode {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.fault_state();
             if Self::permille(&mut st) < self.profile.rename_drop {
                 st.stats.rename_drops += 1;
                 return Err(injected("rename dropped"));

@@ -574,14 +574,16 @@ impl WalFile {
 
     /// Rewinds the file to `len` bytes and makes the rewind durable,
     /// discarding a failed append so recovery can never replay a record
-    /// whose write was reported as failed. The [`Vfs`] has no partial
-    /// truncate, so the retained prefix is rewritten wholesale.
+    /// whose write was reported as failed. Uses [`Vfs::truncate_to`]
+    /// (all-or-nothing `set_len` semantics) rather than rewriting the
+    /// retained prefix: a rewrite that failed partway would destroy
+    /// records that were already acknowledged as durable.
     pub(crate) fn rewind_to(&mut self, len: u64) -> Result<(), StoreError> {
-        let bytes = self.vfs.read(&self.path)?;
-        if bytes.len() as u64 > len {
-            self.vfs.write(&self.path, &bytes[..len as usize])?;
+        if self.vfs.file_len(&self.path)? > len {
+            self.vfs.truncate_to(&self.path, len)?;
+        } else {
+            self.vfs.sync_file(&self.path)?;
         }
-        self.vfs.sync_file(&self.path)?;
         Ok(())
     }
 

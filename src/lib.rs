@@ -41,7 +41,7 @@ pub mod prelude {
     pub use isis_core::{
         Atom, AttrDerivation, AttrId, BaseKind, Change, ChangeSet, ClassId, Clause, CompareOp,
         CoreError, Database, DeltaLog, EntityId, GroupingId, Literal, Map, Multiplicity,
-        NormalForm, Operator, OrderedSet, Predicate, Rhs, SchemaEdit, SchemaNode,
+        NormalForm, Operator, OrderedSet, Predicate, RetryBackoff, Rhs, SchemaEdit, SchemaNode,
     };
     pub use isis_query::{
         DerivedMaintainer, IndexManager, IndexService, IndexedEvaluator, QbeQuery, QueryStats,
@@ -51,7 +51,8 @@ pub mod prelude {
         SharedDatabase,
     };
     pub use isis_store::{
-        FaultMode, FaultVfs, FsckReport, LoggedDatabase, RecoveryReport, StoreDir, SyncPolicy,
+        FaultMode, FaultVfs, FsckReport, LoggedDatabase, RecoveryReport, Replica, ReplicaStatus,
+        ReplicationLog, ShipCursor, Shipment, StoreDir, SyncPolicy,
     };
     pub use isis_views::{render, Scene};
 }

@@ -494,3 +494,92 @@ fn faulted_durable_commits_admit_no_phantoms() {
     }
     std::fs::remove_dir_all(&root).unwrap();
 }
+
+/// Satellite regression (ISSUE 7): a session opened on a shared head
+/// whose durability hook is poisoned must surface a typed error instead
+/// of silently pinning. A poisoned hook means disk may already hold state
+/// the head vetoed (or vice versa) — a session pinned there could serve
+/// or replicate never-acknowledged data.
+#[test]
+fn session_open_on_poisoned_head_surfaces_typed_error() {
+    use isis::session::{Session, SessionError};
+
+    let root = std::env::temp_dir().join(format!("isis_mvcc_poison_open_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+
+    // Baseline: one schema commit, then normalise the layout.
+    let setup = StoreDir::open_with(&root, Arc::new(StdVfs::new())).unwrap();
+    let (shared, _) = setup.open_shared("band", SyncPolicy::EverySync).unwrap();
+    let mut w = shared.pin();
+    let base = w.delta_epoch();
+    w.create_baseclass("musicians").unwrap();
+    shared.commit(base, &w).unwrap();
+    drop(shared);
+
+    // Find the fault-point band of a schema commit (the checkpoint path
+    // holds the poison windows), then scan it until the hook poisons:
+    // crash points below the band kill the reopen, points beyond it let
+    // the commit succeed.
+    let probe = Arc::new(FaultVfs::counting());
+    let d = StoreDir::open_with(&root, probe.clone()).unwrap();
+    let (shared, _) = d.open_shared("band", SyncPolicy::EverySync).unwrap();
+    let after_open = probe.steps();
+    let mut w = shared.pin();
+    let base = w.delta_epoch();
+    w.create_baseclass("venues").unwrap();
+    shared.commit(base, &w).unwrap();
+    let after_commit = probe.steps();
+    drop(shared);
+
+    let reset_state = || {
+        let reset = StoreDir::open(&root).unwrap();
+        let (mut db, _) = reset.recover("band").unwrap();
+        if let Ok(venues) = db.class_by_name("venues") {
+            db.delete_class(venues).unwrap();
+        }
+        reset.save(&db, "band").unwrap();
+        drop(reset.open_shared("band", SyncPolicy::EverySync).unwrap());
+    };
+    reset_state();
+
+    let width = after_commit - after_open;
+    let mut poisoned_shared = None;
+    for step in after_open.saturating_sub(2)..after_commit + width + 256 {
+        let faulty = Arc::new(FaultVfs::crash_at(step));
+        let attempt = StoreDir::open_with(&root, faulty)
+            .and_then(|d| d.open_shared("band", SyncPolicy::EverySync));
+        if let Ok((shared, _)) = attempt {
+            let mut w = shared.pin();
+            let base = w.delta_epoch();
+            w.create_baseclass("venues").unwrap();
+            let _ = shared.commit(base, &w);
+            if shared.hook_poisoned() {
+                poisoned_shared = Some(shared);
+                break;
+            }
+        }
+        reset_state();
+    }
+    let shared = poisoned_shared.expect("sweep never produced a poisoned hook");
+
+    // The poisoned head refuses new sessions with a typed error...
+    match Session::open(&shared).try_build() {
+        Err(SessionError::Poisoned(detail)) => {
+            assert!(!detail.is_empty());
+        }
+        Ok(_) => panic!("try_build silently pinned a poisoned head"),
+        Err(other) => panic!("expected SessionError::Poisoned, got {other}"),
+    }
+    // ...while a healthy handle (same builder path) is unaffected.
+    let healthy = SharedDatabase::new(Database::new("healthy"));
+    assert!(Session::open(&healthy).try_build().is_ok());
+    // Reopening the store heals: recovery re-derives a consistent head.
+    drop(shared);
+    let clean = StoreDir::open(&root).unwrap();
+    let (healed, _) = clean.open_shared("band", SyncPolicy::EverySync).unwrap();
+    assert!(!healed.hook_poisoned());
+    assert!(Session::open(&healed).try_build().is_ok());
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
