@@ -104,9 +104,11 @@ fn engines(c: &mut Criterion) {
         });
 
         // Parallel evaluation (4 workers).
+        let cache = isis_query::ProgramCache::new();
         g.bench_with_input(BenchmarkId::new("isis_parallel4", n), &n, |b, _| {
             b.iter(|| {
                 isis_query::evaluate_derived_members_parallel(
+                    &cache,
                     &f.s.db,
                     f.s.music_groups,
                     &f.quartets,

@@ -17,8 +17,10 @@ use isis_core::{
     Rhs, ValueClass,
 };
 
+use crate::error::QueryError;
 use crate::index::IndexLookup;
 use crate::manager::IndexManager;
+use crate::parallel::EvalPool;
 use crate::program::{MemoTable, PredicateProgram};
 
 /// Maintains one derived subclass incrementally.
@@ -315,25 +317,76 @@ impl DerivedMaintainer {
 
     /// Re-evaluates the predicate for the `affected` candidates and adds /
     /// removes membership as needed. Returns `(added, removed)` counts.
+    ///
+    /// Serial convenience wrapper over
+    /// [`settle_with`](DerivedMaintainer::settle_with) for standalone
+    /// callers; the session passes the shared service's pool instead.
     pub fn settle(&self, db: &mut Database, affected: &OrderedSet) -> Result<(usize, usize)> {
+        self.settle_with(db, affected, None).map_err(|e| match e {
+            QueryError::Core(c) => c,
+            // The serial path never crosses a worker, so a panic error is
+            // unreachable; fold any other variant into a core report
+            // rather than dropping it.
+            other => isis_core::CoreError::Inconsistent(other.to_string()),
+        })
+    }
+
+    /// Re-evaluates the predicate for the `affected` candidates and adds /
+    /// removes membership as needed, evaluating over `pool`'s workers when
+    /// one is given and the affected set is large enough to chunk (the
+    /// session hands in the [`crate::IndexService`]'s pool so refresh
+    /// rounds and queries share workers). Returns `(added, removed)`.
+    ///
+    /// Two phases: every live affected candidate is evaluated first (no
+    /// writes), then membership writes run serially in affected order, so
+    /// the serial and pooled paths produce identical memberships, identical
+    /// write order, and identical no-writes-on-error behaviour. Membership
+    /// writes can't change attribute values or parent extents, so the
+    /// phase-1 results stay valid through phase 2. Worker panics surface as
+    /// [`QueryError::WorkerPanic`].
+    pub fn settle_with(
+        &self,
+        db: &mut Database,
+        affected: &OrderedSet,
+        pool: Option<&EvalPool>,
+    ) -> Result<(usize, usize), QueryError> {
         let obs = isis_obs::global();
         let _span = obs.span("query.incremental.settle");
         obs.count("query.incremental.candidates", affected.len() as u64);
         // One compiled program serves every candidate; mapped constant
         // images are re-hoisted once here if data changed since the last
-        // settle (membership writes below don't touch attribute values, so
-        // refreshing once at entry is sound).
+        // settle (membership writes can't invalidate them).
         let mut prog = self.program.borrow_mut();
         prog.ensure_fresh(db)?;
-        let mut memo = MemoTable::new(&prog);
+        // Phase 1: evaluate. Deleted-later-in-the-window entities are
+        // skipped (extents already scrubbed); candidates outside the parent
+        // evaluate to "should not be a member" without running the program.
+        let candidates: Vec<EntityId> = affected.iter().filter(|&e| db.entity(e).is_ok()).collect();
+        let parent_members = db.members(self.parent)?;
+        let eval_list: Vec<EntityId> = candidates
+            .iter()
+            .copied()
+            .filter(|&e| parent_members.contains(e))
+            .collect();
+        let survivors = match pool {
+            Some(p) => p.evaluate(db, &prog, &eval_list, None)?,
+            None => {
+                let mut memo = MemoTable::new(&prog);
+                let mut out = OrderedSet::new();
+                for &e in &eval_list {
+                    if prog.eval_for(db, e, None, &mut memo)? {
+                        out.insert(e);
+                    }
+                }
+                memo.flush_obs();
+                out
+            }
+        };
+        // Phase 2: write, serially, in affected order.
         let mut added = 0;
         let mut removed = 0;
-        for e in affected.iter() {
-            if db.entity(e).is_err() {
-                continue; // deleted later in the window; extents already scrubbed
-            }
-            let in_parent = db.members(self.parent)?.contains(e);
-            let should = in_parent && prog.eval_for(db, e, None, &mut memo)?;
+        for &e in &candidates {
+            let should = survivors.contains(e);
             let is = db.members(self.class)?.contains(e);
             if should && !is {
                 db.force_membership(e, self.class)?;
@@ -343,7 +396,6 @@ impl DerivedMaintainer {
                 removed += 1;
             }
         }
-        memo.flush_obs();
         obs.count("query.incremental.added", added as u64);
         obs.count("query.incremental.removed", removed as u64);
         Ok((added, removed))

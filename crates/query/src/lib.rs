@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod cache;
 pub mod compile;
 pub mod error;
 pub mod incremental;
@@ -44,6 +45,7 @@ pub mod relmodel;
 pub mod service;
 
 pub use algebra::{eval_cached, Condition, Operand, RaExpr, ScalarOracle};
+pub use cache::{predicate_fingerprint, CachedPlan, ProgramCache, ProgramCacheStats};
 pub use compile::{
     compile_and_eval, compile_attr_derivation, compile_map, compile_subclass_predicate, eval_plan,
 };

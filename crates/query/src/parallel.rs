@@ -21,7 +21,7 @@
 //! Worker panics are contained with `catch_unwind` and surface as
 //! [`QueryError::WorkerPanic`] instead of aborting the session.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -29,6 +29,7 @@ use std::sync::{Mutex, OnceLock};
 
 use isis_core::{ClassId, CoreError, Database, EntityId, OrderedSet, Predicate};
 
+use crate::cache::ProgramCache;
 use crate::error::QueryError;
 use crate::program::{MemoTable, PredicateProgram};
 use crate::service::IndexService;
@@ -41,10 +42,18 @@ const MIN_CHUNK: usize = 16;
 /// cost skew without work stealing.
 const OVERSUBSCRIBE: usize = 4;
 
+/// Extent shard granularity: chunk boundaries land on multiples of this,
+/// so every worker reads a contiguous aligned run of the extent-ordered
+/// candidate slice (the same order storage keeps the entities in) instead
+/// of ranges that straddle shard edges.
+const SHARD: usize = 64;
+
 /// Splits `0..len` into chunks for `threads` workers, or `None` when the
 /// extent is too small for parallelism to pay (serial fallback). Replaces
 /// the old hard-coded `len < 64` threshold: the number of workers actually
 /// used scales down with the extent so every chunk stays ≥ [`MIN_CHUNK`].
+/// Large plans are shard-aligned: the chunk size is rounded up to a
+/// multiple of [`SHARD`] unless that would collapse the plan to one chunk.
 fn plan_chunks(len: usize, threads: usize) -> Option<Vec<Range<usize>>> {
     if threads <= 1 || len < MIN_CHUNK * 2 {
         return None;
@@ -54,13 +63,30 @@ fn plan_chunks(len: usize, threads: usize) -> Option<Vec<Range<usize>>> {
         return None;
     }
     let want = usable * OVERSUBSCRIBE;
-    let chunk = len.div_ceil(want).max(MIN_CHUNK);
+    let mut chunk = len.div_ceil(want).max(MIN_CHUNK);
+    let aligned = chunk.div_ceil(SHARD) * SHARD;
+    if aligned < len {
+        chunk = aligned;
+    }
     Some(
         (0..len)
             .step_by(chunk)
             .map(|s| s..(s + chunk).min(len))
             .collect(),
     )
+}
+
+/// Test-only fault injection for the parallel evaluator.
+#[doc(hidden)]
+pub mod test_hooks {
+    use std::sync::atomic::AtomicU32;
+
+    /// When set to an entity's raw id, any parallel chunk containing that
+    /// entity panics inside the worker. Lets tests prove worker panics
+    /// surface as [`crate::QueryError::WorkerPanic`] without needing a
+    /// predicate that panics naturally. `u32::MAX` (the default) disables
+    /// the hook; its cost when disabled is one relaxed load per chunk.
+    pub static PANIC_ON_ENTITY: AtomicU32 = AtomicU32::new(u32::MAX);
 }
 
 /// Why one chunk failed to produce survivors.
@@ -89,6 +115,10 @@ fn eval_chunk(
     source: Option<EntityId>,
 ) -> ChunkResult {
     let run = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<EntityId>, CoreError> {
+        let trap = test_hooks::PANIC_ON_ENTITY.load(std::sync::atomic::Ordering::Relaxed);
+        if trap != u32::MAX && chunk.iter().any(|e| e.raw() == trap) {
+            panic!("injected worker fault on entity {trap}");
+        }
         let mut memo = MemoTable::new(prog);
         let mut keep = Vec::new();
         for &e in chunk {
@@ -199,16 +229,22 @@ fn splice(results: Vec<Option<ChunkResult>>) -> Result<OrderedSet, QueryError> {
 /// [`crate::IndexService`] (sized via `SessionBuilder::eval_threads`) and
 /// constructible standalone for benches and embedders.
 pub struct EvalPool {
-    threads: usize,
+    threads: Cell<usize>,
     inner: RefCell<Option<scoped_threadpool::Pool>>,
 }
 
 impl fmt::Debug for EvalPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EvalPool")
-            .field("threads", &self.threads)
+            .field("threads", &self.threads.get())
             .field("spawned", &self.inner.borrow().is_some())
             .finish()
+    }
+}
+
+impl Default for EvalPool {
+    fn default() -> EvalPool {
+        EvalPool::new(1)
     }
 }
 
@@ -217,14 +253,25 @@ impl EvalPool {
     /// until the first parallel evaluation needs them.
     pub fn new(threads: usize) -> EvalPool {
         EvalPool {
-            threads: threads.max(1),
+            threads: Cell::new(threads.max(1)),
             inner: RefCell::new(None),
         }
     }
 
     /// The configured worker count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.threads.get()
+    }
+
+    /// Reconfigures the worker count. A changed width drops the spawned
+    /// threads (joining them); the pool respawns lazily at the new width on
+    /// the next parallel evaluation.
+    pub fn set_threads(&self, threads: usize) {
+        let threads = threads.max(1);
+        if threads != self.threads.get() {
+            self.threads.set(threads);
+            self.inner.borrow_mut().take();
+        }
     }
 
     /// `true` once the worker threads have actually been spawned.
@@ -232,9 +279,18 @@ impl EvalPool {
         self.inner.borrow().is_some()
     }
 
-    fn with<R>(&self, f: impl FnOnce(&mut scoped_threadpool::Pool) -> R) -> R {
+    /// The width of the spawned pool, or `None` while unspawned.
+    pub fn spawned_threads(&self) -> Option<usize> {
+        self.inner
+            .borrow()
+            .as_ref()
+            .map(|p| p.thread_count() as usize)
+    }
+
+    pub(crate) fn with<R>(&self, f: impl FnOnce(&mut scoped_threadpool::Pool) -> R) -> R {
         let mut guard = self.inner.borrow_mut();
-        let pool = guard.get_or_insert_with(|| scoped_threadpool::Pool::new(self.threads as u32));
+        let pool =
+            guard.get_or_insert_with(|| scoped_threadpool::Pool::new(self.threads.get() as u32));
         f(pool)
     }
 
@@ -248,7 +304,7 @@ impl EvalPool {
         members: &[EntityId],
         source: Option<EntityId>,
     ) -> Result<OrderedSet, QueryError> {
-        match plan_chunks(members.len(), self.threads) {
+        match plan_chunks(members.len(), self.threads.get()) {
             None => eval_serial(db, prog, members, source),
             Some(ranges) => {
                 splice(self.with(|pool| run_on_pool(pool, db, prog, members, source, &ranges)))
@@ -280,24 +336,68 @@ fn with_shared_pool<R>(threads: usize, f: impl FnOnce(&mut scoped_threadpool::Po
     f(&mut pools[pos])
 }
 
+/// How one of the entry points below sources its workers. All three share
+/// the chunk plan, the chunk evaluator, and the splice — the only
+/// differences left are the candidate slice and where threads come from.
+enum Workers<'a> {
+    /// The process-wide registry pool of the given width.
+    Registry(usize),
+    /// Fresh scoped OS threads per call (bench baseline).
+    Spawn(usize),
+    /// A caller-owned persistent pool.
+    Pool(&'a EvalPool),
+}
+
+impl Workers<'_> {
+    fn threads(&self) -> usize {
+        match self {
+            Workers::Registry(t) | Workers::Spawn(t) => *t,
+            Workers::Pool(p) => p.threads(),
+        }
+    }
+}
+
+/// The single evaluation body every entry point routes through: plan
+/// chunks over `members`, evaluate them on the chosen workers, splice in
+/// extent order (serial fallback for small slices).
+fn eval_members(
+    db: &Database,
+    prog: &PredicateProgram,
+    members: &[EntityId],
+    workers: &Workers<'_>,
+) -> Result<OrderedSet, QueryError> {
+    match plan_chunks(members.len(), workers.threads()) {
+        None => eval_serial(db, prog, members, None),
+        Some(ranges) => splice(match workers {
+            Workers::Registry(t) => with_shared_pool(*t, |pool| {
+                run_on_pool(pool, db, prog, members, None, &ranges)
+            }),
+            Workers::Spawn(_) => run_spawned(db, prog, members, None, &ranges),
+            Workers::Pool(p) => p.with(|pool| run_on_pool(pool, db, prog, members, None, &ranges)),
+        }),
+    }
+}
+
 /// Evaluates `{ e ∈ parent | P(e) }` across `threads` persistent-pool
-/// workers, compiling the predicate once. With `threads <= 1` (or a tiny
-/// extent) the compiled program runs serially. Results are identical to
-/// [`Database::evaluate_derived_members`], in the same order.
+/// workers, compiling the predicate through `cache` (repeat queries reuse
+/// the compiled program; see [`ProgramCache`]). With `threads <= 1` (or a
+/// tiny extent) the compiled program runs serially. Results are identical
+/// to [`Database::evaluate_derived_members`], in the same order.
 pub fn evaluate_derived_members_parallel(
+    cache: &ProgramCache,
     db: &Database,
     parent: ClassId,
     pred: &Predicate,
     threads: usize,
 ) -> Result<OrderedSet, QueryError> {
-    let prog = PredicateProgram::compile(db, parent, pred)?;
-    let members: Vec<EntityId> = db.members(parent)?.iter().collect();
-    match plan_chunks(members.len(), threads) {
-        None => eval_serial(db, &prog, &members, None),
-        Some(ranges) => splice(with_shared_pool(threads, |pool| {
-            run_on_pool(pool, db, &prog, &members, None, &ranges)
-        })),
-    }
+    cache.with_program(db, parent, None, pred, None, |prog| {
+        let members: Vec<EntityId> = db
+            .members(parent)
+            .map_err(QueryError::Core)?
+            .iter()
+            .collect();
+        eval_members(db, prog, &members, &Workers::Registry(threads))
+    })
 }
 
 /// Per-call thread-spawn baseline for [`evaluate_derived_members_parallel`]:
@@ -305,24 +405,27 @@ pub fn evaluate_derived_members_parallel(
 /// on every call. Kept public so the `predicate_compile` bench can measure
 /// exactly what the persistent pool buys.
 pub fn evaluate_derived_members_spawn(
+    cache: &ProgramCache,
     db: &Database,
     parent: ClassId,
     pred: &Predicate,
     threads: usize,
 ) -> Result<OrderedSet, QueryError> {
-    let prog = PredicateProgram::compile(db, parent, pred)?;
-    let members: Vec<EntityId> = db.members(parent)?.iter().collect();
-    match plan_chunks(members.len(), threads) {
-        None => eval_serial(db, &prog, &members, None),
-        Some(ranges) => splice(run_spawned(db, &prog, &members, None, &ranges)),
-    }
+    cache.with_program(db, parent, None, pred, None, |prog| {
+        let members: Vec<EntityId> = db
+            .members(parent)
+            .map_err(QueryError::Core)?
+            .iter()
+            .collect();
+        eval_members(db, prog, &members, &Workers::Spawn(threads))
+    })
 }
 
 /// Index-pruned parallel evaluation: the shared [`IndexService`] planner
 /// first shrinks the candidate pool (index probe / grouping-range scan),
-/// then the surviving candidates are evaluated through one compiled
-/// program on the service's persistent pool. Results are identical to
-/// [`IndexService::evaluate`], in the same order.
+/// then the surviving candidates are evaluated through one program from
+/// the service's [`ProgramCache`] on the service's persistent pool.
+/// Results are identical to [`IndexService::evaluate`], in the same order.
 pub fn evaluate_pruned_parallel(
     service: &IndexService,
     db: &Database,
@@ -330,22 +433,15 @@ pub fn evaluate_pruned_parallel(
     pred: &Predicate,
     threads: usize,
 ) -> Result<OrderedSet, QueryError> {
-    let prog = PredicateProgram::compile_with(db, parent, None, pred, Some(service))?;
-    let pool = service.candidate_pool(db, pred)?;
-    let members: Vec<EntityId> = match &pool {
-        Some(p) => db
-            .members(parent)?
-            .iter()
-            .filter(|e| p.contains(*e))
-            .collect(),
-        None => db.members(parent)?.iter().collect(),
-    };
-    match plan_chunks(members.len(), threads) {
-        None => eval_serial(db, &prog, &members, None),
-        Some(ranges) => splice(service.with_eval_pool(threads, |pool| {
-            run_on_pool(pool, db, &prog, &members, None, &ranges)
-        })),
-    }
+    service
+        .program_cache()
+        .with_plan(db, parent, None, pred, Some(service), |prog, plan| {
+            let (_, members) = service
+                .plan_candidates(db, parent, pred, plan)
+                .map_err(QueryError::Core)?;
+            service.eval_pool().set_threads(threads);
+            eval_members(db, prog, &members, &Workers::Pool(service.eval_pool()))
+        })
 }
 
 #[cfg(test)]
@@ -361,21 +457,29 @@ mod tests {
         let serial =
             s.db.evaluate_derived_members(s.music_groups, &pred)
                 .unwrap();
+        let cache = ProgramCache::new();
         for threads in [1, 2, 4, 8] {
             let par =
-                evaluate_derived_members_parallel(&s.db, s.music_groups, &pred, threads).unwrap();
+                evaluate_derived_members_parallel(&cache, &s.db, s.music_groups, &pred, threads)
+                    .unwrap();
             assert_eq!(par.as_slice(), serial.as_slice(), "threads={threads}");
             let spawned =
-                evaluate_derived_members_spawn(&s.db, s.music_groups, &pred, threads).unwrap();
+                evaluate_derived_members_spawn(&cache, &s.db, s.music_groups, &pred, threads)
+                    .unwrap();
             assert_eq!(spawned.as_slice(), serial.as_slice(), "threads={threads}");
         }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "eight calls, one compile");
+        assert_eq!(stats.hits, 7);
     }
 
     #[test]
     fn small_extents_fall_back_to_serial() {
         let im = isis_sample::instrumental_music().unwrap();
         let pred = isis_core::Predicate::always_true();
-        let par = evaluate_derived_members_parallel(&im.db, im.musicians, &pred, 8).unwrap();
+        let cache = ProgramCache::new();
+        let par =
+            evaluate_derived_members_parallel(&cache, &im.db, im.musicians, &pred, 8).unwrap();
         assert_eq!(par.len(), im.all_musicians.len());
         assert!(plan_chunks(12, 8).is_none(), "12 candidates stay serial");
     }
@@ -399,6 +503,17 @@ mod tests {
     }
 
     #[test]
+    fn large_chunk_plans_are_shard_aligned() {
+        let ranges = plan_chunks(100_000, 8).unwrap();
+        assert!(ranges.len() > 1);
+        for r in &ranges[..ranges.len() - 1] {
+            assert_eq!(r.start % SHARD, 0, "chunk start off shard: {r:?}");
+            assert_eq!(r.end % SHARD, 0, "chunk end off shard: {r:?}");
+        }
+        assert_eq!(ranges.last().unwrap().end, 100_000);
+    }
+
+    #[test]
     fn pruned_parallel_matches_serial_exactly() {
         let mut s = synthetic_music(Scale::of(400), 21).unwrap();
         let probe = s.instrument_ids[0];
@@ -408,14 +523,23 @@ mod tests {
         let serial =
             s.db.evaluate_derived_members(s.music_groups, &pred)
                 .unwrap();
+        let mut probes_after_first = 0;
         for threads in [1, 2, 4, 8] {
             let par =
                 evaluate_pruned_parallel(&svc, &s.db, s.music_groups, &pred, threads).unwrap();
             assert_eq!(par.as_slice(), serial.as_slice(), "threads={threads}");
+            if threads == 1 {
+                probes_after_first = svc.query_stats().index_probes;
+            }
         }
         assert!(
-            svc.query_stats().index_probes >= 4,
-            "the size clause must probe the shared index on every call"
+            probes_after_first >= 1,
+            "the size clause must probe the shared index on the first call"
+        );
+        assert_eq!(
+            svc.query_stats().index_probes,
+            probes_after_first,
+            "repeat calls at the same epoch must reuse the cached plan"
         );
     }
 
@@ -449,7 +573,8 @@ mod tests {
                 isis_core::Rhs::constant(ints, [anchor]),
             )])]);
         let serial = s.db.evaluate_derived_members(s.musicians, &bad);
-        let par = evaluate_derived_members_parallel(&s.db, s.musicians, &bad, 4);
+        let cache = ProgramCache::new();
+        let par = evaluate_derived_members_parallel(&cache, &s.db, s.musicians, &bad, 4);
         match (serial, par) {
             (Err(want), Err(QueryError::Core(got))) => assert_eq!(got, want),
             (a, b) => panic!("both paths must fail with the serial error: {a:?} vs {b:?}"),

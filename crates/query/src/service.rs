@@ -39,6 +39,7 @@
 //! as it does for a database swap via load/undo.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use isis_obs::Counter;
@@ -48,8 +49,10 @@ use isis_core::{
     OrderedSet, Predicate, Result, Rhs,
 };
 
+use crate::cache::{CachedPlan, ProgramCache};
 use crate::index::{AttrIndex, IndexLookup};
 use crate::manager::{IndexManager, IndexStats};
+use crate::parallel::EvalPool;
 
 /// Counters describing the access-path decisions a service has made.
 ///
@@ -133,10 +136,41 @@ pub struct IndexService {
     /// serial). Plumbed from `SessionBuilder::eval_threads`.
     eval_threads: Cell<usize>,
     /// Lazily-spawned persistent worker pool, reused across queries by
-    /// [`crate::evaluate_pruned_parallel`]; replaced only when a caller
-    /// asks for a different size.
-    eval_pool: RefCell<Option<scoped_threadpool::Pool>>,
+    /// [`crate::evaluate_pruned_parallel`] and across refresh rounds by
+    /// [`crate::DerivedMaintainer::settle_with`]; resized only when a
+    /// caller asks for a different width.
+    eval_pool: EvalPool,
+    /// Compiled programs keyed by (parent, source, predicate fingerprint),
+    /// revalidated against the delta epoch on every lookup — repeat
+    /// queries skip validation/reordering/hoisting entirely. Dies with the
+    /// service, which dies on every line switch, so entries can never leak
+    /// across database lines through this path.
+    programs: ProgramCache,
+    /// Per-class extent position maps (entity → storage-order index),
+    /// revalidated against the delta epoch. They let a pruned pool much
+    /// smaller than its extent be put back into extent order in
+    /// O(|pool| log |pool|) instead of the O(|extent|) scan-and-filter the
+    /// 1e6-entity scaling harness exposed as the dominant per-query cost.
+    extent_order: RefCell<HashMap<ClassId, ExtentOrder>>,
 }
+
+/// One cached extent position map (see [`IndexService::ordered_candidates`]).
+#[derive(Debug, Default)]
+struct ExtentOrder {
+    epoch: u64,
+    pos: HashMap<EntityId, u32>,
+}
+
+/// How much smaller than its extent a pruned pool must be before the
+/// position-map path beats the straight extent scan. Below this ratio the
+/// scan's cache-friendly linear pass wins.
+const ORDER_MAP_FACTOR: usize = 8;
+
+/// Largest candidate list worth pinning in a [`CachedPlan`]. Bigger lists
+/// are recomputed per query: per-candidate evaluation dominates at that
+/// size anyway, and pinning them would let a handful of broad predicates
+/// hold megabytes in the program cache.
+const MAX_PLAN_CANDIDATES: usize = 4096;
 
 impl IndexService {
     /// An empty service synchronised to the database's current delta epoch.
@@ -188,28 +222,95 @@ impl IndexService {
     /// The size of the spawned persistent pool, or `None` while no
     /// parallel query has needed one yet.
     pub fn eval_pool_threads(&self) -> Option<usize> {
-        self.eval_pool
-            .borrow()
-            .as_ref()
-            .map(|p| p.thread_count() as usize)
+        self.eval_pool.spawned_threads()
     }
 
-    /// Runs `f` on this service's persistent worker pool, spawning it on
-    /// first use (and re-sizing it if a caller asks for a different width).
-    pub(crate) fn with_eval_pool<R>(
+    /// The service's persistent worker pool, shared by pruned parallel
+    /// queries and large-affected-set settles.
+    pub fn eval_pool(&self) -> &EvalPool {
+        &self.eval_pool
+    }
+
+    /// The service's compiled-program cache (see [`ProgramCache`] for the
+    /// lifetime/invalidation contract).
+    pub fn program_cache(&self) -> &ProgramCache {
+        &self.programs
+    }
+
+    /// Filters `pool` down to members of `parent` **in extent (storage)
+    /// order** — exactly the order `Database::evaluate_derived_members`
+    /// produces. With no pool the whole extent is returned. A pool much
+    /// smaller than its extent is ordered through a cached position map
+    /// (rebuilt whenever the delta epoch has moved) rather than by
+    /// scanning the extent, so a repeat navigation query over a 1e6-entity
+    /// class pays for its handful of candidates, not for the extent.
+    pub fn ordered_candidates(
         &self,
-        threads: usize,
-        f: impl FnOnce(&mut scoped_threadpool::Pool) -> R,
-    ) -> R {
-        let mut guard = self.eval_pool.borrow_mut();
-        let rebuild = match guard.as_ref() {
-            Some(p) => p.thread_count() as usize != threads,
-            None => true,
+        db: &Database,
+        parent: ClassId,
+        pool: Option<&OrderedSet>,
+    ) -> Result<Vec<EntityId>> {
+        let members = db.members(parent)?;
+        let Some(pool) = pool else {
+            return Ok(members.iter().collect());
         };
-        if rebuild {
-            *guard = Some(scoped_threadpool::Pool::new(threads as u32));
+        if pool.len().saturating_mul(ORDER_MAP_FACTOR) >= members.len() {
+            return Ok(members.iter().filter(|e| pool.contains(*e)).collect());
         }
-        f(guard.as_mut().expect("pool just ensured"))
+        let mut cache = self.extent_order.borrow_mut();
+        let entry = cache.entry(parent).or_default();
+        let epoch = db.delta_epoch();
+        if entry.epoch != epoch || entry.pos.len() != members.len() {
+            entry.pos = members.iter().zip(0u32..).collect();
+            entry.epoch = epoch;
+            if isis_obs::global().enabled() {
+                isis_obs::global().count("query.service.order_rebuilds", 1);
+            }
+        }
+        let mut picked: Vec<(u32, EntityId)> = pool
+            .iter()
+            .filter_map(|e| entry.pos.get(&e).map(|&i| (i, e)))
+            .collect();
+        picked.sort_unstable_by_key(|&(i, _)| i);
+        Ok(picked.into_iter().map(|(_, e)| e).collect())
+    }
+
+    /// Produces (pool size, extent-ordered candidate list) for `pred` over
+    /// `parent`, reusing the [`CachedPlan`] in `plan` when it is still
+    /// valid — the delta epoch guards the data and the index cursor guards
+    /// index synchronisation, so a repeat navigation query re-pays neither
+    /// the posting-list intersections nor the ordering. Oversized lists
+    /// (and unprunable predicates) are never pinned; they are recomputed
+    /// and returned owned.
+    pub(crate) fn plan_candidates<'a>(
+        &self,
+        db: &Database,
+        parent: ClassId,
+        pred: &Predicate,
+        plan: &'a mut Option<CachedPlan>,
+    ) -> Result<(Option<usize>, std::borrow::Cow<'a, [EntityId]>)> {
+        let epoch = db.delta_epoch();
+        let cursor = self.manager.cursor();
+        if !matches!(plan, Some(p) if p.epoch == epoch && p.cursor == cursor) {
+            let pool = self.candidate_pool(db, pred)?;
+            let pool_len = pool.as_ref().map(OrderedSet::len);
+            let candidates = self.ordered_candidates(db, parent, pool.as_ref())?;
+            if pool_len.is_none() || candidates.len() > MAX_PLAN_CANDIDATES {
+                *plan = None;
+                return Ok((pool_len, std::borrow::Cow::Owned(candidates)));
+            }
+            *plan = Some(CachedPlan {
+                epoch,
+                cursor,
+                pool_len,
+                candidates,
+            });
+        }
+        let p = plan.as_ref().expect("plan was just installed or validated");
+        Ok((
+            p.pool_len,
+            std::borrow::Cow::Borrowed(p.candidates.as_slice()),
+        ))
     }
 
     /// Bumps a per-service counter and, when observability is live, its
@@ -501,45 +602,40 @@ impl IndexService {
     pub fn evaluate(&self, db: &Database, parent: ClassId, pred: &Predicate) -> Result<OrderedSet> {
         let obs = isis_obs::global();
         let _span = obs.span("query.service.evaluate");
-        // Compilation validates the predicate and hoists constant images
-        // once; the residual filter below then runs the compiled program
-        // instead of re-interpreting the AST per candidate.
-        let prog =
-            crate::program::PredicateProgram::compile_with(db, parent, None, pred, Some(self))?;
-        self.bump(&self.queries, &self.obs.queries);
-        let pool = self.candidate_pool(db, pred)?;
-        if pool.is_none() {
-            self.bump(&self.seq_scans, &self.obs.seq_scans);
-        }
-        obs.event("query.service.plan", || match &pool {
-            Some(p) => format!("pruned pool of {} candidate(s)", p.len()),
-            None => "no prunable atom; sequential scan".to_string(),
-        });
-        let candidates: Vec<EntityId> = match &pool {
-            Some(p) => db
-                .members(parent)?
-                .iter()
-                .filter(|e| p.contains(*e))
-                .collect(),
-            None => db.members(parent)?.iter().collect(),
-        };
-        let mut out = OrderedSet::new();
-        let scanned = candidates.len() as u64;
-        let mut memo = crate::program::MemoTable::new(&prog);
-        for e in candidates {
-            if prog.eval_for(db, e, None, &mut memo)? {
-                out.insert(e);
-            }
-        }
-        memo.flush_obs();
-        if obs.enabled() {
-            self.obs.rows_scanned.add(scanned);
-            self.obs.rows_returned.add(out.len() as u64);
-        }
-        obs.event("query.service.rows", || {
-            format!("{scanned} scanned, {} returned", out.len())
-        });
-        Ok(out)
+        // The cache validates/reorders/hoists once per predicate shape
+        // (revalidating against the delta epoch), and carries the access
+        // plan alongside; a repeat query pays only the residual filter
+        // below, running the compiled program over the cached candidate
+        // list instead of re-planning and re-interpreting per candidate.
+        self.programs
+            .with_plan(db, parent, None, pred, Some(self), |prog, plan| {
+                self.bump(&self.queries, &self.obs.queries);
+                let (pool_len, candidates) = self.plan_candidates(db, parent, pred, plan)?;
+                if pool_len.is_none() {
+                    self.bump(&self.seq_scans, &self.obs.seq_scans);
+                }
+                obs.event("query.service.plan", || match pool_len {
+                    Some(n) => format!("pruned pool of {n} candidate(s)"),
+                    None => "no prunable atom; sequential scan".to_string(),
+                });
+                let mut out = OrderedSet::new();
+                let scanned = candidates.len() as u64;
+                let mut memo = crate::program::MemoTable::new(prog);
+                for &e in candidates.iter() {
+                    if prog.eval_for(db, e, None, &mut memo)? {
+                        out.insert(e);
+                    }
+                }
+                memo.flush_obs();
+                if obs.enabled() {
+                    self.obs.rows_scanned.add(scanned);
+                    self.obs.rows_returned.add(out.len() as u64);
+                }
+                obs.event("query.service.rows", || {
+                    format!("{scanned} scanned, {} returned", out.len())
+                });
+                Ok(out)
+            })
     }
 
     /// Records a query that was answered *outside* the service — the
@@ -715,5 +811,95 @@ mod tests {
         let head = svc2.evaluate(&fresh, im.musicians, &pred).unwrap();
         assert_eq!(head.len(), before.len() + 1);
         assert!(head.contains(fresh.entity_by_name(im.musicians, "Zed").unwrap()));
+    }
+
+    #[test]
+    fn repeat_queries_reuse_cached_plan() {
+        let mut im = instrumental_music().unwrap();
+        let mut svc = IndexService::new(&im.db);
+        svc.ensure_index(&im.db, im.plays).unwrap();
+        let atom = match_atom(im.plays, im.instruments, im.piano);
+        let pred = Predicate::dnf(vec![Clause::new(vec![atom])]);
+        let first = svc.evaluate(&im.db, im.musicians, &pred).unwrap();
+        let probes = svc.query_stats().index_probes;
+        let second = svc.evaluate(&im.db, im.musicians, &pred).unwrap();
+        assert_eq!(first.as_slice(), second.as_slice());
+        assert_eq!(
+            svc.query_stats().index_probes,
+            probes,
+            "a repeat query at the same epoch/cursor must reuse the cached plan"
+        );
+        // A data edit moves the epoch; after a refresh the plan is
+        // recomputed and the answer reflects the new pianist.
+        let zed = im.db.insert_entity(im.musicians, "PlanProbe").unwrap();
+        im.db.add_value(zed, im.plays, im.piano).unwrap();
+        svc.refresh(&im.db).unwrap();
+        let third = svc.evaluate(&im.db, im.musicians, &pred).unwrap();
+        assert!(
+            svc.query_stats().index_probes > probes,
+            "a moved epoch must force a re-plan"
+        );
+        assert!(third.contains(zed));
+        assert_eq!(third.len(), first.len() + 1);
+    }
+
+    #[test]
+    fn ordered_candidates_matches_extent_scan_on_every_path() {
+        let mut s = isis_sample::synthetic_music(isis_sample::Scale::of(400), 7).unwrap();
+        let svc = IndexService::new(&s.db);
+        let extent = s.db.members(s.musicians).unwrap().clone();
+
+        // No pool: the whole extent, in order.
+        let all = svc.ordered_candidates(&s.db, s.musicians, None).unwrap();
+        assert_eq!(all, extent.iter().collect::<Vec<_>>());
+
+        // A pool small enough for the position-map path (every 13th
+        // member, deliberately inserted in reverse) must come back in
+        // extent order, identical to the linear scan-and-filter.
+        let small: OrderedSet = extent
+            .as_slice()
+            .iter()
+            .copied()
+            .step_by(13)
+            .rev()
+            .collect();
+        assert!(small.len() * ORDER_MAP_FACTOR < extent.len());
+        let want: Vec<EntityId> = extent.iter().filter(|e| small.contains(*e)).collect();
+        let got = svc
+            .ordered_candidates(&s.db, s.musicians, Some(&small))
+            .unwrap();
+        assert_eq!(got, want, "position-map path must preserve extent order");
+
+        // A large pool takes the scan path; same contract.
+        let large: OrderedSet = extent.as_slice().iter().copied().step_by(2).rev().collect();
+        assert!(large.len() * ORDER_MAP_FACTOR >= extent.len());
+        let want: Vec<EntityId> = extent.iter().filter(|e| large.contains(*e)).collect();
+        let got = svc
+            .ordered_candidates(&s.db, s.musicians, Some(&large))
+            .unwrap();
+        assert_eq!(got, want);
+
+        // Pool members outside the extent are dropped, not returned.
+        let foreign: OrderedSet = [s.instrument_ids[0], extent.iter().next().unwrap()]
+            .into_iter()
+            .collect();
+        let got = svc
+            .ordered_candidates(&s.db, s.musicians, Some(&foreign))
+            .unwrap();
+        assert_eq!(got, vec![extent.iter().next().unwrap()]);
+
+        // After a mutation moves the epoch, the cached map is rebuilt and
+        // reflects the new extent.
+        let newcomer = s.db.insert_entity(s.musicians, "order_probe").unwrap();
+        let mut probe = small.clone();
+        probe.insert(newcomer);
+        let got = svc
+            .ordered_candidates(&s.db, s.musicians, Some(&probe))
+            .unwrap();
+        assert_eq!(
+            got.last().copied(),
+            Some(newcomer),
+            "rebuilt map must place the new entity last in extent order"
+        );
     }
 }

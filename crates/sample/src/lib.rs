@@ -24,5 +24,8 @@ pub mod workload;
 pub use instrumental_music::{
     all_inst_derivation, instrumental_music, quartets_predicate, InstrumentalMusic,
 };
-pub use synthetic::{synthetic_music, Scale, SyntheticMusic};
+pub use synthetic::{
+    synthetic_music, synthetic_scaled, Scale, ScaledMusic, SchemaShape, SynthSpec, SyntheticMusic,
+    ValueDist,
+};
 pub use university::{university, University};

@@ -89,6 +89,42 @@ pub fn long_map_predicate(s: &SyntheticMusic, len: usize, anchor: EntityId) -> P
     )])])
 }
 
+/// A stepwise-refinement navigation session over musicians, after Query
+/// By Navigation: step `i` is a CNF of `i+1` single-atom clauses, so each
+/// step narrows the previous one by one more condition. The atoms are
+/// single-step and index-shaped (`plays ~ {instrument}`, `union ⊇ {yes}`),
+/// exactly what an interactive worksheet refines by, and the chain re-uses
+/// the same predicates every browsing round — the workload the program
+/// cache exists for.
+pub fn navigation_chain(s: &mut SyntheticMusic, steps: usize, seed: u64) -> Vec<Predicate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let yes = s.db.boolean(true);
+    let booleans = s.db.predefined(isis_core::BaseKind::Booleans);
+    let mut clauses: Vec<Clause> = Vec::new();
+    let mut chain = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let atom = if step == 1 {
+            // The second refinement narrows to union members; the rest
+            // keep adding instruments.
+            Atom::new(
+                Map::single(s.union_attr),
+                CompareOp::Superset,
+                Rhs::constant(booleans, [yes]),
+            )
+        } else {
+            let inst = s.instrument_ids[rng.gen_range(0..s.instrument_ids.len())];
+            Atom::new(
+                Map::single(s.plays),
+                CompareOp::Match,
+                Rhs::constant(s.instruments, [inst]),
+            )
+        };
+        clauses.push(Clause::new(vec![atom]));
+        chain.push(Predicate::cnf(clauses.clone()));
+    }
+    chain
+}
+
 /// One step of a data-modification stream (used by storage/WAL benches and
 /// by randomised consistency tests).
 #[derive(Debug, Clone, PartialEq)]
@@ -201,6 +237,24 @@ mod tests {
         ] {
             let p = long_map_predicate(&s, len, anchor);
             s.db.evaluate_derived_members(s.music_groups, &p).unwrap();
+        }
+    }
+
+    #[test]
+    fn navigation_chain_refines_monotonically() {
+        let mut s = synthetic_music(Scale::of(200), 17).unwrap();
+        let chain = navigation_chain(&mut s, 4, 3);
+        assert_eq!(chain.len(), 4);
+        let mut prev: Option<isis_core::OrderedSet> = None;
+        for pred in &chain {
+            let got = s.db.evaluate_derived_members(s.musicians, pred).unwrap();
+            if let Some(p) = &prev {
+                assert!(
+                    got.iter().all(|e| p.contains(e)),
+                    "each step must be a subset of the previous"
+                );
+            }
+            prev = Some(got);
         }
     }
 

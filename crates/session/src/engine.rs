@@ -672,8 +672,17 @@ impl Session {
         }
         {
             let _settle = obs.span("session.refresh.settle");
+            // Large affected sets settle over the service's worker pool —
+            // the same one parallel queries use — when the session is
+            // configured for parallel evaluation.
+            let pool = (self.eval_threads > 1).then(|| {
+                service.eval_pool().set_threads(self.eval_threads);
+                service.eval_pool()
+            });
             for (m, aff) in maints.iter().zip(affected.iter()) {
-                let (added, removed) = m.settle(&mut self.db, aff)?;
+                let (added, removed) = m
+                    .settle_with(&mut self.db, aff, pool)
+                    .map_err(SessionError::Query)?;
                 if added + removed > 0 {
                     let name = self.db.class(m.class())?.name.clone();
                     self.say(format!(

@@ -339,9 +339,10 @@ proptest! {
 
         let interp = s.db.evaluate_derived_members(s.music_groups, &pred);
         check_serial(&s.db, s.music_groups, &pred);
+        let cache = isis_query::ProgramCache::new();
         for run in [
-            evaluate_derived_members_parallel(&s.db, s.music_groups, &pred, threads),
-            evaluate_derived_members_spawn(&s.db, s.music_groups, &pred, threads),
+            evaluate_derived_members_parallel(&cache, &s.db, s.music_groups, &pred, threads),
+            evaluate_derived_members_spawn(&cache, &s.db, s.music_groups, &pred, threads),
         ] {
             match (&interp, run) {
                 (Ok(a), Ok(b)) => prop_assert_eq!(a.as_slice(), b.as_slice()),
