@@ -208,6 +208,7 @@ fn refresh_report(c: &mut Criterion) {
     // Machine-readable sibling: aggregate rows plus the criterion runs.
     isis_bench::BenchReport::new("derived_class")
         .smoke(smoke)
+        .scale(entities as u64)
         .param("n", n)
         .param("full_iters", full_iters as u64)
         .param("delta_iters", delta_iters as u64)

@@ -154,6 +154,7 @@ fn concurrent_sessions_report(c: &mut Criterion) {
 
     isis_bench::BenchReport::new("mvcc_sessions")
         .smoke(smoke)
+        .scale(entities as u64)
         .param("n", n)
         .param("entities", entities)
         .param("readers", READERS)

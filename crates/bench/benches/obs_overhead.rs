@@ -70,7 +70,16 @@ fn obs_overhead(c: &mut Criterion) {
         obs.count(black_box("bench.obs.noop"), 1);
     }
     let count_op_ns = t.elapsed().as_nanos() as f64 / probe_ops as f64;
-    let op_ns = span_op_ns.max(count_op_ns);
+    let t = Instant::now();
+    for _ in 0..probe_ops {
+        // Disabled flight events must not even build their payload: the
+        // closure is behind the enabled check.
+        obs.flight_event(black_box("bench.obs.noop"), || {
+            unreachable!("payload built with observability off")
+        });
+    }
+    let flight_op_ns = t.elapsed().as_nanos() as f64 / probe_ops as f64;
+    let op_ns = span_op_ns.max(count_op_ns).max(flight_op_ns);
 
     // 2. Instrumentation ops per query round, observed under tracing.
     let f = fixture(n);
@@ -121,8 +130,9 @@ fn obs_overhead(c: &mut Criterion) {
     // 4. The budget check.
     let overhead_pct = op_ns * ops_per_round as f64 * 100.0 / round_ns;
     println!(
-        "obs_overhead: n={n} op={op_ns:.2}ns (span {span_op_ns:.2}, count {count_op_ns:.2}) \
-         ops/round={ops_per_round} round={round_ns:.0}ns overhead={overhead_pct:.3}%"
+        "obs_overhead: n={n} op={op_ns:.2}ns (span {span_op_ns:.2}, count {count_op_ns:.2}, \
+         flight {flight_op_ns:.2}) ops/round={ops_per_round} round={round_ns:.0}ns \
+         overhead={overhead_pct:.3}%"
     );
     if !smoke {
         assert!(
@@ -138,7 +148,8 @@ fn obs_overhead(c: &mut Criterion) {
     let md = format!(
         "# Disabled-instrumentation overhead on the query path\n\n\
          Per-op disabled fast path: span {span_op_ns:.2} ns, counter \
-         {count_op_ns:.2} ns. One shared-service round (point update, delta \
+         {count_op_ns:.2} ns, flight event {flight_op_ns:.2} ns (payload \
+         closure never runs). One shared-service round (point update, delta \
          drain, two queries) executes ~{ops_per_round} instrumentation ops \
          (2x-padded trace count) and takes {round_ns:.0} ns with `ISIS_OBS` \
          off over {n} musicians.\n\n\
@@ -152,12 +163,14 @@ fn obs_overhead(c: &mut Criterion) {
     std::fs::write(out_dir.join("obs_overhead.md"), md).expect("write report");
     isis_bench::BenchReport::new("obs_overhead")
         .smoke(smoke)
+        .scale(n as u64)
         .param("n", n)
         .param("rounds", rounds)
         .param("ops_per_round", ops_per_round)
         .param("overhead_pct", overhead_pct)
         .result("obs_overhead/disabled_span_op", span_op_ns, probe_ops)
         .result("obs_overhead/disabled_count_op", count_op_ns, probe_ops)
+        .result("obs_overhead/disabled_flight_op", flight_op_ns, probe_ops)
         .result("obs_overhead/query_round_disabled", round_ns, rounds as u64)
         .write();
 }

@@ -184,6 +184,7 @@ fn predicate_compile_report(c: &mut Criterion) {
 
     isis_bench::BenchReport::new("predicate_compile")
         .smoke(smoke)
+        .scale(entities as u64)
         .param("n", n)
         .param("rounds", rounds as u64)
         .param("entities", entities)

@@ -198,6 +198,7 @@ fn query_index_report(c: &mut Criterion) {
     // criterion measurement taken earlier in this run.
     isis_bench::BenchReport::new("query_index")
         .smoke(smoke)
+        .scale(entities as u64)
         .param("n", n)
         .param("rounds", rounds)
         .param("entities", entities)

@@ -197,6 +197,7 @@ fn replication_report(c: &mut Criterion) {
 
     isis_bench::BenchReport::new("replication")
         .smoke(smoke)
+        .scale(entities as u64)
         .param("entities", entities)
         .param("frames", f.frames)
         .param("batch", batch)

@@ -96,6 +96,13 @@ fn run_config(cfg: &Config, threads: usize, report: &mut BenchReport) -> ConfigR
     let mut svc = IndexService::new(&g.s.db);
     svc.ensure_index(&g.s.db, g.s.plays).unwrap();
     svc.ensure_index(&g.s.db, g.s.union_attr).unwrap();
+    let obs = isis_obs::global();
+    if obs.enabled() {
+        // With observability on (ISIS_OBS=1), capture full plan records
+        // for anything over 1ms — at 1e5+ entities that journals real
+        // plans into the flight recorder for the CI artifact.
+        svc.set_slow_threshold_ns(1_000_000);
+    }
     let run_chain = |svc: &IndexService, db: &Database| {
         let mut total = 0usize;
         for pred in &chain {
@@ -119,6 +126,20 @@ fn run_config(cfg: &Config, threads: usize, report: &mut BenchReport) -> ConfigR
         stats.hits > 0 && stats.misses > 0,
         "both arms must exercise the cache: {stats:?}"
     );
+    if obs.enabled() {
+        // One explained evaluation per configuration: the record lands in
+        // the flight journal and prints a one-line plan summary.
+        let (out, rec) = svc
+            .explain(&g.s.db, g.s.musicians, chain.last().unwrap())
+            .unwrap();
+        eprintln!(
+            "   explain: cache {} path[0] {} ({} candidates -> {} members)",
+            rec.cache,
+            rec.atoms.first().map(|a| a.path.as_str()).unwrap_or("n/a"),
+            rec.candidates,
+            out.len()
+        );
+    }
     eprintln!(
         "   query round: cached {:.1}us vs recompiled {:.1}us ({:.2}x)",
         cached_ns / 1e3,
@@ -288,6 +309,7 @@ fn main() {
 
     let mut report = BenchReport::new("scaling")
         .smoke(smoke)
+        .scale(configs.iter().map(|c| c.entities as u64).max().unwrap_or(0))
         .param("max_entities", max_entities)
         .param("threads", threads)
         .param("cores", cores)
@@ -298,6 +320,23 @@ fn main() {
     }
     let path = report.write();
     eprintln!("wrote {}", path.display());
+
+    // With ISIS_OBS=1 the run journaled slow-query plans, explain records,
+    // settle and commit events; export them for CI to upload.
+    let obs = isis_obs::global();
+    if obs.enabled() {
+        let dir = isis_bench::report::out_dir().join("obs");
+        std::fs::create_dir_all(&dir).expect("create out/obs");
+        let snap = obs.flight().snapshot();
+        let flight_path = dir.join("flight.jsonl");
+        std::fs::write(&flight_path, snap.to_jsonl()).expect("write flight journal");
+        eprintln!(
+            "wrote {} ({} events, {} dropped by the ring)",
+            flight_path.display(),
+            snap.events.len(),
+            snap.dropped
+        );
+    }
 
     if smoke {
         eprintln!("smoke run: performance assertions skipped");

@@ -38,6 +38,7 @@ use isis_obs::Json;
 pub struct BenchReport {
     name: String,
     smoke: bool,
+    scale: Option<u64>,
     params: Vec<(String, Json)>,
     results: Vec<(String, f64, u64)>,
 }
@@ -48,6 +49,7 @@ impl BenchReport {
         BenchReport {
             name: name.into(),
             smoke: false,
+            scale: None,
             params: Vec::new(),
             results: Vec::new(),
         }
@@ -56,6 +58,13 @@ impl BenchReport {
     /// Mark the report as a `--test` smoke run (untrustworthy timings).
     pub fn smoke(mut self, smoke: bool) -> Self {
         self.smoke = smoke;
+        self
+    }
+
+    /// Record the workload's entity scale for the run header (the largest
+    /// entity count the run touched).
+    pub fn scale(mut self, entities: u64) -> Self {
+        self.scale = Some(entities);
         self
     }
 
@@ -99,12 +108,24 @@ impl BenchReport {
                 })
                 .collect(),
         );
+        // The run header: enough machine context to judge whether two
+        // reports are comparable (same-ish host, same scale, real run vs
+        // smoke) before diffing the numbers.
+        let run = Json::Obj(vec![
+            ("host_cores".into(), Json::from(host_cores())),
+            ("smoke".into(), Json::from(self.smoke)),
+            (
+                "entity_scale".into(),
+                self.scale.map_or(Json::Null, Json::from),
+            ),
+        ]);
         Json::Obj(vec![
             ("schema".into(), Json::from("isis-bench/1")),
             ("name".into(), Json::from(self.name.as_str())),
             ("git_rev".into(), Json::from(git_rev().as_str())),
             ("timestamp_unix".into(), Json::from(unix_timestamp())),
             ("smoke".into(), Json::from(self.smoke)),
+            ("run".into(), run),
             ("params".into(), params),
             ("results".into(), results),
         ])
@@ -142,6 +163,13 @@ pub fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// The host's available parallelism, or 0 when the platform will not say.
+pub fn host_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(0)
+}
+
 /// Seconds since the Unix epoch at the time of the call.
 pub fn unix_timestamp() -> u64 {
     SystemTime::now()
@@ -158,6 +186,7 @@ mod tests {
     fn report_json_round_trips_with_expected_fields() {
         let report = BenchReport::new("unit_test")
             .smoke(true)
+            .scale(300)
             .param("n", 300usize)
             .result("unit_test/arm_a", 1234.5, 10)
             .results_from(vec![("unit_test/arm_b".to_string(), 99.0, 4)]);
@@ -167,6 +196,10 @@ mod tests {
         assert_eq!(parsed.get("schema").unwrap().as_str(), Some("isis-bench/1"));
         assert_eq!(parsed.get("name").unwrap().as_str(), Some("unit_test"));
         assert_eq!(parsed.get("smoke").unwrap().as_bool(), Some(true));
+        let run = parsed.get("run").expect("run header present");
+        assert_eq!(run.get("smoke").unwrap().as_bool(), Some(true));
+        assert_eq!(run.get("entity_scale").unwrap().as_f64(), Some(300.0));
+        assert!(run.get("host_cores").unwrap().as_f64().is_some());
         assert_eq!(
             parsed.get("params").unwrap().get("n").unwrap().as_f64(),
             Some(300.0)

@@ -154,6 +154,22 @@ impl CommitConflict {
             _ => false,
         }
     }
+
+    /// Stable classification label for telemetry: the conflict-key family
+    /// without the keys themselves. Used as a metric suffix
+    /// (`core.mvcc.conflict.<kind>`) and in flight-recorder events, so the
+    /// strings are part of the observability contract.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CommitConflict::Value { .. } => "value",
+            CommitConflict::Membership { .. } => "membership",
+            CommitConflict::Delete { .. } => "delete",
+            CommitConflict::Schema => "schema",
+            CommitConflict::SnapshotTooOld { .. } => "snapshot_too_old",
+            CommitConflict::Rebase(_) => "rebase",
+            CommitConflict::Durability(_) => "durability",
+        }
+    }
 }
 
 /// Bounded exponential backoff with deterministic full jitter, for retry
@@ -371,9 +387,21 @@ impl SharedDatabase {
             let base = local.delta_epoch();
             f(&mut local).map_err(CommitConflict::Rebase)?;
             match self.commit(base, &local) {
-                Ok(receipt) => return Ok(receipt),
+                Ok(receipt) => {
+                    let obs = isis_obs::global();
+                    if obs.enabled() {
+                        obs.observe("core.mvcc.retry_attempts", u64::from(attempt));
+                    }
+                    return Ok(receipt);
+                }
                 Err(conflict) if conflict.is_retryable() && attempt < backoff.max_retries => {
-                    std::thread::sleep(backoff.delay(attempt));
+                    let delay = backoff.delay(attempt);
+                    let obs = isis_obs::global();
+                    if obs.enabled() {
+                        obs.count("core.mvcc.retries", 1);
+                        obs.observe("core.mvcc.backoff_ns", delay.as_nanos() as u64);
+                    }
+                    std::thread::sleep(delay);
                     attempt += 1;
                 }
                 Err(conflict) => return Err(conflict),
@@ -390,6 +418,50 @@ impl SharedDatabase {
     /// concurrent commits are rebased (replayed onto the head); the
     /// receipt's [`CommitReceipt::rebased`] tells the caller to re-pin.
     pub fn commit(
+        &self,
+        base_epoch: u64,
+        local: &Database,
+    ) -> Result<CommitReceipt, CommitConflict> {
+        let out = self.commit_inner(base_epoch, local);
+        let obs = isis_obs::global();
+        if obs.enabled() {
+            match &out {
+                Ok(receipt) => {
+                    obs.count("core.mvcc.commits", 1);
+                    if receipt.rebased {
+                        obs.count("core.mvcc.rebased_commits", 1);
+                    } else {
+                        obs.count("core.mvcc.fast_commits", 1);
+                    }
+                    let (epoch, changes, rebased) =
+                        (receipt.epoch, receipt.changes, receipt.rebased);
+                    obs.flight_event("core.mvcc.commit", || {
+                        isis_obs::Json::obj([
+                            ("outcome", isis_obs::Json::from("committed")),
+                            ("epoch", isis_obs::Json::from(epoch)),
+                            ("changes", isis_obs::Json::from(changes)),
+                            ("rebased", isis_obs::Json::from(rebased)),
+                        ])
+                    });
+                }
+                Err(conflict) => {
+                    let kind = conflict.kind();
+                    obs.count("core.mvcc.conflicts", 1);
+                    obs.count(&format!("core.mvcc.conflict.{kind}"), 1);
+                    obs.flight_event("core.mvcc.commit", || {
+                        isis_obs::Json::obj([
+                            ("outcome", isis_obs::Json::from("conflict")),
+                            ("kind", isis_obs::Json::from(kind)),
+                            ("base_epoch", isis_obs::Json::from(base_epoch)),
+                        ])
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn commit_inner(
         &self,
         base_epoch: u64,
         local: &Database,

@@ -1,0 +1,272 @@
+//! The flight recorder: a bounded journal of structured decision events.
+//!
+//! Where the trace ring ([`crate::trace`]) records *that* spans happened
+//! and the registry records *how often*, the flight recorder captures
+//! *what the system decided*: one [`FlightEvent`] per interesting decision
+//! (a commit outcome, a shipping round, a slow query, an explain capture),
+//! each carrying a structured [`Json`] payload plus the span context it
+//! happened under, interleaved in one global order. The ring is bounded
+//! like the trace ring — oldest events are dropped and counted — so a
+//! long-running process keeps the most recent history in constant memory.
+//!
+//! Events are appended through [`crate::Obs::flight_event`], which stamps
+//! the clock and the innermost open span and only builds the payload when
+//! observability is enabled. A snapshot exports three ways: an indented
+//! text dump (REPL `flight dump`), a single JSON document, and JSONL — one
+//! event object per line, the `out/obs/flight.jsonl` artifact format.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Default ring capacity in events.
+pub const DEFAULT_CAPACITY: usize = 2048;
+
+/// One structured decision event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number (never reset; survives eviction).
+    pub seq: u64,
+    /// Nanoseconds since the owning [`crate::Obs`] epoch.
+    pub t_ns: u64,
+    /// Id of the innermost open span when recorded, or 0 for none.
+    pub span: u64,
+    /// Event kind (`crate.component.event`, e.g. `core.mvcc.commit`).
+    pub kind: &'static str,
+    /// Structured payload; shape is the event kind's contract.
+    pub data: Json,
+}
+
+impl FlightEvent {
+    /// The event as one JSON object — the JSONL line format.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", Json::from(self.seq)),
+            ("t_ns", Json::from(self.t_ns)),
+            ("span", Json::from(self.span)),
+            ("kind", Json::from(self.kind)),
+            ("data", self.data.clone()),
+        ])
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<FlightEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// The bounded flight-recorder ring. See the module docs for semantics.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+    next_seq: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder whose ring holds at most `cap` events (min 1).
+    pub fn with_capacity(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                cap: cap.max(1),
+                dropped: 0,
+            }),
+            next_seq: AtomicU64::new(1),
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full. Returns
+    /// the sequence number assigned.
+    pub fn push(&self, t_ns: u64, span: u64, kind: &'static str, data: Json) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(FlightEvent {
+            seq,
+            t_ns,
+            span,
+            kind,
+            data,
+        });
+        seq
+    }
+
+    /// Discard all events (capacity and the sequence counter are kept).
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        ring.buf.clear();
+        ring.dropped = 0;
+    }
+
+    /// Change the capacity, evicting oldest events if shrinking.
+    pub fn set_capacity(&self, cap: usize) {
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        ring.cap = cap.max(1);
+        while ring.buf.len() > ring.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight ring poisoned").buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out the current contents.
+    pub fn snapshot(&self) -> FlightSnapshot {
+        let ring = self.ring.lock().expect("flight ring poisoned");
+        FlightSnapshot {
+            events: ring.buf.iter().cloned().collect(),
+            dropped: ring.dropped,
+            capacity: ring.cap,
+        }
+    }
+}
+
+/// A copied-out view of the flight ring, ready for export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightSnapshot {
+    /// Events oldest-first.
+    pub events: Vec<FlightEvent>,
+    /// Events evicted since the last [`FlightRecorder::clear`].
+    pub dropped: u64,
+    /// Ring capacity at snapshot time.
+    pub capacity: usize,
+}
+
+impl FlightSnapshot {
+    /// The whole snapshot as one JSON document (schema `isis-obs/flight/1`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from("isis-obs/flight/1")),
+            ("dropped", Json::from(self.dropped)),
+            ("capacity", Json::from(self.capacity)),
+            (
+                "events",
+                Json::Arr(self.events.iter().map(FlightEvent::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// JSONL export: one compact JSON object per line, oldest first — the
+    /// `out/obs/flight.jsonl` artifact format. Ends with a newline when
+    /// any events exist.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json().dump());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable dump — the REPL `flight dump` output.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "flight: {} event(s), {} dropped (capacity {})\n",
+            self.events.len(),
+            self.dropped,
+            self.capacity
+        );
+        for e in &self.events {
+            let at = if e.t_ns >= 1_000_000_000 {
+                format!("{:.3}s", e.t_ns as f64 / 1e9)
+            } else {
+                format!("{:.3}ms", e.t_ns as f64 / 1e6)
+            };
+            out.push_str(&format!(
+                "  #{} +{at} {}{}: {}\n",
+                e.seq,
+                e.kind,
+                if e.span != 0 {
+                    format!(" (span {})", e.span)
+                } else {
+                    String::new()
+                },
+                e.data.dump()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let r = FlightRecorder::with_capacity(4);
+        for i in 0..10u64 {
+            r.push(i, 0, "t.e", Json::obj([("i", Json::from(i))]));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.dropped, 6);
+        // Oldest evicted: survivors are the last 4 pushes, seqs 7..=10.
+        assert_eq!(snap.events[0].seq, 7);
+        assert_eq!(snap.events[3].seq, 10);
+    }
+
+    #[test]
+    fn jsonl_has_one_parseable_line_per_event() {
+        let r = FlightRecorder::default();
+        r.push(5, 1, "a.b", Json::obj([("x", Json::from(1u64))]));
+        r.push(9, 0, "c.d", Json::obj([("y", Json::from("z"))]));
+        let jsonl = r.snapshot().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let j = Json::parse(line).unwrap();
+            assert!(j.get("kind").unwrap().as_str().is_some());
+            assert!(j.get("seq").unwrap().as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let r = FlightRecorder::default();
+        r.push(
+            1,
+            2,
+            "q.r",
+            Json::obj([("nested", Json::Arr(vec![Json::from(true), Json::Null]))]),
+        );
+        let json = r.snapshot().to_json();
+        let back = Json::parse(&json.pretty()).unwrap();
+        assert_eq!(back, json);
+        assert_eq!(
+            back.get("schema").unwrap().as_str(),
+            Some("isis-obs/flight/1")
+        );
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotonic() {
+        let r = FlightRecorder::default();
+        let a = r.push(0, 0, "x", Json::Null);
+        r.clear();
+        let b = r.push(0, 0, "x", Json::Null);
+        assert!(b > a);
+        assert_eq!(r.snapshot().dropped, 0);
+    }
+}

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod trace;
@@ -54,6 +55,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+pub use flight::{FlightEvent, FlightRecorder, FlightSnapshot};
 pub use json::{Json, JsonError};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsSnapshot, Registry,
@@ -77,6 +79,7 @@ pub struct Obs {
     tracing: AtomicBool,
     registry: Registry,
     recorder: Recorder,
+    flight: flight::FlightRecorder,
     epoch: Instant,
 }
 
@@ -94,6 +97,7 @@ impl Obs {
             tracing: AtomicBool::new(false),
             registry: Registry::new(),
             recorder: Recorder::default(),
+            flight: flight::FlightRecorder::default(),
             epoch: Instant::now(),
         }
     }
@@ -133,6 +137,12 @@ impl Obs {
     /// The trace recorder.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The flight recorder: the bounded journal of structured decision
+    /// events ([`flight`]).
+    pub fn flight(&self) -> &flight::FlightRecorder {
+        &self.flight
     }
 
     /// Nanoseconds since this instance was created — the epoch all trace
@@ -227,13 +237,27 @@ impl Obs {
         }
     }
 
+    /// Record a structured decision event into the flight recorder,
+    /// stamped with the clock and the innermost open span. The `data`
+    /// closure only runs when observability is enabled, so payload
+    /// construction costs nothing on the disabled path.
+    #[inline]
+    pub fn flight_event(&self, kind: &'static str, data: impl FnOnce() -> Json) {
+        if self.enabled() {
+            let span = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+            self.flight.push(self.now_ns(), span, kind, data());
+        }
+    }
+
     /// A machine-readable report of everything this instance has seen:
-    /// `{"schema": "isis-obs/1", "metrics": {...}, "trace": {...}}`.
+    /// `{"schema": "isis-obs/1", "metrics": {...}, "trace": {...},
+    /// "flight": {...}}`.
     pub fn run_report(&self) -> Json {
         Json::obj([
             ("schema", Json::from("isis-obs/1")),
             ("metrics", self.registry.snapshot().to_json()),
             ("trace", self.recorder.snapshot().to_json()),
+            ("flight", self.flight.snapshot().to_json()),
         ])
     }
 }
@@ -408,6 +432,24 @@ mod tests {
         assert!(obs.enabled());
         obs.set_tracing(false);
         assert!(obs.enabled(), "disabling tracing keeps metrics on");
+    }
+
+    #[test]
+    fn flight_events_capture_span_context() {
+        let obs = Obs::new();
+        obs.flight_event("f.off", || unreachable!("payload must not build"));
+        assert!(obs.flight().is_empty());
+        obs.set_tracing(true);
+        {
+            let _s = obs.span("f.outer.span");
+            obs.flight_event("f.on", || Json::obj([("k", Json::from(1u64))]));
+        }
+        obs.flight_event("f.root", || Json::Null);
+        let snap = obs.flight().snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].kind, "f.on");
+        assert_ne!(snap.events[0].span, 0, "attributed to the open span");
+        assert_eq!(snap.events[1].span, 0, "no span open at top level");
     }
 
     #[test]

@@ -111,6 +111,36 @@ pub struct CachedPlan {
     pub candidates: Vec<EntityId>,
 }
 
+/// What the most recent lookup on a [`ProgramCache`] did — the
+/// per-lookup view EXPLAIN needs, where [`ProgramCacheStats`] only
+/// accumulates. (`Rehoist` counts as a hit in the stats: the program was
+/// served from cache after refreshing its hoisted constant images.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Same-epoch hit: the program was served as-is.
+    Hit,
+    /// Data-only window: the cached program re-hoisted its constant
+    /// images and was served (still a stats hit).
+    Rehoist,
+    /// Schema edit, evicted window, or foreign line: the entry was
+    /// recompiled in place (a stats invalidation).
+    Recompile,
+    /// No matching entry: compiled fresh (a stats miss).
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Short lowercase label (`hit`/`rehoist`/`recompile`/`miss`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Rehoist => "rehoist",
+            CacheOutcome::Recompile => "recompile",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
 /// Counters describing a cache's behaviour (also mirrored into the
 /// process-wide [`isis_obs`] registry as `query.program.cache_*`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -139,6 +169,7 @@ pub struct ProgramCache {
     misses: Cell<u64>,
     invalidations: Cell<u64>,
     evictions: Cell<u64>,
+    last_outcome: Cell<Option<CacheOutcome>>,
 }
 
 impl Default for ProgramCache {
@@ -165,6 +196,7 @@ impl ProgramCache {
             misses: Cell::new(0),
             invalidations: Cell::new(0),
             evictions: Cell::new(0),
+            last_outcome: Cell::new(None),
         }
     }
 
@@ -191,6 +223,14 @@ impl ProgramCache {
             invalidations: self.invalidations.get(),
             evictions: self.evictions.get(),
         }
+    }
+
+    /// What the most recent [`ProgramCache::with_plan`] /
+    /// [`ProgramCache::with_program`] lookup did, or `None` before the
+    /// first lookup. EXPLAIN reads this immediately after an evaluation to
+    /// report the cache decision that evaluation actually took.
+    pub fn last_outcome(&self) -> Option<CacheOutcome> {
+        self.last_outcome.get()
     }
 
     /// Drops every cached program (the next lookup per shape recompiles).
@@ -253,6 +293,7 @@ impl ProgramCache {
         if let Some(entry) = entries.get_mut(&key).filter(|e| e.pred == *pred) {
             if entry.epoch == epoch {
                 Self::bump(&self.hits, "query.program.cache_hits");
+                self.last_outcome.set(Some(CacheOutcome::Hit));
             } else {
                 match db.changes_since(entry.epoch) {
                     Some(cs) if !cs.has_schema_changes() => {
@@ -261,6 +302,8 @@ impl ProgramCache {
                         entry.prog.ensure_fresh(db).map_err(E::from)?;
                         entry.epoch = epoch;
                         Self::bump(&self.hits, "query.program.cache_hits");
+                        isis_obs::global().count("query.program.cache_rehoists", 1);
+                        self.last_outcome.set(Some(CacheOutcome::Rehoist));
                     }
                     _ => {
                         // Schema edit, evicted window, or a foreign
@@ -271,6 +314,7 @@ impl ProgramCache {
                         entry.epoch = epoch;
                         entry.plan = None;
                         Self::bump(&self.invalidations, "query.program.cache_invalidations");
+                        self.last_outcome.set(Some(CacheOutcome::Recompile));
                     }
                 }
             }
@@ -285,6 +329,7 @@ impl ProgramCache {
         let prog =
             PredicateProgram::compile_with(db, parent, source, pred, indexes).map_err(E::from)?;
         Self::bump(&self.misses, "query.program.cache_misses");
+        self.last_outcome.set(Some(CacheOutcome::Miss));
         if self.capacity == 0 {
             return f(&prog, &mut None);
         }

@@ -1,0 +1,511 @@
+//! EXPLAIN: the full decision record for one evaluation.
+//!
+//! [`IndexService::explain`] runs a predicate exactly like
+//! [`IndexService::evaluate`] — same counters, same cache traffic, same
+//! result bytes — and additionally captures *why* the evaluation went the
+//! way it did: the program-cache outcome (hit / re-hoist / recompile /
+//! miss), whether the cached access plan was reused and whether the fresh
+//! one qualified for pinning, the pruned pool size, the access path chosen
+//! for every atom with the optimizer's cost/selectivity estimates in
+//! evaluation order, the parallel chunking decision the session-level
+//! parallel path would take, and per-phase wall-clock timings.
+//!
+//! The record renders two ways: [`ExplainRecord::to_text`] is the REPL's
+//! plan tree; [`ExplainRecord::to_json`] is the machine-readable form the
+//! flight recorder journals and the slow-query log exports. The same
+//! record type backs both EXPLAIN and the slow-query log
+//! ([`SlowQuery`]), so a slow capture is a full plan, not just a timing.
+
+use isis_core::{Atom, ClassId, Database, NormalForm, OrderedSet, Predicate, Result};
+use isis_obs::Json;
+
+use crate::optimizer::estimate_atom;
+use crate::service::{AccessPath, EvalCapture, IndexService, MAX_PLAN_CANDIDATES};
+
+/// The planner's decision for one atom, with the optimizer's estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomPlan {
+    /// Clause index in the source predicate (0-based).
+    pub clause: usize,
+    /// Evaluation position within the clause after cost ordering.
+    pub order: usize,
+    /// The atom, rendered (`plays(e) ~ {e9}`).
+    pub atom: String,
+    /// The chosen access path (`index probe on plays`, `seq scan`, …).
+    pub path: String,
+    /// Why that path: the planner's reasoning, human-readable.
+    pub why: String,
+    /// Estimated per-candidate cost (optimizer units).
+    pub cost: f64,
+    /// Estimated truth probability for a random candidate.
+    pub selectivity: f64,
+}
+
+/// The full plan record for one evaluation. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainRecord {
+    /// Parent class name the candidates were drawn from.
+    pub parent: String,
+    /// The predicate, rendered.
+    pub predicate: String,
+    /// `"dnf"` or `"cnf"`.
+    pub form: &'static str,
+    /// Program-cache outcome for this evaluation
+    /// (`hit`/`rehoist`/`recompile`/`miss`, or `unknown` when the cache
+    /// reported nothing).
+    pub cache: &'static str,
+    /// The cached access plan was still valid and reused as-is.
+    pub plan_reused: bool,
+    /// The (re)computed plan qualified for pinning in the cache.
+    pub pinned: bool,
+    /// Largest candidate list the cache will pin ([`MAX_PLAN_CANDIDATES`]).
+    pub pin_limit: usize,
+    /// Pruned pool size (`None` = no prunable atom; sequential scan).
+    pub pool_len: Option<usize>,
+    /// Extent-ordered candidates the program actually ran over.
+    pub candidates: usize,
+    /// Per-atom access paths and estimates, in evaluation order.
+    pub atoms: Vec<AtomPlan>,
+    /// Configured parallel-evaluation worker count (1 = serial).
+    pub threads: usize,
+    /// The chunking decision for this candidate count and thread count:
+    /// `Some((chunks, chunk_size))`, or `None` for the serial fallback.
+    pub chunks: Option<(usize, usize)>,
+    /// Candidates scanned (== `candidates`; kept as the counter the
+    /// registry mirrors so the record agrees with `QueryStats`).
+    pub scanned: u64,
+    /// Members returned.
+    pub returned: u64,
+    /// Wall-clock planning phase (candidate pool + ordering).
+    pub plan_ns: u64,
+    /// Wall-clock evaluation phase (program over candidates).
+    pub eval_ns: u64,
+    /// Wall-clock whole evaluation.
+    pub total_ns: u64,
+}
+
+/// One capture from the slow-query log: a full [`ExplainRecord`] plus the
+/// measured total and a monotonic capture sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQuery {
+    /// Capture sequence number (monotonic per service; survives eviction).
+    pub seq: u64,
+    /// Measured wall clock for the whole evaluation.
+    pub total_ns: u64,
+    /// The captured plan record.
+    pub record: ExplainRecord,
+}
+
+impl SlowQuery {
+    /// The capture as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", Json::from(self.seq)),
+            ("total_ns", Json::from(self.total_ns)),
+            ("record", self.record.to_json()),
+        ])
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl ExplainRecord {
+    /// A degenerate record for the session's unassisted-scan fallback
+    /// (Manual refresh policy with pending changes): no service planning
+    /// happened, the whole parent extent was scanned serially. The
+    /// `cache` field carries the marker `"unassisted"` so both renderings
+    /// make the fallback unmistakable.
+    pub fn unassisted(
+        db: &Database,
+        parent: ClassId,
+        pred: &Predicate,
+        scanned: usize,
+        returned: usize,
+        total_ns: u64,
+    ) -> ExplainRecord {
+        ExplainRecord {
+            parent: db
+                .class(parent)
+                .map(|r| r.name.clone())
+                .unwrap_or_else(|_| format!("class#{}", parent.raw())),
+            predicate: pred.to_string(),
+            form: match pred.form {
+                NormalForm::Dnf => "dnf",
+                NormalForm::Cnf => "cnf",
+            },
+            cache: "unassisted",
+            plan_reused: false,
+            pinned: false,
+            pin_limit: MAX_PLAN_CANDIDATES,
+            pool_len: None,
+            candidates: scanned,
+            atoms: Vec::new(),
+            threads: 1,
+            chunks: None,
+            scanned: scanned as u64,
+            returned: returned as u64,
+            plan_ns: 0,
+            eval_ns: total_ns,
+            total_ns,
+        }
+    }
+
+    /// The machine-readable form (schema `isis-query/explain/1`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from("isis-query/explain/1")),
+            ("parent", Json::from(self.parent.clone())),
+            ("predicate", Json::from(self.predicate.clone())),
+            ("form", Json::from(self.form)),
+            ("cache", Json::from(self.cache)),
+            ("plan_reused", Json::from(self.plan_reused)),
+            ("pinned", Json::from(self.pinned)),
+            ("pin_limit", Json::from(self.pin_limit)),
+            (
+                "pool_len",
+                match self.pool_len {
+                    Some(n) => Json::from(n),
+                    None => Json::Null,
+                },
+            ),
+            ("candidates", Json::from(self.candidates)),
+            (
+                "atoms",
+                Json::Arr(
+                    self.atoms
+                        .iter()
+                        .map(|a| {
+                            Json::obj([
+                                ("clause", Json::from(a.clause)),
+                                ("order", Json::from(a.order)),
+                                ("atom", Json::from(a.atom.clone())),
+                                ("path", Json::from(a.path.clone())),
+                                ("why", Json::from(a.why.clone())),
+                                ("cost", Json::from(a.cost)),
+                                ("selectivity", Json::from(a.selectivity)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("threads", Json::from(self.threads)),
+            (
+                "chunks",
+                match self.chunks {
+                    Some((n, sz)) => {
+                        Json::obj([("count", Json::from(n)), ("size", Json::from(sz))])
+                    }
+                    None => Json::Null,
+                },
+            ),
+            ("scanned", Json::from(self.scanned)),
+            ("returned", Json::from(self.returned)),
+            (
+                "timings",
+                Json::obj([
+                    ("plan_ns", Json::from(self.plan_ns)),
+                    ("eval_ns", Json::from(self.eval_ns)),
+                    ("total_ns", Json::from(self.total_ns)),
+                ]),
+            ),
+        ])
+    }
+
+    /// The plan tree — the REPL `explain` output.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "EXPLAIN {} WHERE {} [{}]\n",
+            self.parent, self.predicate, self.form
+        );
+        let plan_note = if self.plan_reused {
+            "cached plan reused"
+        } else if self.pinned {
+            "plan computed and pinned"
+        } else {
+            "plan computed, not pinned"
+        };
+        out.push_str(&format!(
+            "├─ program cache: {} · {plan_note} (pin limit {})\n",
+            self.cache, self.pin_limit
+        ));
+        match self.pool_len {
+            Some(n) => out.push_str(&format!(
+                "├─ pool: {n} candidate(s) pruned → {} in extent order\n",
+                self.candidates
+            )),
+            None => out.push_str(&format!(
+                "├─ pool: no prunable atom — sequential scan of {} candidate(s)\n",
+                self.candidates
+            )),
+        }
+        out.push_str("├─ access paths (evaluation order)\n");
+        for (i, a) in self.atoms.iter().enumerate() {
+            let tee = if i + 1 == self.atoms.len() {
+                "└─"
+            } else {
+                "├─"
+            };
+            out.push_str(&format!(
+                "│  {tee} clause {}.{}: {} → {} (cost {:.2}, sel {:.2}) — {}\n",
+                a.clause, a.order, a.atom, a.path, a.cost, a.selectivity, a.why
+            ));
+        }
+        match self.chunks {
+            Some((n, sz)) => out.push_str(&format!(
+                "├─ parallel: {n} chunk(s) of ≤{sz} over {} worker(s)\n",
+                self.threads
+            )),
+            None => out.push_str(&format!(
+                "├─ parallel: serial ({} worker(s) configured; extent below chunking floor)\n",
+                self.threads
+            )),
+        }
+        out.push_str(&format!(
+            "├─ rows: {} scanned, {} returned\n",
+            self.scanned, self.returned
+        ));
+        out.push_str(&format!(
+            "└─ timings: plan {}, eval {}, total {}\n",
+            fmt_ns(self.plan_ns),
+            fmt_ns(self.eval_ns),
+            fmt_ns(self.total_ns)
+        ));
+        out
+    }
+}
+
+fn attr_label(db: &Database, attr: isis_core::AttrId) -> String {
+    db.attr(attr)
+        .map(|r| r.name.clone())
+        .unwrap_or_else(|_| format!("attr#{}", attr.raw()))
+}
+
+/// The per-clause atom report: source atoms re-ordered by the same
+/// stable-sort key [`crate::program`] compiles with (runs of infallible
+/// atoms permute; ordering-op atoms are barriers that keep their place).
+fn clause_plans(
+    svc: &IndexService,
+    db: &Database,
+    parent: ClassId,
+    clause_idx: usize,
+    atoms: &[Atom],
+    form: NormalForm,
+    out: &mut Vec<AtomPlan>,
+) {
+    struct Row<'a> {
+        atom: &'a Atom,
+        cost: f64,
+        selectivity: f64,
+        key: f64,
+    }
+    let mut ordered: Vec<Row> = Vec::with_capacity(atoms.len());
+    let mut run: Vec<Row> = Vec::new();
+    fn flush<'a>(run: &mut Vec<Row<'a>>, ordered: &mut Vec<Row<'a>>) {
+        run.sort_by(|a, b| {
+            a.key
+                .partial_cmp(&b.key)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ordered.append(run);
+    }
+    for atom in atoms {
+        let e = estimate_atom(db, parent, atom, Some(svc));
+        if atom.op.op.is_ordering() {
+            flush(&mut run, &mut ordered);
+            ordered.push(Row {
+                atom,
+                cost: e.cost,
+                selectivity: e.selectivity,
+                key: 0.0,
+            });
+        } else {
+            let key = match form {
+                NormalForm::Dnf => e.selectivity * e.cost + e.cost * 0.01,
+                NormalForm::Cnf => (1.0 - e.selectivity) * e.cost + e.cost * 0.01,
+            };
+            run.push(Row {
+                atom,
+                cost: e.cost,
+                selectivity: e.selectivity,
+                key,
+            });
+        }
+    }
+    flush(&mut run, &mut ordered);
+    for (order, row) in ordered.into_iter().enumerate() {
+        let (path, why) = match svc.peek_atom_path(db, row.atom) {
+            AccessPath::IndexProbe(a) => (
+                format!("index probe on {}", attr_label(db, a)),
+                "maintained index on the atom's attribute".to_string(),
+            ),
+            AccessPath::GroupingRange(g) => (
+                format!(
+                    "grouping range {}",
+                    db.grouping(g)
+                        .map(|r| r.name.clone())
+                        .unwrap_or_else(|_| format!("grouping#{}", g.raw()))
+                ),
+                "no index, but a grouping on the attribute covers the owner extent".to_string(),
+            ),
+            AccessPath::SeqScan => (
+                "seq scan".to_string(),
+                if IndexService::atom_shape(row.atom) {
+                    "indexable shape but no index or covering grouping".to_string()
+                } else {
+                    "atom shape not indexable (negated, multi-step, or non-constant rhs)"
+                        .to_string()
+                },
+            ),
+        };
+        out.push(AtomPlan {
+            clause: clause_idx,
+            order,
+            atom: row.atom.to_string(),
+            path,
+            why,
+            cost: row.cost,
+            selectivity: row.selectivity,
+        });
+    }
+}
+
+impl IndexService {
+    /// Evaluates `pred` over `parent` exactly like
+    /// [`IndexService::evaluate`] — identical result bytes, identical
+    /// counter traffic — and returns the result together with the full
+    /// [`ExplainRecord`] for that one evaluation. Works with observability
+    /// disabled (the record is explicitly requested); when the flight
+    /// recorder is live the record is journaled as a
+    /// `query.service.explain` event.
+    pub fn explain(
+        &self,
+        db: &Database,
+        parent: ClassId,
+        pred: &Predicate,
+    ) -> Result<(OrderedSet, ExplainRecord)> {
+        let t = std::time::Instant::now();
+        let mut cap = EvalCapture::default();
+        let out = self.evaluate_captured(db, parent, pred, Some(&mut cap))?;
+        let total_ns = t.elapsed().as_nanos() as u64;
+        let record = self.build_explain(db, parent, pred, &cap, total_ns);
+        isis_obs::global().flight_event("query.service.explain", || record.to_json());
+        Ok((out, record))
+    }
+
+    /// Assembles an [`ExplainRecord`] from a finished evaluation's capture.
+    /// Read-only on the counters: atom paths are described through
+    /// [`IndexService::peek_atom_path`], so building a record never
+    /// perturbs the stats it reports on.
+    pub(crate) fn build_explain(
+        &self,
+        db: &Database,
+        parent: ClassId,
+        pred: &Predicate,
+        cap: &EvalCapture,
+        total_ns: u64,
+    ) -> ExplainRecord {
+        let mut atoms = Vec::new();
+        for (ci, clause) in pred.clauses.iter().enumerate() {
+            clause_plans(self, db, parent, ci, &clause.atoms, pred.form, &mut atoms);
+        }
+        let threads = self.eval_threads();
+        ExplainRecord {
+            parent: db
+                .class(parent)
+                .map(|r| r.name.clone())
+                .unwrap_or_else(|_| format!("class#{}", parent.raw())),
+            predicate: pred.to_string(),
+            form: match pred.form {
+                NormalForm::Dnf => "dnf",
+                NormalForm::Cnf => "cnf",
+            },
+            cache: self
+                .program_cache()
+                .last_outcome()
+                .map_or("unknown", crate::cache::CacheOutcome::label),
+            plan_reused: cap.plan_reused,
+            pinned: cap.pinned,
+            pin_limit: MAX_PLAN_CANDIDATES,
+            pool_len: cap.pool_len,
+            candidates: cap.candidates,
+            atoms,
+            threads,
+            chunks: crate::parallel::chunk_decision(cap.candidates, threads),
+            scanned: cap.scanned,
+            returned: cap.returned,
+            plan_ns: cap.plan_ns,
+            eval_ns: cap.eval_ns,
+            total_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isis_core::{Clause, CompareOp, Map, Rhs};
+    use isis_sample::instrumental_music;
+
+    #[test]
+    fn explain_matches_evaluate_and_renders() {
+        let mut im = instrumental_music().unwrap();
+        let mut svc = IndexService::new(&im.db);
+        svc.ensure_index(&im.db, im.plays).unwrap();
+        let pred = Predicate::dnf(vec![Clause::new(vec![Atom::new(
+            Map::single(im.plays),
+            CompareOp::Match,
+            Rhs::constant(im.instruments, [im.piano]),
+        )])]);
+        let want = svc.evaluate(&im.db, im.musicians, &pred).unwrap();
+        let (got, record) = svc.explain(&im.db, im.musicians, &pred).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+        assert_eq!(record.cache, "hit", "second lookup of the same shape");
+        assert!(record.plan_reused, "same epoch/cursor: cached plan reused");
+        assert_eq!(record.returned as usize, got.len());
+        assert_eq!(record.scanned as usize, record.candidates);
+        assert_eq!(record.atoms.len(), 1);
+        assert!(record.atoms[0].path.starts_with("index probe"));
+        let text = record.to_text();
+        assert!(text.contains("EXPLAIN musicians"), "{text}");
+        assert!(text.contains("index probe on plays"), "{text}");
+        let json = record.to_json();
+        let back = Json::parse(&json.pretty()).unwrap();
+        assert_eq!(back, json);
+        assert_eq!(
+            back.get("schema").unwrap().as_str(),
+            Some("isis-query/explain/1")
+        );
+        let _ = &mut im;
+    }
+
+    #[test]
+    fn explain_reports_seq_scan_reasons() {
+        let mut im = instrumental_music().unwrap();
+        let svc = IndexService::new(&im.db);
+        // Negated atom: shape not indexable.
+        let yes = im.db.boolean(true);
+        let booleans = im.db.predefined(isis_core::BaseKind::Booleans);
+        let mut atom = Atom::new(
+            Map::single(im.popular),
+            CompareOp::Match,
+            Rhs::constant(booleans, [yes]),
+        );
+        atom.op.negated = true;
+        let pred = Predicate::dnf(vec![Clause::new(vec![atom])]);
+        let (_, record) = svc.explain(&im.db, im.instruments, &pred).unwrap();
+        assert_eq!(record.pool_len, None);
+        assert_eq!(record.atoms[0].path, "seq scan");
+        assert!(record.atoms[0].why.contains("not indexable"));
+        assert!(record.chunks.is_none(), "tiny extent stays serial");
+    }
+}

@@ -398,6 +398,16 @@ impl DerivedMaintainer {
         }
         obs.count("query.incremental.added", added as u64);
         obs.count("query.incremental.removed", removed as u64);
+        if added + removed > 0 {
+            obs.flight_event("query.incremental.settle", || {
+                isis_obs::Json::obj([
+                    ("class", isis_obs::Json::from(self.class.raw() as u64)),
+                    ("affected", isis_obs::Json::from(affected.len())),
+                    ("added", isis_obs::Json::from(added)),
+                    ("removed", isis_obs::Json::from(removed)),
+                ])
+            });
+        }
         Ok((added, removed))
     }
 

@@ -34,6 +34,7 @@ pub mod algebra;
 pub mod cache;
 pub mod compile;
 pub mod error;
+pub mod explain;
 pub mod incremental;
 pub mod index;
 pub mod manager;
@@ -45,18 +46,19 @@ pub mod relmodel;
 pub mod service;
 
 pub use algebra::{eval_cached, Condition, Operand, RaExpr, ScalarOracle};
-pub use cache::{predicate_fingerprint, CachedPlan, ProgramCache, ProgramCacheStats};
+pub use cache::{predicate_fingerprint, CacheOutcome, CachedPlan, ProgramCache, ProgramCacheStats};
 pub use compile::{
     compile_and_eval, compile_attr_derivation, compile_map, compile_subclass_predicate, eval_plan,
 };
 pub use error::QueryError;
+pub use explain::{AtomPlan, ExplainRecord, SlowQuery};
 pub use incremental::DerivedMaintainer;
 pub use index::{AttrIndex, IndexLookup, IndexedEvaluator};
 pub use manager::{IndexManager, IndexStats};
 pub use optimizer::{estimate_atom, optimize, AtomEstimate, Explain};
 pub use parallel::{
-    evaluate_derived_members_parallel, evaluate_derived_members_spawn, evaluate_pruned_parallel,
-    EvalPool,
+    chunk_decision, evaluate_derived_members_parallel, evaluate_derived_members_spawn,
+    evaluate_pruned_parallel, EvalPool,
 };
 pub use program::{MemoTable, PredicateProgram};
 pub use qbe::{Cell, ConditionEntry, QbeQuery, TemplateRow};

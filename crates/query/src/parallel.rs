@@ -76,6 +76,17 @@ fn plan_chunks(len: usize, threads: usize) -> Option<Vec<Range<usize>>> {
     )
 }
 
+/// The chunking decision [`evaluate_pruned_parallel`] would take for a
+/// candidate list of `len` under `threads` workers, summarised for
+/// EXPLAIN: `Some((chunk_count, max_chunk_size))`, or `None` for the
+/// serial fallback.
+pub fn chunk_decision(len: usize, threads: usize) -> Option<(usize, usize)> {
+    plan_chunks(len, threads).map(|chunks| {
+        let size = chunks.iter().map(|r| r.end - r.start).max().unwrap_or(0);
+        (chunks.len(), size)
+    })
+}
+
 /// Test-only fault injection for the parallel evaluator.
 #[doc(hidden)]
 pub mod test_hooks {
@@ -439,6 +450,14 @@ pub fn evaluate_pruned_parallel(
             let (_, members) = service
                 .plan_candidates(db, parent, pred, plan)
                 .map_err(QueryError::Core)?;
+            isis_obs::global().event("query.parallel.plan", || {
+                match chunk_decision(members.len(), threads) {
+                    Some((n, sz)) => {
+                        format!("{n} chunk(s) of ≤{sz} over {} candidates", members.len())
+                    }
+                    None => format!("serial fallback over {} candidates", members.len()),
+                }
+            });
             service.eval_pool().set_threads(threads);
             eval_members(db, prog, &members, &Workers::Pool(service.eval_pool()))
         })

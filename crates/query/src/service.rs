@@ -39,10 +39,13 @@
 //! as it does for a database swap via load/undo.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use isis_obs::Counter;
+
+use crate::explain::SlowQuery;
 
 use isis_core::{
     Atom, AttrId, ChangeSet, ClassId, CompareOp, Database, EntityId, GroupingId, NormalForm,
@@ -152,6 +155,12 @@ pub struct IndexService {
     /// O(|pool| log |pool|) instead of the O(|extent|) scan-and-filter the
     /// 1e6-entity scaling harness exposed as the dominant per-query cost.
     extent_order: RefCell<HashMap<ClassId, ExtentOrder>>,
+    /// The slow-query log: evaluations over the threshold are captured as
+    /// full explain records (observability enabled only). Bounded;
+    /// drained via the REPL `slowlog` command.
+    slow: RefCell<SlowRing>,
+    /// Wall-clock threshold for slow-query capture; 0 disables the log.
+    slow_threshold_ns: Cell<u64>,
 }
 
 /// One cached extent position map (see [`IndexService::ordered_candidates`]).
@@ -170,15 +179,62 @@ const ORDER_MAP_FACTOR: usize = 8;
 /// are recomputed per query: per-candidate evaluation dominates at that
 /// size anyway, and pinning them would let a handful of broad predicates
 /// hold megabytes in the program cache.
-const MAX_PLAN_CANDIDATES: usize = 4096;
+pub(crate) const MAX_PLAN_CANDIDATES: usize = 4096;
+
+/// Default slow-query threshold: evaluations longer than this (wall
+/// clock, observability enabled) are captured into the slow-query log.
+pub const DEFAULT_SLOW_THRESHOLD_NS: u64 = 10_000_000;
+
+/// Slow-query ring capacity (captures, oldest evicted).
+pub const DEFAULT_SLOWLOG_CAPACITY: usize = 64;
+
+/// The bounded slow-query ring behind [`IndexService::slow_queries`].
+#[derive(Debug)]
+struct SlowRing {
+    buf: VecDeque<SlowQuery>,
+    cap: usize,
+    dropped: u64,
+    next_seq: u64,
+}
+
+impl Default for SlowRing {
+    fn default() -> SlowRing {
+        SlowRing {
+            buf: VecDeque::new(),
+            cap: DEFAULT_SLOWLOG_CAPACITY,
+            dropped: 0,
+            next_seq: 1,
+        }
+    }
+}
+
+/// What one evaluation through [`IndexService::evaluate`] decided and
+/// cost — the raw capture EXPLAIN and the slow-query log are built from.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EvalCapture {
+    /// The cached access plan was still valid and reused as-is.
+    pub(crate) plan_reused: bool,
+    /// The (re)computed plan qualified for pinning in the cache.
+    pub(crate) pinned: bool,
+    /// Pruned pool size (`None` = no prunable atom; sequential scan).
+    pub(crate) pool_len: Option<usize>,
+    /// Extent-ordered candidates actually evaluated.
+    pub(crate) candidates: usize,
+    pub(crate) scanned: u64,
+    pub(crate) returned: u64,
+    pub(crate) plan_ns: u64,
+    pub(crate) eval_ns: u64,
+}
 
 impl IndexService {
     /// An empty service synchronised to the database's current delta epoch.
     pub fn new(db: &Database) -> IndexService {
-        IndexService {
+        let svc = IndexService {
             manager: IndexManager::new(db),
             ..IndexService::default()
-        }
+        };
+        svc.slow_threshold_ns.set(DEFAULT_SLOW_THRESHOLD_NS);
+        svc
     }
 
     /// Builds and registers an index for `attr` unless one already exists.
@@ -296,6 +352,12 @@ impl IndexService {
             let pool_len = pool.as_ref().map(OrderedSet::len);
             let candidates = self.ordered_candidates(db, parent, pool.as_ref())?;
             if pool_len.is_none() || candidates.len() > MAX_PLAN_CANDIDATES {
+                // An unprunable predicate has no plan worth pinning; an
+                // oversized pool is an explicit pin rejection — a cost
+                // cliff worth counting (the plan is recomputed per query).
+                if pool_len.is_some() && isis_obs::global().enabled() {
+                    isis_obs::global().count("query.service.plan_pin_rejections", 1);
+                }
                 *plan = None;
                 return Ok((pool_len, std::borrow::Cow::Owned(candidates)));
             }
@@ -405,7 +467,7 @@ impl IndexService {
 
     /// `true` when the atom has indexable shape — single-step, non-negated
     /// `~` / `⊇` / `=` against a plain constant set.
-    fn atom_shape(atom: &Atom) -> bool {
+    pub(crate) fn atom_shape(atom: &Atom) -> bool {
         !atom.op.negated
             && atom.lhs.len() == 1
             && matches!(
@@ -425,6 +487,17 @@ impl IndexService {
     /// owner extent) is the fallback; otherwise sequential scan. Counts a
     /// planner miss when the shape was indexable but no index exists.
     pub fn plan_atom(&self, db: &Database, atom: &Atom) -> AccessPath {
+        self.plan_atom_inner(db, atom, true)
+    }
+
+    /// [`IndexService::plan_atom`] without the planner-miss counting —
+    /// EXPLAIN and the slow-query log describe atoms through this so a
+    /// description never perturbs the counters the record reports on.
+    pub(crate) fn peek_atom_path(&self, db: &Database, atom: &Atom) -> AccessPath {
+        self.plan_atom_inner(db, atom, false)
+    }
+
+    fn plan_atom_inner(&self, db: &Database, atom: &Atom, count: bool) -> AccessPath {
         if !Self::atom_shape(atom) {
             return AccessPath::SeqScan;
         }
@@ -432,7 +505,9 @@ impl IndexService {
         if self.manager.index(attr).is_some() {
             return AccessPath::IndexProbe(attr);
         }
-        self.bump(&self.index_misses, &self.obs.index_misses);
+        if count {
+            self.bump(&self.index_misses, &self.obs.index_misses);
+        }
         if let Ok(rec) = db.attr(attr) {
             // Only a grouping of the attribute's own owner class covers
             // every candidate that can carry the attribute.
@@ -529,7 +604,11 @@ impl IndexService {
         if !Self::atom_shape(atom) {
             return None;
         }
-        let g = match self.plan_atom(db, atom) {
+        // Estimation is advisory: describe the path without touching the
+        // planner-miss counters, so cost estimation (and EXPLAIN, which
+        // re-estimates every atom) stays stats-neutral. Misses are counted
+        // where the plan is *acted on*, in candidate pruning.
+        let g = match self.peek_atom_path(db, atom) {
             AccessPath::GroupingRange(g) => g,
             _ => return None,
         };
@@ -599,7 +678,38 @@ impl IndexService {
     /// Evaluates a whole DNF/CNF predicate over `parent`, pruning the
     /// candidate pool through the planned access paths. Semantically
     /// identical to [`Database::evaluate_derived_members`].
+    ///
+    /// When observability is enabled and the evaluation runs longer than
+    /// [`IndexService::slow_threshold_ns`], its explain record is captured
+    /// into the slow-query log. With observability off the extra cost is
+    /// one atomic load — no clock is read and nothing is captured, and the
+    /// result is byte-identical either way.
     pub fn evaluate(&self, db: &Database, parent: ClassId, pred: &Predicate) -> Result<OrderedSet> {
+        let obs = isis_obs::global();
+        if !obs.enabled() || self.slow_threshold_ns.get() == 0 {
+            return self.evaluate_captured(db, parent, pred, None);
+        }
+        let t = Instant::now();
+        let mut cap = EvalCapture::default();
+        let out = self.evaluate_captured(db, parent, pred, Some(&mut cap))?;
+        let total_ns = t.elapsed().as_nanos() as u64;
+        if total_ns >= self.slow_threshold_ns.get() {
+            self.record_slow(db, parent, pred, &cap, total_ns);
+        }
+        Ok(out)
+    }
+
+    /// The evaluation body shared by [`IndexService::evaluate`] and
+    /// [`IndexService::explain`]. With `cap` set, plan/eval phases are
+    /// timed and the planner's decisions written into the capture; with
+    /// `cap` unset no clock is read beyond the usual span.
+    pub(crate) fn evaluate_captured(
+        &self,
+        db: &Database,
+        parent: ClassId,
+        pred: &Predicate,
+        cap: Option<&mut EvalCapture>,
+    ) -> Result<OrderedSet> {
         let obs = isis_obs::global();
         let _span = obs.span("query.service.evaluate");
         // The cache validates/reorders/hoists once per predicate shape
@@ -610,7 +720,14 @@ impl IndexService {
         self.programs
             .with_plan(db, parent, None, pred, Some(self), |prog, plan| {
                 self.bump(&self.queries, &self.obs.queries);
+                let timed = cap.is_some();
+                let plan_reused = matches!(
+                    plan,
+                    Some(p) if p.epoch == db.delta_epoch() && p.cursor == self.manager.cursor()
+                );
+                let t_plan = if timed { Some(Instant::now()) } else { None };
                 let (pool_len, candidates) = self.plan_candidates(db, parent, pred, plan)?;
+                let plan_ns = t_plan.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 if pool_len.is_none() {
                     self.bump(&self.seq_scans, &self.obs.seq_scans);
                 }
@@ -620,6 +737,7 @@ impl IndexService {
                 });
                 let mut out = OrderedSet::new();
                 let scanned = candidates.len() as u64;
+                let t_eval = if timed { Some(Instant::now()) } else { None };
                 let mut memo = crate::program::MemoTable::new(prog);
                 for &e in candidates.iter() {
                     if prog.eval_for(db, e, None, &mut memo)? {
@@ -627,6 +745,7 @@ impl IndexService {
                     }
                 }
                 memo.flush_obs();
+                let eval_ns = t_eval.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 if obs.enabled() {
                     self.obs.rows_scanned.add(scanned);
                     self.obs.rows_returned.add(out.len() as u64);
@@ -634,8 +753,79 @@ impl IndexService {
                 obs.event("query.service.rows", || {
                     format!("{scanned} scanned, {} returned", out.len())
                 });
+                if let Some(c) = cap {
+                    *c = EvalCapture {
+                        plan_reused,
+                        // Mirrors the install condition in plan_candidates
+                        // (the plan slot itself is borrowed by the
+                        // candidate list here).
+                        pinned: pool_len.is_some() && candidates.len() <= MAX_PLAN_CANDIDATES,
+                        pool_len,
+                        candidates: candidates.len(),
+                        scanned,
+                        returned: out.len() as u64,
+                        plan_ns,
+                        eval_ns,
+                    };
+                }
                 Ok(out)
             })
+    }
+
+    /// The slow-query threshold in nanoseconds (0 = capture disabled).
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns.get()
+    }
+
+    /// Sets the slow-query threshold; evaluations at or over it (wall
+    /// clock, observability enabled) are captured. 0 disables capture.
+    pub fn set_slow_threshold_ns(&self, ns: u64) {
+        self.slow_threshold_ns.set(ns);
+    }
+
+    /// The captured slow queries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow.borrow().buf.iter().cloned().collect()
+    }
+
+    /// Captures evicted from the slow-query ring since the last clear.
+    pub fn slowlog_dropped(&self) -> u64 {
+        self.slow.borrow().dropped
+    }
+
+    /// Empties the slow-query ring (threshold and capacity are kept).
+    pub fn clear_slowlog(&self) {
+        let mut ring = self.slow.borrow_mut();
+        ring.buf.clear();
+        ring.dropped = 0;
+    }
+
+    /// Builds the explain record for an over-threshold evaluation, pushes
+    /// it into the ring, and mirrors it to the flight recorder.
+    fn record_slow(
+        &self,
+        db: &Database,
+        parent: ClassId,
+        pred: &Predicate,
+        cap: &EvalCapture,
+        total_ns: u64,
+    ) {
+        let record = self.build_explain(db, parent, pred, cap, total_ns);
+        let obs = isis_obs::global();
+        obs.count("query.service.slow_queries", 1);
+        obs.flight_event("query.service.slow", || record.to_json());
+        let mut ring = self.slow.borrow_mut();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(SlowQuery {
+            seq,
+            total_ns,
+            record,
+        });
     }
 
     /// Records a query that was answered *outside* the service — the

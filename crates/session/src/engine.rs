@@ -421,12 +421,23 @@ impl Session {
                 return Err(e);
             }
             match self.commit_changes() {
-                Ok(receipt) => return Ok(receipt),
+                Ok(receipt) => {
+                    let obs = isis_obs::global();
+                    if obs.enabled() {
+                        obs.observe("session.commit.retry_attempts", u64::from(attempt));
+                    }
+                    return Ok(receipt);
+                }
                 Err(SessionError::Conflict(c))
                     if c.is_retryable() && attempt < backoff.max_retries =>
                 {
                     self.discard_changes()?;
                     let delay = backoff.delay(attempt);
+                    let obs = isis_obs::global();
+                    if obs.enabled() {
+                        obs.count("session.commit.retries", 1);
+                        obs.observe("session.commit.backoff_ns", delay.as_nanos() as u64);
+                    }
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }
@@ -821,6 +832,52 @@ impl Session {
             });
             self.db.validate_predicate(parent, None, pred)?;
             Ok(self.db.evaluate_derived_members(parent, pred)?)
+        }
+    }
+
+    /// Answers the query exactly like [`Session::query`] and additionally
+    /// returns the full [`ExplainRecord`](isis_query::ExplainRecord) — the
+    /// access path chosen per atom and why, the program-cache outcome,
+    /// plan reuse and pinning, the parallel chunking decision, and
+    /// per-phase timings. Counters advance identically to a plain query.
+    ///
+    /// On the unassisted fallback (Manual policy with pending changes)
+    /// the record is marked `cache: "unassisted"` with an empty plan.
+    pub fn explain(
+        &mut self,
+        parent: ClassId,
+        pred: &Predicate,
+    ) -> Result<(OrderedSet, isis_query::ExplainRecord), SessionError> {
+        let obs = isis_obs::global();
+        let _span = obs.span("session.query.explain");
+        if self.policy != RefreshPolicy::Manual {
+            self.refresh_derived()?;
+        }
+        let in_sync = self.service.is_some()
+            && matches!(self.db.changes_since(self.refresh_cursor), Some(cs) if cs.is_empty());
+        if in_sync {
+            let svc = self.service.as_ref().expect("in_sync implies a service");
+            Ok(svc.explain(&self.db, parent, pred)?)
+        } else {
+            if let Some(svc) = self.service.as_ref() {
+                svc.note_unassisted_scan();
+            }
+            obs.count("session.query.unassisted", 1);
+            self.db.validate_predicate(parent, None, pred)?;
+            let t = std::time::Instant::now();
+            let out = self.db.evaluate_derived_members(parent, pred)?;
+            let total_ns = t.elapsed().as_nanos() as u64;
+            let scanned = self.db.class(parent).map(|r| r.members.len()).unwrap_or(0);
+            let record = isis_query::ExplainRecord::unassisted(
+                &self.db,
+                parent,
+                pred,
+                scanned,
+                out.len(),
+                total_ns,
+            );
+            obs.flight_event("query.service.explain", || record.to_json());
+            Ok((out, record))
         }
     }
 

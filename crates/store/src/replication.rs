@@ -497,20 +497,41 @@ impl Replica {
         }
         let obs = isis_obs::global();
         let _span = obs.span("store.replication.sync");
-        match log.ship(&self.cursor, max_frames)? {
-            Shipment::UpToDate => {}
+        let (kind, applied) = match log.ship(&self.cursor, max_frames)? {
+            Shipment::UpToDate => ("up_to_date", 0usize),
             Shipment::Frames(frames) => {
+                let n = frames.len();
                 for op in frames {
                     self.apply_frame(op)?;
                 }
+                ("frames", n)
             }
             Shipment::Checkpoint {
                 generation,
                 snapshot,
-            } => self.install_checkpoint(generation, snapshot)?,
-        }
+            } => {
+                self.install_checkpoint(generation, snapshot)?;
+                ("checkpoint", 1)
+            }
+        };
         let status = self.status(log)?;
         obs.gauge("store.replication.lag", status.lag as i64);
+        if obs.enabled() {
+            obs.gauge(
+                "store.replication.applied_epoch",
+                status.applied_epoch as i64,
+            );
+            obs.gauge("store.replication.head_epoch", status.head_epoch as i64);
+            let (applied_epoch, lag) = (status.applied_epoch, status.lag);
+            obs.flight_event("store.replication.ship", || {
+                isis_obs::Json::obj([
+                    ("kind", isis_obs::Json::from(kind)),
+                    ("applied", isis_obs::Json::from(applied)),
+                    ("applied_epoch", isis_obs::Json::from(applied_epoch)),
+                    ("lag", isis_obs::Json::from(lag)),
+                ])
+            });
+        }
         Ok(status)
     }
 

@@ -109,9 +109,37 @@ impl WalCommitHook {
         if self.poisoned {
             return Err(self.poison_error("an earlier partial failure; reopen the store"));
         }
+        let obs = isis_obs::global();
         match batch_ops(db, applied) {
-            Some(ops) => self.append_batch(ops),
-            None => self.checkpoint(db),
+            Some(ops) => {
+                if obs.enabled() {
+                    obs.count("store.wal.commit_frames", 1);
+                    let n = ops.len();
+                    obs.flight_event("store.wal.commit", || {
+                        isis_obs::Json::obj([
+                            ("mode", isis_obs::Json::from("frames")),
+                            ("ops", isis_obs::Json::from(n)),
+                        ])
+                    });
+                }
+                self.append_batch(ops)
+            }
+            None => {
+                // Schema edits fall back to a whole-head snapshot; the
+                // frames-vs-checkpoint split is the headline durability
+                // telemetry, so record which path this commit took.
+                if obs.enabled() {
+                    obs.count("store.wal.commit_checkpoints", 1);
+                    let n = applied.len();
+                    obs.flight_event("store.wal.commit", || {
+                        isis_obs::Json::obj([
+                            ("mode", isis_obs::Json::from("checkpoint")),
+                            ("changes", isis_obs::Json::from(n)),
+                        ])
+                    });
+                }
+                self.checkpoint(db)
+            }
         }
     }
 

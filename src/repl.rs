@@ -72,6 +72,15 @@ session:      load NAME | save NAME | checks | undo | redo | stop | help
               enable at startup)
               trace on|off|dump|json|clear — span recording across the
               query/refresh/storage pipeline (bounded ring buffer)
+              explain NAME [json] — run a derived class's predicate and
+              show the full plan record: access path per atom and why,
+              program-cache outcome, chunking decision, phase timings
+              slowlog [json|clear|threshold MILLIS] — evaluations that
+              crossed the slow-query threshold, each with its full plan
+              health [json] — one-screen triage: cache hit rates, commit
+              conflict rates, replica lag, slow-query highlights
+              flight dump|json|clear|export [PATH] — the flight recorder's
+              structured event journal (export writes JSONL)
               doctor [NAME] — print the recovery report (last load, or a
               dry-run recovery of a stored database)
               fsck [NAME] — verify a stored database: recovery dry run plus
@@ -399,6 +408,149 @@ impl Repl {
                     }
                 });
             }
+            "explain" => {
+                let usage = "usage: explain NAME [json]";
+                let name = parts
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| ReplError::Parse(usage.into()))?;
+                let as_json = match parts.get(1).map(String::as_str) {
+                    None => false,
+                    Some("json") if parts.len() == 2 => true,
+                    _ => return Err(ReplError::Parse(usage.into())),
+                };
+                let (parent, pred) = {
+                    let db = self.session.database();
+                    let class = db.class_by_name(&name)?;
+                    let rec = db.class(class)?;
+                    let parent = rec
+                        .parent
+                        .ok_or_else(|| ReplError::Parse(format!("'{name}' has no parent class")))?;
+                    let pred = rec
+                        .kind
+                        .predicate()
+                        .ok_or_else(|| {
+                            ReplError::Parse(format!(
+                                "'{name}' has no membership predicate — explain takes a \
+                                 derived subclass"
+                            ))
+                        })?
+                        .clone();
+                    (parent, pred)
+                };
+                let (out, record) = self.session.explain(parent, &pred)?;
+                return Ok(if as_json {
+                    record.to_json().pretty()
+                } else {
+                    format!("{}\n{} members", record.to_text(), out.len())
+                });
+            }
+            "slowlog" => {
+                let svc = match self.session.index_service() {
+                    Some(svc) => svc,
+                    None => {
+                        return Ok("no index service yet — run 'refresh' to build it".to_string())
+                    }
+                };
+                return Ok(match parts.first().map(String::as_str) {
+                    None => {
+                        let entries = svc.slow_queries();
+                        let threshold_ms = svc.slow_threshold_ns() as f64 / 1e6;
+                        if entries.is_empty() {
+                            format!("slow-query log empty (threshold {threshold_ms}ms)")
+                        } else {
+                            let mut out = format!(
+                                "{} slow queries (threshold {threshold_ms}ms, {} evicted):\n",
+                                entries.len(),
+                                svc.slowlog_dropped(),
+                            );
+                            for sq in &entries {
+                                out.push_str(&format!(
+                                    "#{} {:.2}ms  {} where {}  (cache {}, {} scanned, \
+                                     {} returned)\n",
+                                    sq.seq,
+                                    sq.total_ns as f64 / 1e6,
+                                    sq.record.parent,
+                                    sq.record.predicate,
+                                    sq.record.cache,
+                                    sq.record.scanned,
+                                    sq.record.returned,
+                                ));
+                            }
+                            out.pop();
+                            out
+                        }
+                    }
+                    Some("json") => isis_obs::Json::Arr(
+                        svc.slow_queries().iter().map(|sq| sq.to_json()).collect(),
+                    )
+                    .pretty(),
+                    Some("clear") => {
+                        svc.clear_slowlog();
+                        "slow-query log cleared".to_string()
+                    }
+                    Some("threshold") => {
+                        let ms: u64 =
+                            parts.get(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                                ReplError::Parse("usage: slowlog threshold MILLIS".into())
+                            })?;
+                        svc.set_slow_threshold_ns(ms.saturating_mul(1_000_000));
+                        if ms == 0 {
+                            "slow-query capture off".to_string()
+                        } else {
+                            format!("slow-query threshold set to {ms}ms")
+                        }
+                    }
+                    Some(other) => {
+                        return Err(ReplError::Parse(format!(
+                            "'{other}'? slowlog [json|clear|threshold MILLIS]"
+                        )))
+                    }
+                });
+            }
+            "health" => {
+                let as_json = match parts.first().map(String::as_str) {
+                    None => false,
+                    Some("json") if parts.len() == 1 => true,
+                    _ => return Err(ReplError::Parse("usage: health [json]".into())),
+                };
+                return Ok(self.health_report(as_json));
+            }
+            "flight" => {
+                let obs = isis_obs::global();
+                return Ok(match parts.first().map(String::as_str) {
+                    Some("dump") => obs.flight().snapshot().to_text(),
+                    Some("json") => obs.flight().snapshot().to_json().pretty(),
+                    Some("clear") => {
+                        obs.flight().clear();
+                        "flight recorder cleared".to_string()
+                    }
+                    Some("export") => {
+                        let path = parts
+                            .get(1)
+                            .map(String::as_str)
+                            .unwrap_or("out/obs/flight.jsonl");
+                        let snap = obs.flight().snapshot();
+                        if let Some(dir) = std::path::Path::new(path).parent() {
+                            std::fs::create_dir_all(dir).map_err(|e| {
+                                ReplError::Parse(format!("cannot create {}: {e}", dir.display()))
+                            })?;
+                        }
+                        std::fs::write(path, snap.to_jsonl())
+                            .map_err(|e| ReplError::Parse(format!("cannot write {path}: {e}")))?;
+                        format!(
+                            "{} events written to {path} ({} dropped by the ring)",
+                            snap.events.len(),
+                            snap.dropped
+                        )
+                    }
+                    _ => {
+                        return Err(ReplError::Parse(
+                            "usage: flight dump|json|clear|export [PATH]".into(),
+                        ))
+                    }
+                });
+            }
             "refresh" => match parts.first().map(String::as_str) {
                 None => self.session.apply(Command::Refresh)?,
                 Some("manual") => self
@@ -439,6 +591,207 @@ impl Repl {
         }
         // Report whatever the command logged.
         Ok(self.session.messages()[before..].join("\n"))
+    }
+
+    /// One-screen triage summary: program-cache hit rate, query access-path
+    /// mix, MVCC commit/conflict rates, replica lag, slow-query highlights,
+    /// and the flight-recorder fill. Service-level counters work even with
+    /// observability off; the process-wide rates need `ISIS_OBS=1` or
+    /// `metrics on`.
+    fn health_report(&self, as_json: bool) -> String {
+        let obs = isis_obs::global();
+        let snap = obs.registry().snapshot();
+        let counter = |name: &str| -> u64 {
+            snap.entries
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| match v {
+                    isis_obs::MetricValue::Counter(c) => Some(*c),
+                    _ => None,
+                })
+                .unwrap_or(0)
+        };
+        let gauge = |name: &str| -> Option<i64> {
+            snap.entries
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| match v {
+                    isis_obs::MetricValue::Gauge(g) => Some(*g),
+                    _ => None,
+                })
+        };
+        let pct = |part: u64, whole: u64| -> f64 {
+            if whole == 0 {
+                0.0
+            } else {
+                part as f64 * 100.0 / whole as f64
+            }
+        };
+
+        let svc = self.session.index_service();
+        let cache = svc.map(|s| s.program_cache().stats());
+        let queries = svc.map(|s| s.query_stats());
+        let slow = svc.map(|s| s.slow_queries()).unwrap_or_default();
+        let worst = slow.iter().max_by_key(|sq| sq.total_ns);
+        let commits = counter("core.mvcc.commits");
+        let conflicts = counter("core.mvcc.conflicts");
+        let lag = gauge("store.replication.lag");
+        let flight = obs.flight().snapshot();
+
+        if as_json {
+            return isis_obs::Json::obj([
+                ("schema", isis_obs::Json::from("isis-repl/health/1")),
+                ("obs_enabled", isis_obs::Json::from(obs.enabled())),
+                (
+                    "program_cache",
+                    match &cache {
+                        Some(c) => isis_obs::Json::obj([
+                            ("hits", isis_obs::Json::from(c.hits)),
+                            ("misses", isis_obs::Json::from(c.misses)),
+                            ("invalidations", isis_obs::Json::from(c.invalidations)),
+                            ("evictions", isis_obs::Json::from(c.evictions)),
+                        ]),
+                        None => isis_obs::Json::Null,
+                    },
+                ),
+                (
+                    "queries",
+                    match &queries {
+                        Some(q) => isis_obs::Json::obj([
+                            ("total", isis_obs::Json::from(q.queries)),
+                            ("index_probes", isis_obs::Json::from(q.index_probes)),
+                            ("grouping_scans", isis_obs::Json::from(q.grouping_scans)),
+                            ("seq_scans", isis_obs::Json::from(q.seq_scans)),
+                            (
+                                "unassisted",
+                                isis_obs::Json::from(counter("session.query.unassisted")),
+                            ),
+                        ]),
+                        None => isis_obs::Json::Null,
+                    },
+                ),
+                (
+                    "commits",
+                    isis_obs::Json::obj([
+                        ("total", isis_obs::Json::from(commits)),
+                        (
+                            "fast",
+                            isis_obs::Json::from(counter("core.mvcc.fast_commits")),
+                        ),
+                        (
+                            "rebased",
+                            isis_obs::Json::from(counter("core.mvcc.rebased_commits")),
+                        ),
+                        ("conflicts", isis_obs::Json::from(conflicts)),
+                        (
+                            "retries",
+                            isis_obs::Json::from(counter("core.mvcc.retries")),
+                        ),
+                    ]),
+                ),
+                (
+                    "replication",
+                    match lag {
+                        Some(l) => isis_obs::Json::obj([
+                            ("lag", isis_obs::Json::from(l)),
+                            (
+                                "applied_epoch",
+                                gauge("store.replication.applied_epoch")
+                                    .map_or(isis_obs::Json::Null, isis_obs::Json::from),
+                            ),
+                        ]),
+                        None => isis_obs::Json::Null,
+                    },
+                ),
+                (
+                    "slowlog",
+                    isis_obs::Json::obj([
+                        ("captured", isis_obs::Json::from(slow.len())),
+                        (
+                            "worst_ns",
+                            worst.map_or(isis_obs::Json::Null, |sq| {
+                                isis_obs::Json::from(sq.total_ns)
+                            }),
+                        ),
+                    ]),
+                ),
+                (
+                    "flight",
+                    isis_obs::Json::obj([
+                        ("events", isis_obs::Json::from(flight.events.len())),
+                        ("dropped", isis_obs::Json::from(flight.dropped)),
+                        ("capacity", isis_obs::Json::from(flight.capacity)),
+                    ]),
+                ),
+            ])
+            .pretty();
+        }
+
+        let mut out = format!(
+            "health — observability {}\n",
+            if obs.enabled() { "on" } else { "off" }
+        );
+        match &cache {
+            Some(c) => {
+                let lookups = c.hits + c.misses + c.invalidations;
+                out.push_str(&format!(
+                    "program cache:  {:.1}% hit ({} hits, {} misses, {} invalidations, \
+                     {} evictions)\n",
+                    pct(c.hits, lookups),
+                    c.hits,
+                    c.misses,
+                    c.invalidations,
+                    c.evictions
+                ));
+            }
+            None => out.push_str("program cache:  no index service yet (run 'refresh')\n"),
+        }
+        if let Some(q) = &queries {
+            out.push_str(&format!(
+                "queries:        {} ({:.0}% index probes, {:.0}% grouping scans, \
+                 {:.0}% seq scans, {} unassisted)\n",
+                q.queries,
+                pct(q.index_probes, q.queries),
+                pct(q.grouping_scans, q.queries),
+                pct(q.seq_scans, q.queries),
+                counter("session.query.unassisted"),
+            ));
+        }
+        out.push_str(&format!(
+            "commits:        {} ({} fast, {} rebased), {} conflicts ({:.1}%), {} retries\n",
+            commits,
+            counter("core.mvcc.fast_commits"),
+            counter("core.mvcc.rebased_commits"),
+            conflicts,
+            pct(conflicts, commits + conflicts),
+            counter("core.mvcc.retries"),
+        ));
+        match lag {
+            Some(l) => out.push_str(&format!(
+                "replication:    lag {l}{}\n",
+                gauge("store.replication.applied_epoch")
+                    .map(|e| format!(" (applied epoch {e})"))
+                    .unwrap_or_default()
+            )),
+            None => out.push_str("replication:    no replica synced in this process\n"),
+        }
+        match worst {
+            Some(sq) => out.push_str(&format!(
+                "slow queries:   {} captured, worst {:.2}ms: {} where {}\n",
+                slow.len(),
+                sq.total_ns as f64 / 1e6,
+                sq.record.parent,
+                sq.record.predicate
+            )),
+            None => out.push_str("slow queries:   none captured\n"),
+        }
+        out.push_str(&format!(
+            "flight:         {} events buffered, {} dropped (capacity {})",
+            flight.events.len(),
+            flight.dropped,
+            flight.capacity
+        ));
+        out
     }
 
     /// The class behind the current page (data level or constant pick).
@@ -961,6 +1314,97 @@ mod tests {
         r.exec("metrics reset").unwrap();
         assert!(r.exec("trace nonsense").is_err());
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn explain_slowlog_health_and_flight_via_text() {
+        let mut r = repl();
+        // Before any refresh: graceful degradation, not errors.
+        assert!(r.exec("slowlog").unwrap().contains("no index service"));
+        assert!(r.exec("health").unwrap().contains("no index service"));
+        for line in [
+            "pick music_groups",
+            "subclass quartets",
+            "define",
+            "atom",
+            "clause 1",
+            "push size",
+            "op =",
+            "const",
+            "toggle 4",
+            "done",
+            "commit",
+            "refresh",
+        ] {
+            r.exec(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        // The plan tree names the parent, the access path, and the cache
+        // outcome; json is the machine form of the same record.
+        let plan = r.exec("explain quartets").unwrap();
+        assert!(plan.contains("EXPLAIN music_groups"), "{plan}");
+        assert!(plan.contains("members"), "{plan}");
+        let json = r.exec("explain quartets json").unwrap();
+        let parsed = isis_obs::Json::parse(&json).expect("explain json parses");
+        assert_eq!(
+            parsed.get("schema").unwrap().as_str(),
+            Some("isis-query/explain/1")
+        );
+        // A zero threshold captures every evaluation.
+        r.exec("slowlog threshold 0").unwrap();
+        let svc = r.session.index_service().unwrap();
+        svc.set_slow_threshold_ns(1); // 1ns: everything is slow
+        let db = r.session.database();
+        let groups = db.class_by_name("music_groups").unwrap();
+        let quartets = db.class_by_name("quartets").unwrap();
+        let pred = db
+            .class(quartets)
+            .unwrap()
+            .kind
+            .predicate()
+            .unwrap()
+            .clone();
+        isis_obs::global().set_enabled(true);
+        r.session.query(groups, &pred).unwrap();
+        let out = r.exec("slowlog").unwrap();
+        assert!(out.contains("music_groups"), "{out}");
+        let json = r.exec("slowlog json").unwrap();
+        assert!(isis_obs::Json::parse(&json).is_ok());
+        let health = r.exec("health").unwrap();
+        for line in ["program cache:", "queries:", "commits:", "flight:"] {
+            assert!(health.contains(line), "health missing {line}:\n{health}");
+        }
+        let hjson = r.exec("health json").unwrap();
+        let parsed = isis_obs::Json::parse(&hjson).expect("health json parses");
+        assert_eq!(
+            parsed.get("schema").unwrap().as_str(),
+            Some("isis-repl/health/1")
+        );
+        // The flight ring saw the slow capture; export round-trips as JSONL.
+        let dump = r.exec("flight dump").unwrap();
+        assert!(dump.contains("query.service.slow"), "{dump}");
+        let path = std::env::temp_dir().join(format!("isis_flight_{}.jsonl", std::process::id()));
+        let out = r
+            .exec(&format!("flight export {}", path.display()))
+            .unwrap();
+        assert!(out.contains("events written"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.lines().count() >= 1);
+        for line in body.lines() {
+            assert!(
+                isis_obs::Json::parse(line).is_ok(),
+                "bad JSONL line: {line}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+        assert!(r.exec("flight clear").unwrap().contains("cleared"));
+        assert!(r.exec("slowlog clear").unwrap().contains("cleared"));
+        assert!(r.exec("flight nonsense").is_err());
+        assert!(r.exec("slowlog nonsense").is_err());
+        assert!(
+            r.exec("explain musicians").is_err(),
+            "base class: no predicate"
+        );
+        isis_obs::global().set_enabled(false);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! EXPLAIN is stats-faithful and observability is result-invisible.
+//!
+//! Two contracts from the telemetry design (DESIGN.md §5c), checked
+//! end-to-end in their own process because they toggle the process-wide
+//! `isis_obs::global()` switch:
+//!
+//! 1. **Equivalence**: evaluation results are byte-identical with
+//!    observability enabled and disabled — instrumentation must never
+//!    perturb an answer.
+//! 2. **Stability**: `IndexService::explain` advances the `QueryStats`
+//!    counters by exactly the same deltas as the `evaluate` it wraps, and
+//!    the record's own numbers agree with those counters.
+
+use isis_core::{Atom, Clause, CompareOp, Map, Predicate, Rhs};
+use isis_query::IndexService;
+use isis_sample::instrumental_music;
+
+fn preds(im: &mut isis_sample::InstrumentalMusic) -> Vec<Predicate> {
+    let yes = im.db.boolean(true);
+    let booleans = im.db.predefined(isis_core::BaseKind::Booleans);
+    vec![
+        // One indexable ~ atom: the planner probes the plays index.
+        Predicate::dnf(vec![Clause::new(vec![Atom::new(
+            Map::single(im.plays),
+            CompareOp::Match,
+            Rhs::constant(im.instruments, [im.piano]),
+        )])]),
+        // Superset against two anchors: rarest-first intersection.
+        Predicate::dnf(vec![Clause::new(vec![Atom::new(
+            Map::single(im.plays),
+            CompareOp::Superset,
+            Rhs::constant(im.instruments, [im.violin, im.viola]),
+        )])]),
+        // CNF over two clauses, mixing probed and scanned atoms.
+        Predicate::cnf(vec![
+            Clause::new(vec![Atom::new(
+                Map::single(im.plays),
+                CompareOp::Match,
+                Rhs::constant(im.instruments, [im.violin]),
+            )]),
+            Clause::new(vec![Atom::new(
+                Map::single(im.union_attr),
+                CompareOp::Match,
+                Rhs::constant(booleans, [yes]),
+            )]),
+        ]),
+    ]
+}
+
+/// Results must be byte-identical with observability on and off, for the
+/// serial service path and with slow-query capture forcing the capturing
+/// wrapper on every evaluation.
+#[test]
+fn results_are_identical_with_observability_on_and_off() {
+    let mut im = instrumental_music().unwrap();
+    let obs = isis_obs::global();
+
+    obs.set_enabled(false);
+    let mut svc_off = IndexService::new(&im.db);
+    svc_off.ensure_index(&im.db, im.plays).unwrap();
+    let baseline: Vec<Vec<_>> = preds(&mut im)
+        .iter()
+        .map(|p| {
+            svc_off
+                .evaluate(&im.db, im.musicians, p)
+                .unwrap()
+                .as_slice()
+                .to_vec()
+        })
+        .collect();
+
+    obs.set_enabled(true);
+    let mut svc_on = IndexService::new(&im.db);
+    svc_on.ensure_index(&im.db, im.plays).unwrap();
+    svc_on.set_slow_threshold_ns(1); // force the capture path everywhere
+    for (pred, want) in preds(&mut im).iter().zip(&baseline) {
+        let got = svc_on.evaluate(&im.db, im.musicians, pred).unwrap();
+        assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "observability changed an answer for {pred}"
+        );
+        let (explained, record) = svc_on.explain(&im.db, im.musicians, pred).unwrap();
+        assert_eq!(
+            explained.as_slice(),
+            want.as_slice(),
+            "explain changed an answer for {pred}"
+        );
+        assert_eq!(record.returned as usize, explained.len());
+    }
+    // Every forced-slow evaluation above landed in the slow-query ring.
+    assert!(!svc_on.slow_queries().is_empty());
+    obs.set_enabled(false);
+}
+
+/// `explain` advances the `QueryStats` counters by exactly the same deltas
+/// as the equivalent `evaluate`, and the record agrees with the counters.
+#[test]
+fn explain_counter_deltas_match_evaluate() {
+    let mut im = instrumental_music().unwrap();
+    isis_obs::global().set_enabled(false);
+    let mut svc = IndexService::new(&im.db);
+    svc.ensure_index(&im.db, im.plays).unwrap();
+
+    for pred in preds(&mut im) {
+        // Warm once so both arms start from the same cache state.
+        svc.evaluate(&im.db, im.musicians, &pred).unwrap();
+
+        let s0 = svc.query_stats();
+        let out = svc.evaluate(&im.db, im.musicians, &pred).unwrap();
+        let s1 = svc.query_stats();
+        let (explained, record) = svc.explain(&im.db, im.musicians, &pred).unwrap();
+        let s2 = svc.query_stats();
+
+        assert_eq!(out.as_slice(), explained.as_slice());
+        let eval_delta = (
+            s1.queries - s0.queries,
+            s1.index_probes - s0.index_probes,
+            s1.grouping_scans - s0.grouping_scans,
+            s1.seq_scans - s0.seq_scans,
+            s1.index_misses - s0.index_misses,
+        );
+        let explain_delta = (
+            s2.queries - s1.queries,
+            s2.index_probes - s1.index_probes,
+            s2.grouping_scans - s1.grouping_scans,
+            s2.seq_scans - s1.seq_scans,
+            s2.index_misses - s1.index_misses,
+        );
+        assert_eq!(
+            eval_delta, explain_delta,
+            "explain must move the counters exactly like evaluate for {pred}"
+        );
+        assert_eq!(eval_delta.0, 1, "each arm counts as one query");
+
+        // The record's own numbers agree with what the counters saw.
+        assert_eq!(record.returned as usize, explained.len());
+        assert_eq!(record.scanned as usize, record.candidates);
+        assert_eq!(record.cache, "hit", "warmed predicate must hit the cache");
+        assert!(record.plan_reused, "no mutations: the plan stays valid");
+        assert_eq!(
+            record.atoms.len(),
+            pred.clauses.iter().map(|c| c.atoms.len()).sum::<usize>()
+        );
+    }
+}

@@ -192,6 +192,52 @@ proptest! {
         prop_assert_eq!(Json::parse(&pretty).expect("pretty must parse"), doc);
     }
 
+    /// Flight events with arbitrary payloads round-trip through the JSONL
+    /// export line-by-line; the ring stays bounded, drops are counted, and
+    /// sequence numbers stay strictly monotonic.
+    #[test]
+    fn flight_journal_round_trips_and_stays_bounded(
+        seed in proptest::collection::vec(any::<u8>(), 0..64),
+        cap in 2usize..32,
+        n in 0usize..100,
+    ) {
+        let obs = Obs::new();
+        obs.set_enabled(true);
+        obs.flight().set_capacity(cap);
+        const KINDS: [&str; 3] = ["test.flight.commit", "test.flight.ship", "test.flight.slow"];
+        for i in 0..n {
+            let mut idx = i % seed.len().max(1);
+            obs.flight_event(KINDS[i % KINDS.len()], || json_from_seed(&seed, &mut idx, 0));
+        }
+        let snap = obs.flight().snapshot();
+        prop_assert_eq!(snap.events.len(), n.min(cap));
+        prop_assert_eq!(snap.dropped, n.saturating_sub(cap) as u64);
+        for w in snap.events.windows(2) {
+            prop_assert!(w[0].seq < w[1].seq, "seq must be strictly increasing");
+        }
+        let jsonl = snap.to_jsonl();
+        prop_assert_eq!(jsonl.lines().count(), snap.events.len());
+        for (line, ev) in jsonl.lines().zip(snap.events.iter()) {
+            let parsed = Json::parse(line).expect("every JSONL line parses");
+            prop_assert_eq!(parsed.get("seq").unwrap().as_f64(), Some(ev.seq as f64));
+            prop_assert_eq!(parsed.get("kind").unwrap().as_str(), Some(ev.kind));
+            prop_assert_eq!(parsed.get("data").unwrap(), &ev.data);
+        }
+        let doc = Json::parse(&snap.to_json().pretty()).expect("snapshot json parses");
+        prop_assert_eq!(doc.get("schema").unwrap().as_str(), Some("isis-obs/flight/1"));
+        prop_assert_eq!(
+            doc.get("events").unwrap().as_arr().unwrap().len(),
+            snap.events.len()
+        );
+        // Clearing empties the buffer but never reuses sequence numbers.
+        let high = snap.events.last().map(|e| e.seq).unwrap_or(0);
+        obs.flight().clear();
+        obs.flight_event("test.flight.after", || Json::Null);
+        let after = obs.flight().snapshot();
+        prop_assert_eq!(after.events.len(), 1);
+        prop_assert!(after.events[0].seq > high);
+    }
+
     /// A run report from a live instance is always parseable and carries
     /// the metrics that were recorded.
     #[test]
