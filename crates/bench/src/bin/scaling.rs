@@ -27,8 +27,8 @@
 use std::time::{Duration, Instant};
 
 use isis_bench::BenchReport;
-use isis_core::{Database, EntityId, OrderedSet, Predicate};
-use isis_query::{DerivedMaintainer, EvalPool, IndexService};
+use isis_core::{Atom, Clause, CompareOp, Database, EntityId, Map, OrderedSet, Predicate, Rhs};
+use isis_query::{DerivedMaintainer, EvalPool, IndexService, MemoTable, PredicateProgram};
 use isis_sample::workload::navigation_chain;
 use isis_sample::{synthetic_scaled, ScaledMusic, SchemaShape, SynthSpec, ValueDist};
 
@@ -47,6 +47,8 @@ struct ConfigResult {
     entities: usize,
     cached_ns: f64,
     recompiled_ns: f64,
+    scan_batch_ns: f64,
+    scan_scalar_ns: f64,
     affected: usize,
     settle_serial_ns: f64,
     settle_pool_ns: f64,
@@ -158,6 +160,63 @@ fn run_config(cfg: &Config, threads: usize, report: &mut BenchReport) -> ConfigR
             cfg.query_rounds as u64,
         );
 
+    // --- Full-extent scan: column-streaming batch evaluation vs the
+    // per-candidate scalar loop, on the same compiled program over the
+    // whole musicians extent (ISSUE 10 acceptance: batch >= 2x at 1e5+).
+    let scan_pred = Predicate::dnf(vec![Clause::new(vec![Atom::new(
+        Map::single(g.s.plays),
+        CompareOp::Match,
+        Rhs::constant(g.s.instruments, [g.s.instrument_ids[0]]),
+    )])]);
+    let prog = PredicateProgram::compile(&g.s.db, g.s.musicians, &scan_pred).unwrap();
+    assert!(
+        prog.batch_compatible(),
+        "the scan predicate must stream columns"
+    );
+    let extent: Vec<EntityId> = g.s.db.members(g.s.musicians).unwrap().iter().collect();
+    let expected = {
+        let mut memo = MemoTable::new(&prog);
+        prog.eval_batch(&g.s.db, &extent, None, &mut memo)
+            .unwrap()
+            .len()
+    };
+    let scan_batch_ns = time_rounds(cfg.query_rounds, || {
+        let mut memo = MemoTable::new(&prog);
+        let n = prog
+            .eval_batch(&g.s.db, &extent, None, &mut memo)
+            .unwrap()
+            .len();
+        assert_eq!(n, expected);
+    });
+    let scan_scalar_ns = time_rounds(cfg.query_rounds, || {
+        let mut memo = MemoTable::new(&prog);
+        let mut n = 0usize;
+        for &e in &extent {
+            if prog.eval_for(&g.s.db, e, None, &mut memo).unwrap() {
+                n += 1;
+            }
+        }
+        assert_eq!(n, expected);
+    });
+    eprintln!(
+        "   full-extent scan ({} candidates): batch {:.1}us vs scalar {:.1}us ({:.2}x)",
+        extent.len(),
+        scan_batch_ns / 1e3,
+        scan_scalar_ns / 1e3,
+        scan_scalar_ns / scan_batch_ns
+    );
+    *report = std::mem::replace(report, BenchReport::new("scaling"))
+        .result(
+            format!("scaling/scan_batch/{tag}"),
+            scan_batch_ns,
+            cfg.query_rounds as u64,
+        )
+        .result(
+            format!("scaling/scan_scalar/{tag}"),
+            scan_scalar_ns,
+            cfg.query_rounds as u64,
+        );
+
     // --- Large-affected-set settle: serial vs the shared pool.
     let final_pred: Predicate = chain.last().unwrap().clone();
     let derived =
@@ -242,6 +301,8 @@ fn run_config(cfg: &Config, threads: usize, report: &mut BenchReport) -> ConfigR
         entities: cfg.entities,
         cached_ns,
         recompiled_ns,
+        scan_batch_ns,
+        scan_scalar_ns,
         affected: affected.len(),
         settle_serial_ns,
         settle_pool_ns,
@@ -352,6 +413,26 @@ fn main() {
                 r.entities,
                 r.cached_ns,
                 r.recompiled_ns
+            );
+        }
+        // Columnar batch evaluation must never lose to the scalar loop,
+        // and must clear 2x on full-extent scans at 1e5+ (ISSUE 10).
+        assert!(
+            r.scan_batch_ns <= r.scan_scalar_ns,
+            "batch scan regressed below scalar at {} entities \
+             (batch {:.0}ns vs scalar {:.0}ns)",
+            r.entities,
+            r.scan_batch_ns,
+            r.scan_scalar_ns
+        );
+        if r.entities >= 100_000 {
+            assert!(
+                r.scan_batch_ns * 2.0 <= r.scan_scalar_ns,
+                "batch full-extent scan must be >=2x faster than scalar at \
+                 {} entities (batch {:.0}ns vs scalar {:.0}ns)",
+                r.entities,
+                r.scan_batch_ns,
+                r.scan_scalar_ns
             );
         }
         if r.affected >= 100_000 {

@@ -1,7 +1,6 @@
 //! Attribute records.
 
-use std::collections::HashMap;
-
+use crate::column::{AttrColumn, ValueRef};
 use crate::ids::{ClassId, EntityId, GroupingId};
 use crate::orderedset::OrderedSet;
 use crate::predicate::AttrDerivation;
@@ -74,9 +73,10 @@ pub struct AttrRecord {
     pub naming: bool,
     /// The derivation, for derived attributes ((re)define derivation).
     pub derivation: Option<AttrDerivation>,
-    /// Stored values, keyed by entity. Absence means the default: the null
-    /// entity for singlevalued, the empty set for multivalued.
-    pub values: HashMap<EntityId, AttrValue>,
+    /// Stored values, in hybrid columnar layout. Absence means the
+    /// default: the null entity for singlevalued, the empty set for
+    /// multivalued (defaults are never stored — see [`AttrColumn`]).
+    pub values: AttrColumn,
     /// Tombstone flag.
     pub alive: bool,
 }
@@ -100,12 +100,28 @@ impl AttrRecord {
         }
     }
 
-    /// The stored (or default) value for `entity`.
+    /// The stored (or default) value for `entity`, cloned. Hot paths that
+    /// only need to *read* the value should use
+    /// [`AttrRecord::value_ref`], which borrows instead.
     pub fn value_of(&self, entity: EntityId) -> AttrValue {
         self.values
-            .get(&entity)
-            .cloned()
+            .get(entity)
+            .map(ValueRef::to_owned)
             .unwrap_or_else(|| self.default_value())
+    }
+
+    /// The stored (or default) value for `entity`, borrowed: multivalued
+    /// reads cost nothing instead of cloning the whole set. The default
+    /// resolves to `Single(NULL)` / a borrow of the shared empty set
+    /// according to the attribute's multiplicity.
+    pub fn value_ref(&self, entity: EntityId) -> ValueRef<'_> {
+        match self.values.get(entity) {
+            Some(v) => v,
+            None => match self.multiplicity {
+                Multiplicity::Single => ValueRef::Single(EntityId::NULL),
+                Multiplicity::Multi => ValueRef::Multi(crate::column::empty_set()),
+            },
+        }
     }
 }
 
@@ -121,7 +137,7 @@ mod tests {
             multiplicity: m,
             naming: false,
             derivation: None,
-            values: HashMap::new(),
+            values: AttrColumn::new(),
             alive: true,
         }
     }
@@ -143,13 +159,21 @@ mod tests {
             a.value_of(EntityId::from_raw(7)),
             AttrValue::Single(EntityId::NULL)
         );
-        a.values.insert(
+        a.values.set(
             EntityId::from_raw(7),
             AttrValue::Single(EntityId::from_raw(9)),
         );
         assert_eq!(
             a.value_of(EntityId::from_raw(7)),
             AttrValue::Single(EntityId::from_raw(9))
+        );
+        assert_eq!(
+            a.value_ref(EntityId::from_raw(7)),
+            ValueRef::Single(EntityId::from_raw(9))
+        );
+        assert_eq!(
+            a.value_ref(EntityId::from_raw(8)),
+            ValueRef::Single(EntityId::NULL)
         );
     }
 

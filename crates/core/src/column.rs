@@ -1,0 +1,532 @@
+//! Hybrid columnar attribute storage (DESIGN.md §4f).
+//!
+//! Every [`crate::AttrRecord`] used to key a `HashMap<EntityId, AttrValue>`
+//! — one hash probe (and, for multivalued reads, one whole-set clone) per
+//! attribute access, which is exactly the operation the predicate
+//! evaluator's hot loop repeats per atom per candidate. [`AttrColumn`]
+//! replaces it with a hybrid layout:
+//!
+//! * **dense column** — singlevalued assignments for a well-populated
+//!   attribute live in a `Vec<EntityId>` indexed directly by the owning
+//!   entity's raw id ([`EntityId::NULL`] is the in-column default
+//!   sentinel). Entity arena slots are never recycled (tombstones keep ids
+//!   stable — see `image.rs`), so the raw id *is* the column slot and a
+//!   full-extent scan walks the vector in storage order;
+//! * **overflow map** — multivalued assignments, sparse attributes, and
+//!   ids beyond the dense frontier keep the compact `HashMap` layout.
+//!
+//! The column is **canonical**: a stored default (`Single(NULL)` or an
+//! empty `Multi` set) is removed rather than kept. Defaults are
+//! unobservable through [`crate::AttrRecord::value_of`], change recording
+//! (`old != new` gating), and the consistency rules (NULL / empty pass
+//! every check), so canonicalisation preserves engine semantics exactly
+//! while making `len()` mean "entities with a non-default value".
+//!
+//! Layout is an implementation detail: `PartialEq` compares *logical*
+//! content (two columns holding the same `(entity, value)` pairs are equal
+//! regardless of dense/sparse state), and the snapshot codec writes the
+//! same sorted `(entity, value)` byte stream as the old map layout.
+//!
+//! Promotion and demotion are amortised: a sparse column attempts
+//! promotion only when its population doubles past the last attempt
+//! ([`AttrColumn::DENSE_MIN`], occupancy ≥ span / [`AttrColumn::DENSE_FACTOR`]);
+//! a dense column demotes (compacts) back to sparse when deletions drop
+//! occupancy below span / [`AttrColumn::SPARSE_FACTOR`]. The 4× hysteresis
+//! gap between the two thresholds prevents ping-ponging.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use crate::attribute::AttrValue;
+use crate::ids::EntityId;
+use crate::orderedset::OrderedSet;
+
+/// A borrowed view of one stored attribute value — what
+/// [`AttrColumn::get`] yields and the evaluator's hot paths consume
+/// instead of cloning an [`AttrValue`] per read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// A singlevalued assignment (never [`EntityId::NULL`] when read from
+    /// a canonical column).
+    Single(EntityId),
+    /// A multivalued assignment, borrowed from the column.
+    Multi(&'a OrderedSet),
+}
+
+impl ValueRef<'_> {
+    /// Clones the borrowed view into an owned [`AttrValue`].
+    pub fn to_owned(self) -> AttrValue {
+        match self {
+            ValueRef::Single(e) => AttrValue::Single(e),
+            ValueRef::Multi(s) => AttrValue::Multi(s.clone()),
+        }
+    }
+}
+
+/// The process-wide empty set borrowed when a multivalued read finds no
+/// stored value.
+pub fn empty_set() -> &'static OrderedSet {
+    static EMPTY: OnceLock<OrderedSet> = OnceLock::new();
+    EMPTY.get_or_init(OrderedSet::new)
+}
+
+/// Occupancy snapshot of one column, surfaced through EXPLAIN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColumnStats {
+    /// Allocated dense slots (0 = the column is in sparse state).
+    pub dense_slots: usize,
+    /// Dense slots holding a non-default value.
+    pub dense_len: usize,
+    /// Entries in the overflow map.
+    pub overflow_len: usize,
+}
+
+/// Hybrid columnar storage for one attribute's values. See the module
+/// docs for the layout and the canonical-content invariant.
+#[derive(Debug, Clone, Default)]
+pub struct AttrColumn {
+    /// Dense singlevalued column indexed by raw entity id;
+    /// [`EntityId::NULL`] marks an unassigned slot. Empty in sparse state.
+    dense: Vec<EntityId>,
+    /// Non-NULL entries in `dense`.
+    dense_len: usize,
+    /// Multivalued values, sparse singles, and ids past the dense
+    /// frontier. Never holds an id `< dense.len()` while a dense slot
+    /// exists for it.
+    overflow: HashMap<EntityId, AttrValue>,
+    /// Overflow entries that are `Single` (promotion requires all of
+    /// them: multivalued values never move into the dense column).
+    overflow_singles: usize,
+    /// Next overflow population at which promotion is re-attempted
+    /// (doubling schedule keeps the attempt scan amortised O(1)).
+    promote_at: usize,
+}
+
+fn is_default(v: &AttrValue) -> bool {
+    match v {
+        AttrValue::Single(e) => e.is_null(),
+        AttrValue::Multi(s) => s.is_empty(),
+    }
+}
+
+impl AttrColumn {
+    /// Minimum population before a dense column is considered.
+    pub const DENSE_MIN: usize = 64;
+    /// Promote when `population * DENSE_FACTOR >= span` (≥ 25% occupancy).
+    pub const DENSE_FACTOR: usize = 4;
+    /// Demote when `population * SPARSE_FACTOR < span` (< 6.25% occupancy).
+    pub const SPARSE_FACTOR: usize = 16;
+
+    /// An empty (sparse) column.
+    pub fn new() -> AttrColumn {
+        AttrColumn {
+            promote_at: Self::DENSE_MIN,
+            ..AttrColumn::default()
+        }
+    }
+
+    /// Entities with a stored (non-default) value.
+    pub fn len(&self) -> usize {
+        self.dense_len + self.overflow.len()
+    }
+
+    /// `true` when no entity has a non-default value.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when the column currently uses the dense layout.
+    pub fn is_dense(&self) -> bool {
+        !self.dense.is_empty()
+    }
+
+    /// Occupancy counters for EXPLAIN.
+    pub fn stats(&self) -> ColumnStats {
+        ColumnStats {
+            dense_slots: self.dense.len(),
+            dense_len: self.dense_len,
+            overflow_len: self.overflow.len(),
+        }
+    }
+
+    /// The stored value for `entity`, borrowed. `None` means the default
+    /// (NULL / empty set — never stored; see the module docs).
+    #[inline]
+    pub fn get(&self, entity: EntityId) -> Option<ValueRef<'_>> {
+        let i = entity.index();
+        if i < self.dense.len() {
+            let v = self.dense[i];
+            return if v.is_null() {
+                None
+            } else {
+                Some(ValueRef::Single(v))
+            };
+        }
+        match self.overflow.get(&entity) {
+            Some(AttrValue::Single(e)) => Some(ValueRef::Single(*e)),
+            Some(AttrValue::Multi(s)) => Some(ValueRef::Multi(s)),
+            None => None,
+        }
+    }
+
+    /// Fast path for batched evaluation over a singlevalued column: the
+    /// stored entity, or [`EntityId::NULL`] for the default. A (corrupt)
+    /// multivalued entry reads as NULL here — batch consumers go through
+    /// [`AttrColumn::get`], which distinguishes the cases.
+    #[inline]
+    pub fn single_raw(&self, entity: EntityId) -> EntityId {
+        let i = entity.index();
+        if i < self.dense.len() {
+            return self.dense[i];
+        }
+        match self.overflow.get(&entity) {
+            Some(AttrValue::Single(e)) => *e,
+            _ => EntityId::NULL,
+        }
+    }
+
+    /// Stores `value` for `entity`, canonicalising defaults to removal.
+    pub fn set(&mut self, entity: EntityId, value: AttrValue) {
+        if is_default(&value) {
+            self.remove(entity);
+            return;
+        }
+        let i = entity.index();
+        match value {
+            AttrValue::Single(v) => {
+                if i < self.dense.len() {
+                    if self.dense[i].is_null() {
+                        self.dense_len += 1;
+                    }
+                    self.dense[i] = v;
+                    return;
+                }
+                if self.is_dense()
+                    && (self.dense_len + self.overflow.len() + 1) * Self::DENSE_FACTOR > i
+                {
+                    // The new id extends the dense frontier without
+                    // dropping occupancy below the promotion bar: grow.
+                    self.dense.resize(i + 1, EntityId::NULL);
+                    self.dense[i] = v;
+                    self.dense_len += 1;
+                    self.reclaim_overflow();
+                    return;
+                }
+                if let Some(old) = self.overflow.insert(entity, AttrValue::Single(v)) {
+                    if let AttrValue::Multi(_) = old {
+                        self.overflow_singles += 1;
+                    }
+                } else {
+                    self.overflow_singles += 1;
+                }
+                self.maybe_promote();
+            }
+            AttrValue::Multi(s) => {
+                if i < self.dense.len() && !self.dense[i].is_null() {
+                    self.dense[i] = EntityId::NULL;
+                    self.dense_len -= 1;
+                }
+                if let Some(AttrValue::Single(_)) =
+                    self.overflow.insert(entity, AttrValue::Multi(s))
+                {
+                    self.overflow_singles -= 1;
+                }
+            }
+        }
+    }
+
+    /// Removes the stored value for `entity`, returning it (owned).
+    /// `None` if the entity already held the default.
+    pub fn remove(&mut self, entity: EntityId) -> Option<AttrValue> {
+        let i = entity.index();
+        if i < self.dense.len() {
+            let v = self.dense[i];
+            if v.is_null() {
+                return None;
+            }
+            self.dense[i] = EntityId::NULL;
+            self.dense_len -= 1;
+            self.maybe_demote();
+            return Some(AttrValue::Single(v));
+        }
+        let old = self.overflow.remove(&entity)?;
+        if let AttrValue::Single(_) = old {
+            self.overflow_singles -= 1;
+        }
+        Some(old)
+    }
+
+    /// In-place access to a multivalued entry, inserting an empty set if
+    /// absent. The caller must leave the set non-empty (the canonical
+    /// invariant) — `add_value` always inserts. Panics if the entity holds
+    /// a singlevalued assignment, mirroring the multiplicity guard in the
+    /// mutation layer.
+    pub fn multi_entry(&mut self, entity: EntityId) -> &mut OrderedSet {
+        let i = entity.index();
+        if i < self.dense.len() && !self.dense[i].is_null() {
+            unreachable!("multi_entry on a dense singlevalued slot");
+        }
+        match self
+            .overflow
+            .entry(entity)
+            .or_insert_with(|| AttrValue::Multi(OrderedSet::new()))
+        {
+            AttrValue::Multi(s) => s,
+            AttrValue::Single(_) => unreachable!("multiplicity checked above"),
+        }
+    }
+
+    /// Drops every stored value and returns the column to sparse state.
+    pub fn clear(&mut self) {
+        self.dense.clear();
+        self.dense_len = 0;
+        self.overflow.clear();
+        self.overflow_singles = 0;
+        self.promote_at = Self::DENSE_MIN;
+    }
+
+    /// Iterates the stored `(entity, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, ValueRef<'_>)> {
+        let dense = self
+            .dense
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_null())
+            .map(|(i, v)| (EntityId::from_raw(i as u32), ValueRef::Single(*v)));
+        let overflow = self.overflow.iter().map(|(e, v)| {
+            (
+                *e,
+                match v {
+                    AttrValue::Single(x) => ValueRef::Single(*x),
+                    AttrValue::Multi(s) => ValueRef::Multi(s),
+                },
+            )
+        });
+        dense.chain(overflow)
+    }
+
+    /// The stored pairs sorted by entity id — the deterministic order the
+    /// snapshot codec writes.
+    pub fn entries_sorted(&self) -> Vec<(EntityId, ValueRef<'_>)> {
+        let mut out: Vec<(EntityId, ValueRef<'_>)> = self.iter().collect();
+        out.sort_by_key(|(e, _)| *e);
+        out
+    }
+
+    /// Attempts dense promotion once the overflow population reaches the
+    /// doubling schedule: all-single overflow with occupancy ≥ span /
+    /// [`Self::DENSE_FACTOR`] rebuilds as a dense column in O(population).
+    fn maybe_promote(&mut self) {
+        if self.is_dense() || self.overflow.len() < self.promote_at {
+            return;
+        }
+        self.promote_at = self.overflow.len() * 2;
+        if self.overflow_singles != self.overflow.len() {
+            return; // multivalued entries pin the column sparse
+        }
+        let span = self
+            .overflow
+            .keys()
+            .map(|e| e.index() + 1)
+            .max()
+            .unwrap_or(0);
+        if self.overflow.len() * Self::DENSE_FACTOR < span {
+            return;
+        }
+        let mut dense = vec![EntityId::NULL; span];
+        for (e, v) in self.overflow.drain() {
+            match v {
+                AttrValue::Single(x) => dense[e.index()] = x,
+                AttrValue::Multi(_) => unreachable!("overflow_singles covered all entries"),
+            }
+        }
+        self.dense_len = self.overflow_singles;
+        self.overflow_singles = 0;
+        self.dense = dense;
+        self.promote_at = Self::DENSE_MIN;
+    }
+
+    /// After the dense frontier grows, pull overflow singles that now fall
+    /// inside it back into the column (preserving the "overflow never
+    /// shadows a dense slot" invariant).
+    fn reclaim_overflow(&mut self) {
+        if self.overflow.is_empty() {
+            return;
+        }
+        let frontier = self.dense.len();
+        let inside: Vec<EntityId> = self
+            .overflow
+            .keys()
+            .filter(|e| e.index() < frontier)
+            .copied()
+            .collect();
+        for e in inside {
+            match self.overflow.remove(&e) {
+                Some(AttrValue::Single(v)) => {
+                    self.overflow_singles -= 1;
+                    if self.dense[e.index()].is_null() {
+                        self.dense_len += 1;
+                    }
+                    self.dense[e.index()] = v;
+                }
+                Some(AttrValue::Multi(s)) => {
+                    // Multivalued entries stay in overflow; restore.
+                    self.overflow.insert(e, AttrValue::Multi(s));
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Compacts a dense column back to sparse once deletions drop
+    /// occupancy below span / [`Self::SPARSE_FACTOR`].
+    fn maybe_demote(&mut self) {
+        if self.dense.len() < Self::DENSE_MIN * Self::DENSE_FACTOR
+            || self.dense_len * Self::SPARSE_FACTOR >= self.dense.len()
+        {
+            return;
+        }
+        for (i, v) in std::mem::take(&mut self.dense).into_iter().enumerate() {
+            if !v.is_null() {
+                self.overflow
+                    .insert(EntityId::from_raw(i as u32), AttrValue::Single(v));
+                self.overflow_singles += 1;
+            }
+        }
+        self.dense_len = 0;
+        self.promote_at = (self.overflow.len() * 2).max(Self::DENSE_MIN);
+    }
+}
+
+/// Logical equality: same stored pairs, layout-independent (a promoted
+/// and a sparse column holding the same content compare equal — the
+/// snapshot round-trip depends on this).
+impl PartialEq for AttrColumn {
+    fn eq(&self, other: &AttrColumn) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.iter().all(|(e, v)| other.get(e) == Some(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(raw: u32) -> EntityId {
+        EntityId::from_raw(raw)
+    }
+
+    #[test]
+    fn defaults_are_never_stored() {
+        let mut c = AttrColumn::new();
+        c.set(e(3), AttrValue::Single(EntityId::NULL));
+        c.set(e(4), AttrValue::Multi(OrderedSet::new()));
+        assert!(c.is_empty());
+        c.set(e(3), AttrValue::Single(e(9)));
+        assert_eq!(c.len(), 1);
+        c.set(e(3), AttrValue::Single(EntityId::NULL));
+        assert!(c.is_empty());
+        assert_eq!(c.get(e(3)), None);
+    }
+
+    #[test]
+    fn promotion_and_demotion_round_trip_content() {
+        let mut c = AttrColumn::new();
+        // Densely populated singles: must promote.
+        for i in 0..512u32 {
+            c.set(e(i + 1), AttrValue::Single(e(10_000 + i)));
+        }
+        assert!(c.is_dense(), "512 contiguous singles must go dense");
+        assert_eq!(c.len(), 512);
+        for i in 0..512u32 {
+            assert_eq!(c.get(e(i + 1)), Some(ValueRef::Single(e(10_000 + i))));
+        }
+        // Delete almost everything: must demote back to sparse.
+        for i in 0..500u32 {
+            assert!(c.remove(e(i + 1)).is_some());
+        }
+        assert!(!c.is_dense(), "occupancy collapsed; column must compact");
+        assert_eq!(c.len(), 12);
+        for i in 500..512u32 {
+            assert_eq!(c.get(e(i + 1)), Some(ValueRef::Single(e(10_000 + i))));
+        }
+    }
+
+    #[test]
+    fn sparse_ids_stay_in_overflow() {
+        let mut c = AttrColumn::new();
+        for i in 0..256u32 {
+            c.set(e(i * 1000 + 7), AttrValue::Single(e(1)));
+        }
+        assert!(!c.is_dense(), "0.1% occupancy must not allocate a column");
+        assert_eq!(c.len(), 256);
+    }
+
+    #[test]
+    fn multivalued_entries_pin_the_column_sparse() {
+        let mut c = AttrColumn::new();
+        c.set(e(1), AttrValue::Multi([e(5)].into_iter().collect()));
+        for i in 2..300u32 {
+            c.set(e(i), AttrValue::Single(e(9)));
+        }
+        assert!(!c.is_dense());
+        assert_eq!(
+            c.get(e(1)),
+            Some(ValueRef::Multi(&[e(5)].into_iter().collect()))
+        );
+    }
+
+    #[test]
+    fn logical_equality_ignores_layout() {
+        let mut dense = AttrColumn::new();
+        let mut sparse = AttrColumn::new();
+        for i in 0..200u32 {
+            dense.set(e(i + 1), AttrValue::Single(e(50_000 + i)));
+        }
+        // Same content inserted far apart first, keeping it sparse longer.
+        for i in (0..200u32).rev() {
+            sparse.set(e(i + 1), AttrValue::Single(e(50_000 + i)));
+        }
+        assert_eq!(dense, sparse);
+        sparse.set(e(1), AttrValue::Single(e(42)));
+        assert_ne!(dense, sparse);
+    }
+
+    #[test]
+    fn multi_entry_inserts_and_borrows() {
+        let mut c = AttrColumn::new();
+        c.multi_entry(e(2)).insert(e(7));
+        c.multi_entry(e(2)).insert(e(8));
+        match c.get(e(2)) {
+            Some(ValueRef::Multi(s)) => assert_eq!(s.len(), 2),
+            other => panic!("expected multi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_raw_reads_both_layouts() {
+        let mut c = AttrColumn::new();
+        c.set(e(3), AttrValue::Single(e(11)));
+        assert_eq!(c.single_raw(e(3)), e(11));
+        assert_eq!(c.single_raw(e(4)), EntityId::NULL);
+        for i in 0..200u32 {
+            c.set(e(i + 1), AttrValue::Single(e(11)));
+        }
+        assert!(c.is_dense());
+        assert_eq!(c.single_raw(e(3)), e(11));
+        assert_eq!(c.single_raw(e(4)), e(11));
+        assert_eq!(c.single_raw(e(10_000)), EntityId::NULL);
+    }
+
+    #[test]
+    fn entries_sorted_is_deterministic() {
+        let mut c = AttrColumn::new();
+        c.set(e(9), AttrValue::Single(e(1)));
+        c.set(e(2), AttrValue::Multi([e(3)].into_iter().collect()));
+        c.set(e(5), AttrValue::Single(e(4)));
+        let order: Vec<u32> = c.entries_sorted().iter().map(|(e, _)| e.raw()).collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+}

@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use crate::attribute::{AttrValue, Multiplicity, ValueClass};
+use crate::attribute::{Multiplicity, ValueClass};
 use crate::error::Result;
 use crate::ids::{AttrId, ClassId, EntityId};
 use crate::Database;
@@ -268,7 +268,7 @@ impl Database {
                     continue;
                 }
             };
-            for (&e, val) in &rec.values {
+            for (e, val) in rec.values.iter() {
                 if !owner_members.contains(e) {
                     v.push(Violation::ValueForNonMember {
                         attr: aid,
@@ -277,7 +277,7 @@ impl Database {
                 }
                 // Rule 3: singlevalued attributes define functions.
                 if rec.multiplicity == Multiplicity::Single {
-                    if let AttrValue::Multi(_) = val {
+                    if let crate::column::ValueRef::Multi(_) = val {
                         v.push(Violation::SingleValuedStoresSet {
                             attr: aid,
                             entity: e,
@@ -302,16 +302,16 @@ impl Database {
                     }
                 };
                 match val {
-                    AttrValue::Single(x) => {
-                        if !value_ok(*x) {
+                    crate::column::ValueRef::Single(x) => {
+                        if !value_ok(x) {
                             v.push(Violation::ValueOutsideValueClass {
                                 attr: aid,
                                 entity: e,
-                                value: *x,
+                                value: x,
                             });
                         }
                     }
-                    AttrValue::Multi(s) => {
+                    crate::column::ValueRef::Multi(s) => {
                         for x in s.iter() {
                             if !value_ok(x) {
                                 v.push(Violation::ValueOutsideValueClass {
@@ -440,7 +440,7 @@ mod tests {
         let yes = db.boolean(true);
         db.attrs[union.index()]
             .values
-            .insert(edith, AttrValue::Multi([yes].into_iter().collect()));
+            .set(edith, crate::AttrValue::Multi([yes].into_iter().collect()));
         let v = db.check_consistency().unwrap();
         assert!(v
             .iter()

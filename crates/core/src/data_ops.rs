@@ -191,7 +191,7 @@ impl Database {
                 continue;
             }
             let attr = AttrId::from_raw(a as u32);
-            if let Some(old) = self.attrs[a].values.remove(&entity) {
+            if let Some(old) = self.attrs[a].values.remove(entity) {
                 let new = self.attrs[a].default_value();
                 if old != new {
                     self.record_change(Change::AttrAssigned {
@@ -237,27 +237,31 @@ impl Database {
 
     fn scrub_attr_references(&mut self, attr: AttrId, entity: EntityId) {
         let rec = &mut self.attrs[attr.index()];
+        // Collect the hits first (the column cannot be mutated mid-scan),
+        // then rewrite each through the canonicalising column API: a
+        // scrubbed single becomes the default (entry removed), a scrubbed
+        // multi keeps its remaining members.
+        let hits: Vec<(EntityId, AttrValue)> = rec
+            .values
+            .iter()
+            .filter(|(_, v)| match v {
+                crate::column::ValueRef::Single(e) => *e == entity,
+                crate::column::ValueRef::Multi(s) => s.contains(entity),
+            })
+            .map(|(owner, v)| (owner, v.to_owned()))
+            .collect();
         let mut scrubbed: Vec<(EntityId, AttrValue, AttrValue)> = Vec::new();
-        for (&owner, v) in rec.values.iter_mut() {
-            match v {
-                AttrValue::Single(e) => {
-                    if *e == entity {
-                        // Keep the entry; NULL is the default but an explicit
-                        // NULL entry is harmless and preserves assignment
-                        // history length.
-                        let old = AttrValue::Single(*e);
-                        *e = EntityId::NULL;
-                        scrubbed.push((owner, old, v.clone()));
-                    }
-                }
+        for (owner, old) in hits {
+            let new = match &old {
+                AttrValue::Single(_) => AttrValue::Single(EntityId::NULL),
                 AttrValue::Multi(s) => {
-                    if s.contains(entity) {
-                        let old = AttrValue::Multi(s.clone());
-                        s.remove(entity);
-                        scrubbed.push((owner, old, v.clone()));
-                    }
+                    let mut s = s.clone();
+                    s.remove(entity);
+                    AttrValue::Multi(s)
                 }
-            }
+            };
+            rec.values.set(owner, new.clone());
+            scrubbed.push((owner, old, new));
         }
         for (owner, old, new) in scrubbed {
             self.record_change(Change::AttrAssigned {
@@ -417,7 +421,7 @@ impl Database {
                 [value].into_iter().collect()
             }),
         };
-        self.attr_mut(attr)?.values.insert(entity, v);
+        self.attr_mut(attr)?.values.set(entity, v);
         self.record_assignment(entity, attr, old);
         Ok(self.delta_suffix(mark))
     }
@@ -441,7 +445,7 @@ impl Database {
         let old = self.attr(attr)?.value_of(entity);
         self.attr_mut(attr)?
             .values
-            .insert(entity, AttrValue::Multi(set));
+            .set(entity, AttrValue::Multi(set));
         self.record_assignment(entity, attr, old);
         Ok(self.delta_suffix(mark))
     }
@@ -461,18 +465,115 @@ impl Database {
         let mark = self.delta_epoch();
         let old = self.attr(attr)?.value_of(entity);
         let rec = self.attr_mut(attr)?;
-        match rec
-            .values
-            .entry(entity)
-            .or_insert_with(|| AttrValue::Multi(OrderedSet::new()))
-        {
-            AttrValue::Multi(s) => {
-                s.insert(value);
-            }
-            AttrValue::Single(_) => unreachable!("multiplicity checked above"),
-        }
+        rec.values.multi_entry(entity).insert(value);
         self.record_assignment(entity, attr, old);
         Ok(self.delta_suffix(mark))
+    }
+
+    /// Applies many attribute assignments under ONE delta suffix.
+    ///
+    /// The per-call [`ChangeSet`] materialisation of
+    /// [`Database::assign_single`] / [`Database::assign_multi`] dominates
+    /// bulk loads, so loaders batch thousands of assignments and take a
+    /// single suffix per batch. Per-item semantics — validation order,
+    /// naming renames, recorded changes — are identical to the scalar
+    /// calls; on error the items already applied remain applied (exactly
+    /// as the equivalent scalar sequence would leave them) and the first
+    /// failing item's error is returned.
+    pub fn assign_batch(
+        &mut self,
+        items: impl IntoIterator<Item = (EntityId, AttrId, AttrValue)>,
+    ) -> Result<ChangeSet> {
+        let mark = self.delta_epoch();
+        for (entity, attr, value) in items {
+            match value {
+                AttrValue::Single(v) => {
+                    if self.attr(attr)?.naming {
+                        let name = self.entity(v)?.name.clone();
+                        self.rename_entity(entity, &name)?;
+                        continue;
+                    }
+                    self.check_assignable(entity, attr)?;
+                    self.check_value_membership(attr, v)?;
+                    let rec = self.attr(attr)?;
+                    let old = rec.value_of(entity);
+                    let val = match rec.multiplicity {
+                        Multiplicity::Single => AttrValue::Single(v),
+                        Multiplicity::Multi => AttrValue::Multi(if v.is_null() {
+                            OrderedSet::new()
+                        } else {
+                            [v].into_iter().collect()
+                        }),
+                    };
+                    self.attr_mut(attr)?.values.set(entity, val);
+                    self.record_assignment(entity, attr, old);
+                }
+                AttrValue::Multi(set) => {
+                    self.check_assignable(entity, attr)?;
+                    if self.attr(attr)?.multiplicity == Multiplicity::Single {
+                        return Err(CoreError::SingleValuedAttr(attr));
+                    }
+                    for v in set.iter() {
+                        self.check_value_membership(attr, v)?;
+                    }
+                    let old = self.attr(attr)?.value_of(entity);
+                    self.attr_mut(attr)?
+                        .values
+                        .set(entity, AttrValue::Multi(set));
+                    self.record_assignment(entity, attr, old);
+                }
+            }
+        }
+        Ok(self.delta_suffix(mark))
+    }
+
+    /// Bulk entity insertion: validates the baseclass once, reserves
+    /// arena capacity up front, and inserts every name with the same
+    /// per-entity semantics (and recorded changes) as
+    /// [`Database::insert_entity`]. Returns the new ids in input order.
+    pub fn insert_entities(
+        &mut self,
+        base: ClassId,
+        names: impl IntoIterator<Item = String>,
+    ) -> Result<Vec<EntityId>> {
+        let rec = self.class(base)?;
+        if !rec.is_base() {
+            return Err(CoreError::Inconsistent(format!(
+                "{} is not a baseclass; insert into the baseclass and add_to_class",
+                rec.name
+            )));
+        }
+        if rec.is_predefined() {
+            return Err(CoreError::Predefined);
+        }
+        let names: Vec<String> = names.into_iter().collect();
+        self.entities.reserve(names.len());
+        self.entity_names.reserve(names.len());
+        let mut ids = Vec::with_capacity(names.len());
+        for name in names {
+            if name.is_empty() {
+                return Err(CoreError::InvalidLiteral("empty entity name".into()));
+            }
+            if self.entity_names.contains_key(&(base, name.clone())) {
+                return Err(CoreError::DuplicateEntityName { base, name });
+            }
+            self.intern(crate::literal::Literal::Str(name.clone()))?;
+            let id = EntityId::from_raw(self.entities.len() as u32);
+            self.entities.push(EntityRecord::user(&name, base));
+            self.entity_names.insert((base, name.clone()), id);
+            self.classes[base.index()].members.insert(id);
+            self.record_change(Change::EntityInserted {
+                entity: id,
+                base,
+                name: name.clone(),
+            });
+            self.record_change(Change::MembershipAdded {
+                entity: id,
+                class: base,
+            });
+            ids.push(id);
+        }
+        Ok(ids)
     }
 
     /// Resets an attribute to its default (null / empty set) for `entity`.
@@ -480,7 +581,7 @@ impl Database {
         self.check_assignable(entity, attr)?;
         let mark = self.delta_epoch();
         let old = self.attr(attr)?.value_of(entity);
-        self.attr_mut(attr)?.values.remove(&entity);
+        self.attr_mut(attr)?.values.remove(entity);
         self.record_assignment(entity, attr, old);
         Ok(self.delta_suffix(mark))
     }

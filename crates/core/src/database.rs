@@ -127,7 +127,7 @@ impl Database {
             multiplicity: Multiplicity::Single,
             naming: true,
             derivation: None,
-            values: HashMap::new(),
+            values: crate::column::AttrColumn::new(),
             alive: true,
         });
         self.classes[class.index()].own_attrs.push(id);

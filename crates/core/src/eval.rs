@@ -57,6 +57,11 @@ impl Database {
 
     /// Evaluates `map` over a set of starting entities, unioning results
     /// across every step ("x₁ = x, e = xₙ₊₁, and xᵢ₊₁ ∈ Aᵢ(xᵢ)").
+    ///
+    /// Class-ranged non-naming steps read the attribute column by
+    /// reference (no per-entity set clone); naming and grouping-ranged
+    /// steps synthesise their value sets through
+    /// [`Database::attr_value_set`] as before.
     pub fn eval_map(
         &self,
         start: impl IntoIterator<Item = EntityId>,
@@ -65,8 +70,28 @@ impl Database {
         let mut cur: OrderedSet = start.into_iter().collect();
         for &step in map.steps() {
             let mut next = OrderedSet::new();
-            for e in cur.iter() {
-                next.extend_from(&self.attr_value_set(e, step)?);
+            let rec = self.attr(step)?;
+            if rec.naming || matches!(rec.value_class, ValueClass::Grouping(_)) {
+                for e in cur.iter() {
+                    next.extend_from(&self.attr_value_set(e, step)?);
+                }
+            } else {
+                let members = &self.class(rec.owner)?.members;
+                for e in cur.iter() {
+                    if !members.contains(e) {
+                        return Err(CoreError::NotAMember {
+                            entity: e,
+                            class: rec.owner,
+                        });
+                    }
+                    match rec.values.get(e) {
+                        Some(crate::column::ValueRef::Single(v)) if !v.is_null() => {
+                            next.insert(v);
+                        }
+                        Some(crate::column::ValueRef::Multi(s)) => next.extend_from(s),
+                        _ => {}
+                    }
+                }
             }
             cur = next;
         }
@@ -406,7 +431,7 @@ impl Database {
                     new: value.clone(),
                 });
             }
-            self.attrs[attr.index()].values.insert(*x, value);
+            self.attrs[attr.index()].values.set(*x, value);
             n += 1;
         }
         if self.attr(attr)?.derivation.as_ref() != Some(&derivation) {
@@ -425,6 +450,46 @@ impl Database {
             .ok_or_else(|| CoreError::Inconsistent("attribute has no derivation".into()))?;
         self.commit_derivation(attr, derivation)
     }
+}
+
+/// Compares a single-valued column cell against a pre-materialised rhs
+/// image — [`Database::compare_sets`] specialised to a left-hand side
+/// that is either the empty set (`v` is NULL, i.e. the slot is
+/// unassigned) or the singleton `{v}`.
+///
+/// Returns `None` for ordering operators: those are fallible (they
+/// require literal singletons on both sides) and must go through the
+/// full set path so the error identity is preserved. Batched predicate
+/// evaluation in isis-query therefore never streams ordering atoms.
+pub fn compare_single(v: EntityId, op: CompareOp, rhs: &OrderedSet) -> Option<bool> {
+    let null = v.is_null();
+    Some(match op {
+        CompareOp::SetEq => {
+            if null {
+                rhs.is_empty()
+            } else {
+                rhs.len() == 1 && rhs.contains(v)
+            }
+        }
+        CompareOp::Subset => null || rhs.contains(v),
+        CompareOp::Superset => {
+            if null {
+                rhs.is_empty()
+            } else {
+                rhs.is_empty() || (rhs.len() == 1 && rhs.contains(v))
+            }
+        }
+        CompareOp::ProperSubset => {
+            if null {
+                !rhs.is_empty()
+            } else {
+                rhs.contains(v) && rhs.len() > 1
+            }
+        }
+        CompareOp::ProperSuperset => !null && rhs.is_empty(),
+        CompareOp::Match => !null && rhs.contains(v),
+        CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => return None,
+    })
 }
 
 #[cfg(test)]
@@ -878,5 +943,52 @@ mod tests {
         m.db.commit_membership(sub, pred).unwrap();
         assert!(m.db.class(sub).unwrap().is_derived());
         assert!(m.db.members(sub).unwrap().contains(m.q1));
+    }
+
+    /// `compare_single` must agree with `compare_sets` for every
+    /// operator on every lhs shape it claims to handle: lhs = ∅ (NULL
+    /// cell) and lhs = {v}, against rhs sets of size 0, 1, and 2, with
+    /// and without v ∈ rhs. Ordering operators must refuse.
+    #[test]
+    fn compare_single_matches_compare_sets_exhaustively() {
+        let db = Database::new("kernel");
+        let v = EntityId::from_raw(7);
+        let w = EntityId::from_raw(8);
+        let u = EntityId::from_raw(9);
+        let rhs_shapes: Vec<OrderedSet> = vec![
+            OrderedSet::new(),
+            [v].into_iter().collect(),
+            [w].into_iter().collect(),
+            [v, w].into_iter().collect(),
+            [w, u].into_iter().collect(),
+        ];
+        let ops = [
+            CompareOp::SetEq,
+            CompareOp::Subset,
+            CompareOp::Superset,
+            CompareOp::ProperSubset,
+            CompareOp::ProperSuperset,
+            CompareOp::Match,
+        ];
+        for cell in [EntityId::NULL, v] {
+            let lhs: OrderedSet = if cell.is_null() {
+                OrderedSet::new()
+            } else {
+                [cell].into_iter().collect()
+            };
+            for rhs in &rhs_shapes {
+                for op in ops {
+                    let want = db.compare_sets(&lhs, op, rhs).unwrap();
+                    assert_eq!(
+                        compare_single(cell, op, rhs),
+                        Some(want),
+                        "cell={cell:?} op={op:?} rhs={rhs:?}"
+                    );
+                }
+                for op in [CompareOp::Lt, CompareOp::Le, CompareOp::Gt, CompareOp::Ge] {
+                    assert_eq!(compare_single(cell, op, rhs), None);
+                }
+            }
+        }
     }
 }

@@ -31,6 +31,7 @@ pub mod atom;
 pub mod attribute;
 pub mod change;
 pub mod class;
+pub mod column;
 pub mod consistency;
 pub mod constraint;
 mod data_ops;
@@ -56,11 +57,13 @@ pub use atom::{Atom, Rhs};
 pub use attribute::{AttrRecord, AttrValue, Multiplicity, ValueClass};
 pub use change::{Change, ChangeSet, DeltaLog, SchemaEdit};
 pub use class::{ClassKind, ClassRecord};
+pub use column::{AttrColumn, ColumnStats, ValueRef};
 pub use consistency::Violation;
 pub use constraint::{ConstraintId, ConstraintKind, ConstraintRecord, ConstraintReport};
 pub use database::Database;
 pub use entity::EntityRecord;
 pub use error::{CoreError, Result};
+pub use eval::compare_single;
 pub use fillpattern::FillPattern;
 pub use forest::{ForestNode, ForestTree};
 pub use grouping::{GroupingRecord, GroupingSet};

@@ -218,7 +218,7 @@ impl Database {
             multiplicity,
             naming: false,
             derivation: None,
-            values: std::collections::HashMap::new(),
+            values: crate::column::AttrColumn::new(),
             alive: true,
         });
         self.classes[class.index()].own_attrs.push(id);

@@ -41,6 +41,20 @@ pub struct AtomPlan {
     pub selectivity: f64,
 }
 
+/// Occupancy of one attribute column the evaluation touched (via a
+/// single-step atom lhs), as reported by the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStat {
+    /// Attribute name (or `attr#N` when it no longer resolves).
+    pub attr: String,
+    /// Allocated dense slots (0 = the column lives in the overflow map).
+    pub dense_slots: usize,
+    /// Assigned values stored in the dense vector.
+    pub dense_len: usize,
+    /// Assigned values stored in the overflow map.
+    pub overflow_len: usize,
+}
+
 /// The full plan record for one evaluation. See the module docs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExplainRecord {
@@ -82,6 +96,15 @@ pub struct ExplainRecord {
     pub eval_ns: u64,
     /// Wall-clock whole evaluation.
     pub total_ns: u64,
+    /// `"batch"` when the compiled program streamed attribute columns,
+    /// `"scalar"` when it interpreted per candidate.
+    pub eval_mode: &'static str,
+    /// Candidates per streamed run ([`crate::program::BATCH_ROWS`]);
+    /// meaningful only in batch mode.
+    pub batch_rows: usize,
+    /// Storage occupancy of each attribute column the predicate's
+    /// single-step atoms read, deduplicated, in first-use order.
+    pub columns: Vec<ColumnStat>,
 }
 
 /// One capture from the slow-query log: a full [`ExplainRecord`] plus the
@@ -157,13 +180,17 @@ impl ExplainRecord {
             plan_ns: 0,
             eval_ns: total_ns,
             total_ns,
+            eval_mode: "scalar",
+            batch_rows: 0,
+            columns: Vec::new(),
         }
     }
 
-    /// The machine-readable form (schema `isis-query/explain/1`).
+    /// The machine-readable form (schema `isis-query/explain/2`; version 2
+    /// added `eval_mode`, `batch_rows`, and `columns`).
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::from("isis-query/explain/1")),
+            ("schema", Json::from("isis-query/explain/2")),
             ("parent", Json::from(self.parent.clone())),
             ("predicate", Json::from(self.predicate.clone())),
             ("form", Json::from(self.form)),
@@ -210,6 +237,24 @@ impl ExplainRecord {
             ),
             ("scanned", Json::from(self.scanned)),
             ("returned", Json::from(self.returned)),
+            ("eval_mode", Json::from(self.eval_mode)),
+            ("batch_rows", Json::from(self.batch_rows)),
+            (
+                "columns",
+                Json::Arr(
+                    self.columns
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("attr", Json::from(c.attr.clone())),
+                                ("dense_slots", Json::from(c.dense_slots)),
+                                ("dense_len", Json::from(c.dense_len)),
+                                ("overflow_len", Json::from(c.overflow_len)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             (
                 "timings",
                 Json::obj([
@@ -269,6 +314,24 @@ impl ExplainRecord {
                 "├─ parallel: serial ({} worker(s) configured; extent below chunking floor)\n",
                 self.threads
             )),
+        }
+        match self.eval_mode {
+            "batch" => out.push_str(&format!(
+                "├─ eval: batch (column streaming, {} rows per run)\n",
+                self.batch_rows
+            )),
+            _ => out.push_str("├─ eval: scalar (per-candidate interpreter)\n"),
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            let tee = if i + 1 == self.columns.len() {
+                "└─"
+            } else {
+                "├─"
+            };
+            out.push_str(&format!(
+                "│  {tee} column {}: {} dense in {} slot(s), {} overflow\n",
+                c.attr, c.dense_len, c.dense_slots, c.overflow_len
+            ));
         }
         out.push_str(&format!(
             "├─ rows: {} scanned, {} returned\n",
@@ -419,6 +482,28 @@ impl IndexService {
             clause_plans(self, db, parent, ci, &clause.atoms, pred.form, &mut atoms);
         }
         let threads = self.eval_threads();
+        // Column occupancy for every attribute a single-step lhs reads,
+        // deduplicated in first-use order.
+        let mut columns: Vec<ColumnStat> = Vec::new();
+        let mut seen: Vec<isis_core::AttrId> = Vec::new();
+        for clause in &pred.clauses {
+            for atom in &clause.atoms {
+                let steps = atom.lhs.steps();
+                if steps.len() != 1 || seen.contains(&steps[0]) {
+                    continue;
+                }
+                seen.push(steps[0]);
+                if let Ok(rec) = db.attr(steps[0]) {
+                    let s = rec.values.stats();
+                    columns.push(ColumnStat {
+                        attr: rec.name.clone(),
+                        dense_slots: s.dense_slots,
+                        dense_len: s.dense_len,
+                        overflow_len: s.overflow_len,
+                    });
+                }
+            }
+        }
         ExplainRecord {
             parent: db
                 .class(parent)
@@ -446,6 +531,13 @@ impl IndexService {
             plan_ns: cap.plan_ns,
             eval_ns: cap.eval_ns,
             total_ns,
+            eval_mode: if cap.batch { "batch" } else { "scalar" },
+            batch_rows: if cap.batch {
+                crate::program::BATCH_ROWS
+            } else {
+                0
+            },
+            columns,
         }
     }
 }
@@ -483,8 +575,13 @@ mod tests {
         assert_eq!(back, json);
         assert_eq!(
             back.get("schema").unwrap().as_str(),
-            Some("isis-query/explain/1")
+            Some("isis-query/explain/2")
         );
+        assert_eq!(record.eval_mode, "batch", "plays ~ const streams");
+        assert_eq!(record.batch_rows, crate::program::BATCH_ROWS);
+        assert_eq!(record.columns.len(), 1);
+        assert_eq!(record.columns[0].attr, "plays");
+        assert!(text.contains("column streaming"), "{text}");
         let _ = &mut im;
     }
 

@@ -373,10 +373,8 @@ impl DerivedMaintainer {
             None => {
                 let mut memo = MemoTable::new(&prog);
                 let mut out = OrderedSet::new();
-                for &e in &eval_list {
-                    if prog.eval_for(db, e, None, &mut memo)? {
-                        out.insert(e);
-                    }
+                for e in prog.eval_batch(db, &eval_list, None, &mut memo)? {
+                    out.insert(e);
                 }
                 memo.flush_obs();
                 out

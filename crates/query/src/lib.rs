@@ -51,7 +51,7 @@ pub use compile::{
     compile_and_eval, compile_attr_derivation, compile_map, compile_subclass_predicate, eval_plan,
 };
 pub use error::QueryError;
-pub use explain::{AtomPlan, ExplainRecord, SlowQuery};
+pub use explain::{AtomPlan, ColumnStat, ExplainRecord, SlowQuery};
 pub use incremental::DerivedMaintainer;
 pub use index::{AttrIndex, IndexLookup, IndexedEvaluator};
 pub use manager::{IndexManager, IndexStats};
@@ -60,7 +60,7 @@ pub use parallel::{
     chunk_decision, evaluate_derived_members_parallel, evaluate_derived_members_spawn,
     evaluate_pruned_parallel, EvalPool,
 };
-pub use program::{MemoTable, PredicateProgram};
+pub use program::{MemoTable, PredicateProgram, BATCH_ROWS};
 pub use qbe::{Cell, ConditionEntry, QbeQuery, TemplateRow};
 pub use relmodel::{encode_database, Relation, RelationalDb};
 pub use service::{AccessPath, IndexService, QueryStats};

@@ -131,12 +131,7 @@ fn eval_chunk(
             panic!("injected worker fault on entity {trap}");
         }
         let mut memo = MemoTable::new(prog);
-        let mut keep = Vec::new();
-        for &e in chunk {
-            if prog.eval_for(db, e, source, &mut memo)? {
-                keep.push(e);
-            }
-        }
+        let keep = prog.eval_batch(db, chunk, source, &mut memo)?;
         memo.flush_obs();
         Ok(keep)
     }));
@@ -156,10 +151,8 @@ fn eval_serial(
 ) -> Result<OrderedSet, QueryError> {
     let mut memo = MemoTable::new(prog);
     let mut out = OrderedSet::new();
-    for &e in members {
-        if prog.eval_for(db, e, source, &mut memo)? {
-            out.insert(e);
-        }
+    for e in prog.eval_batch(db, members, source, &mut memo)? {
+        out.insert(e);
     }
     memo.flush_obs();
     Ok(out)
@@ -448,7 +441,7 @@ pub fn evaluate_pruned_parallel(
         .program_cache()
         .with_plan(db, parent, None, pred, Some(service), |prog, plan| {
             let (_, members) = service
-                .plan_candidates(db, parent, pred, plan)
+                .plan_candidates(db, parent, pred, plan, prog.batch_compatible())
                 .map_err(QueryError::Core)?;
             isis_obs::global().event("query.parallel.plan", || {
                 match chunk_decision(members.len(), threads) {

@@ -36,8 +36,8 @@
 use std::collections::HashMap;
 
 use isis_core::{
-    ClassId, CoreError, Database, EntityId, Map, NormalForm, Operator, OrderedSet, Predicate,
-    Result, Rhs,
+    compare_single, AttrId, AttrRecord, ClassId, CoreError, Database, EntityId, Map, NormalForm,
+    Operator, OrderedSet, Predicate, Result, Rhs, ValueClass, ValueRef,
 };
 
 use crate::optimizer::estimate_atom;
@@ -72,6 +72,95 @@ struct ConstSlot {
     image: OrderedSet,
 }
 
+/// Candidates per inner batch: the streaming evaluator walks one column
+/// per atom over runs of this many candidates, keeping the per-run index
+/// scratch inside the cache while still amortising the per-atom setup.
+pub const BATCH_ROWS: usize = 1024;
+
+/// One streamable atom: a single-step candidate map over a non-naming,
+/// Class-ranged attribute, compared against a hoisted constant image with
+/// a non-ordering (hence infallible) operator. Everything the inner loop
+/// needs is a column read plus a set compare.
+#[derive(Debug, Clone, Copy)]
+struct BatchAtom {
+    attr: AttrId,
+    op: Operator,
+    const_idx: u32,
+}
+
+/// The batched form of a program whose every atom is streamable, plus the
+/// parent class the program was compiled for (its extent bounds which
+/// candidates are provably infallible — see [`PredicateProgram::eval_batch`]).
+#[derive(Debug, Clone)]
+struct BatchBody {
+    parent: ClassId,
+    clauses: Vec<Vec<BatchAtom>>,
+}
+
+/// Builds the batched form, or `None` if any atom is not streamable.
+/// Streamability requires: constant rhs (hoisted image), non-ordering
+/// operator, and a one-step lhs map whose attribute is non-naming and
+/// Class-ranged — exactly the atoms whose scalar evaluation reduces to
+/// "read the column cell, compare against a fixed set".
+fn build_batch(
+    db: &Database,
+    parent: ClassId,
+    clauses: &[Vec<CompiledAtom>],
+    slots: &[Map],
+) -> Option<BatchBody> {
+    let mut out = Vec::with_capacity(clauses.len());
+    for clause in clauses {
+        let mut bc = Vec::with_capacity(clause.len());
+        for atom in clause {
+            let CompiledRhs::Const(ci) = atom.rhs else {
+                return None;
+            };
+            if atom.op.op.is_ordering() {
+                return None;
+            }
+            let steps = slots[atom.lhs as usize].steps();
+            if steps.len() != 1 {
+                return None;
+            }
+            let rec = db.attr(steps[0]).ok()?;
+            if rec.naming || !matches!(rec.value_class, ValueClass::Class(_)) {
+                return None;
+            }
+            bc.push(BatchAtom {
+                attr: steps[0],
+                op: atom.op,
+                const_idx: ci,
+            });
+        }
+        out.push(bc);
+    }
+    Some(BatchBody {
+        parent,
+        clauses: out,
+    })
+}
+
+/// Evaluates one streamable atom for one candidate by reading the
+/// attribute column directly. Exactly `eval_compiled_atom` for a member
+/// of the atom's owner class: the column cell *is* `eval_map([e], lhs)`
+/// (`None` ⇒ ∅, `Single(v)` ⇒ `{v}`, `Multi(s)` ⇒ `s`), and non-ordering
+/// set compares cannot error.
+fn stream_test(
+    db: &Database,
+    rec: &AttrRecord,
+    e: EntityId,
+    op: Operator,
+    image: &OrderedSet,
+) -> bool {
+    let raw = match rec.values.get(e) {
+        None => compare_single(EntityId::NULL, op.op, image),
+        Some(ValueRef::Single(v)) => compare_single(v, op.op, image),
+        Some(ValueRef::Multi(s)) => db.compare_sets(s, op.op, image).ok(),
+    }
+    .expect("streamable atoms use non-ordering operators");
+    op.finish(raw)
+}
+
 /// A [`Predicate`] compiled for repeated evaluation over one parent class.
 /// See the module docs for what compilation buys and when a program goes
 /// stale.
@@ -90,6 +179,8 @@ pub struct PredicateProgram {
     /// Whether any hoisted constant applies a non-identity map (only those
     /// images can go stale under data changes).
     mapped_consts: bool,
+    /// The batched (column-streaming) form, when every atom qualifies.
+    batch: Option<BatchBody>,
 }
 
 fn intern(slots: &mut Vec<Map>, ids: &mut HashMap<Map, u32>, map: &Map) -> u32 {
@@ -200,6 +291,7 @@ impl PredicateProgram {
             clauses.push(compiled);
         }
         let mapped_consts = consts.iter().any(|c| !c.map.is_identity());
+        let batch = build_batch(db, parent, &clauses, &slots);
         let mut prog = PredicateProgram {
             form: pred.form,
             clauses,
@@ -208,6 +300,7 @@ impl PredicateProgram {
             consts,
             hoist_epoch: 0,
             mapped_consts,
+            batch,
         };
         prog.hoist(db)?;
         isis_obs::global().count("query.program.compiles", 1);
@@ -385,6 +478,147 @@ impl PredicateProgram {
             }
         }
         memo.flush_obs();
+        Ok(out)
+    }
+
+    /// `true` when every atom of every clause is streamable, i.e.
+    /// [`PredicateProgram::eval_batch`] will take the column-streaming
+    /// path rather than falling back to the per-candidate interpreter.
+    pub fn batch_compatible(&self) -> bool {
+        self.batch.is_some()
+    }
+
+    /// The per-candidate scalar loop — the semantics every other driver is
+    /// measured against.
+    fn eval_scalar(
+        &self,
+        db: &Database,
+        candidates: &[EntityId],
+        source: Option<EntityId>,
+        memo: &mut MemoTable,
+        out: &mut Vec<EntityId>,
+    ) -> Result<()> {
+        for &e in candidates {
+            if self.eval_for(db, e, source, memo)? {
+                out.push(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the program over `candidates` (in order), streaming
+    /// attribute columns in runs of [`BATCH_ROWS`] when the program is
+    /// batch-compatible and falling back to the scalar loop otherwise.
+    ///
+    /// Exactness contract — results, order, *and* errors are identical to
+    /// the scalar loop:
+    ///
+    /// * every streamed atom's attribute owner is an ancestor of the
+    ///   compiled parent class (predicate validation), so
+    ///   `members(parent) ⊆ members(owner)` and a candidate that is a
+    ///   member of the parent cannot hit the scalar path's `NotAMember`
+    ///   error; non-ordering set compares are infallible; hence batched
+    ///   runs over member candidates cannot error at all;
+    /// * any run containing a non-member candidate — or any evaluation
+    ///   where the parent class or a streamed attribute has since died —
+    ///   is handed to the scalar loop wholesale, in candidate order, so
+    ///   the first failing candidate surfaces the scalar error.
+    pub fn eval_batch(
+        &self,
+        db: &Database,
+        candidates: &[EntityId],
+        source: Option<EntityId>,
+        memo: &mut MemoTable,
+    ) -> Result<Vec<EntityId>> {
+        let mut out = Vec::new();
+        let Some(batch) = &self.batch else {
+            self.eval_scalar(db, candidates, source, memo, &mut out)?;
+            return Ok(out);
+        };
+        let members = match db.class(batch.parent) {
+            Ok(c) => &c.members,
+            Err(_) => {
+                self.eval_scalar(db, candidates, source, memo, &mut out)?;
+                return Ok(out);
+            }
+        };
+        if batch
+            .clauses
+            .iter()
+            .flatten()
+            .any(|a| db.attr(a.attr).is_err())
+        {
+            self.eval_scalar(db, candidates, source, memo, &mut out)?;
+            return Ok(out);
+        }
+        for chunk in candidates.chunks(BATCH_ROWS) {
+            if chunk.iter().any(|&e| !members.contains(e)) {
+                self.eval_scalar(db, chunk, source, memo, &mut out)?;
+                continue;
+            }
+            // Pure column path: provably infallible for member candidates.
+            let decided = match self.form {
+                NormalForm::Dnf => {
+                    let mut accepted = vec![false; chunk.len()];
+                    let mut undecided: Vec<usize> = (0..chunk.len()).collect();
+                    for clause in &batch.clauses {
+                        let mut retain = undecided.clone();
+                        for a in clause {
+                            if retain.is_empty() {
+                                break;
+                            }
+                            let rec = db.attr(a.attr).expect("streamed attr checked above");
+                            let image = &self.consts[a.const_idx as usize].image;
+                            retain.retain(|&i| stream_test(db, rec, chunk[i], a.op, image));
+                        }
+                        for &i in &retain {
+                            accepted[i] = true;
+                        }
+                        undecided.retain(|i| !accepted[*i]);
+                        if undecided.is_empty() {
+                            break;
+                        }
+                    }
+                    accepted
+                }
+                NormalForm::Cnf => {
+                    let mut alive: Vec<usize> = (0..chunk.len()).collect();
+                    for clause in &batch.clauses {
+                        if alive.is_empty() {
+                            break;
+                        }
+                        let mut satisfied = vec![false; chunk.len()];
+                        let mut pending = alive.clone();
+                        for a in clause {
+                            if pending.is_empty() {
+                                break;
+                            }
+                            let rec = db.attr(a.attr).expect("streamed attr checked above");
+                            let image = &self.consts[a.const_idx as usize].image;
+                            pending.retain(|&i| {
+                                if stream_test(db, rec, chunk[i], a.op, image) {
+                                    satisfied[i] = true;
+                                    false
+                                } else {
+                                    true
+                                }
+                            });
+                        }
+                        alive.retain(|&i| satisfied[i]);
+                    }
+                    let mut accepted = vec![false; chunk.len()];
+                    for &i in &alive {
+                        accepted[i] = true;
+                    }
+                    accepted
+                }
+            };
+            for (i, &e) in chunk.iter().enumerate() {
+                if decided[i] {
+                    out.push(e);
+                }
+            }
+        }
         Ok(out)
     }
 }
@@ -574,6 +808,135 @@ mod tests {
                 (Err(_), Err(_)) => {}
                 (a, b) => panic!("divergent fallibility: {a:?} vs {b:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn batch_compatibility_is_detected_per_atom_shape() {
+        let mut im = instrumental_music().unwrap();
+        let four = im.db.int(4);
+        let ints = im.db.predefined(BaseKind::Integers);
+        // size = {4}: single-step lhs, constant rhs, non-ordering → batch.
+        let streamable = Atom::new(
+            isis_core::Map::single(im.size),
+            CompareOp::SetEq,
+            Rhs::constant(ints, [four]),
+        );
+        let pred = Predicate::dnf(vec![Clause::new(vec![streamable.clone()])]);
+        let prog = PredicateProgram::compile(&im.db, im.music_groups, &pred).unwrap();
+        assert!(prog.batch_compatible());
+        // An ordering operator forces the scalar interpreter.
+        let ordering = Atom::new(
+            isis_core::Map::single(im.size),
+            CompareOp::Lt,
+            Rhs::constant(ints, [four]),
+        );
+        let pred = Predicate::dnf(vec![Clause::new(vec![ordering])]);
+        let prog = PredicateProgram::compile(&im.db, im.music_groups, &pred).unwrap();
+        assert!(!prog.batch_compatible());
+        // A self-map rhs is candidate-dependent: not streamable.
+        let self_rhs = Atom::new(
+            isis_core::Map::single(im.size),
+            CompareOp::SetEq,
+            Rhs::SelfMap(isis_core::Map::single(im.size)),
+        );
+        let pred = Predicate::dnf(vec![Clause::new(vec![self_rhs])]);
+        let prog = PredicateProgram::compile(&im.db, im.music_groups, &pred).unwrap();
+        assert!(!prog.batch_compatible());
+        // A two-step lhs map walks the network: not streamable.
+        let two_step = Atom::new(
+            isis_core::Map::new(vec![im.plays, im.family]),
+            CompareOp::Match,
+            Rhs::constant(im.families, [im.brass]),
+        );
+        let pred = Predicate::dnf(vec![Clause::new(vec![two_step])]);
+        let prog = PredicateProgram::compile(&im.db, im.musicians, &pred).unwrap();
+        assert!(!prog.batch_compatible());
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_every_member_subset() {
+        let mut im = instrumental_music().unwrap();
+        // Two clauses mixing a single-valued column (size) with a
+        // multivalued one (members): DNF of
+        // `{ members ∋ edith ∧ size = 4 }` ∨ `{ size = 2 }`.
+        let four = im.db.int(4);
+        let two = im.db.int(2);
+        let ints = im.db.predefined(BaseKind::Integers);
+        let pred = Predicate::dnf(vec![
+            Clause::new(vec![
+                Atom::new(
+                    isis_core::Map::single(im.members),
+                    CompareOp::Match,
+                    Rhs::constant(im.musicians, [im.edith]),
+                ),
+                Atom::new(
+                    isis_core::Map::single(im.size),
+                    CompareOp::SetEq,
+                    Rhs::constant(ints, [four]),
+                ),
+            ]),
+            Clause::new(vec![Atom::new(
+                isis_core::Map::single(im.size),
+                CompareOp::SetEq,
+                Rhs::constant(ints, [two]),
+            )]),
+        ]);
+        let prog = PredicateProgram::compile(&im.db, im.music_groups, &pred).unwrap();
+        assert!(prog.batch_compatible(), "single-step constant atoms stream");
+        let members: Vec<EntityId> = im.db.members(im.music_groups).unwrap().iter().collect();
+        // Whole extent, a strict prefix, and a strided subset must all
+        // agree with the scalar loop, element for element, in order.
+        let subsets: Vec<Vec<EntityId>> = vec![
+            members.clone(),
+            members[..members.len() / 2].to_vec(),
+            members.iter().copied().step_by(2).collect(),
+        ];
+        for cands in subsets {
+            let mut memo = MemoTable::new(&prog);
+            let batch = prog.eval_batch(&im.db, &cands, None, &mut memo).unwrap();
+            let mut scalar = Vec::new();
+            for &e in &cands {
+                if prog.eval_for(&im.db, e, None, &mut memo).unwrap() {
+                    scalar.push(e);
+                }
+            }
+            assert_eq!(batch, scalar);
+        }
+    }
+
+    #[test]
+    fn batch_surfaces_the_scalar_error_for_rogue_candidates() {
+        let mut im = instrumental_music().unwrap();
+        let four = im.db.int(4);
+        let ints = im.db.predefined(BaseKind::Integers);
+        let pred = Predicate::dnf(vec![Clause::new(vec![Atom::new(
+            isis_core::Map::single(im.size),
+            CompareOp::SetEq,
+            Rhs::constant(ints, [four]),
+        )])]);
+        let prog = PredicateProgram::compile(&im.db, im.music_groups, &pred).unwrap();
+        assert!(prog.batch_compatible());
+        // A musician is not a member of music_groups: the scalar loop
+        // errors NotAMember on it, and the batch path must surface the
+        // identical error (not silently drop the candidate).
+        let rogue = im.edith;
+        let mut cands: Vec<EntityId> = im.db.members(im.music_groups).unwrap().iter().collect();
+        cands.push(rogue);
+        let mut memo = MemoTable::new(&prog);
+        let want = (|| -> Result<Vec<EntityId>> {
+            let mut out = Vec::new();
+            for &e in &cands {
+                if prog.eval_for(&im.db, e, None, &mut memo)? {
+                    out.push(e);
+                }
+            }
+            Ok(out)
+        })();
+        let got = prog.eval_batch(&im.db, &cands, None, &mut memo);
+        match (want, got) {
+            (Err(a), Err(b)) => assert_eq!(a, b, "identical error"),
+            (a, b) => panic!("both paths must fail identically: {a:?} vs {b:?}"),
         }
     }
 

@@ -224,6 +224,9 @@ pub(crate) struct EvalCapture {
     pub(crate) returned: u64,
     pub(crate) plan_ns: u64,
     pub(crate) eval_ns: u64,
+    /// The program was batch-compatible: evaluation streamed attribute
+    /// columns in [`crate::program::BATCH_ROWS`]-candidate runs.
+    pub(crate) batch: bool,
 }
 
 impl IndexService {
@@ -344,6 +347,7 @@ impl IndexService {
         parent: ClassId,
         pred: &Predicate,
         plan: &'a mut Option<CachedPlan>,
+        batch: bool,
     ) -> Result<(Option<usize>, std::borrow::Cow<'a, [EntityId]>)> {
         let epoch = db.delta_epoch();
         let cursor = self.manager.cursor();
@@ -366,6 +370,7 @@ impl IndexService {
                 cursor,
                 pool_len,
                 candidates,
+                batch,
             });
         }
         let p = plan.as_ref().expect("plan was just installed or validated");
@@ -725,8 +730,9 @@ impl IndexService {
                     plan,
                     Some(p) if p.epoch == db.delta_epoch() && p.cursor == self.manager.cursor()
                 );
+                let batch = prog.batch_compatible();
                 let t_plan = if timed { Some(Instant::now()) } else { None };
-                let (pool_len, candidates) = self.plan_candidates(db, parent, pred, plan)?;
+                let (pool_len, candidates) = self.plan_candidates(db, parent, pred, plan, batch)?;
                 let plan_ns = t_plan.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 if pool_len.is_none() {
                     self.bump(&self.seq_scans, &self.obs.seq_scans);
@@ -739,10 +745,8 @@ impl IndexService {
                 let scanned = candidates.len() as u64;
                 let t_eval = if timed { Some(Instant::now()) } else { None };
                 let mut memo = crate::program::MemoTable::new(prog);
-                for &e in candidates.iter() {
-                    if prog.eval_for(db, e, None, &mut memo)? {
-                        out.insert(e);
-                    }
+                for e in prog.eval_batch(db, &candidates, None, &mut memo)? {
+                    out.insert(e);
                 }
                 memo.flush_obs();
                 let eval_ns = t_eval.map_or(0, |t| t.elapsed().as_nanos() as u64);
@@ -766,6 +770,7 @@ impl IndexService {
                         returned: out.len() as u64,
                         plan_ns,
                         eval_ns,
+                        batch,
                     };
                 }
                 Ok(out)

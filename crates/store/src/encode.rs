@@ -284,18 +284,19 @@ fn w_attr_record(w: &mut Writer, a: &AttrRecord) {
             w_predicate(w, p);
         }
     });
-    // Values in entity-id order for deterministic bytes.
-    let mut entries: Vec<(&EntityId, &AttrValue)> = a.values.iter().collect();
-    entries.sort_by_key(|(e, _)| **e);
+    // Values in entity-id order for deterministic bytes; the on-disk
+    // form is layout-independent (a column round-trips through the same
+    // per-entity records the old hash layout produced).
+    let entries = a.values.entries_sorted();
     w.u32(entries.len() as u32);
     for (e, v) in entries {
-        w_entity(w, *e);
+        w_entity(w, e);
         match v {
-            AttrValue::Single(x) => {
+            isis_core::ValueRef::Single(x) => {
                 w.u8(0);
-                w_entity(w, *x);
+                w_entity(w, x);
             }
-            AttrValue::Multi(s) => {
+            isis_core::ValueRef::Multi(s) => {
                 w.u8(1);
                 w_set(w, s);
             }
@@ -328,7 +329,7 @@ fn r_attr_record(r: &mut Reader) -> Result<AttrRecord, CodecError> {
     if n > r.remaining() {
         return Err(CodecError::Corrupt("value map count too large".into()));
     }
-    let mut values = std::collections::HashMap::with_capacity(n);
+    let mut values = isis_core::AttrColumn::new();
     for _ in 0..n {
         let e = r_entity(r)?;
         let v = match r.u8()? {
@@ -336,7 +337,7 @@ fn r_attr_record(r: &mut Reader) -> Result<AttrRecord, CodecError> {
             1 => AttrValue::Multi(r_set(r)?),
             t => return Err(CodecError::Corrupt(format!("attr value tag {t}"))),
         };
-        values.insert(e, v);
+        values.set(e, v);
     }
     Ok(AttrRecord {
         name,

@@ -1347,7 +1347,7 @@ mod tests {
         let parsed = isis_obs::Json::parse(&json).expect("explain json parses");
         assert_eq!(
             parsed.get("schema").unwrap().as_str(),
-            Some("isis-query/explain/1")
+            Some("isis-query/explain/2")
         );
         // A zero threshold captures every evaluation.
         r.exec("slowlog threshold 0").unwrap();

@@ -93,6 +93,43 @@ fn results_are_identical_with_observability_on_and_off() {
     obs.set_enabled(false);
 }
 
+/// The record's eval-mode facet is faithful: a program of single-step
+/// constant atoms streams attribute columns (`batch`, with the run width
+/// and per-column occupancy), while a multi-step map keeps the whole
+/// program on the per-candidate interpreter (`scalar`, no column stats).
+#[test]
+fn explain_reports_eval_mode_and_column_stats() {
+    let mut im = instrumental_music().unwrap();
+    isis_obs::global().set_enabled(false);
+    let svc = IndexService::new(&im.db);
+
+    // `plays ~ {piano}`: one single-step constant atom, batch eligible.
+    let streamable = Predicate::dnf(vec![Clause::new(vec![Atom::new(
+        Map::single(im.plays),
+        CompareOp::Match,
+        Rhs::constant(im.instruments, [im.piano]),
+    )])]);
+    let (_, rec) = svc.explain(&im.db, im.musicians, &streamable).unwrap();
+    assert_eq!(rec.eval_mode, "batch");
+    assert_eq!(rec.batch_rows, isis_query::BATCH_ROWS);
+    assert_eq!(rec.columns.len(), 1);
+    assert_eq!(rec.columns[0].attr, "plays");
+    assert!(rec.columns[0].dense_len + rec.columns[0].overflow_len > 0);
+    assert!(
+        rec.to_text().contains("column streaming"),
+        "{}",
+        rec.to_text()
+    );
+
+    // The quartets predicate walks `members plays` — a two-step map, so
+    // the program never builds a batch body.
+    let pred = isis_sample::quartets_predicate(&mut im);
+    let (_, rec) = svc.explain(&im.db, im.music_groups, &pred).unwrap();
+    assert_eq!(rec.eval_mode, "scalar");
+    assert_eq!(rec.batch_rows, 0);
+    assert!(rec.to_text().contains("eval: scalar"), "{}", rec.to_text());
+}
+
 /// `explain` advances the `QueryStats` counters by exactly the same deltas
 /// as the equivalent `evaluate`, and the record agrees with the counters.
 #[test]
